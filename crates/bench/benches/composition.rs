@@ -1,0 +1,90 @@
+//! Micro-benchmarks for classifier composition — the inner loop of SDX
+//! compilation (§4.3.1). Measures parallel and sequential composition at
+//! several classifier sizes, plus the disjoint-concatenation shortcut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdx_net::{ip, prefix, FieldMatch, Ipv4Addr, Prefix};
+use sdx_net::{ParticipantId, PortId};
+use sdx_policy::{compile, Policy, Pred};
+
+/// A policy of `n` disjoint destination-block clauses.
+fn block_policy(n: usize) -> Policy {
+    let mut pol = Policy::drop();
+    for i in 0..n {
+        let block = Prefix::new(
+            Ipv4Addr::new(10, (i >> 4) as u8, ((i & 15) << 4) as u8, 0),
+            20,
+        );
+        pol = pol
+            + (Policy::filter(Pred::Test(FieldMatch::NwDst(block)))
+                >> Policy::fwd(PortId::Virt(ParticipantId(1 + (i % 7) as u32))));
+    }
+    pol
+}
+
+/// A policy of `n` *overlapping* clauses (forces the quadratic path).
+fn overlapping_policy(n: usize) -> Policy {
+    let mut pol = Policy::drop();
+    for i in 0..n {
+        pol = pol
+            + (Policy::match_(FieldMatch::TpDst(80 + (i % 3) as u16))
+                >> Policy::fwd(PortId::Virt(ParticipantId(1 + i as u32))));
+    }
+    pol
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_compile");
+    for n in [16usize, 64, 256] {
+        let disjoint = block_policy(n);
+        g.bench_with_input(BenchmarkId::new("disjoint_clauses", n), &disjoint, |b, p| {
+            b.iter(|| compile(p))
+        });
+    }
+    for n in [4usize, 8, 16] {
+        let overlapping = overlapping_policy(n);
+        g.bench_with_input(
+            BenchmarkId::new("overlapping_clauses", n),
+            &overlapping,
+            |b, p| b.iter(|| compile(p)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier_composition");
+    for n in [16usize, 64, 256] {
+        let c1 = compile(&block_policy(n));
+        let c2 = compile(
+            &((Policy::match_(FieldMatch::NwSrc(prefix("0.0.0.0/1")))
+                >> Policy::fwd(PortId::Phys(ParticipantId(9), 1)))
+                + (Policy::match_(FieldMatch::NwSrc(prefix("128.0.0.0/1")))
+                    >> Policy::fwd(PortId::Phys(ParticipantId(9), 2)))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sequential", n),
+            &(c1.clone(), c2.clone()),
+            |b, (a, z)| b.iter(|| a.sequential(z)),
+        );
+        g.bench_with_input(BenchmarkId::new("parallel", n), &(c1, c2), |b, (a, z)| {
+            b.iter(|| a.parallel(z))
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    use sdx_net::{LocatedPacket, Packet};
+    let classifier = compile(&block_policy(256));
+    let pkt = LocatedPacket::at(
+        PortId::Phys(ParticipantId(1), 1),
+        Packet::tcp(ip("9.9.9.9"), ip("10.7.128.5"), 40_000, 80),
+    );
+    c.bench_function("classifier_evaluate_256_rules", |b| {
+        b.iter(|| classifier.evaluate(&pkt))
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_composition, bench_evaluate);
+criterion_main!(benches);

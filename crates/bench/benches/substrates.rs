@@ -1,0 +1,119 @@
+//! Substrate micro-benchmarks: the building blocks everything else sits
+//! on — prefix-trie longest-prefix match, BGP wire codec, the decision
+//! process, AS-path regex matching, and flow-table lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdx_bgp::aspath_re::AsPathRegex;
+use sdx_bgp::attrs::{AsPath, PathAttributes};
+use sdx_bgp::msg::{BgpMessage, UpdateMessage};
+use sdx_bgp::wire;
+use sdx_net::{ip, Ipv4Addr, Prefix, PrefixTrie};
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_trie");
+    for n in [1_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut trie = PrefixTrie::new();
+        for i in 0..n {
+            trie.insert(
+                Prefix::new(Ipv4Addr(rng.gen()), 8 + (i % 25) as u8),
+                i,
+            );
+        }
+        let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr(rng.gen())).collect();
+        g.bench_with_input(BenchmarkId::new("lpm_1024_lookups", n), &trie, |b, t| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &a in &probes {
+                    if t.lookup(a).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let update = UpdateMessage::announce(
+        (0..32u32).map(|i| Prefix::new(Ipv4Addr::new(10, i as u8, 0, 0), 16)),
+        PathAttributes::new(AsPath::sequence([65001, 3356, 43515]), ip("172.16.0.1")),
+    );
+    let msg = BgpMessage::Update(update);
+    let encoded = wire::encode(&msg);
+    c.bench_function("bgp_wire_encode_32_nlri", |b| b.iter(|| wire::encode(&msg)));
+    c.bench_function("bgp_wire_decode_32_nlri", |b| {
+        b.iter(|| {
+            let mut buf = encoded.clone();
+            wire::decode(&mut buf).expect("valid")
+        })
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    use sdx_bgp::decision::best_route;
+    use sdx_bgp::rib::{Route, RouteSource};
+    use sdx_net::{Asn, ParticipantId, RouterId};
+    let routes: Vec<Route> = (0..64u32)
+        .map(|i| Route {
+            source: RouteSource {
+                participant: ParticipantId(i),
+                asn: Asn(65000 + i),
+                router_id: RouterId(i * 7919 % 101),
+                peer_addr: Ipv4Addr(0xac100000 + i),
+            },
+            attrs: PathAttributes::new(
+                AsPath::sequence((0..(1 + i % 5)).map(|h| 1000 + h)),
+                Ipv4Addr(0xac100000 + i),
+            ),
+        })
+        .collect();
+    c.bench_function("bgp_decision_64_candidates", |b| {
+        b.iter(|| best_route(routes.iter()).cloned())
+    });
+}
+
+fn bench_aspath_regex(c: &mut Criterion) {
+    let re = AsPathRegex::compile(".*43515$").expect("compiles");
+    let paths: Vec<AsPath> = (0..256u32)
+        .map(|i| AsPath::sequence([65000 + i, 3356, if i % 3 == 0 { 43515 } else { 15169 }]))
+        .collect();
+    c.bench_function("aspath_regex_256_paths", |b| {
+        b.iter(|| paths.iter().filter(|p| re.is_match(p)).count())
+    });
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    use sdx_net::{FieldMatch, HeaderMatch, LocatedPacket, MacAddr, Mod, Packet, ParticipantId, PortId};
+    use sdx_openflow::table::{FlowEntry, FlowTable};
+    let mut table = FlowTable::new();
+    for i in 0..2000u32 {
+        table.install(FlowEntry::new(
+            2000 - i,
+            HeaderMatch::of(FieldMatch::DlDst(MacAddr::vmac(i))),
+            vec![vec![Mod::SetLoc(PortId::Phys(ParticipantId(i % 64), 1))]],
+        ));
+    }
+    let pkt = LocatedPacket::at(
+        PortId::Phys(ParticipantId(1), 1),
+        Packet::tcp(ip("1.1.1.1"), ip("2.2.2.2"), 5, 80)
+            .with_macs(MacAddr::physical(1), MacAddr::vmac(1500)),
+    );
+    c.bench_function("flow_table_lookup_2000_entries", |b| {
+        b.iter(|| table.lookup(&pkt).is_some())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trie,
+    bench_wire,
+    bench_decision,
+    bench_aspath_regex,
+    bench_flow_table
+);
+criterion_main!(benches);

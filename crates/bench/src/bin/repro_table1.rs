@@ -1,0 +1,134 @@
+//! Reproduces **Table 1** — the IXP dataset characterization.
+//!
+//! For each of AMS-IX / DE-CIX / LINX, generates a six-day synthetic BGP
+//! update trace against a population with the published peer and prefix
+//! counts, calibrated in two steps: the burst-rate multiplier is set from
+//! the published update volumes, and the path-exploration factor maps
+//! routing *events* (what our generator produces) to collector-observed
+//! *messages* (what RIS counts — every event is heard once per collector
+//! peer, times BGP path exploration). Session-reset churn is injected and
+//! discarded exactly as the paper's methodology (Zhang et al.) does.
+//!
+//! Run: `cargo run --release -p sdx-bench --bin repro_table1`
+
+use sdx_bench::{print_json, print_table};
+use sdx_ixp::dataset::{IxpDataset, ALL, MEASUREMENT_WINDOW_SECS};
+use sdx_ixp::topology::{build, TopologyParams};
+use sdx_ixp::updates::{generate, TraceParams};
+
+/// Calibration pass: expected distinct touched prefixes given `events`
+/// samples (with replacement) from a pool of size `pool`.
+fn expected_distinct(events: f64, pool: f64) -> f64 {
+    pool * (1.0 - (-events / pool).exp())
+}
+
+fn reproduce(dataset: &IxpDataset, scale: usize) -> (u64, f64, usize) {
+    // Scale the prefix table down (default 1:4) to keep the run fast; all
+    // reported fractions are scale-free and the updates column is
+    // calibrated against the scaled event count.
+    let prefixes = dataset.prefixes / scale;
+    let ixp = build(&TopologyParams {
+        participants: dataset.collector_peers,
+        prefixes,
+        seed: 0xDA7A + dataset.collector_peers as u64,
+        ..Default::default()
+    });
+
+    // Pass 1: baseline event count at rate 1.
+    let base = generate(
+        &ixp,
+        &TraceParams {
+            duration_secs: MEASUREMENT_WINDOW_SECS,
+            churny_fraction: 0.2, // placeholder; only events matter here
+            session_resets: 0,
+            ..Default::default()
+        },
+    );
+    let base_events = base.stats.updates as f64;
+
+    // Choose the burst-rate multiplier so the expected distinct touched
+    // prefixes hit the published percentage, then the exploration factor
+    // so observed messages hit the published volume.
+    let target_touched = dataset.pct_prefixes_with_updates / 100.0 * prefixes as f64;
+    // Solve pool & rate: fix pool = 1.35 × target (some churny prefixes
+    // stay quiet), then pick the rate multiplier m so that
+    // expected_distinct(base_events × m, pool) = target.
+    let pool = (target_touched * 1.35).min(prefixes as f64 * 0.9);
+    let mut m = 1.0f64;
+    for _ in 0..60 {
+        let d = expected_distinct(base_events * m, pool);
+        m *= (target_touched / d).clamp(0.5, 2.0);
+    }
+    let churny_fraction = pool / prefixes as f64;
+
+    let events_est = base_events * m;
+    let exploration = dataset.updates as f64 / events_est / scale as f64;
+
+    let trace = generate(
+        &ixp,
+        &TraceParams {
+            duration_secs: MEASUREMENT_WINDOW_SECS,
+            churny_fraction,
+            session_resets: 2,
+            burst_rate_multiplier: m,
+            exploration_mean: exploration.max(1.0) * scale as f64,
+            ..Default::default()
+        },
+    );
+    (
+        trace.stats.observed_updates,
+        trace.stats.pct_prefixes_with_updates,
+        trace.stats.bursts,
+    )
+}
+
+fn main() {
+    let scale = 4usize;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for d in &ALL {
+        let (updates, pct, bursts) = reproduce(d, scale);
+        rows.push(vec![
+            d.name.to_string(),
+            format!("{}/{}", d.collector_peers, d.total_peers),
+            format!("{}", d.prefixes),
+            format!("{}", d.updates),
+            format!("{updates}"),
+            format!("{:.2}%", d.pct_prefixes_with_updates),
+            format!("{pct:.2}%"),
+            format!("{bursts}"),
+        ]);
+        json.push(serde_json::json!({
+            "ixp": d.name,
+            "collector_peers": d.collector_peers,
+            "total_peers": d.total_peers,
+            "prefixes": d.prefixes,
+            "updates_paper": d.updates,
+            "updates_measured": updates,
+            "pct_updated_paper": d.pct_prefixes_with_updates,
+            "pct_updated_measured": pct,
+            "bursts": bursts,
+            "prefix_scale": scale,
+        }));
+    }
+    print_table(
+        "Table 1: IXP datasets (paper vs. regenerated synthetic trace)",
+        &[
+            "IXP",
+            "peers",
+            "prefixes",
+            "updates(paper)",
+            "updates(ours)",
+            "%upd(paper)",
+            "%upd(ours)",
+            "bursts",
+        ],
+        &rows,
+    );
+    println!(
+        "\n  note: traces regenerated at 1:{scale} prefix scale; update volumes\n  \
+         calibrated via burst rate + path-exploration factor; session-reset\n  \
+         churn injected and discarded per the paper's methodology."
+    );
+    print_json("table1", &json);
+}

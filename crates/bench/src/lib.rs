@@ -1,0 +1,155 @@
+//! # sdx-bench — the experiment harness
+//!
+//! One `repro_*` binary per table/figure of the paper's evaluation, plus
+//! Criterion micro-benches (in `benches/`). Each binary prints the rows or
+//! series the paper reports, as an ASCII table and as JSON lines (for
+//! plotting), and EXPERIMENTS.md records the paper-vs-measured comparison.
+//!
+//! The shared machinery here builds paper-scale workloads, runs the
+//! controller pipeline, and formats results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use sdx_core::compiler::{CompileReport, SdxCompiler};
+use sdx_core::vnh::VnhAllocator;
+use sdx_ixp::policy_workload::{assign_policies, PolicyWorkloadParams};
+use sdx_ixp::topology::{build, SyntheticIxp, TopologyParams};
+
+/// A ready-to-compile experiment instance.
+pub struct Workbench {
+    /// The synthetic IXP with policies installed.
+    pub ixp: SyntheticIxp,
+    /// Its route server, fully converged.
+    pub rs: sdx_bgp::route_server::RouteServer,
+}
+
+impl Workbench {
+    /// Builds an IXP of `participants`/`prefixes` with the §6.1 policy
+    /// workload over `policy_prefixes` destination prefixes.
+    pub fn new(participants: usize, prefixes: usize, policy_prefixes: usize, seed: u64) -> Self {
+        let mut ixp = build(&TopologyParams {
+            participants,
+            prefixes,
+            seed,
+            ..Default::default()
+        });
+        assign_policies(
+            &mut ixp,
+            &PolicyWorkloadParams {
+                policy_prefixes,
+                seed: seed.wrapping_mul(31).wrapping_add(7),
+                ..Default::default()
+            },
+        );
+        let rs = ixp.route_server();
+        Workbench { ixp, rs }
+    }
+
+    /// A fresh compiler loaded with this workbench's participants.
+    pub fn compiler(&self) -> SdxCompiler {
+        let mut c = SdxCompiler::new();
+        for p in &self.ixp.participants {
+            c.upsert_participant(p.clone());
+        }
+        c
+    }
+
+    /// One full pipeline run.
+    pub fn compile(&self) -> CompileReport {
+        let mut compiler = self.compiler();
+        let mut vnh = VnhAllocator::default();
+        compiler
+            .compile_all(&self.rs, &mut vnh)
+            .expect("workload compiles")
+    }
+}
+
+/// Formats a duration in the most readable unit.
+pub fn fmt_duration(d: Duration) -> String {
+    if d >= Duration::from_secs(10) {
+        format!("{:.1}s", d.as_secs_f64())
+    } else if d >= Duration::from_millis(10) {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Prints an ASCII table: header + rows, column-aligned.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Emits one JSON line per row to stdout (machine-readable companion).
+pub fn print_json(experiment: &str, rows: &[serde_json::Value]) {
+    for row in rows {
+        let mut obj = row.clone();
+        if let Some(map) = obj.as_object_mut() {
+            map.insert(
+                "experiment".to_string(),
+                serde_json::Value::String(experiment.to_string()),
+            );
+        }
+        println!("{obj}");
+    }
+}
+
+/// Quantile of a sorted slice (nearest-rank).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[idx - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_compiles_end_to_end() {
+        let wb = Workbench::new(50, 1000, 200, 1);
+        let report = wb.compile();
+        assert!(report.stats.group_count > 0);
+        assert!(report.stats.forwarding_rules > 0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.5), 50.0);
+        assert_eq!(quantile(&v, 0.75), 75.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.0s");
+        assert_eq!(fmt_duration(Duration::from_millis(42)), "42.0ms");
+        assert_eq!(fmt_duration(Duration::from_micros(9)), "9.0µs");
+    }
+}

@@ -1,0 +1,579 @@
+//! AS-path regular expressions.
+//!
+//! §3.2 of the paper: *"The SDX allows a policy to specify a match
+//! indirectly based on regular expressions on BGP route attributes"*, with
+//! the example `RIB.filter('as_path', '.*43515$')`. The `regex` crate is
+//! not on the offline allowlist, and a general text regex is the wrong tool
+//! anyway — AS paths are token sequences, not strings (`.` must match one
+//! *AS number*, not one digit). This module is a small Thompson-NFA engine
+//! over the ASN alphabet.
+//!
+//! Supported syntax (a practical subset of Cisco/Quagga AS-path regexps):
+//!
+//! * `123` — literal ASN (whitespace separates adjacent literals)
+//! * `.` — any single ASN
+//! * `[10 20 30]` / `[^10 20]` — ASN set / negated set
+//! * `(...)` — grouping, `|` — alternation
+//! * `*` `+` `?` — postfix repetition
+//! * `^` / `$` — anchor at path start / end. Unanchored patterns match any
+//!   contiguous subsequence, like grep.
+
+use std::collections::BTreeSet;
+
+use sdx_net::Asn;
+
+use crate::attrs::AsPath;
+
+/// Errors from [`AsPathRegex::compile`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsPathReError {
+    /// Unexpected character at byte offset.
+    UnexpectedChar(usize, char),
+    /// Unbalanced parenthesis or bracket.
+    Unbalanced,
+    /// A repetition operator with nothing to repeat.
+    DanglingRepeat,
+    /// Empty pattern / empty group.
+    Empty,
+    /// `^`/`$` in a non-anchor position.
+    MisplacedAnchor,
+}
+
+impl core::fmt::Display for AsPathReError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsPathReError::UnexpectedChar(i, c) => write!(f, "unexpected {c:?} at offset {i}"),
+            AsPathReError::Unbalanced => write!(f, "unbalanced ( ) or [ ]"),
+            AsPathReError::DanglingRepeat => write!(f, "repetition with nothing to repeat"),
+            AsPathReError::Empty => write!(f, "empty pattern"),
+            AsPathReError::MisplacedAnchor => write!(f, "misplaced ^ or $"),
+        }
+    }
+}
+
+impl std::error::Error for AsPathReError {}
+
+#[derive(Clone, Debug)]
+enum Ast {
+    Lit(u32),
+    Any,
+    Set(BTreeSet<u32>, bool),
+    Concat(Vec<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'_')) {
+            // `_` in router regexps separates ASNs; treat like whitespace.
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// alt := concat ('|' concat)*
+    fn alt(&mut self) -> Result<Ast, AsPathReError> {
+        let mut left = self.concat()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.bump();
+                let right = self.concat()?;
+                left = Ast::Alt(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// concat := repeat+
+    fn concat(&mut self) -> Result<Ast, AsPathReError> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b')') | Some(b'|') | Some(b'$') => break,
+                _ => items.push(self.repeat()?),
+            }
+        }
+        match items.len() {
+            0 => Err(AsPathReError::Empty),
+            1 => Ok(items.pop().expect("len checked")),
+            _ => Ok(Ast::Concat(items)),
+        }
+    }
+
+    /// repeat := atom ('*'|'+'|'?')*
+    fn repeat(&mut self) -> Result<Ast, AsPathReError> {
+        let mut a = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    a = Ast::Star(Box::new(a));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    a = Ast::Plus(Box::new(a));
+                }
+                Some(b'?') => {
+                    self.bump();
+                    a = Ast::Opt(Box::new(a));
+                }
+                _ => return Ok(a),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, AsPathReError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'.') => {
+                self.bump();
+                Ok(Ast::Any)
+            }
+            Some(b'(') => {
+                self.bump();
+                let inner = self.alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(AsPathReError::Unbalanced);
+                }
+                Ok(inner)
+            }
+            Some(b'[') => {
+                self.bump();
+                let negated = if self.peek() == Some(b'^') {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let mut set = BTreeSet::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b']') => {
+                            self.bump();
+                            break;
+                        }
+                        Some(c) if c.is_ascii_digit() => {
+                            set.insert(self.number().ok_or(AsPathReError::Unbalanced)?);
+                        }
+                        Some(c) => {
+                            return Err(AsPathReError::UnexpectedChar(self.pos, c as char))
+                        }
+                        None => return Err(AsPathReError::Unbalanced),
+                    }
+                }
+                if set.is_empty() {
+                    return Err(AsPathReError::Empty);
+                }
+                Ok(Ast::Set(set, negated))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                Ok(Ast::Lit(self.number().ok_or(AsPathReError::Empty)?))
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') => Err(AsPathReError::DanglingRepeat),
+            Some(b'^') | Some(b'$') => Err(AsPathReError::MisplacedAnchor),
+            Some(c) => Err(AsPathReError::UnexpectedChar(self.pos, c as char)),
+            None => Err(AsPathReError::Empty),
+        }
+    }
+}
+
+// ------------------------------------------------------------------- NFA
+
+#[derive(Clone, Debug)]
+enum Edge {
+    Eps,
+    Any,
+    Lit(u32),
+    Set(BTreeSet<u32>, bool),
+}
+
+impl Edge {
+    fn accepts(&self, asn: u32) -> bool {
+        match self {
+            Edge::Eps => false,
+            Edge::Any => true,
+            Edge::Lit(v) => *v == asn,
+            Edge::Set(s, neg) => s.contains(&asn) != *neg,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Nfa {
+    /// edges[s] = outgoing (edge, target) pairs from state s.
+    edges: Vec<Vec<(Edge, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn add_state(&mut self) -> usize {
+        self.edges.push(Vec::new());
+        self.edges.len() - 1
+    }
+
+    fn add_edge(&mut self, from: usize, edge: Edge, to: usize) {
+        self.edges[from].push((edge, to));
+    }
+
+    /// Thompson construction: returns (start, accept) for `ast`.
+    fn build(&mut self, ast: &Ast) -> (usize, usize) {
+        match ast {
+            Ast::Lit(v) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                self.add_edge(s, Edge::Lit(*v), a);
+                (s, a)
+            }
+            Ast::Any => {
+                let s = self.add_state();
+                let a = self.add_state();
+                self.add_edge(s, Edge::Any, a);
+                (s, a)
+            }
+            Ast::Set(set, neg) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                self.add_edge(s, Edge::Set(set.clone(), *neg), a);
+                (s, a)
+            }
+            Ast::Concat(items) => {
+                let mut cur: Option<(usize, usize)> = None;
+                for item in items {
+                    let (s, a) = self.build(item);
+                    cur = Some(match cur {
+                        None => (s, a),
+                        Some((s0, a0)) => {
+                            self.add_edge(a0, Edge::Eps, s);
+                            (s0, a)
+                        }
+                    });
+                }
+                cur.expect("concat is non-empty by construction")
+            }
+            Ast::Alt(l, r) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                let (ls, la) = self.build(l);
+                let (rs, ra) = self.build(r);
+                self.add_edge(s, Edge::Eps, ls);
+                self.add_edge(s, Edge::Eps, rs);
+                self.add_edge(la, Edge::Eps, a);
+                self.add_edge(ra, Edge::Eps, a);
+                (s, a)
+            }
+            Ast::Star(inner) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                let (is, ia) = self.build(inner);
+                self.add_edge(s, Edge::Eps, is);
+                self.add_edge(s, Edge::Eps, a);
+                self.add_edge(ia, Edge::Eps, is);
+                self.add_edge(ia, Edge::Eps, a);
+                (s, a)
+            }
+            Ast::Plus(inner) => {
+                let (is, ia) = self.build(inner);
+                let a = self.add_state();
+                self.add_edge(ia, Edge::Eps, is);
+                self.add_edge(ia, Edge::Eps, a);
+                (is, a)
+            }
+            Ast::Opt(inner) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                let (is, ia) = self.build(inner);
+                self.add_edge(s, Edge::Eps, is);
+                self.add_edge(s, Edge::Eps, a);
+                self.add_edge(ia, Edge::Eps, a);
+                (s, a)
+            }
+        }
+    }
+
+    fn eps_closure(&self, states: &mut BTreeSet<usize>) {
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (e, t) in &self.edges[s] {
+                if matches!(e, Edge::Eps) && states.insert(*t) {
+                    stack.push(*t);
+                }
+            }
+        }
+    }
+
+    fn is_match(&self, tokens: &[u32]) -> bool {
+        let mut cur = BTreeSet::from([self.start]);
+        self.eps_closure(&mut cur);
+        for &tok in tokens {
+            let mut next = BTreeSet::new();
+            for &s in &cur {
+                for (e, t) in &self.edges[s] {
+                    if e.accepts(tok) {
+                        next.insert(*t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            self.eps_closure(&mut next);
+            cur = next;
+        }
+        cur.contains(&self.accept)
+    }
+}
+
+/// A compiled AS-path regular expression.
+///
+/// ```
+/// use sdx_bgp::aspath_re::AsPathRegex;
+/// use sdx_bgp::attrs::AsPath;
+///
+/// // The paper's example: routes originated by YouTube (AS 43515).
+/// let re = AsPathRegex::compile(".*43515$").unwrap();
+/// assert!(re.is_match(&AsPath::sequence([65001, 3356, 43515])));
+/// assert!(!re.is_match(&AsPath::sequence([65001, 15169])));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsPathRegex {
+    nfa: Nfa,
+    pattern: String,
+}
+
+impl AsPathRegex {
+    /// Compiles `pattern`; see the module docs for the syntax.
+    pub fn compile(pattern: &str) -> Result<Self, AsPathReError> {
+        let trimmed = pattern.trim();
+        let (anchored_start, rest) = match trimmed.strip_prefix('^') {
+            Some(r) => (true, r),
+            None => (false, trimmed),
+        };
+        let (anchored_end, body) = match rest.strip_suffix('$') {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let mut parser = Parser::new(body);
+        parser.skip_ws();
+        let core = if parser.peek().is_none() {
+            // `^$` matches only the empty path; bare `` / `^` / `$` likewise
+            // reduce to an empty core.
+            None
+        } else {
+            let ast = parser.alt()?;
+            parser.skip_ws();
+            if parser.peek() == Some(b'$') {
+                return Err(AsPathReError::MisplacedAnchor);
+            }
+            if parser.pos != parser.src.len() {
+                return Err(AsPathReError::Unbalanced);
+            }
+            Some(ast)
+        };
+
+        // Wrap with implicit `.*` on unanchored sides.
+        let any_star = Ast::Star(Box::new(Ast::Any));
+        let mut items = Vec::new();
+        if !anchored_start {
+            items.push(any_star.clone());
+        }
+        if let Some(c) = core {
+            items.push(c);
+        }
+        if !anchored_end {
+            items.push(any_star);
+        }
+        let full = match items.len() {
+            0 => Ast::Star(Box::new(Ast::Any)), // "^$"-free empty: match all
+            1 => items.pop().expect("len checked"),
+            _ => Ast::Concat(items),
+        };
+
+        // `^$` special case: both anchors, empty body → items empty → but we
+        // replaced with match-all above. Fix: represent as Opt of nothing.
+        let full = if anchored_start && anchored_end && matches!(&full, Ast::Star(b) if matches!(**b, Ast::Any))
+        {
+            // Accept only the empty token sequence: Star over an impossible
+            // set gives exactly that.
+            Ast::Star(Box::new(Ast::Set(BTreeSet::from([u32::MAX]), false)))
+        } else {
+            full
+        };
+
+        let mut nfa = Nfa::default();
+        let (start, accept) = nfa.build(&full);
+        nfa.start = start;
+        nfa.accept = accept;
+        Ok(AsPathRegex {
+            nfa,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Does the pattern match this AS path (flattened to its ASN sequence)?
+    pub fn is_match(&self, path: &AsPath) -> bool {
+        self.matches_asns(&path.flatten())
+    }
+
+    /// Match directly against an ASN slice.
+    pub fn matches_asns(&self, asns: &[Asn]) -> bool {
+        let toks: Vec<u32> = asns.iter().map(|a| a.0).collect();
+        self.nfa.is_match(&toks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, path: &[u32]) -> bool {
+        AsPathRegex::compile(pattern)
+            .unwrap_or_else(|e| panic!("compile {pattern:?}: {e}"))
+            .matches_asns(&path.iter().copied().map(Asn).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn paper_example_youtube_origin() {
+        // ".*43515$" — routes originated by YouTube (AS 43515).
+        assert!(m(".*43515$", &[65001, 3356, 43515]));
+        assert!(m(".*43515$", &[43515]));
+        assert!(!m(".*43515$", &[43515, 3356]));
+        assert!(!m(".*43515$", &[65001, 3356]));
+    }
+
+    #[test]
+    fn unanchored_is_substring_match() {
+        assert!(m("3356", &[1, 3356, 2]));
+        assert!(m("3356 2", &[1, 3356, 2]));
+        assert!(!m("3356 1", &[1, 3356, 2]));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^1 .*", &[1, 2, 3]));
+        assert!(!m("^2 .*", &[1, 2, 3]));
+        assert!(m("^1 2 3$", &[1, 2, 3]));
+        assert!(!m("^1 2$", &[1, 2, 3]));
+        // `^$` matches only the empty path.
+        assert!(m("^$", &[]));
+        assert!(!m("^$", &[1]));
+    }
+
+    #[test]
+    fn any_and_repeats() {
+        assert!(m("^.$", &[42]));
+        assert!(!m("^.$", &[42, 43]));
+        assert!(m("^1 .* 5$", &[1, 5]));
+        assert!(m("^1 .* 5$", &[1, 2, 3, 4, 5]));
+        assert!(m("^1 .+ 5$", &[1, 9, 5]));
+        assert!(!m("^1 .+ 5$", &[1, 5]));
+        assert!(m("^1 2? 3$", &[1, 3]));
+        assert!(m("^1 2? 3$", &[1, 2, 3]));
+        assert!(!m("^1 2? 3$", &[1, 2, 2, 3]));
+    }
+
+    #[test]
+    fn sets_and_negation() {
+        assert!(m("^[10 20 30]$", &[20]));
+        assert!(!m("^[10 20 30]$", &[40]));
+        assert!(m("^[^10 20]$", &[40]));
+        assert!(!m("^[^10 20]$", &[10]));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(1 2|3 4)$", &[1, 2]));
+        assert!(m("^(1 2|3 4)$", &[3, 4]));
+        assert!(!m("^(1 2|3 4)$", &[1, 4]));
+        assert!(m("^(1 2)+$", &[1, 2, 1, 2]));
+        assert!(!m("^(1 2)+$", &[1, 2, 1]));
+    }
+
+    #[test]
+    fn prepending_visible_to_regex() {
+        // Detect prepended paths: an AS appearing twice in a row.
+        assert!(m("65001 65001", &[65001, 65001, 9]));
+        assert!(!m("65001 65001", &[65001, 9, 65001]));
+    }
+
+    #[test]
+    fn underscore_is_separator() {
+        assert!(m("_3356_", &[1, 3356, 2]));
+        assert!(m("^1_2$", &[1, 2]));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(AsPathRegex::compile("(1 2").is_err());
+        assert!(AsPathRegex::compile("[1 2").is_err());
+        assert!(AsPathRegex::compile("*").is_err());
+        assert!(AsPathRegex::compile("a").is_err());
+        assert!(AsPathRegex::compile("[]").is_err());
+        assert!(AsPathRegex::compile("1 $ 2").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", &[]));
+        assert!(m("", &[1, 2, 3]));
+        assert!(m(".*", &[1, 2, 3]));
+        assert!(m(".*", &[]));
+    }
+
+    #[test]
+    fn matches_via_aspath_type() {
+        let re = AsPathRegex::compile(".*43515$").unwrap();
+        assert!(re.is_match(&AsPath::sequence([65001, 43515])));
+        assert!(!re.is_match(&AsPath::sequence([65001, 15169])));
+        assert_eq!(re.pattern(), ".*43515$");
+    }
+}

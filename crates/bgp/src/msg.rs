@@ -1,0 +1,191 @@
+//! BGP message types (RFC 4271 §4), as plain data.
+//!
+//! The wire representation lives in [`crate::wire`]; these structures are
+//! what the route server and session machinery manipulate.
+
+use sdx_net::{Asn, Ipv4Addr, Prefix, RouterId};
+
+use crate::attrs::PathAttributes;
+
+/// An OPEN message: session parameters exchanged at startup.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpenMessage {
+    /// BGP version; always 4.
+    pub version: u8,
+    /// The sender's AS number. (2-octet field on the wire; AS_TRANS for
+    /// 4-byte ASNs — we encode the truncated value like RFC 6793 peers do.)
+    pub asn: Asn,
+    /// Proposed hold time in seconds (0 = no keepalives).
+    pub hold_time: u16,
+    /// The sender's router id.
+    pub router_id: RouterId,
+}
+
+/// An UPDATE message: withdrawn routes plus new NLRI sharing one attribute
+/// set.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct UpdateMessage {
+    /// Prefixes no longer reachable via the sender.
+    pub withdrawn: Vec<Prefix>,
+    /// Attributes applying to every prefix in `nlri`. `None` iff `nlri` is
+    /// empty (withdraw-only update).
+    pub attrs: Option<PathAttributes>,
+    /// Newly advertised prefixes.
+    pub nlri: Vec<Prefix>,
+}
+
+impl UpdateMessage {
+    /// An announcement of `prefixes` with the given attributes.
+    pub fn announce(prefixes: impl IntoIterator<Item = Prefix>, attrs: PathAttributes) -> Self {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(attrs),
+            nlri: prefixes.into_iter().collect(),
+        }
+    }
+
+    /// A withdraw-only update.
+    pub fn withdraw(prefixes: impl IntoIterator<Item = Prefix>) -> Self {
+        UpdateMessage {
+            withdrawn: prefixes.into_iter().collect(),
+            attrs: None,
+            nlri: Vec::new(),
+        }
+    }
+
+    /// True when the update neither announces nor withdraws anything.
+    pub fn is_empty(&self) -> bool {
+        self.withdrawn.is_empty() && self.nlri.is_empty()
+    }
+}
+
+/// NOTIFICATION error codes (RFC 4271 §4.5); subcodes are carried raw.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NotificationCode {
+    /// Message header error (code 1).
+    MessageHeaderError,
+    /// OPEN message error (code 2).
+    OpenMessageError,
+    /// UPDATE message error (code 3).
+    UpdateMessageError,
+    /// Hold timer expired (code 4).
+    HoldTimerExpired,
+    /// FSM error (code 5).
+    FsmError,
+    /// Administrative cease (code 6) — what a session reset sends.
+    Cease,
+}
+
+impl NotificationCode {
+    /// On-wire code value.
+    pub fn value(self) -> u8 {
+        match self {
+            NotificationCode::MessageHeaderError => 1,
+            NotificationCode::OpenMessageError => 2,
+            NotificationCode::UpdateMessageError => 3,
+            NotificationCode::HoldTimerExpired => 4,
+            NotificationCode::FsmError => 5,
+            NotificationCode::Cease => 6,
+        }
+    }
+
+    /// Decode an on-wire code value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => NotificationCode::MessageHeaderError,
+            2 => NotificationCode::OpenMessageError,
+            3 => NotificationCode::UpdateMessageError,
+            4 => NotificationCode::HoldTimerExpired,
+            5 => NotificationCode::FsmError,
+            6 => NotificationCode::Cease,
+            _ => return None,
+        })
+    }
+}
+
+/// Any BGP message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BgpMessage {
+    /// Session open.
+    Open(OpenMessage),
+    /// Route announcement/withdrawal.
+    Update(UpdateMessage),
+    /// Error notification; closes the session.
+    Notification {
+        /// Error class.
+        code: NotificationCode,
+        /// Error detail (code-specific).
+        subcode: u8,
+    },
+    /// Liveness keepalive.
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// RFC 4271 message type byte.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            BgpMessage::Open(_) => 1,
+            BgpMessage::Update(_) => 2,
+            BgpMessage::Notification { .. } => 3,
+            BgpMessage::Keepalive => 4,
+        }
+    }
+}
+
+/// Convenience for tests & workload generators: an announcement of a single
+/// prefix via a bare AS path.
+pub fn simple_announce(prefix: Prefix, path: &[u32], next_hop: Ipv4Addr) -> UpdateMessage {
+    UpdateMessage::announce(
+        [prefix],
+        PathAttributes::new(crate::attrs::AsPath::sequence(path.iter().copied()), next_hop),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{ip, prefix};
+
+    #[test]
+    fn update_constructors() {
+        let a = simple_announce(prefix("10.0.0.0/8"), &[1, 2], ip("172.0.0.1"));
+        assert!(!a.is_empty());
+        assert_eq!(a.nlri, vec![prefix("10.0.0.0/8")]);
+        assert!(a.withdrawn.is_empty());
+        let w = UpdateMessage::withdraw([prefix("10.0.0.0/8")]);
+        assert!(w.attrs.is_none());
+        assert!(!w.is_empty());
+        assert!(UpdateMessage::default().is_empty());
+    }
+
+    #[test]
+    fn type_codes_match_rfc() {
+        let open = BgpMessage::Open(OpenMessage {
+            version: 4,
+            asn: Asn(65000),
+            hold_time: 90,
+            router_id: RouterId(1),
+        });
+        assert_eq!(open.type_code(), 1);
+        assert_eq!(BgpMessage::Update(UpdateMessage::default()).type_code(), 2);
+        assert_eq!(
+            BgpMessage::Notification {
+                code: NotificationCode::Cease,
+                subcode: 0
+            }
+            .type_code(),
+            3
+        );
+        assert_eq!(BgpMessage::Keepalive.type_code(), 4);
+    }
+
+    #[test]
+    fn notification_code_roundtrip() {
+        for v in 1..=6u8 {
+            assert_eq!(NotificationCode::from_value(v).unwrap().value(), v);
+        }
+        assert!(NotificationCode::from_value(0).is_none());
+        assert!(NotificationCode::from_value(7).is_none());
+    }
+}

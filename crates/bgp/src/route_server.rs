@@ -1,0 +1,650 @@
+//! The SDX route server (§3.2, §5.1 of the paper).
+//!
+//! Like a conventional IXP route server it collects announcements from every
+//! participant, runs the decision process *on behalf of each participant*,
+//! and re-advertises one best route per prefix per participant. It differs
+//! from a conventional route server in exactly the ways the paper calls out:
+//!
+//! * it exposes the **full candidate set** per prefix — a participant may
+//!   forward to *any* AS that exported a route for the prefix, not only the
+//!   best one ("forwarding only along BGP-advertised paths");
+//! * re-advertisements carry a rewritten next hop (the **virtual next hop**,
+//!   §4.2), supplied by the SDX controller through a callback, so that
+//!   participants' border routers tag packets with the right VMAC.
+//!
+//! Export control: each announcing participant has an [`ExportPolicy`]
+//! stating which peers may receive which of its prefixes (Figure 1b: AS B
+//! does not export `p4` to AS A). Loop protection is enforced on export: a
+//! route is never sent to a peer whose ASN already appears in its AS path,
+//! and never reflected back to its announcer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdx_net::{Asn, Ipv4Addr, ParticipantId, Prefix};
+
+use crate::msg::UpdateMessage;
+use crate::rib::{AdjRibIn, LocRib, Route, RouteSource};
+
+/// Which peers an announcer's routes are exported to. Default: everyone.
+#[derive(Clone, Debug, Default)]
+pub struct ExportPolicy {
+    deny_all: BTreeSet<ParticipantId>,
+    deny: BTreeSet<(ParticipantId, Prefix)>,
+}
+
+/// Action communities understood by the route server, following the
+/// convention real IXP route servers document (e.g. the `0:PEER-AS` /
+/// `IXP-AS:PEER-AS` scheme at DE-CIX and AMS-IX): announcers control
+/// export per-announcement by tagging routes, with no out-of-band
+/// configuration.
+pub mod communities {
+    use crate::attrs::Community;
+    use sdx_net::ParticipantId;
+
+    /// `0:peer` — do not export this route to `peer`.
+    pub fn no_export_to(peer: ParticipantId) -> Community {
+        Community(0, peer.0 as u16)
+    }
+
+    /// `1:peer` — export this route *only* to `peer` (repeatable; the
+    /// allow-set is the union of all `1:…` tags on the route).
+    pub fn export_only_to(peer: ParticipantId) -> Community {
+        Community(1, peer.0 as u16)
+    }
+
+    /// `0:65535` — do not export this route to anyone (NO_EXPORT at the
+    /// route-server level).
+    pub const NO_EXPORT_ALL: Community = Community(0, 65_535);
+
+    /// Evaluates the community-based export decision for one route toward
+    /// one peer: allow-list communities (if any) must include the peer,
+    /// and no deny community may name it.
+    pub fn allows(comms: &[Community], peer: ParticipantId) -> bool {
+        if comms.contains(&NO_EXPORT_ALL) {
+            return false;
+        }
+        if comms.contains(&no_export_to(peer)) {
+            return false;
+        }
+        let allow: Vec<u16> = comms
+            .iter()
+            .filter(|c| c.0 == 1)
+            .map(|c| c.1)
+            .collect();
+        allow.is_empty() || allow.contains(&(peer.0 as u16))
+    }
+}
+
+impl ExportPolicy {
+    /// Export everything to everyone (the common IXP default).
+    pub fn allow_all() -> Self {
+        ExportPolicy::default()
+    }
+
+    /// Never export anything to `peer`.
+    pub fn deny_peer(&mut self, peer: ParticipantId) -> &mut Self {
+        self.deny_all.insert(peer);
+        self
+    }
+
+    /// Do not export `prefix` to `peer` (e.g. selective announcements).
+    pub fn deny(&mut self, peer: ParticipantId, prefix: Prefix) -> &mut Self {
+        self.deny.insert((peer, prefix));
+        self
+    }
+
+    /// Would this policy export `prefix` to `peer`?
+    pub fn exports_to(&self, peer: ParticipantId, prefix: Prefix) -> bool {
+        !self.deny_all.contains(&peer) && !self.deny.contains(&(peer, prefix))
+    }
+}
+
+/// Events emitted while processing an update, consumed by the SDX
+/// controller's incremental compilation path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RouteServerEvent {
+    /// The candidate set for a prefix changed (announce/replace/withdraw).
+    PrefixChanged(Prefix),
+    /// A participant's session was reset; all its routes were dropped.
+    SessionReset(ParticipantId),
+}
+
+/// The multi-participant route server.
+#[derive(Clone, Debug, Default)]
+pub struct RouteServer {
+    peers: BTreeMap<ParticipantId, AdjRibIn>,
+    export: BTreeMap<ParticipantId, ExportPolicy>,
+    asns: BTreeMap<ParticipantId, Asn>,
+    loc_rib: LocRib,
+}
+
+impl RouteServer {
+    /// An empty route server.
+    pub fn new() -> Self {
+        RouteServer::default()
+    }
+
+    /// Registers a participant session. Must be called before updates from
+    /// that participant are processed.
+    pub fn add_peer(&mut self, source: RouteSource, export: ExportPolicy) {
+        self.asns.insert(source.participant, source.asn);
+        self.peers
+            .insert(source.participant, AdjRibIn::new(source));
+        self.export.insert(source.participant, export);
+    }
+
+    /// The registered participants, in id order.
+    pub fn participants(&self) -> impl Iterator<Item = ParticipantId> + '_ {
+        self.peers.keys().copied()
+    }
+
+    /// The ASN of a participant, if registered.
+    pub fn asn_of(&self, p: ParticipantId) -> Option<Asn> {
+        self.asns.get(&p).copied()
+    }
+
+    /// Replaces a participant's export policy (policy changes at runtime).
+    pub fn set_export_policy(&mut self, p: ParticipantId, export: ExportPolicy) {
+        self.export.insert(p, export);
+    }
+
+    /// Processes one UPDATE from `from`, returning the prefixes whose
+    /// candidate set changed.
+    ///
+    /// # Panics
+    /// Panics if `from` was never registered with [`add_peer`](Self::add_peer)
+    /// — an update from an unknown session is a programming error in the
+    /// harness, not a runtime condition.
+    pub fn process_update(
+        &mut self,
+        from: ParticipantId,
+        update: &UpdateMessage,
+    ) -> Vec<RouteServerEvent> {
+        let rib = self
+            .peers
+            .get_mut(&from)
+            .unwrap_or_else(|| panic!("update from unregistered participant {from}"));
+        let changed = rib.apply(update);
+        let mut events = Vec::with_capacity(changed.len());
+        for p in changed {
+            match self.peers[&from].route(p) {
+                Some(route) => self.loc_rib.upsert(p, route),
+                None => self.loc_rib.remove(p, from),
+            }
+            events.push(RouteServerEvent::PrefixChanged(p));
+        }
+        events
+    }
+
+    /// Handles a session reset: drops every route from `from` (Table 1's
+    /// methodology discards the update churn a reset causes — the caller
+    /// decides how to account it).
+    pub fn reset_session(&mut self, from: ParticipantId) -> Vec<RouteServerEvent> {
+        let Some(rib) = self.peers.get_mut(&from) else {
+            return Vec::new();
+        };
+        let cleared = rib.clear();
+        let mut events = vec![RouteServerEvent::SessionReset(from)];
+        for p in cleared {
+            self.loc_rib.remove(p, from);
+            events.push(RouteServerEvent::PrefixChanged(p));
+        }
+        events
+    }
+
+    /// Whether `announcer` exports `prefix` to `viewer`: loop protection
+    /// (never back to the announcer; never to a peer whose ASN is already
+    /// in the path), the static per-peer export policy, and the route's
+    /// action communities (see [`communities`]).
+    fn exported(&self, announcer: &Route, viewer: ParticipantId, prefix: Prefix) -> bool {
+        let ap = announcer.source.participant;
+        if ap == viewer {
+            return false;
+        }
+        if let Some(viewer_asn) = self.asns.get(&viewer) {
+            if announcer.attrs.as_path.contains(*viewer_asn) {
+                return false;
+            }
+        }
+        if !communities::allows(&announcer.attrs.communities, viewer) {
+            return false;
+        }
+        self.export
+            .get(&ap)
+            .map_or(true, |e| e.exports_to(viewer, prefix))
+    }
+
+    /// The candidate routes `viewer` may use for `prefix` — the feasible
+    /// next-hop set the SDX consistency filters are derived from.
+    pub fn candidates_for(&self, viewer: ParticipantId, prefix: Prefix) -> Vec<&Route> {
+        self.loc_rib
+            .candidates(prefix)
+            .iter()
+            .filter(|r| self.exported(r, viewer, prefix))
+            .collect()
+    }
+
+    /// The participants `viewer` may forward `prefix`-destined traffic to.
+    pub fn reachable_via(&self, viewer: ParticipantId, prefix: Prefix) -> Vec<ParticipantId> {
+        self.candidates_for(viewer, prefix)
+            .into_iter()
+            .map(|r| r.source.participant)
+            .collect()
+    }
+
+    /// The best route for `prefix` from `viewer`'s point of view, or `None`
+    /// if nothing is exported to it.
+    pub fn best_for(&self, viewer: ParticipantId, prefix: Prefix) -> Option<&Route> {
+        crate::decision::best_route(self.candidates_for(viewer, prefix))
+    }
+
+    /// Longest-prefix-match variants, used when a policy rewrites the
+    /// destination address (wide-area load balancing, §3.1): the SDX must
+    /// route the *rewritten* address along BGP-advertised paths.
+    ///
+    /// The most specific announced prefix covering `addr`, from `viewer`'s
+    /// point of view, with the participants that exported it.
+    pub fn reachable_via_addr(
+        &self,
+        viewer: ParticipantId,
+        addr: Ipv4Addr,
+    ) -> Vec<ParticipantId> {
+        let Some((p, routes)) = self.loc_rib.lookup_candidates(addr) else {
+            return Vec::new();
+        };
+        routes
+            .iter()
+            .filter(|r| self.exported(r, viewer, p))
+            .map(|r| r.source.participant)
+            .collect()
+    }
+
+    /// The best route for the most specific prefix covering `addr`, from
+    /// `viewer`'s point of view.
+    pub fn best_for_addr(&self, viewer: ParticipantId, addr: Ipv4Addr) -> Option<&Route> {
+        let (p, routes) = self.loc_rib.lookup_candidates(addr)?;
+        crate::decision::best_route(routes.iter().filter(|r| self.exported(r, viewer, p)))
+    }
+
+    /// Every prefix for which `viewer` can reach `next_hop` — the BGP
+    /// filter the SDX inserts in front of `fwd(next_hop)` (§4.1, second
+    /// transformation).
+    pub fn prefixes_via(&self, viewer: ParticipantId, next_hop: ParticipantId) -> Vec<Prefix> {
+        self.loc_rib
+            .prefixes()
+            .filter(|p| {
+                self.loc_rib
+                    .candidates(*p)
+                    .iter()
+                    .any(|r| r.source.participant == next_hop && self.exported(r, viewer, *p))
+            })
+            .collect()
+    }
+
+    /// Every prefix with at least one candidate.
+    pub fn all_prefixes(&self) -> Vec<Prefix> {
+        self.loc_rib.prefixes().collect()
+    }
+
+    /// Number of prefixes in the Loc-RIB.
+    pub fn prefix_count(&self) -> usize {
+        self.loc_rib.len()
+    }
+
+    /// Direct access to the Loc-RIB (read-only).
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// A participant's Adj-RIB-In (what it announced), if registered.
+    pub fn adj_rib_in(&self, p: ParticipantId) -> Option<&AdjRibIn> {
+        self.peers.get(&p)
+    }
+
+    /// Builds the re-advertisements caused by a set of changed prefixes:
+    /// for each viewer, announcements of its new best routes (with next hop
+    /// rewritten via `vnh`) and withdrawals where no route remains.
+    ///
+    /// `vnh(viewer, prefix, best)` returns the virtual-next-hop address the
+    /// SDX wants the viewer's border router to resolve (§4.2). Passing
+    /// `|_, _, r| r.attrs.next_hop` yields conventional route-server
+    /// behaviour.
+    pub fn readvertisements(
+        &self,
+        changed: &[Prefix],
+        mut vnh: impl FnMut(ParticipantId, Prefix, &Route) -> Ipv4Addr,
+    ) -> Vec<(ParticipantId, UpdateMessage)> {
+        let mut out = Vec::new();
+        for viewer in self.peers.keys().copied() {
+            let mut msgs = UpdateMessage::default();
+            let mut announces: Vec<(Prefix, UpdateMessage)> = Vec::new();
+            for &p in changed {
+                match self.best_for(viewer, p) {
+                    Some(best) => {
+                        let nh = vnh(viewer, p, best);
+                        let attrs = best.attrs.clone().with_next_hop(nh);
+                        announces.push((p, UpdateMessage::announce([p], attrs)));
+                    }
+                    None => msgs.withdrawn.push(p),
+                }
+            }
+            if !msgs.withdrawn.is_empty() {
+                out.push((viewer, msgs));
+            }
+            for (_, m) in announces {
+                out.push((viewer, m));
+            }
+        }
+        out
+    }
+
+    /// Filters the Loc-RIB by an AS-path regular expression: the prefixes
+    /// whose *best route for `viewer`* matches. This implements the paper's
+    /// `RIB.filter('as_path', ...)` used for "grouping traffic based on BGP
+    /// attributes" (§3.2).
+    pub fn filter_as_path(
+        &self,
+        viewer: ParticipantId,
+        regex: &crate::aspath_re::AsPathRegex,
+    ) -> Vec<Prefix> {
+        self.loc_rib
+            .prefixes()
+            .filter(|p| {
+                self.best_for(viewer, *p)
+                    .is_some_and(|r| regex.is_match(&r.attrs.as_path))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, PathAttributes};
+    use crate::msg::simple_announce;
+    use sdx_net::{ip, prefix, RouterId};
+
+    fn src(p: u32) -> RouteSource {
+        RouteSource {
+            participant: ParticipantId(p),
+            asn: Asn(65000 + p),
+            router_id: RouterId(p),
+            peer_addr: Ipv4Addr(0xac100000 + p),
+        }
+    }
+
+    /// The Figure 1b scenario: B announces p1..p3 (not exporting p4 to A is
+    /// modelled via export policy), C announces p1..p5 variants.
+    fn figure1_server() -> RouteServer {
+        let mut rs = RouteServer::new();
+        rs.add_peer(src(1), ExportPolicy::allow_all()); // A
+        let mut b_export = ExportPolicy::allow_all();
+        b_export.deny(ParticipantId(1), prefix("40.0.0.0/8")); // B hides p4 from A
+        rs.add_peer(src(2), b_export); // B
+        rs.add_peer(src(3), ExportPolicy::allow_all()); // C
+
+        // B announces p1,p2,p3,p4 ; C announces p1,p2,p4 with shorter path
+        // for p1,p2 and p3 only from B.
+        for (pfx, path) in [
+            ("10.0.0.0/8", vec![65002, 100, 200]),
+            ("20.0.0.0/8", vec![65002, 100, 200]),
+            ("30.0.0.0/8", vec![65002, 300]),
+            ("40.0.0.0/8", vec![65002, 400]),
+        ] {
+            rs.process_update(
+                ParticipantId(2),
+                &simple_announce(prefix(pfx), &path, ip("172.16.0.2")),
+            );
+        }
+        for (pfx, path) in [
+            ("10.0.0.0/8", vec![65003, 200]),
+            ("20.0.0.0/8", vec![65003, 200]),
+            ("40.0.0.0/8", vec![65003, 400]),
+        ] {
+            rs.process_update(
+                ParticipantId(3),
+                &simple_announce(prefix(pfx), &path, ip("172.16.0.3")),
+            );
+        }
+        rs
+    }
+
+    #[test]
+    fn best_route_prefers_shorter_path() {
+        let rs = figure1_server();
+        // For viewer A, p1's best is via C (2 hops < 3 hops).
+        let best = rs.best_for(ParticipantId(1), prefix("10.0.0.0/8")).unwrap();
+        assert_eq!(best.source.participant, ParticipantId(3));
+        // p3 only announced by B.
+        let best3 = rs.best_for(ParticipantId(1), prefix("30.0.0.0/8")).unwrap();
+        assert_eq!(best3.source.participant, ParticipantId(2));
+    }
+
+    #[test]
+    fn reachability_includes_non_best_routes() {
+        let rs = figure1_server();
+        // A can still send p1 traffic via B even though C is best (§3.2).
+        let mut reach = rs.reachable_via(ParticipantId(1), prefix("10.0.0.0/8"));
+        reach.sort();
+        assert_eq!(reach, vec![ParticipantId(2), ParticipantId(3)]);
+    }
+
+    #[test]
+    fn export_policy_hides_prefix() {
+        let rs = figure1_server();
+        // B does not export p4 to A → A can only reach p4 via C.
+        assert_eq!(
+            rs.reachable_via(ParticipantId(1), prefix("40.0.0.0/8")),
+            vec![ParticipantId(3)]
+        );
+        // …but B exports p4 to C.
+        let mut reach_c = rs.reachable_via(ParticipantId(3), prefix("40.0.0.0/8"));
+        reach_c.sort();
+        assert_eq!(reach_c, vec![ParticipantId(2)]);
+    }
+
+    #[test]
+    fn routes_never_reflected_to_announcer() {
+        let rs = figure1_server();
+        // B announced p3; B must not see its own route.
+        assert!(rs.best_for(ParticipantId(2), prefix("30.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn loop_protection_on_export() {
+        let mut rs = RouteServer::new();
+        rs.add_peer(src(1), ExportPolicy::allow_all());
+        rs.add_peer(src(2), ExportPolicy::allow_all());
+        // P2 announces a route whose path already contains P1's ASN (65001).
+        rs.process_update(
+            ParticipantId(2),
+            &simple_announce(prefix("50.0.0.0/8"), &[65002, 65001, 9], ip("172.16.0.2")),
+        );
+        assert!(rs.best_for(ParticipantId(1), prefix("50.0.0.0/8")).is_none());
+        assert!(rs
+            .reachable_via(ParticipantId(1), prefix("50.0.0.0/8"))
+            .is_empty());
+    }
+
+    #[test]
+    fn prefixes_via_builds_bgp_filter() {
+        let rs = figure1_server();
+        // Figure 1: A may forward to B for p1, p2, p3 — not p4 (not exported).
+        let mut via_b = rs.prefixes_via(ParticipantId(1), ParticipantId(2));
+        via_b.sort();
+        assert_eq!(
+            via_b,
+            vec![
+                prefix("10.0.0.0/8"),
+                prefix("20.0.0.0/8"),
+                prefix("30.0.0.0/8")
+            ]
+        );
+        let mut via_c = rs.prefixes_via(ParticipantId(1), ParticipantId(3));
+        via_c.sort();
+        assert_eq!(
+            via_c,
+            vec![
+                prefix("10.0.0.0/8"),
+                prefix("20.0.0.0/8"),
+                prefix("40.0.0.0/8")
+            ]
+        );
+    }
+
+    #[test]
+    fn withdrawal_updates_loc_rib() {
+        let mut rs = figure1_server();
+        let ev = rs.process_update(
+            ParticipantId(3),
+            &UpdateMessage::withdraw([prefix("10.0.0.0/8")]),
+        );
+        assert_eq!(
+            ev,
+            vec![RouteServerEvent::PrefixChanged(prefix("10.0.0.0/8"))]
+        );
+        // Best for A falls back to B.
+        let best = rs.best_for(ParticipantId(1), prefix("10.0.0.0/8")).unwrap();
+        assert_eq!(best.source.participant, ParticipantId(2));
+    }
+
+    #[test]
+    fn session_reset_drops_all_routes() {
+        let mut rs = figure1_server();
+        let before = rs.prefix_count();
+        assert_eq!(before, 4);
+        let ev = rs.reset_session(ParticipantId(2));
+        assert!(matches!(ev[0], RouteServerEvent::SessionReset(p) if p == ParticipantId(2)));
+        // B announced 4 prefixes → 4 PrefixChanged events follow.
+        assert_eq!(ev.len(), 5);
+        // p3 (only from B) is now unreachable.
+        assert!(rs.best_for(ParticipantId(1), prefix("30.0.0.0/8")).is_none());
+        // p1 still reachable via C.
+        assert!(rs.best_for(ParticipantId(1), prefix("10.0.0.0/8")).is_some());
+    }
+
+    #[test]
+    fn readvertisements_rewrite_next_hop() {
+        let rs = figure1_server();
+        let vnh_addr = ip("172.16.255.1");
+        let msgs = rs.readvertisements(&[prefix("10.0.0.0/8")], |_, _, _| vnh_addr);
+        // Every registered viewer gets an announcement (A, B, C all have a
+        // best route for p1 from someone else).
+        assert_eq!(msgs.len(), 3);
+        for (_, m) in &msgs {
+            assert_eq!(m.attrs.as_ref().unwrap().next_hop, vnh_addr);
+            assert_eq!(m.nlri, vec![prefix("10.0.0.0/8")]);
+        }
+    }
+
+    #[test]
+    fn readvertisements_withdraw_when_no_route_remains() {
+        let mut rs = figure1_server();
+        rs.process_update(
+            ParticipantId(2),
+            &UpdateMessage::withdraw([prefix("30.0.0.0/8")]),
+        );
+        let msgs = rs.readvertisements(&[prefix("30.0.0.0/8")], |_, _, r| r.attrs.next_hop);
+        // All three viewers lose the route.
+        assert_eq!(msgs.len(), 3);
+        for (_, m) in &msgs {
+            assert_eq!(m.withdrawn, vec![prefix("30.0.0.0/8")]);
+            assert!(m.nlri.is_empty());
+        }
+    }
+
+    #[test]
+    fn filter_as_path_selects_origin() {
+        let rs = figure1_server();
+        let re = crate::aspath_re::AsPathRegex::compile(".*200$").unwrap();
+        let mut hits = rs.filter_as_path(ParticipantId(1), &re);
+        hits.sort();
+        assert_eq!(hits, vec![prefix("10.0.0.0/8"), prefix("20.0.0.0/8")]);
+    }
+
+    #[test]
+    fn update_from_known_peer_with_new_attrs_changes_prefix() {
+        let mut rs = figure1_server();
+        // C improves its path for p4; event fires, best flips to C for A.
+        let ev = rs.process_update(
+            ParticipantId(3),
+            &UpdateMessage::announce(
+                [prefix("40.0.0.0/8")],
+                PathAttributes::new(AsPath::sequence([65003]), ip("172.16.0.3"))
+                    .with_local_pref(200),
+            ),
+        );
+        assert_eq!(ev.len(), 1);
+        let best = rs.best_for(ParticipantId(1), prefix("40.0.0.0/8")).unwrap();
+        assert_eq!(best.source.participant, ParticipantId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered participant")]
+    fn update_from_unknown_peer_panics() {
+        let mut rs = RouteServer::new();
+        rs.process_update(
+            ParticipantId(9),
+            &simple_announce(prefix("10.0.0.0/8"), &[1], ip("1.1.1.1")),
+        );
+    }
+
+    #[test]
+    fn community_no_export_to_hides_route() {
+        let mut rs = RouteServer::new();
+        rs.add_peer(src(1), ExportPolicy::allow_all());
+        rs.add_peer(src(2), ExportPolicy::allow_all());
+        rs.add_peer(src(3), ExportPolicy::allow_all());
+        let attrs = PathAttributes::new(AsPath::sequence([65002, 9]), ip("172.16.0.2"))
+            .with_community(communities::no_export_to(ParticipantId(1)));
+        rs.process_update(
+            ParticipantId(2),
+            &UpdateMessage::announce([prefix("60.0.0.0/8")], attrs),
+        );
+        assert!(rs.best_for(ParticipantId(1), prefix("60.0.0.0/8")).is_none());
+        assert!(rs.best_for(ParticipantId(3), prefix("60.0.0.0/8")).is_some());
+    }
+
+    #[test]
+    fn community_export_only_to_is_an_allow_list() {
+        let mut rs = RouteServer::new();
+        rs.add_peer(src(1), ExportPolicy::allow_all());
+        rs.add_peer(src(2), ExportPolicy::allow_all());
+        rs.add_peer(src(3), ExportPolicy::allow_all());
+        let attrs = PathAttributes::new(AsPath::sequence([65002, 9]), ip("172.16.0.2"))
+            .with_community(communities::export_only_to(ParticipantId(3)));
+        rs.process_update(
+            ParticipantId(2),
+            &UpdateMessage::announce([prefix("61.0.0.0/8")], attrs),
+        );
+        assert!(rs.best_for(ParticipantId(1), prefix("61.0.0.0/8")).is_none());
+        assert!(rs.best_for(ParticipantId(3), prefix("61.0.0.0/8")).is_some());
+    }
+
+    #[test]
+    fn community_no_export_all_blackholes() {
+        let mut rs = RouteServer::new();
+        rs.add_peer(src(1), ExportPolicy::allow_all());
+        rs.add_peer(src(2), ExportPolicy::allow_all());
+        let attrs = PathAttributes::new(AsPath::sequence([65002, 9]), ip("172.16.0.2"))
+            .with_community(communities::NO_EXPORT_ALL);
+        rs.process_update(
+            ParticipantId(2),
+            &UpdateMessage::announce([prefix("62.0.0.0/8")], attrs),
+        );
+        assert!(rs.best_for(ParticipantId(1), prefix("62.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn community_deny_beats_allow() {
+        use crate::attrs::Community;
+        let comms = vec![
+            communities::export_only_to(ParticipantId(1)),
+            communities::no_export_to(ParticipantId(1)),
+            Community(9, 9), // unrelated community is ignored
+        ];
+        assert!(!communities::allows(&comms, ParticipantId(1)));
+        assert!(!communities::allows(&comms, ParticipantId(2)), "not on allow list");
+        assert!(communities::allows(&[Community(9, 9)], ParticipantId(2)));
+    }
+}

@@ -1,0 +1,365 @@
+//! A simplified BGP session finite-state machine (RFC 4271 §8).
+//!
+//! The paper's prototype leans on ExaBGP for session handling; we model the
+//! same lifecycle so the workspace can exercise session establishment,
+//! keepalive liveness, and — critically for Table 1's methodology — *session
+//! resets*, which dump and re-send full tables and must be filtered out of
+//! update statistics.
+//!
+//! The machine is transport-agnostic and purely event-driven: feed it
+//! [`SessionEvent`]s, collect messages to transmit plus delivered updates
+//! from the returned [`SessionOutput`]. Timers are the caller's job (the
+//! discrete-event simulator drives them), which keeps the FSM deterministic
+//! and directly unit-testable.
+
+use crate::msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
+
+/// The RFC 4271 session states (Active is folded into Connect; we model a
+/// single in-memory "TCP" attempt that always succeeds when told to).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionState {
+    /// Not trying to connect.
+    Idle,
+    /// Waiting for the transport to come up.
+    Connect,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPENs exchanged, waiting for the first KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+/// Inputs to the state machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SessionEvent {
+    /// Operator starts the session.
+    ManualStart,
+    /// Transport connected.
+    Connected,
+    /// A message arrived from the peer.
+    Received(BgpMessage),
+    /// The negotiated hold timer expired without a message.
+    HoldTimerExpired,
+    /// Operator stops the session (administrative reset).
+    ManualStop,
+}
+
+/// What a step of the machine produced.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SessionOutput {
+    /// Messages to transmit to the peer, in order.
+    pub send: Vec<BgpMessage>,
+    /// UPDATEs delivered to the application (route server).
+    pub updates: Vec<UpdateMessage>,
+    /// True the moment the session transitions into Established.
+    pub established: bool,
+    /// True if the session dropped (to Idle) during this step — the route
+    /// server must flush the peer's Adj-RIB-In.
+    pub reset: bool,
+}
+
+/// A BGP session endpoint.
+#[derive(Clone, Debug)]
+pub struct Session {
+    state: SessionState,
+    local: OpenMessage,
+    /// Hold time negotiated at OPEN (min of both sides), seconds.
+    negotiated_hold: Option<u16>,
+    /// The peer's OPEN parameters once received.
+    peer_open: Option<OpenMessage>,
+}
+
+impl Session {
+    /// Creates an idle session that will offer `local` parameters.
+    pub fn new(local: OpenMessage) -> Self {
+        Session {
+            state: SessionState::Idle,
+            local,
+            negotiated_hold: None,
+            peer_open: None,
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The hold time negotiated with the peer (None until OPENs exchanged).
+    pub fn negotiated_hold_time(&self) -> Option<u16> {
+        self.negotiated_hold
+    }
+
+    /// The peer's OPEN parameters (None until received).
+    pub fn peer(&self) -> Option<&OpenMessage> {
+        self.peer_open.as_ref()
+    }
+
+    fn drop_session(&mut self, out: &mut SessionOutput, notify: Option<NotificationCode>) {
+        if let Some(code) = notify {
+            out.send.push(BgpMessage::Notification { code, subcode: 0 });
+        }
+        let was_up = self.state != SessionState::Idle;
+        self.state = SessionState::Idle;
+        self.negotiated_hold = None;
+        self.peer_open = None;
+        out.reset = was_up;
+    }
+
+    /// Advances the machine by one event.
+    pub fn handle(&mut self, event: SessionEvent) -> SessionOutput {
+        let mut out = SessionOutput::default();
+        match (self.state, event) {
+            (SessionState::Idle, SessionEvent::ManualStart) => {
+                self.state = SessionState::Connect;
+            }
+            (SessionState::Connect, SessionEvent::Connected) => {
+                out.send.push(BgpMessage::Open(self.local.clone()));
+                self.state = SessionState::OpenSent;
+            }
+            (SessionState::OpenSent, SessionEvent::Received(BgpMessage::Open(peer))) => {
+                // RFC 4271 §6.2: hold time must be 0 or ≥ 3 seconds.
+                let valid = peer.version == 4
+                    && peer.asn.0 != 0
+                    && (peer.hold_time == 0 || peer.hold_time >= 3);
+                if valid {
+                    self.negotiated_hold = Some(self.local.hold_time.min(peer.hold_time));
+                    self.peer_open = Some(peer);
+                    out.send.push(BgpMessage::Keepalive);
+                    self.state = SessionState::OpenConfirm;
+                } else {
+                    self.drop_session(&mut out, Some(NotificationCode::OpenMessageError));
+                }
+            }
+            (SessionState::OpenConfirm, SessionEvent::Received(BgpMessage::Keepalive)) => {
+                self.state = SessionState::Established;
+                out.established = true;
+            }
+            (SessionState::Established, SessionEvent::Received(BgpMessage::Update(u))) => {
+                out.updates.push(u);
+            }
+            (SessionState::Established, SessionEvent::Received(BgpMessage::Keepalive)) => {
+                // Liveness only; hold-timer restart is the caller's job.
+            }
+            (_, SessionEvent::Received(BgpMessage::Notification { .. })) => {
+                self.drop_session(&mut out, None);
+            }
+            (SessionState::Established | SessionState::OpenConfirm, SessionEvent::HoldTimerExpired) => {
+                self.drop_session(&mut out, Some(NotificationCode::HoldTimerExpired));
+            }
+            (_, SessionEvent::ManualStop) => {
+                let notify = if self.state == SessionState::Idle {
+                    None
+                } else {
+                    Some(NotificationCode::Cease)
+                };
+                self.drop_session(&mut out, notify);
+            }
+            // Any other (state, message) combination is an FSM error.
+            (s, SessionEvent::Received(m)) => {
+                // Ignore stray keepalives/updates before establishment is
+                // lenient in real stacks only for Keepalive in Established;
+                // everything else is an error that resets the session.
+                let benign = matches!(
+                    (s, &m),
+                    (SessionState::Connect, BgpMessage::Keepalive)
+                );
+                if !benign {
+                    self.drop_session(&mut out, Some(NotificationCode::FsmError));
+                }
+            }
+            // Start/Connected/timer events in wrong states: ignored.
+            _ => {}
+        }
+        out
+    }
+}
+
+/// Drives two sessions to Established against each other, returning the
+/// messages each delivered. Used by tests and the IXP harness to bring up
+/// peerings without hand-stepping the FSM.
+pub fn establish_pair(a: &mut Session, b: &mut Session) -> Result<(), SessionState> {
+    let mut to_b = a.handle(SessionEvent::ManualStart).send;
+    to_b.extend(a.handle(SessionEvent::Connected).send);
+    let mut to_a = b.handle(SessionEvent::ManualStart).send;
+    to_a.extend(b.handle(SessionEvent::Connected).send);
+
+    // Exchange until quiescent (bounded; the handshake needs 2 rounds).
+    for _ in 0..4 {
+        let mut next_a = Vec::new();
+        let mut next_b = Vec::new();
+        for m in to_a.drain(..) {
+            next_b.extend(a.handle(SessionEvent::Received(m)).send);
+        }
+        for m in to_b.drain(..) {
+            next_a.extend(b.handle(SessionEvent::Received(m)).send);
+        }
+        to_a = next_a;
+        to_b = next_b;
+        if to_a.is_empty() && to_b.is_empty() {
+            break;
+        }
+    }
+    if a.state() == SessionState::Established && b.state() == SessionState::Established {
+        Ok(())
+    } else {
+        Err(a.state())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::simple_announce;
+    use sdx_net::{ip, prefix, Asn, RouterId};
+
+    fn open(asn: u32, hold: u16) -> OpenMessage {
+        OpenMessage {
+            version: 4,
+            asn: Asn(asn),
+            hold_time: hold,
+            router_id: RouterId(asn),
+        }
+    }
+
+    #[test]
+    fn happy_path_establishment() {
+        let mut s = Session::new(open(65001, 90));
+        assert_eq!(s.state(), SessionState::Idle);
+        assert!(s.handle(SessionEvent::ManualStart).send.is_empty());
+        assert_eq!(s.state(), SessionState::Connect);
+        let out = s.handle(SessionEvent::Connected);
+        assert!(matches!(out.send[0], BgpMessage::Open(_)));
+        assert_eq!(s.state(), SessionState::OpenSent);
+        let out = s.handle(SessionEvent::Received(BgpMessage::Open(open(65002, 30))));
+        assert_eq!(out.send, vec![BgpMessage::Keepalive]);
+        assert_eq!(s.state(), SessionState::OpenConfirm);
+        assert_eq!(s.negotiated_hold_time(), Some(30));
+        let out = s.handle(SessionEvent::Received(BgpMessage::Keepalive));
+        assert!(out.established);
+        assert_eq!(s.state(), SessionState::Established);
+        assert_eq!(s.peer().unwrap().asn, Asn(65002));
+    }
+
+    #[test]
+    fn establish_pair_helper() {
+        let mut a = Session::new(open(65001, 90));
+        let mut b = Session::new(open(65002, 90));
+        establish_pair(&mut a, &mut b).expect("establish");
+        assert_eq!(a.state(), SessionState::Established);
+        assert_eq!(b.state(), SessionState::Established);
+    }
+
+    #[test]
+    fn updates_delivered_only_when_established() {
+        let mut a = Session::new(open(65001, 90));
+        let mut b = Session::new(open(65002, 90));
+        establish_pair(&mut a, &mut b).unwrap();
+        let u = simple_announce(prefix("10.0.0.0/8"), &[65002], ip("1.1.1.1"));
+        let out = a.handle(SessionEvent::Received(BgpMessage::Update(u.clone())));
+        assert_eq!(out.updates, vec![u]);
+        assert!(!out.reset);
+    }
+
+    #[test]
+    fn bad_open_is_rejected() {
+        let mut s = Session::new(open(65001, 90));
+        s.handle(SessionEvent::ManualStart);
+        s.handle(SessionEvent::Connected);
+        // Hold time 1 is illegal (must be 0 or ≥ 3).
+        let out = s.handle(SessionEvent::Received(BgpMessage::Open(open(65002, 1))));
+        assert!(matches!(
+            out.send[0],
+            BgpMessage::Notification {
+                code: NotificationCode::OpenMessageError,
+                ..
+            }
+        ));
+        assert_eq!(s.state(), SessionState::Idle);
+        assert!(out.reset);
+    }
+
+    #[test]
+    fn update_before_establishment_is_fsm_error() {
+        let mut s = Session::new(open(65001, 90));
+        s.handle(SessionEvent::ManualStart);
+        s.handle(SessionEvent::Connected);
+        let u = simple_announce(prefix("10.0.0.0/8"), &[65002], ip("1.1.1.1"));
+        let out = s.handle(SessionEvent::Received(BgpMessage::Update(u)));
+        assert!(matches!(
+            out.send[0],
+            BgpMessage::Notification {
+                code: NotificationCode::FsmError,
+                ..
+            }
+        ));
+        assert!(out.updates.is_empty());
+        assert!(out.reset);
+    }
+
+    #[test]
+    fn hold_timer_expiry_resets() {
+        let mut a = Session::new(open(65001, 90));
+        let mut b = Session::new(open(65002, 90));
+        establish_pair(&mut a, &mut b).unwrap();
+        let out = a.handle(SessionEvent::HoldTimerExpired);
+        assert!(out.reset);
+        assert!(matches!(
+            out.send[0],
+            BgpMessage::Notification {
+                code: NotificationCode::HoldTimerExpired,
+                ..
+            }
+        ));
+        assert_eq!(a.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn notification_resets_silently() {
+        let mut a = Session::new(open(65001, 90));
+        let mut b = Session::new(open(65002, 90));
+        establish_pair(&mut a, &mut b).unwrap();
+        let out = a.handle(SessionEvent::Received(BgpMessage::Notification {
+            code: NotificationCode::Cease,
+            subcode: 0,
+        }));
+        assert!(out.reset);
+        assert!(out.send.is_empty(), "must not notify in response to notify");
+        assert_eq!(a.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn manual_stop_sends_cease() {
+        let mut a = Session::new(open(65001, 90));
+        let mut b = Session::new(open(65002, 90));
+        establish_pair(&mut a, &mut b).unwrap();
+        let out = a.handle(SessionEvent::ManualStop);
+        assert!(matches!(
+            out.send[0],
+            BgpMessage::Notification {
+                code: NotificationCode::Cease,
+                ..
+            }
+        ));
+        assert!(out.reset);
+        // Stop while already idle does nothing observable.
+        let out2 = a.handle(SessionEvent::ManualStop);
+        assert!(out2.send.is_empty());
+        assert!(!out2.reset);
+    }
+
+    #[test]
+    fn session_can_be_restarted_after_reset() {
+        let mut a = Session::new(open(65001, 90));
+        let mut b = Session::new(open(65002, 90));
+        establish_pair(&mut a, &mut b).unwrap();
+        a.handle(SessionEvent::ManualStop);
+        b.handle(SessionEvent::Received(BgpMessage::Notification {
+            code: NotificationCode::Cease,
+            subcode: 0,
+        }));
+        assert_eq!(b.state(), SessionState::Idle);
+        establish_pair(&mut a, &mut b).expect("re-establish");
+    }
+}

@@ -1,0 +1,637 @@
+//! Binary encode/decode of BGP messages (RFC 4271 framing).
+//!
+//! The SDX consumes parsed updates, but a credible route server must speak
+//! the real wire format: the session layer frames messages exactly as RFC
+//! 4271 does (16-byte marker, 2-byte length, 1-byte type), and the decoder
+//! rejects malformed input with precise errors — which the failure-injection
+//! tests exploit.
+//!
+//! One documented deviation: AS numbers in AS_PATH are encoded as 4 octets,
+//! i.e. we behave as two speakers that have negotiated the RFC 6793
+//! four-octet AS capability. This avoids carrying a parallel AS4_PATH and
+//! loses nothing the experiments depend on.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sdx_net::{Asn, Ipv4Addr, Prefix, RouterId};
+
+use crate::attrs::{AsPath, AsPathSegment, Community, Origin, PathAttributes};
+use crate::msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
+
+/// Maximum BGP message size (RFC 4271 §4.1).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+/// Fixed header size: marker(16) + length(2) + type(1).
+pub const HEADER_LEN: usize = 19;
+
+/// Errors produced by the decoder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Input shorter than the framed length (or than the header).
+    Truncated,
+    /// The 16-byte marker was not all-ones.
+    BadMarker,
+    /// The framed length is < 19 or > 4096 or inconsistent with the body.
+    BadLength,
+    /// Unknown message type byte.
+    BadType(u8),
+    /// Malformed path attribute.
+    BadAttribute,
+    /// Malformed NLRI / withdrawn prefix encoding.
+    BadPrefix,
+    /// Semantically invalid OPEN (bad version, zero ASN…).
+    BadOpen,
+    /// Unknown NOTIFICATION code.
+    BadNotification,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadMarker => write!(f, "header marker not all-ones"),
+            WireError::BadLength => write!(f, "invalid message length"),
+            WireError::BadType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadAttribute => write!(f, "malformed path attribute"),
+            WireError::BadPrefix => write!(f, "malformed prefix encoding"),
+            WireError::BadOpen => write!(f, "invalid OPEN message"),
+            WireError::BadNotification => write!(f, "invalid NOTIFICATION"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// Path-attribute type codes.
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_COMMUNITIES: u8 = 8;
+
+// Attribute flag bits.
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXT_LEN: u8 = 0x10;
+
+/// Encodes a message into a freshly allocated buffer.
+pub fn encode(msg: &BgpMessage) -> Bytes {
+    let mut body = BytesMut::new();
+    match msg {
+        BgpMessage::Open(o) => encode_open(o, &mut body),
+        BgpMessage::Update(u) => encode_update(u, &mut body),
+        BgpMessage::Notification { code, subcode } => {
+            body.put_u8(code.value());
+            body.put_u8(*subcode);
+        }
+        BgpMessage::Keepalive => {}
+    }
+    let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+    out.put_bytes(0xff, 16);
+    out.put_u16((HEADER_LEN + body.len()) as u16);
+    out.put_u8(msg.type_code());
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+fn encode_open(o: &OpenMessage, out: &mut BytesMut) {
+    out.put_u8(o.version);
+    // 2-octet AS field: 4-byte ASNs are truncated as AS_TRANS would be; the
+    // full ASN travels in AS_PATH which we encode 4-octet.
+    out.put_u16(o.asn.0.min(u16::MAX as u32) as u16);
+    out.put_u16(o.hold_time);
+    out.put_u32(o.router_id.0);
+    out.put_u8(0); // no optional parameters
+}
+
+fn encode_prefix(p: Prefix, out: &mut BytesMut) {
+    out.put_u8(p.len());
+    let nbytes = p.len().div_ceil(8) as usize;
+    out.extend_from_slice(&p.addr().octets()[..nbytes]);
+}
+
+fn encode_attr(out: &mut BytesMut, flags: u8, ty: u8, body: &[u8]) {
+    if body.len() > 255 {
+        out.put_u8(flags | FLAG_EXT_LEN);
+        out.put_u8(ty);
+        out.put_u16(body.len() as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(ty);
+        out.put_u8(body.len() as u8);
+    }
+    out.extend_from_slice(body);
+}
+
+fn encode_update(u: &UpdateMessage, out: &mut BytesMut) {
+    // Withdrawn routes.
+    let mut wd = BytesMut::new();
+    for p in &u.withdrawn {
+        encode_prefix(*p, &mut wd);
+    }
+    out.put_u16(wd.len() as u16);
+    out.extend_from_slice(&wd);
+
+    // Path attributes.
+    let mut attrs = BytesMut::new();
+    if let Some(a) = &u.attrs {
+        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[a.origin.value()]);
+
+        let mut path = BytesMut::new();
+        for seg in &a.as_path.segments {
+            let (ty, asns) = match seg {
+                AsPathSegment::Set(v) => (1u8, v),
+                AsPathSegment::Sequence(v) => (2u8, v),
+            };
+            path.put_u8(ty);
+            path.put_u8(asns.len() as u8);
+            for asn in asns {
+                path.put_u32(asn.0);
+            }
+        }
+        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &path);
+
+        encode_attr(
+            &mut attrs,
+            FLAG_TRANSITIVE,
+            ATTR_NEXT_HOP,
+            &a.next_hop.octets(),
+        );
+        if let Some(med) = a.med {
+            encode_attr(&mut attrs, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
+        }
+        if let Some(lp) = a.local_pref {
+            encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+        }
+        if !a.communities.is_empty() {
+            let mut cs = BytesMut::new();
+            for c in &a.communities {
+                cs.put_u32(c.value());
+            }
+            encode_attr(
+                &mut attrs,
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                ATTR_COMMUNITIES,
+                &cs,
+            );
+        }
+    }
+    out.put_u16(attrs.len() as u16);
+    out.extend_from_slice(&attrs);
+
+    // NLRI.
+    for p in &u.nlri {
+        encode_prefix(*p, out);
+    }
+}
+
+/// Decodes one message from the front of `buf`, consuming exactly its
+/// framed length. Returns the message.
+pub fn decode(buf: &mut Bytes) -> Result<BgpMessage, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if !buf[..16].iter().all(|&b| b == 0xff) {
+        return Err(WireError::BadMarker);
+    }
+    let len = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+    if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&len) {
+        return Err(WireError::BadLength);
+    }
+    if buf.len() < len {
+        return Err(WireError::Truncated);
+    }
+    let ty = buf[18];
+    let mut body = buf.slice(HEADER_LEN..len);
+    buf.advance(len);
+    match ty {
+        1 => decode_open(&mut body),
+        2 => decode_update(&mut body),
+        3 => {
+            if body.len() < 2 {
+                return Err(WireError::Truncated);
+            }
+            let code =
+                NotificationCode::from_value(body[0]).ok_or(WireError::BadNotification)?;
+            Ok(BgpMessage::Notification {
+                code,
+                subcode: body[1],
+            })
+        }
+        4 => {
+            if !body.is_empty() {
+                return Err(WireError::BadLength);
+            }
+            Ok(BgpMessage::Keepalive)
+        }
+        other => Err(WireError::BadType(other)),
+    }
+}
+
+fn decode_open(body: &mut Bytes) -> Result<BgpMessage, WireError> {
+    if body.len() < 10 {
+        return Err(WireError::Truncated);
+    }
+    let version = body.get_u8();
+    if version != 4 {
+        return Err(WireError::BadOpen);
+    }
+    let asn = Asn(body.get_u16() as u32);
+    if asn.0 == 0 {
+        return Err(WireError::BadOpen);
+    }
+    let hold_time = body.get_u16();
+    let router_id = RouterId(body.get_u32());
+    let opt_len = body.get_u8() as usize;
+    if body.len() < opt_len {
+        return Err(WireError::Truncated);
+    }
+    Ok(BgpMessage::Open(OpenMessage {
+        version,
+        asn,
+        hold_time,
+        router_id,
+    }))
+}
+
+fn decode_prefixes(mut body: Bytes) -> Result<Vec<Prefix>, WireError> {
+    let mut out = Vec::new();
+    while body.has_remaining() {
+        let len = body.get_u8();
+        if len > 32 {
+            return Err(WireError::BadPrefix);
+        }
+        let nbytes = len.div_ceil(8) as usize;
+        if body.len() < nbytes {
+            return Err(WireError::BadPrefix);
+        }
+        let mut octets = [0u8; 4];
+        body.copy_to_slice(&mut octets[..nbytes]);
+        out.push(Prefix::new(Ipv4Addr::from(octets), len));
+    }
+    Ok(out)
+}
+
+fn decode_update(body: &mut Bytes) -> Result<BgpMessage, WireError> {
+    if body.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let wd_len = body.get_u16() as usize;
+    if body.len() < wd_len {
+        return Err(WireError::Truncated);
+    }
+    let withdrawn = decode_prefixes(body.split_to(wd_len))?;
+
+    if body.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let attr_len = body.get_u16() as usize;
+    if body.len() < attr_len {
+        return Err(WireError::Truncated);
+    }
+    let attrs_raw = body.split_to(attr_len);
+    let nlri = decode_prefixes(body.clone())?;
+    body.advance(body.len());
+
+    let attrs = if attrs_raw.is_empty() {
+        None
+    } else {
+        Some(decode_attrs(attrs_raw)?)
+    };
+    if attrs.is_none() && !nlri.is_empty() {
+        return Err(WireError::BadAttribute); // NLRI requires attributes
+    }
+    Ok(BgpMessage::Update(UpdateMessage {
+        withdrawn,
+        attrs,
+        nlri,
+    }))
+}
+
+fn decode_attrs(mut body: Bytes) -> Result<PathAttributes, WireError> {
+    let mut origin = None;
+    let mut as_path = None;
+    let mut next_hop = None;
+    let mut med = None;
+    let mut local_pref = None;
+    let mut communities = Vec::new();
+
+    while body.has_remaining() {
+        if body.len() < 2 {
+            return Err(WireError::BadAttribute);
+        }
+        let flags = body.get_u8();
+        let ty = body.get_u8();
+        let len = if flags & FLAG_EXT_LEN != 0 {
+            if body.len() < 2 {
+                return Err(WireError::BadAttribute);
+            }
+            body.get_u16() as usize
+        } else {
+            if body.is_empty() {
+                return Err(WireError::BadAttribute);
+            }
+            body.get_u8() as usize
+        };
+        if body.len() < len {
+            return Err(WireError::BadAttribute);
+        }
+        let mut val = body.split_to(len);
+        match ty {
+            ATTR_ORIGIN => {
+                if val.len() != 1 {
+                    return Err(WireError::BadAttribute);
+                }
+                origin = Some(Origin::from_value(val[0]).ok_or(WireError::BadAttribute)?);
+            }
+            ATTR_AS_PATH => {
+                let mut segments = Vec::new();
+                while val.has_remaining() {
+                    if val.len() < 2 {
+                        return Err(WireError::BadAttribute);
+                    }
+                    let seg_ty = val.get_u8();
+                    let count = val.get_u8() as usize;
+                    if val.len() < count * 4 {
+                        return Err(WireError::BadAttribute);
+                    }
+                    let asns: Vec<Asn> = (0..count).map(|_| Asn(val.get_u32())).collect();
+                    segments.push(match seg_ty {
+                        1 => AsPathSegment::Set(asns),
+                        2 => AsPathSegment::Sequence(asns),
+                        _ => return Err(WireError::BadAttribute),
+                    });
+                }
+                as_path = Some(AsPath { segments });
+            }
+            ATTR_NEXT_HOP => {
+                if val.len() != 4 {
+                    return Err(WireError::BadAttribute);
+                }
+                let mut o = [0u8; 4];
+                val.copy_to_slice(&mut o);
+                next_hop = Some(Ipv4Addr::from(o));
+            }
+            ATTR_MED => {
+                if val.len() != 4 {
+                    return Err(WireError::BadAttribute);
+                }
+                med = Some(val.get_u32());
+            }
+            ATTR_LOCAL_PREF => {
+                if val.len() != 4 {
+                    return Err(WireError::BadAttribute);
+                }
+                local_pref = Some(val.get_u32());
+            }
+            ATTR_COMMUNITIES => {
+                if val.len() % 4 != 0 {
+                    return Err(WireError::BadAttribute);
+                }
+                while val.has_remaining() {
+                    communities.push(Community::from_value(val.get_u32()));
+                }
+            }
+            _ => {
+                // Unknown attribute: tolerated if optional, error otherwise
+                // (RFC 4271 §6.3 would send a NOTIFICATION).
+                if flags & FLAG_OPTIONAL == 0 {
+                    return Err(WireError::BadAttribute);
+                }
+            }
+        }
+    }
+
+    let (origin, as_path, next_hop) = match (origin, as_path, next_hop) {
+        (Some(o), Some(p), Some(n)) => (o, p, n),
+        _ => return Err(WireError::BadAttribute), // missing mandatory attr
+    };
+    Ok(PathAttributes {
+        origin,
+        as_path,
+        next_hop,
+        med,
+        local_pref,
+        communities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+    use crate::msg::simple_announce;
+    use sdx_net::{ip, prefix};
+
+    fn roundtrip(msg: BgpMessage) {
+        let mut wire = encode(&msg);
+        let got = decode(&mut wire).expect("decode");
+        assert_eq!(got, msg);
+        assert!(wire.is_empty(), "decoder must consume the whole frame");
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        roundtrip(BgpMessage::Keepalive);
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        roundtrip(BgpMessage::Open(OpenMessage {
+            version: 4,
+            asn: Asn(65001),
+            hold_time: 90,
+            router_id: RouterId(0x0a000001),
+        }));
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        roundtrip(BgpMessage::Notification {
+            code: NotificationCode::Cease,
+            subcode: 2,
+        });
+    }
+
+    #[test]
+    fn update_roundtrip_full() {
+        let attrs = PathAttributes::new(AsPath::sequence([65001, 43515]), ip("172.16.0.1"))
+            .with_med(10)
+            .with_local_pref(200)
+            .with_community(Community(65001, 99));
+        roundtrip(BgpMessage::Update(UpdateMessage {
+            withdrawn: vec![prefix("9.9.0.0/16"), prefix("8.0.0.0/8")],
+            attrs: Some(attrs),
+            nlri: vec![prefix("74.125.0.0/16"), prefix("74.125.1.0/24")],
+        }));
+    }
+
+    #[test]
+    fn update_roundtrip_withdraw_only() {
+        roundtrip(BgpMessage::Update(UpdateMessage::withdraw([
+            prefix("10.0.0.0/8"),
+            prefix("0.0.0.0/0"),
+        ])));
+    }
+
+    #[test]
+    fn prefix_encoding_is_minimal_bytes() {
+        // /8 prefix must occupy exactly 1 address byte, /0 zero bytes.
+        let m = BgpMessage::Update(UpdateMessage::withdraw([prefix("10.0.0.0/8")]));
+        let wire = encode(&m);
+        // header(19) + wdlen(2) + (1 len byte + 1 addr byte) + attrlen(2)
+        assert_eq!(wire.len(), 19 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn decode_rejects_bad_marker() {
+        let m = encode(&BgpMessage::Keepalive);
+        let mut bad = BytesMut::from(&m[..]);
+        bad[0] = 0;
+        assert_eq!(decode(&mut bad.freeze()), Err(WireError::BadMarker));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let m = encode(&BgpMessage::Update(simple_announce(
+            prefix("10.0.0.0/8"),
+            &[1, 2, 3],
+            ip("1.1.1.1"),
+        )));
+        for cut in [0, 5, HEADER_LEN - 1, m.len() - 1] {
+            let mut b = m.slice(..cut);
+            assert_eq!(decode(&mut b), Err(WireError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_type() {
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16(19);
+        raw.put_u8(9);
+        assert_eq!(decode(&mut raw.freeze()), Err(WireError::BadType(9)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_length() {
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16(5); // < 19
+        raw.put_u8(4);
+        assert_eq!(decode(&mut raw.freeze()), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn decode_rejects_prefix_len_over_32() {
+        let mut body = BytesMut::new();
+        body.put_u16(2); // withdrawn length
+        body.put_u8(33); // invalid prefix length
+        body.put_u8(0);
+        body.put_u16(0); // no attrs
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(2);
+        raw.extend_from_slice(&body);
+        assert_eq!(decode(&mut raw.freeze()), Err(WireError::BadPrefix));
+    }
+
+    #[test]
+    fn decode_rejects_nlri_without_attrs() {
+        let mut body = BytesMut::new();
+        body.put_u16(0); // no withdrawn
+        body.put_u16(0); // no attrs
+        body.put_u8(8); // but NLRI present
+        body.put_u8(10);
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(2);
+        raw.extend_from_slice(&body);
+        assert_eq!(decode(&mut raw.freeze()), Err(WireError::BadAttribute));
+    }
+
+    #[test]
+    fn decode_rejects_missing_mandatory_attr() {
+        // Attributes present but no NEXT_HOP.
+        let mut attrs = BytesMut::new();
+        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[0]);
+        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &[]);
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+        body.put_u8(8);
+        body.put_u8(10);
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(2);
+        raw.extend_from_slice(&body);
+        assert_eq!(decode(&mut raw.freeze()), Err(WireError::BadAttribute));
+    }
+
+    #[test]
+    fn unknown_optional_attr_is_tolerated() {
+        // Build a valid update, then splice in an unknown optional attribute.
+        let mut attrs = BytesMut::new();
+        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[0]);
+        let mut path = BytesMut::new();
+        path.put_u8(2);
+        path.put_u8(1);
+        path.put_u32(65001);
+        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &path);
+        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &[1, 1, 1, 1]);
+        encode_attr(&mut attrs, FLAG_OPTIONAL, 99, &[1, 2, 3]); // unknown optional
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+        body.put_u8(8);
+        body.put_u8(10);
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(2);
+        raw.extend_from_slice(&body);
+        let msg = decode(&mut raw.freeze()).expect("tolerate unknown optional");
+        match msg {
+            BgpMessage::Update(u) => assert_eq!(u.nlri, vec![prefix("10.0.0.0/8")]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_wellknown_attr_is_rejected() {
+        let mut attrs = BytesMut::new();
+        encode_attr(&mut attrs, 0, 99, &[1]); // unknown, not optional
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(2);
+        raw.extend_from_slice(&body);
+        assert_eq!(decode(&mut raw.freeze()), Err(WireError::BadAttribute));
+    }
+
+    #[test]
+    fn multiple_messages_stream() {
+        let msgs = vec![
+            BgpMessage::Keepalive,
+            BgpMessage::Update(simple_announce(prefix("10.0.0.0/8"), &[1], ip("1.1.1.1"))),
+            BgpMessage::Keepalive,
+        ];
+        let mut stream = BytesMut::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode(m));
+        }
+        let mut buf = stream.freeze();
+        for m in &msgs {
+            assert_eq!(&decode(&mut buf).unwrap(), m);
+        }
+        assert!(buf.is_empty());
+    }
+}

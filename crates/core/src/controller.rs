@@ -1,0 +1,732 @@
+//! The SDX controller runtime: route server + compiler + data plane.
+//!
+//! [`SdxController`] is the deployable object (Figure 3 of the paper): it
+//! owns the route server and the compilation pipeline, processes BGP
+//! updates and policy changes as events, and keeps a [`Fabric`] in sync —
+//! flow table, ARP responder, and every participant border router's FIB.
+//!
+//! Update handling follows §4.3.2's two-stage scheme: `process_update`
+//! runs the fast path and overlays delta rules immediately;
+//! `reoptimize` runs the full pipeline (normally "in the background
+//! between bursts" — here, whenever the harness calls it) and retires the
+//! overlays.
+
+use std::collections::BTreeMap;
+
+use sdx_bgp::msg::UpdateMessage;
+use sdx_bgp::rib::AdjRibOut;
+use sdx_bgp::route_server::{ExportPolicy, RouteServer, RouteServerEvent};
+use sdx_net::{Ipv4Addr, ParticipantId, Prefix};
+use sdx_openflow::border_router::BorderRouter;
+use sdx_openflow::fabric::Fabric;
+use sdx_policy::Policy;
+
+use crate::compiler::{CompileReport, SdxCompiler};
+use crate::incremental::DeltaResult;
+use crate::participant::ParticipantConfig;
+use crate::transform::TransformError;
+use crate::vnh::VnhAllocator;
+
+/// Priority floor for delta overlays; the base table compiles into
+/// priorities far below this. Successive overlays stack monotonically
+/// above it (delta rules are mutually disjoint — each carries a fresh
+/// VMAC — so only "above the base table" matters for correctness; the
+/// monotonic cursor just keeps the bands tidy at any overlay size).
+const DELTA_BASE: u32 = 1_000_000;
+
+/// The assembled SDX controller.
+#[derive(Debug)]
+pub struct SdxController {
+    /// The policy compiler and participant book.
+    pub compiler: SdxCompiler,
+    /// The embedded route server.
+    pub rs: RouteServer,
+    /// The VNH/VMAC allocator.
+    pub vnh: VnhAllocator,
+    /// The last full compilation, if any.
+    pub report: Option<CompileReport>,
+    /// Monotone counter of delta overlays currently installed.
+    delta_layers: u32,
+    /// Next free priority for an overlay (monotonic; reset on reoptimize).
+    next_delta_priority: u32,
+    /// FEC ids allocated by fast-path deltas since the last reoptimize —
+    /// recycled (with the previous report's group ids) once background
+    /// re-optimization replaces every rule and FIB entry that used them.
+    live_delta_ids: Vec<crate::fec::FecId>,
+    /// Pending (viewer, prefix, vnh) re-advertisements accumulated since
+    /// the last fabric sync.
+    pending_fib: Vec<(ParticipantId, Prefix, Option<Ipv4Addr>)>,
+    /// Per-viewer Adj-RIB-Out: what the route server last advertised, so
+    /// synchronization sends minimal BGP diffs rather than table dumps.
+    rib_out: BTreeMap<ParticipantId, AdjRibOut>,
+}
+
+impl Default for SdxController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SdxController {
+    /// An empty controller.
+    pub fn new() -> Self {
+        SdxController {
+            compiler: SdxCompiler::new(),
+            rs: RouteServer::new(),
+            vnh: VnhAllocator::default(),
+            report: None,
+            delta_layers: 0,
+            next_delta_priority: DELTA_BASE,
+            pending_fib: Vec::new(),
+            rib_out: BTreeMap::new(),
+            live_delta_ids: Vec::new(),
+        }
+    }
+
+    /// Registers a participant with the compiler and the route server.
+    pub fn add_participant(&mut self, cfg: ParticipantConfig, export: ExportPolicy) {
+        self.rs.add_peer(cfg.route_source(), export);
+        self.compiler.upsert_participant(cfg);
+    }
+
+    /// Installs (or clears) a participant's outbound policy. The change
+    /// takes effect at the next [`reoptimize`](Self::reoptimize).
+    pub fn set_outbound(&mut self, id: ParticipantId, policy: Option<Policy>) {
+        self.compiler.set_outbound(id, policy);
+    }
+
+    /// Installs (or clears) a participant's inbound policy.
+    pub fn set_inbound(&mut self, id: ParticipantId, policy: Option<Policy>) {
+        self.compiler.set_inbound(id, policy);
+    }
+
+    /// Pre-flight validation of an outbound policy, before installation:
+    /// isolation + the unicast restriction (via the transform pipeline),
+    /// plus advisory diagnostics — forwarding targets that are not
+    /// registered participants, and clauses the participant's *existing*
+    /// policy would shadow completely.
+    pub fn validate_outbound(
+        &self,
+        writer: ParticipantId,
+        policy: &Policy,
+    ) -> Result<PolicyDiagnostics, TransformError> {
+        let compiled = sdx_policy::compile(policy);
+        let rules = crate::transform::outbound_fwd_rules(writer, &compiled)?;
+        let mut unknown_targets = Vec::new();
+        for r in &rules {
+            if let Some(t) = r.target {
+                let owner = t.participant();
+                if self.compiler.participant(owner).is_none() && !unknown_targets.contains(&owner)
+                {
+                    unknown_targets.push(owner);
+                }
+            }
+        }
+        let shadowed_clauses = match self
+            .compiler
+            .participant(writer)
+            .and_then(|c| c.outbound.as_ref())
+        {
+            Some(existing) => sdx_policy::analysis::shadowed_by(existing, policy).len(),
+            None => 0,
+        };
+        Ok(PolicyDiagnostics {
+            clauses: rules.len(),
+            unknown_targets,
+            shadowed_clauses,
+        })
+    }
+
+    /// Deregisters a participant: its session resets (routes flushed), its
+    /// policies are dropped, and the next re-optimization removes every
+    /// rule referencing it. Returns false if the participant was unknown.
+    pub fn remove_participant(&mut self, id: ParticipantId, fabric: &mut Fabric) -> bool {
+        if self.compiler.participant(id).is_none() {
+            return false;
+        }
+        self.rs.reset_session(id);
+        self.compiler.remove_participant(id);
+        self.compiler.clear_global_policies(id);
+        self.rib_out.remove(&id);
+        // Re-optimize so no rule forwards toward the vanished participant.
+        let _ = self.reoptimize(fabric);
+        true
+    }
+
+    /// Builds the border router for a participant port, ready to attach to
+    /// a fabric.
+    pub fn make_router(&self, id: ParticipantId, index: u8) -> Option<BorderRouter> {
+        let cfg = self.compiler.participant(id)?;
+        let port = cfg.ports.iter().find(|p| p.index == index)?;
+        Some(BorderRouter::new(
+            sdx_net::PortId::Phys(id, index),
+            port.mac,
+        ))
+    }
+
+    /// Processes one BGP update through the route server and the fast
+    /// path, applying the delta overlay to `fabric` (switch rules, ARP
+    /// bindings, and FIB re-advertisements).
+    pub fn process_update(
+        &mut self,
+        from: ParticipantId,
+        update: &UpdateMessage,
+        fabric: &mut Fabric,
+    ) -> Result<DeltaResult, TransformError> {
+        let events = self.rs.process_update(from, update);
+        let changed: Vec<Prefix> = events
+            .into_iter()
+            .filter_map(|e| match e {
+                RouteServerEvent::PrefixChanged(p) => Some(p),
+                RouteServerEvent::SessionReset(_) => None,
+            })
+            .collect();
+        let delta = self
+            .compiler
+            .fast_update_burst(&self.rs, &mut self.vnh, &changed)?;
+        self.apply_delta(&delta, fabric);
+        Ok(delta)
+    }
+
+    /// Installs a fast-path delta on the fabric.
+    pub fn apply_delta(&mut self, delta: &DeltaResult, fabric: &mut Fabric) {
+        if !delta.rules.is_empty() {
+            self.delta_layers += 1;
+            let overlay =
+                crate::incremental::delta_classifier(delta.rules.clone());
+            // Install only the real rules; the overlay's synthetic
+            // catch-all would blackhole the base table.
+            let n = overlay.rules().len() as u32;
+            let base = self.next_delta_priority;
+            self.next_delta_priority = base.saturating_add(n + 1);
+            for (i, r) in overlay.rules().iter().enumerate() {
+                if r.matches.is_wildcard() && r.is_drop() {
+                    continue;
+                }
+                fabric.switch.table_mut().install(
+                    sdx_openflow::table::FlowEntry::new(
+                        base + n - i as u32,
+                        r.matches,
+                        r.actions.iter().map(|a| a.mods.clone()).collect(),
+                    ),
+                );
+            }
+        }
+        for &(vnh, vmac) in &delta.arp_bindings {
+            fabric.arp.bind(vnh, vmac);
+            if let Some(id) = vmac.fec_id() {
+                self.live_delta_ids.push(crate::fec::FecId(id));
+            }
+        }
+        self.pending_fib.extend(delta.vnh_updates.iter().copied());
+        self.flush_fib(fabric);
+    }
+
+    /// Runs the full (background) pipeline and swaps the fabric state:
+    /// fresh base table, fresh ARP bindings, FIB re-sync, overlays retired.
+    ///
+    /// VNH recycling: the previous compilation's group ids and every
+    /// fast-path delta id are released back to the pool here — by the end
+    /// of this call no switch rule, FIB entry, or ARP cache references
+    /// them (the table is replaced, the FIBs are reconciled to the new VNH
+    /// map, and router ARP caches are flushed below), so a long-lived
+    /// controller never exhausts the pool under sustained churn.
+    pub fn reoptimize(&mut self, fabric: &mut Fabric) -> Result<&CompileReport, TransformError> {
+        let mut retired: Vec<crate::fec::FecId> = std::mem::take(&mut self.live_delta_ids);
+        let mut retired_addrs: Vec<Ipv4Addr> = Vec::new();
+        if let Some(old) = &self.report {
+            for groups in old.groups.values() {
+                for g in groups {
+                    retired.push(g.id);
+                    retired_addrs.push(g.vnh);
+                }
+            }
+        }
+        let report = self.compiler.compile_all(&self.rs, &mut self.vnh)?;
+        fabric.switch.load_classifier(&report.classifier);
+        self.delta_layers = 0;
+        self.next_delta_priority = DELTA_BASE;
+        self.install_static_arp(fabric);
+        for &(vnh, vmac) in &report.arp_bindings {
+            fabric.arp.bind(vnh, vmac);
+        }
+        // Retire the old generation's responder bindings (addresses reused
+        // by the new compilation were just re-bound above) and flush every
+        // router's ARP cache so recycled VNH addresses cannot resolve to a
+        // stale VMAC.
+        let live: std::collections::BTreeSet<Ipv4Addr> =
+            report.arp_bindings.iter().map(|(a, _)| *a).collect();
+        for addr in retired_addrs {
+            if !live.contains(&addr) {
+                fabric.arp.unbind(addr);
+            }
+        }
+        for id in retired {
+            self.vnh.release(id);
+        }
+        let ports: Vec<_> = fabric.ports().collect();
+        for port in ports {
+            if let Some(r) = fabric.router_mut(port) {
+                r.flush_arp();
+            }
+        }
+        self.report = Some(report);
+        self.full_fib_sync(fabric);
+        Ok(self.report.as_ref().expect("just set"))
+    }
+
+    /// Binds every participant port's physical address → MAC.
+    fn install_static_arp(&self, fabric: &mut Fabric) {
+        for cfg in self.compiler.participants().values() {
+            for port in &cfg.ports {
+                fabric.arp.bind(port.addr, port.mac);
+            }
+        }
+    }
+
+    /// Pushes pending per-prefix FIB changes to the affected routers,
+    /// through the per-viewer Adj-RIB-Out (only actual diffs are sent).
+    fn flush_fib(&mut self, fabric: &mut Fabric) {
+        let pending = std::mem::take(&mut self.pending_fib);
+        for (viewer, prefix, vnh) in pending {
+            let desired = self.rs.best_for(viewer, prefix).map(|best| {
+                let nh = vnh.unwrap_or(best.attrs.next_hop);
+                best.attrs.clone().with_next_hop(nh)
+            });
+            let out = self.rib_out.entry(viewer).or_default();
+            if let Some(update) = out.reconcile(prefix, desired) {
+                for port in fabric.ports_of(viewer) {
+                    if let Some(r) = fabric.router_mut(port) {
+                        r.apply_update(&update);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-advertises every (viewer, prefix) best route with the current
+    /// VNH map — the initial convergence / post-reoptimization sync. The
+    /// per-viewer Adj-RIB-Out reduces the sync to the minimal BGP diff
+    /// (including withdrawals of prefixes that vanished from the Loc-RIB),
+    /// exactly like a real route-server session.
+    fn full_fib_sync(&mut self, fabric: &mut Fabric) {
+        let vnh_of: BTreeMap<(ParticipantId, Prefix), Ipv4Addr> = self
+            .report
+            .as_ref()
+            .map(|r| r.vnh_of.clone())
+            .unwrap_or_default();
+        let viewers: Vec<ParticipantId> = self.rs.participants().collect();
+        let prefixes = self.rs.all_prefixes();
+        for viewer in viewers {
+            let desired: Vec<(Prefix, sdx_bgp::attrs::PathAttributes)> = prefixes
+                .iter()
+                .filter_map(|&prefix| {
+                    let best = self.rs.best_for(viewer, prefix)?;
+                    let nh = vnh_of
+                        .get(&(viewer, prefix))
+                        .copied()
+                        .unwrap_or(best.attrs.next_hop);
+                    Some((prefix, best.attrs.clone().with_next_hop(nh)))
+                })
+                .collect();
+            let out = self.rib_out.entry(viewer).or_default();
+            let updates = out.reconcile_full(desired);
+            for update in updates {
+                for port in fabric.ports_of(viewer) {
+                    if let Some(r) = fabric.router_mut(port) {
+                        r.apply_update(&update);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a fabric with one border router per participant port,
+    /// compiles, and fully syncs — the one-call deployment used by the
+    /// examples and the deployment experiments.
+    pub fn deploy(&mut self) -> Result<Fabric, TransformError> {
+        let mut fabric = Fabric::new();
+        let routers: Vec<BorderRouter> = self
+            .compiler
+            .participants()
+            .values()
+            .flat_map(|cfg| {
+                cfg.ports
+                    .iter()
+                    .map(|p| BorderRouter::new(sdx_net::PortId::Phys(cfg.id, p.index), p.mac))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for r in routers {
+            fabric.attach(r);
+        }
+        self.reoptimize(&mut fabric)?;
+        Ok(fabric)
+    }
+
+    /// Current number of installed delta layers (0 right after
+    /// re-optimization).
+    pub fn delta_layers(&self) -> u32 {
+        self.delta_layers
+    }
+
+    /// The wide-area server load-balancing application (§3.1, Figure 4b):
+    /// a *remote* participant `owner` has announced the `anycast` prefix
+    /// and asks the SDX to rewrite the destination of matching request
+    /// traffic per source block. The SDX verifies ownership (the paper
+    /// would check the RPKI; we check the route server actually heard
+    /// `owner` originate the prefix), installs the rewrite as a global
+    /// policy fragment, and re-optimizes.
+    pub fn install_wide_area_lb(
+        &mut self,
+        owner: ParticipantId,
+        anycast: Prefix,
+        mappings: &[(Prefix, Ipv4Addr)],
+        fabric: &mut Fabric,
+    ) -> Result<(), LbError> {
+        let owns = self
+            .rs
+            .adj_rib_in(owner)
+            .is_some_and(|rib| rib.get(anycast).is_some());
+        if !owns {
+            return Err(LbError::NotOwner(owner, anycast));
+        }
+        // Mappings apply first-match (the natural way to write "these
+        // clients there, everyone else here"), so each clause carries the
+        // negation of every earlier source filter — keeping the compiled
+        // policy disjoint and unicast.
+        let mut rewrite = sdx_policy::Policy::drop();
+        let mut not_earlier = sdx_policy::Pred::Any;
+        for &(src, instance) in mappings {
+            let src_test = sdx_policy::Pred::Test(sdx_net::FieldMatch::NwSrc(src));
+            let clause = sdx_policy::Policy::filter(
+                sdx_policy::Pred::Test(sdx_net::FieldMatch::NwDst(anycast))
+                    & src_test.clone()
+                    & not_earlier.clone(),
+            ) >> sdx_policy::Policy::modify(sdx_net::Mod::SetNwDst(instance));
+            rewrite = rewrite + clause;
+            not_earlier = not_earlier & !src_test;
+        }
+        self.compiler.clear_global_policies(owner);
+        self.compiler.add_global_policy(owner, rewrite);
+        self.reoptimize(fabric).map_err(LbError::Compile)?;
+        Ok(())
+    }
+}
+
+/// Advisory diagnostics from [`SdxController::validate_outbound`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyDiagnostics {
+    /// Number of forwarding clauses the policy compiles to.
+    pub clauses: usize,
+    /// Forwarding targets that are not registered participants (their
+    /// clauses would be erased by the BGP-consistency transformation).
+    pub unknown_targets: Vec<ParticipantId>,
+    /// Clauses of the new policy completely shadowed by the participant's
+    /// currently installed policy (dead if both are composed).
+    pub shadowed_clauses: usize,
+}
+
+/// Errors from the wide-area load-balancer application.
+#[derive(Debug)]
+pub enum LbError {
+    /// The requesting participant never announced the anycast prefix.
+    NotOwner(ParticipantId, Prefix),
+    /// The resulting policy failed to compile.
+    Compile(TransformError),
+}
+
+impl std::fmt::Display for LbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LbError::NotOwner(p, pfx) => {
+                write!(f, "{p} does not originate {pfx}; refusing LB policy")
+            }
+            LbError::Compile(e) => write!(f, "LB policy failed to compile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{ip, prefix, FieldMatch, Packet, PortId};
+    use sdx_policy::Policy as P;
+
+    fn pid(n: u32) -> ParticipantId {
+        ParticipantId(n)
+    }
+
+    /// Figure 4a's setup, miniaturized: client ISP C forwards port-80
+    /// traffic via B, everything else default (via A, the best route).
+    fn deployment() -> (SdxController, Fabric) {
+        let mut ctl = SdxController::new();
+        let a = ParticipantConfig::new(1, 65001, 1);
+        let b = ParticipantConfig::new(2, 65002, 1);
+        let c = ParticipantConfig::new(3, 65003, 1).with_outbound(
+            P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))),
+        );
+        ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(c, ExportPolicy::allow_all());
+        // A and B both announce the AWS prefix; A's path is shorter.
+        ctl.rs
+            .process_update(pid(1), &a.announce([prefix("54.0.0.0/8")], &[65001, 7]));
+        ctl.rs
+            .process_update(pid(2), &b.announce([prefix("54.0.0.0/8")], &[65002, 9, 7]));
+        let fabric = ctl.deploy().expect("deploy");
+        (ctl, fabric)
+    }
+
+    #[test]
+    fn deploy_wires_everything() {
+        let (_ctl, mut fabric) = deployment();
+        // Port-80 traffic from C reaches B.
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(2), 1));
+        // Other traffic follows the best route to A.
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 443),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(1), 1));
+        assert_eq!(fabric.stuck_at_virtual, 0);
+    }
+
+    #[test]
+    fn withdrawal_shifts_traffic_synchronously_with_bgp() {
+        // The Figure 5a event: B withdraws; port-80 traffic must shift to A
+        // because forwarding must stay consistent with BGP.
+        let (mut ctl, mut fabric) = deployment();
+        let delta = ctl
+            .process_update(
+                pid(2),
+                &UpdateMessage::withdraw([prefix("54.0.0.0/8")]),
+                &mut fabric,
+            )
+            .expect("fast path");
+        assert!(ctl.delta_layers() >= 1 || delta.rules.is_empty());
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].loc,
+            PortId::Phys(pid(1), 1),
+            "withdrawn next-hop must not receive traffic"
+        );
+        // Background reoptimization converges to the same behaviour.
+        ctl.reoptimize(&mut fabric).unwrap();
+        assert_eq!(ctl.delta_layers(), 0);
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out[0].loc, PortId::Phys(pid(1), 1));
+    }
+
+    #[test]
+    fn policy_change_takes_effect_on_reoptimize() {
+        let (mut ctl, mut fabric) = deployment();
+        // Drop C's policy: everything should follow the best route (A).
+        ctl.set_outbound(pid(3), None);
+        ctl.reoptimize(&mut fabric).unwrap();
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out[0].loc, PortId::Phys(pid(1), 1));
+    }
+
+    #[test]
+    fn announcement_reroutes_via_fast_path() {
+        let (mut ctl, mut fabric) = deployment();
+        // A new, better route appears at B for a new prefix; C's policy
+        // applies to it immediately via the fast path.
+        let b_cfg = ctl.compiler.participant(pid(2)).unwrap().clone();
+        ctl.process_update(
+            pid(2),
+            &b_cfg.announce([prefix("91.0.0.0/8")], &[65002, 3]),
+            &mut fabric,
+        )
+        .unwrap();
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("91.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(2), 1));
+    }
+
+    #[test]
+    fn wide_area_load_balancer() {
+        // Figure 4b: clients behind A address an anycast IP announced by
+        // the remote AWS tenant D; instances live behind transit B.
+        let mut ctl = SdxController::new();
+        let a = ParticipantConfig::new(1, 65001, 1);
+        let b = ParticipantConfig::new(2, 65002, 1);
+        let d = ParticipantConfig::new(4, 65004, 1);
+        ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(d.clone(), ExportPolicy::allow_all());
+        ctl.rs
+            .process_update(pid(2), &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]));
+        ctl.rs
+            .process_update(pid(2), &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]));
+        ctl.rs
+            .process_update(pid(4), &d.announce([prefix("74.125.1.0/24")], &[65004]));
+        let mut fabric = ctl.deploy().expect("deploy");
+
+        // Ownership check: B may not install LB for D's prefix.
+        assert!(matches!(
+            ctl.install_wide_area_lb(
+                pid(2),
+                prefix("74.125.1.0/24"),
+                &[(prefix("0.0.0.0/0"), ip("54.198.0.10"))],
+                &mut fabric,
+            ),
+            Err(LbError::NotOwner(..))
+        ));
+
+        // Before the policy: anycast traffic defaults to D (the origin).
+        let out = fabric.send(
+            PortId::Phys(pid(1), 1),
+            Packet::udp(ip("204.57.0.67"), ip("74.125.1.1"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(4), 1));
+
+        // D installs the LB policy: its sources split across instances.
+        ctl.install_wide_area_lb(
+            pid(4),
+            prefix("74.125.1.0/24"),
+            &[
+                (prefix("204.57.0.0/16"), ip("54.230.0.10")),
+                (prefix("0.0.0.0/1"), ip("54.198.0.10")),
+            ],
+            &mut fabric,
+        )
+        .expect("LB installs");
+
+        // Traffic from 204.57/16 is rewritten to instance #2 and exits via
+        // B (the instance prefix's BGP next hop).
+        let out = fabric.send(
+            PortId::Phys(pid(1), 1),
+            Packet::udp(ip("204.57.0.67"), ip("74.125.1.1"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(2), 1));
+        assert_eq!(out[0].pkt.nw_dst, ip("54.230.0.10"));
+
+        // Other low-half sources go to instance #1.
+        let out = fabric.send(
+            PortId::Phys(pid(1), 1),
+            Packet::udp(ip("99.0.0.10"), ip("74.125.1.1"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(2), 1));
+        assert_eq!(out[0].pkt.nw_dst, ip("54.198.0.10"));
+    }
+
+    #[test]
+    fn validate_outbound_diagnostics() {
+        let (ctl, _fabric) = deployment();
+        // Valid policy toward a known participant.
+        let ok = ctl
+            .validate_outbound(
+                pid(3),
+                &(P::match_(FieldMatch::TpDst(53)) >> P::fwd(PortId::Virt(pid(1)))),
+            )
+            .expect("valid");
+        assert_eq!(ok.clauses, 1);
+        assert!(ok.unknown_targets.is_empty());
+        // Target nobody registered.
+        let ghost = ctl
+            .validate_outbound(
+                pid(3),
+                &(P::match_(FieldMatch::TpDst(53)) >> P::fwd(PortId::Virt(pid(9)))),
+            )
+            .expect("structurally valid");
+        assert_eq!(ghost.unknown_targets, vec![pid(9)]);
+        // Clause fully shadowed by the installed policy (port 80 → B).
+        let shadowed = ctl
+            .validate_outbound(
+                pid(3),
+                &(P::filter(
+                    sdx_policy::Pred::Test(FieldMatch::TpDst(80))
+                        & sdx_policy::Pred::Test(FieldMatch::NwSrc(prefix("10.0.0.0/8"))),
+                ) >> P::fwd(PortId::Virt(pid(1)))),
+            )
+            .expect("structurally valid");
+        assert_eq!(shadowed.shadowed_clauses, 1);
+        // Isolation violations are hard errors.
+        assert!(ctl
+            .validate_outbound(
+                pid(3),
+                &(P::match_(FieldMatch::InPort(PortId::Phys(pid(1), 1)))
+                    >> P::fwd(PortId::Virt(pid(2)))),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn remove_participant_cleans_up() {
+        let (mut ctl, mut fabric) = deployment();
+        // B carries the policy traffic; removing it must leave no rule
+        // forwarding toward it and shift traffic to A.
+        assert!(ctl.remove_participant(pid(2), &mut fabric));
+        assert!(!ctl.remove_participant(pid(2), &mut fabric), "idempotent");
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc.participant(), pid(1));
+        // No rule references the removed participant's ports.
+        let report = ctl.report.as_ref().expect("compiled");
+        for r in report.classifier.rules() {
+            for a in &r.actions {
+                for m in &a.mods {
+                    if let sdx_net::Mod::SetLoc(p) = m {
+                        assert_ne!(p.participant(), pid(2), "stale rule {r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vnh_pool_is_recycled_across_reoptimizations() {
+        // A deliberately tiny pool: without recycling at reoptimize, the
+        // churn loop below would exhaust it and panic.
+        let (mut ctl, mut fabric) = deployment();
+        ctl.vnh = crate::vnh::VnhAllocator::new(prefix("172.16.128.0/26")); // 63 ids
+        ctl.reoptimize(&mut fabric).expect("rebase onto tiny pool");
+        let b_cfg = ctl.compiler.participant(pid(2)).unwrap().clone();
+        for round in 0..30u32 {
+            // Each update forces a fresh VNH for the affected viewer.
+            ctl.process_update(
+                pid(2),
+                &b_cfg.announce([prefix("54.0.0.0/8")], &[65002, 1000 + round]),
+                &mut fabric,
+            )
+            .expect("fast path");
+            ctl.reoptimize(&mut fabric).expect("recycles ids");
+        }
+        // Behaviour still correct after heavy recycling.
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc.participant(), pid(2));
+    }
+}

@@ -1,0 +1,51 @@
+//! # sdx-core — the SDX controller (the paper's primary contribution)
+//!
+//! This crate assembles the substrates (`sdx-bgp`, `sdx-policy`,
+//! `sdx-openflow`) into the system of *SDX: A Software Defined Internet
+//! Exchange* (SIGCOMM 2014):
+//!
+//! * [`participant`] — participant configuration: ports, MACs, peering
+//!   addresses, and the per-participant inbound/outbound policy slots.
+//! * [`vswitch`] — the virtual-switch abstraction (§3.1): port naming and
+//!   the DSL name tables each participant writes policies against.
+//! * [`fec`] — forwarding equivalence classes: the Minimum Disjoint Subset
+//!   computation (§4.2) that groups prefixes with identical forwarding
+//!   behaviour.
+//! * [`vnh`] — virtual next-hop / virtual MAC allocation, and the route
+//!   server + ARP plumbing that turns the participant's own border router
+//!   into the first FIB stage.
+//! * [`transform`] — the syntactic policy transformations of §4.1:
+//!   isolation, BGP-consistency + VMAC rewriting, default forwarding, and
+//!   delivery.
+//! * [`compiler`] — the full compilation pipeline with the §4.3.1
+//!   optimizations (per-pair composition pruning, disjointness by
+//!   construction, memoized sub-compilations), plus the naive baseline the
+//!   ablation benches compare against.
+//! * [`incremental`] — the §4.3.2 two-stage update path: a fast per-prefix
+//!   recompile that installs higher-priority delta rules immediately, and
+//!   background re-optimization between bursts.
+//! * [`controller`] — the event-driven runtime tying the route server,
+//!   compiler, ARP responder and switch together.
+//! * [`service_chain`] — the §8 extension: steering a traffic class
+//!   through an ordered sequence of middleboxes, synthesized from the
+//!   existing policy machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod controller;
+pub mod fec;
+pub mod incremental;
+pub mod participant;
+pub mod service_chain;
+pub mod transform;
+pub mod vnh;
+pub mod vswitch;
+
+pub use compiler::{CompileOptions, CompileReport, SdxCompiler};
+pub use controller::SdxController;
+pub use fec::{minimum_disjoint_subsets, FecGroup, FecId};
+pub use participant::{ParticipantConfig, PhysicalPort};
+pub use service_chain::ServiceChain;
+pub use vnh::VnhAllocator;

@@ -1,0 +1,177 @@
+//! Participant configuration and policy slots.
+
+use sdx_bgp::rib::RouteSource;
+use sdx_net::{Asn, Ipv4Addr, MacAddr, ParticipantId, PortId, RouterId};
+use sdx_policy::Policy;
+
+/// One physical attachment of a participant's border router to the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PhysicalPort {
+    /// Interface index (the `1` in the paper's `A1`).
+    pub index: u8,
+    /// The router interface's MAC address.
+    pub mac: MacAddr,
+    /// The router's address on the IXP peering LAN.
+    pub addr: Ipv4Addr,
+}
+
+/// Static configuration of one SDX participant.
+#[derive(Clone, Debug)]
+pub struct ParticipantConfig {
+    /// The participant's identity at the exchange.
+    pub id: ParticipantId,
+    /// Its AS number.
+    pub asn: Asn,
+    /// Its physical ports (most participants have one; large ones more).
+    pub ports: Vec<PhysicalPort>,
+    /// Outbound policy (applies to traffic this participant sends).
+    /// `None` means "all traffic follows default BGP forwarding" — the
+    /// paper's simplest application.
+    pub outbound: Option<Policy>,
+    /// Inbound policy (applies to traffic destined to this participant).
+    pub inbound: Option<Policy>,
+}
+
+impl ParticipantConfig {
+    /// A participant with `nports` ports and no policies. Port MACs and
+    /// peering addresses are derived deterministically from the id, which
+    /// keeps every experiment reproducible.
+    pub fn new(id: u32, asn: u32, nports: u8) -> Self {
+        assert!(nports >= 1, "a participant needs at least one port");
+        ParticipantConfig {
+            id: ParticipantId(id),
+            asn: Asn(asn),
+            ports: (1..=nports)
+                .map(|i| PhysicalPort {
+                    index: i,
+                    mac: MacAddr::physical(id * 16 + i as u32),
+                    addr: Ipv4Addr::new(172, 16, (id >> 6) as u8, ((id << 2) as u8) | i),
+                })
+                .collect(),
+            outbound: None,
+            inbound: None,
+        }
+    }
+
+    /// Builder-style outbound policy setter.
+    pub fn with_outbound(mut self, p: Policy) -> Self {
+        self.outbound = Some(p);
+        self
+    }
+
+    /// Builder-style inbound policy setter.
+    pub fn with_inbound(mut self, p: Policy) -> Self {
+        self.inbound = Some(p);
+        self
+    }
+
+    /// The fabric port ids of this participant.
+    pub fn port_ids(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.ports
+            .iter()
+            .map(move |p| PortId::Phys(self.id, p.index))
+    }
+
+    /// The primary port (lowest index) — the default delivery target.
+    pub fn primary_port(&self) -> &PhysicalPort {
+        self.ports
+            .iter()
+            .min_by_key(|p| p.index)
+            .expect("at least one port by construction")
+    }
+
+    /// The MAC of a given interface index, if it exists.
+    pub fn port_mac(&self, index: u8) -> Option<MacAddr> {
+        self.ports.iter().find(|p| p.index == index).map(|p| p.mac)
+    }
+
+    /// The BGP session identity this participant peers with the route
+    /// server as (primary port address; router id derived from it).
+    pub fn route_source(&self) -> RouteSource {
+        let primary = self.primary_port();
+        RouteSource {
+            participant: self.id,
+            asn: self.asn,
+            router_id: RouterId::from_addr(primary.addr),
+            peer_addr: primary.addr,
+        }
+    }
+
+    /// True if this participant has any policy installed.
+    pub fn has_policy(&self) -> bool {
+        self.outbound.is_some() || self.inbound.is_some()
+    }
+
+    /// A BGP announcement of `prefixes` via `as_path`, with NEXT_HOP set to
+    /// this participant's peering address — what its border router would
+    /// actually send. Keeps fixtures and workload generators honest: the
+    /// ARP-resolvable next hop is the announcer's own port address.
+    pub fn announce(
+        &self,
+        prefixes: impl IntoIterator<Item = sdx_net::Prefix>,
+        as_path: &[u32],
+    ) -> sdx_bgp::msg::UpdateMessage {
+        sdx_bgp::msg::UpdateMessage::announce(
+            prefixes,
+            sdx_bgp::attrs::PathAttributes::new(
+                sdx_bgp::attrs::AsPath::sequence(as_path.iter().copied()),
+                self.primary_port().addr,
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_ports() {
+        let a = ParticipantConfig::new(1, 65001, 2);
+        let b = ParticipantConfig::new(1, 65001, 2);
+        assert_eq!(a.ports, b.ports);
+        assert_eq!(a.ports.len(), 2);
+        assert_eq!(a.primary_port().index, 1);
+        assert_eq!(a.port_mac(2), Some(a.ports[1].mac));
+        assert_eq!(a.port_mac(3), None);
+        let ids: Vec<_> = a.port_ids().collect();
+        assert_eq!(
+            ids,
+            vec![
+                PortId::Phys(ParticipantId(1), 1),
+                PortId::Phys(ParticipantId(1), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_participants_get_distinct_addresses() {
+        let a = ParticipantConfig::new(1, 65001, 1);
+        let b = ParticipantConfig::new(2, 65002, 1);
+        assert_ne!(a.ports[0].mac, b.ports[0].mac);
+        assert_ne!(a.ports[0].addr, b.ports[0].addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        ParticipantConfig::new(1, 65001, 0);
+    }
+
+    #[test]
+    fn route_source_uses_primary_port() {
+        let a = ParticipantConfig::new(3, 65003, 2);
+        let src = a.route_source();
+        assert_eq!(src.participant, ParticipantId(3));
+        assert_eq!(src.asn, Asn(65003));
+        assert_eq!(src.peer_addr, a.primary_port().addr);
+    }
+
+    #[test]
+    fn has_policy_tracks_slots() {
+        let mut a = ParticipantConfig::new(1, 65001, 1);
+        assert!(!a.has_policy());
+        a.outbound = Some(Policy::id());
+        assert!(a.has_policy());
+    }
+}

@@ -1,0 +1,235 @@
+//! Service chaining (§8's envisioned extension): steering a traffic class
+//! through a *sequence* of middleboxes before final delivery.
+//!
+//! A chain is realized purely through the existing policy machinery — no
+//! new data-plane mechanism:
+//!
+//! * the **consumer** participant's inbound policy diverts the traffic
+//!   class to the first middlebox port instead of its own router;
+//! * each **middlebox host** gets an outbound clause keyed on the
+//!   middlebox's own in-port (re-injected traffic) steering to the next
+//!   hop's port;
+//! * the **last hop** steers straight to the consumer's physical port —
+//!   bypassing the consumer's inbound policy, which would otherwise
+//!   re-divert the traffic into the chain forever.
+//!
+//! Forward progress is by construction: every synthesized clause matches
+//! a distinct in-port and sends strictly down the chain.
+
+use sdx_net::{FieldMatch, ParticipantId, PortId};
+use sdx_policy::{Policy, Pred};
+
+use crate::controller::SdxController;
+
+/// A service chain description.
+#[derive(Clone, Debug)]
+pub struct ServiceChain {
+    /// The traffic class to steer (e.g. `srcip ∈ YouTubePrefixes`).
+    pub traffic: Pred,
+    /// The participant whose incoming traffic is chained.
+    pub consumer: ParticipantId,
+    /// Middlebox ports, in traversal order. Must be physical ports and
+    /// must not include any of the consumer's own ports.
+    pub hops: Vec<PortId>,
+}
+
+/// Errors from chain installation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChainError {
+    /// A hop is a virtual port or repeats.
+    BadHop(PortId),
+    /// The chain is empty.
+    Empty,
+    /// The consumer is unknown to the controller.
+    UnknownConsumer(ParticipantId),
+}
+
+impl core::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChainError::BadHop(p) => write!(f, "invalid chain hop {p}"),
+            ChainError::Empty => write!(f, "empty service chain"),
+            ChainError::UnknownConsumer(p) => write!(f, "unknown consumer {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl ServiceChain {
+    /// Validates the chain against a controller's participant book.
+    pub fn validate(&self, ctl: &SdxController) -> Result<(), ChainError> {
+        if self.hops.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        let Some(_) = ctl.compiler.participant(self.consumer) else {
+            return Err(ChainError::UnknownConsumer(self.consumer));
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for &h in &self.hops {
+            let ok = matches!(h, PortId::Phys(owner, _)
+                if owner != self.consumer && seen.insert(h) && ctl.compiler.participant(owner).is_some());
+            if !ok {
+                return Err(ChainError::BadHop(h));
+            }
+        }
+        Ok(())
+    }
+
+    /// Synthesizes and installs the chain's policies on the controller
+    /// (the caller re-optimizes afterwards, as for any policy change).
+    pub fn install(&self, ctl: &mut SdxController) -> Result<(), ChainError> {
+        self.validate(ctl)?;
+        let consumer_cfg = ctl
+            .compiler
+            .participant(self.consumer)
+            .expect("validated")
+            .clone();
+        let final_port = PortId::Phys(self.consumer, consumer_cfg.primary_port().index);
+
+        // Consumer inbound: divert the class to hop 0.
+        let divert = Policy::filter(self.traffic.clone()) >> Policy::fwd(self.hops[0]);
+        let merged = match consumer_cfg.inbound.clone() {
+            Some(p) => divert + p, // the chain takes precedence
+            None => divert,
+        };
+        ctl.set_inbound(self.consumer, Some(merged));
+
+        // Per-hop outbound steering: from hop i's port to hop i+1 (or the
+        // consumer's port after the last hop).
+        for (i, &hop) in self.hops.iter().enumerate() {
+            let next = self.hops.get(i + 1).copied().unwrap_or(final_port);
+            let clause = Policy::filter(
+                Pred::Test(FieldMatch::InPort(hop)) & self.traffic.clone(),
+            ) >> Policy::fwd(next);
+            let owner = hop.participant();
+            let existing = ctl
+                .compiler
+                .participant(owner)
+                .and_then(|c| c.outbound.clone());
+            let merged = match existing {
+                Some(p) => clause + p,
+                None => clause,
+            };
+            ctl.set_outbound(owner, Some(merged));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::ParticipantConfig;
+    use sdx_bgp::route_server::ExportPolicy;
+    use sdx_net::{ip, prefix, Packet};
+    use sdx_openflow::middlebox::{run_through_chain, Middlebox};
+
+    fn pid(n: u32) -> ParticipantId {
+        ParticipantId(n)
+    }
+
+    /// A: consumer (announces its eyeball prefix). B: transit sending the
+    /// traffic. E and F: middlebox hosts.
+    fn chain_setup() -> (SdxController, Vec<Middlebox>) {
+        let mut ctl = SdxController::new();
+        let a = ParticipantConfig::new(1, 65001, 1);
+        let b = ParticipantConfig::new(2, 65002, 1);
+        let e = ParticipantConfig::new(5, 65005, 1);
+        let f = ParticipantConfig::new(6, 65006, 1);
+        ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(b, ExportPolicy::allow_all());
+        ctl.add_participant(e, ExportPolicy::allow_all());
+        ctl.add_participant(f, ExportPolicy::allow_all());
+        ctl.rs
+            .process_update(pid(1), &a.announce([prefix("99.0.0.0/8")], &[65001]));
+        let mboxes = vec![
+            Middlebox::passthrough(PortId::Phys(pid(5), 1), "scrubber"),
+            Middlebox::passthrough(PortId::Phys(pid(6), 1), "transcoder"),
+        ];
+        (ctl, mboxes)
+    }
+
+    #[test]
+    fn two_hop_chain_traverses_in_order() {
+        let (mut ctl, mut mboxes) = chain_setup();
+        let chain = ServiceChain {
+            traffic: Pred::Test(FieldMatch::NwSrc(prefix("208.65.152.0/22"))),
+            consumer: pid(1),
+            hops: vec![PortId::Phys(pid(5), 1), PortId::Phys(pid(6), 1)],
+        };
+        chain.install(&mut ctl).expect("installs");
+        let mut fabric = ctl.deploy().expect("deploy");
+
+        let out = run_through_chain(
+            &mut fabric,
+            &mut mboxes,
+            PortId::Phys(pid(2), 1),
+            Packet::udp(ip("208.65.153.9"), ip("99.0.0.1"), 1935, 40_000),
+            8,
+        )
+        .expect("chain terminates");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(1), 1), "delivered to consumer");
+        assert_eq!(mboxes[0].processed, 1, "scrubber saw the flow");
+        assert_eq!(mboxes[1].processed, 1, "transcoder saw the flow");
+    }
+
+    #[test]
+    fn non_matching_traffic_skips_the_chain() {
+        let (mut ctl, mut mboxes) = chain_setup();
+        let chain = ServiceChain {
+            traffic: Pred::Test(FieldMatch::NwSrc(prefix("208.65.152.0/22"))),
+            consumer: pid(1),
+            hops: vec![PortId::Phys(pid(5), 1), PortId::Phys(pid(6), 1)],
+        };
+        chain.install(&mut ctl).expect("installs");
+        let mut fabric = ctl.deploy().expect("deploy");
+        let out = run_through_chain(
+            &mut fabric,
+            &mut mboxes,
+            PortId::Phys(pid(2), 1),
+            Packet::udp(ip("151.101.1.1"), ip("99.0.0.1"), 443, 40_000),
+            8,
+        )
+        .expect("terminates");
+        assert_eq!(out[0].loc, PortId::Phys(pid(1), 1));
+        assert_eq!(mboxes[0].processed, 0);
+        assert_eq!(mboxes[1].processed, 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_chains() {
+        let (ctl, _) = chain_setup();
+        let base = ServiceChain {
+            traffic: Pred::Any,
+            consumer: pid(1),
+            hops: vec![],
+        };
+        assert_eq!(base.validate(&ctl), Err(ChainError::Empty));
+        let own_port = ServiceChain {
+            hops: vec![PortId::Phys(pid(1), 1)],
+            ..base.clone()
+        };
+        assert!(matches!(own_port.validate(&ctl), Err(ChainError::BadHop(_))));
+        let repeated = ServiceChain {
+            hops: vec![PortId::Phys(pid(5), 1), PortId::Phys(pid(5), 1)],
+            ..base.clone()
+        };
+        assert!(matches!(repeated.validate(&ctl), Err(ChainError::BadHop(_))));
+        let virt = ServiceChain {
+            hops: vec![PortId::Virt(pid(5))],
+            ..base.clone()
+        };
+        assert!(matches!(virt.validate(&ctl), Err(ChainError::BadHop(_))));
+        let unknown = ServiceChain {
+            consumer: pid(42),
+            hops: vec![PortId::Phys(pid(5), 1)],
+            ..base
+        };
+        assert_eq!(
+            unknown.validate(&ctl),
+            Err(ChainError::UnknownConsumer(pid(42)))
+        );
+    }
+}

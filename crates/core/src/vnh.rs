@@ -1,0 +1,151 @@
+//! Virtual next-hop (VNH) and virtual MAC (VMAC) allocation (§4.2).
+//!
+//! Every forwarding equivalence class receives a `(VNH, VMAC)` pair:
+//! the VNH is an otherwise-unused IP on the IXP peering LAN that the route
+//! server writes into BGP NEXT_HOP when re-advertising member prefixes to
+//! the group's viewer; the VMAC is what the SDX ARP responder answers for
+//! the VNH, so the viewer's border router tags the traffic.
+//!
+//! The allocator hands out addresses from a dedicated pool (default
+//! `172.16.128.0/17`, ~32k VNHs — comfortably above the ~1,500 prefix
+//! groups the paper's experiments reach) and recycles retired ids.
+
+use sdx_net::{Ipv4Addr, MacAddr, Prefix};
+
+use crate::fec::FecId;
+
+/// Allocates `(FecId, VNH, VMAC)` triples from a configurable pool.
+#[derive(Clone, Debug)]
+pub struct VnhAllocator {
+    pool: Prefix,
+    next_offset: u32,
+    free: Vec<u32>,
+}
+
+impl VnhAllocator {
+    /// Default pool used by the paper-scale experiments.
+    pub fn default_pool() -> Prefix {
+        Prefix::new(Ipv4Addr::new(172, 16, 128, 0), 17)
+    }
+
+    /// An allocator drawing from `pool`. Offset 0 (the network address) is
+    /// never handed out.
+    pub fn new(pool: Prefix) -> Self {
+        VnhAllocator {
+            pool,
+            next_offset: 1,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of VNHs currently allocatable without exhausting the pool.
+    pub fn remaining(&self) -> u64 {
+        self.pool.size() - self.next_offset as u64 + self.free.len() as u64
+    }
+
+    /// Allocates a fresh id/VNH/VMAC triple.
+    ///
+    /// # Panics
+    /// Panics if the pool is exhausted — a configuration error (pool too
+    /// small for the workload), not a runtime condition to limp past.
+    pub fn allocate(&mut self) -> (FecId, Ipv4Addr, MacAddr) {
+        let off = self.free.pop().unwrap_or_else(|| {
+            let off = self.next_offset;
+            assert!(
+                (off as u64) < self.pool.size(),
+                "VNH pool {} exhausted",
+                self.pool
+            );
+            self.next_offset += 1;
+            off
+        });
+        let vnh = self.pool.addr().saturating_add(off);
+        (FecId(off), vnh, MacAddr::vmac(off))
+    }
+
+    /// Returns an id to the pool for reuse.
+    pub fn release(&mut self, id: FecId) {
+        self.free.push(id.0);
+    }
+
+    /// The VNH address for an id (deterministic; no allocation).
+    pub fn vnh_of(&self, id: FecId) -> Ipv4Addr {
+        self.pool.addr().saturating_add(id.0)
+    }
+
+    /// True if `addr` lies in the VNH pool (i.e. is a virtual next hop).
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.pool.contains(addr)
+    }
+}
+
+impl Default for VnhAllocator {
+    fn default() -> Self {
+        VnhAllocator::new(Self::default_pool())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{ip, prefix};
+
+    #[test]
+    fn allocates_distinct_triples() {
+        let mut a = VnhAllocator::default();
+        let (i1, v1, m1) = a.allocate();
+        let (i2, v2, m2) = a.allocate();
+        assert_ne!(i1, i2);
+        assert_ne!(v1, v2);
+        assert_ne!(m1, m2);
+        assert_eq!(m1.fec_id(), Some(i1.0));
+        assert!(a.contains(v1) && a.contains(v2));
+        assert_eq!(a.vnh_of(i1), v1);
+    }
+
+    #[test]
+    fn network_address_is_skipped() {
+        let mut a = VnhAllocator::default();
+        let (_, v, _) = a.allocate();
+        assert_ne!(v, VnhAllocator::default_pool().addr());
+        assert_eq!(v, ip("172.16.128.1"));
+    }
+
+    #[test]
+    fn release_recycles() {
+        let mut a = VnhAllocator::default();
+        let (i1, v1, _) = a.allocate();
+        a.allocate();
+        a.release(i1);
+        let (i3, v3, _) = a.allocate();
+        assert_eq!(i3, i1);
+        assert_eq!(v3, v1);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut a = VnhAllocator::new(prefix("10.0.0.0/29")); // 8 addresses
+        assert_eq!(a.remaining(), 7); // offset 0 excluded
+        a.allocate();
+        assert_eq!(a.remaining(), 6);
+        let (id, _, _) = a.allocate();
+        a.release(id);
+        assert_eq!(a.remaining(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut a = VnhAllocator::new(prefix("10.0.0.0/31")); // 2 addresses
+        a.allocate(); // offset 1 — ok
+        a.allocate(); // offset 2 ≥ size 2 — panics
+    }
+
+    #[test]
+    fn pool_membership() {
+        let a = VnhAllocator::default();
+        assert!(a.contains(ip("172.16.200.5")));
+        assert!(!a.contains(ip("172.16.0.5")));
+        assert!(!a.contains(ip("10.0.0.1")));
+    }
+}

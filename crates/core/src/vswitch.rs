@@ -1,0 +1,121 @@
+//! The virtual SDX switch abstraction (§3.1).
+//!
+//! Each participant sees a private virtual switch: its own physical ports
+//! (`A1`, `A2`, …) plus one virtual port per peer participant (`B`, `C`).
+//! Policies are written against these names; this module builds the
+//! per-participant [`PortResolver`] the DSL parser uses, and checks the
+//! isolation constraint — a participant's policy may only name its own
+//! ports and its peers' virtual switches.
+
+use std::collections::BTreeMap;
+
+use sdx_net::{ParticipantId, PortId};
+use sdx_policy::dsl::PortResolver;
+
+/// Letter names for the first participants (`A`, `B`, …) as the paper
+/// writes them; numeric fallback `P7` beyond 26.
+pub fn participant_name(id: ParticipantId) -> String {
+    let n = id.0;
+    if n >= 1 && n <= 26 {
+        char::from(b'A' + (n - 1) as u8).to_string()
+    } else {
+        format!("P{n}")
+    }
+}
+
+/// The name table for the participant `writer`'s virtual switch:
+/// * `A1`, `A2`, … — its own physical ports (if `writer` is `A`);
+/// * `B`, `C`, … — the virtual ports leading to every other participant;
+/// * other participants' physical port names (`E1`) resolve too, so a
+///   policy can steer traffic to a middlebox hosted on a specific port
+///   (§3.2's `fwd(E1)` example).
+pub fn resolver_for(
+    writer: ParticipantId,
+    participants: &BTreeMap<ParticipantId, Vec<u8>>,
+) -> PortResolver {
+    let mut r = PortResolver::new();
+    for (&pid, ports) in participants {
+        let name = participant_name(pid);
+        if pid == writer {
+            // Own switch: also the bare name = "any of my ports" is not a
+            // single port; the DSL uses explicit indices for physical ports.
+            for &idx in ports {
+                r.add(format!("{name}{idx}"), PortId::Phys(pid, idx));
+            }
+        } else {
+            r.add(name.clone(), PortId::Virt(pid));
+            for &idx in ports {
+                r.add(format!("{name}{idx}"), PortId::Phys(pid, idx));
+            }
+        }
+    }
+    r
+}
+
+/// Isolation check: may `writer`'s policy legitimately mention `port`?
+///
+/// As a **match** (`as_match = true`) only the writer's own switch ports
+/// are visible: its physical ports and its own virtual ingress. As a
+/// **forwarding target** the writer may send to any peer's virtual switch
+/// and to any physical port (the latter enables middlebox steering like
+/// the paper's `fwd(E1)`), but never observe traffic there.
+pub fn may_reference(writer: ParticipantId, port: PortId, as_match: bool) -> bool {
+    if !as_match {
+        return true;
+    }
+    match port {
+        PortId::Phys(owner, _) => owner == writer,
+        PortId::Virt(owner) => owner == writer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> BTreeMap<ParticipantId, Vec<u8>> {
+        BTreeMap::from([
+            (ParticipantId(1), vec![1]),
+            (ParticipantId(2), vec![1, 2]),
+            (ParticipantId(5), vec![1]),
+        ])
+    }
+
+    #[test]
+    fn names_follow_the_paper() {
+        assert_eq!(participant_name(ParticipantId(1)), "A");
+        assert_eq!(participant_name(ParticipantId(2)), "B");
+        assert_eq!(participant_name(ParticipantId(26)), "Z");
+        assert_eq!(participant_name(ParticipantId(27)), "P27");
+    }
+
+    #[test]
+    fn resolver_names_own_and_peer_ports() {
+        let r = resolver_for(ParticipantId(1), &setup());
+        assert_eq!(r.resolve("A1"), Some(PortId::Phys(ParticipantId(1), 1)));
+        assert_eq!(r.resolve("B"), Some(PortId::Virt(ParticipantId(2))));
+        assert_eq!(r.resolve("B2"), Some(PortId::Phys(ParticipantId(2), 2)));
+        assert_eq!(r.resolve("E1"), Some(PortId::Phys(ParticipantId(5), 1)));
+        // A has no virtual port to itself.
+        assert_eq!(r.resolve("A"), None);
+        assert_eq!(r.resolve("Z"), None);
+    }
+
+    #[test]
+    fn isolation_rules() {
+        let a = ParticipantId(1);
+        let b = ParticipantId(2);
+        // Matching on own physical port: fine.
+        assert!(may_reference(a, PortId::Phys(a, 1), true));
+        // Matching on B's physical port: forbidden.
+        assert!(!may_reference(a, PortId::Phys(b, 1), true));
+        // Forwarding to B's physical port (middlebox steering): allowed.
+        assert!(may_reference(a, PortId::Phys(b, 1), false));
+        // Forwarding to B's virtual switch: allowed.
+        assert!(may_reference(a, PortId::Virt(b), false));
+        // Matching on own virtual ingress (inbound policy): allowed.
+        assert!(may_reference(a, PortId::Virt(a), true));
+        // Matching traffic at B's virtual switch: forbidden.
+        assert!(!may_reference(a, PortId::Virt(b), true));
+    }
+}

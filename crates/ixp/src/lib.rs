@@ -1,0 +1,38 @@
+//! # sdx-ixp — IXP emulation: datasets, workloads, traces, traffic
+//!
+//! The paper's evaluation (§6) runs the SDX controller against workloads
+//! derived from the three largest IXPs (AMS-IX, DE-CIX, LINX) and RIPE RIS
+//! BGP update traces. Those datasets are not redistributable, but the
+//! paper publishes every statistic its experiments depend on — Table 1's
+//! volumes and §4.3.2's burst distributions — so this crate regenerates
+//! equivalent synthetic inputs, calibrated to those published numbers:
+//!
+//! * [`dataset`] — the Table 1 descriptors as compiled-in constants.
+//! * [`topology`] — participant populations with the paper's announced-
+//!   prefix skew ("1% of ASes announce more than 50% of the prefixes").
+//! * [`policy_workload`] — the §6.1 policy-assignment model: eyeball /
+//!   transit / content classes, the top-15%/5%/5% rule, per-class inbound
+//!   and outbound policy synthesis.
+//! * [`updates`] — bursty BGP update traces matching §4.3.2's measured
+//!   inter-arrival and burst-size quantiles, with session-reset injection
+//!   (Table 1 discards reset-caused churn; so do we, measurably).
+//! * [`traffic`] — the deterministic discrete-event traffic simulator that
+//!   regenerates the Figure 5 deployment experiments.
+//!
+//! Everything is seeded: the same parameters and seed reproduce the same
+//! IXP, trace, and traffic, byte for byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod policy_workload;
+pub mod topology;
+pub mod traffic;
+pub mod updates;
+
+pub use dataset::{IxpDataset, AMS_IX, DE_CIX, LINX};
+pub use policy_workload::{assign_policies, PolicyWorkloadParams};
+pub use topology::{SyntheticIxp, TopologyParams};
+pub use traffic::{Event, Flow, TimeSeries, TrafficSim};
+pub use updates::{TraceParams, TraceStats, UpdateBurst};

@@ -1,0 +1,402 @@
+//! The deterministic traffic simulator behind the Figure 5 experiments.
+//!
+//! The paper's deployment experiments (Figure 4/5) run constant-rate UDP
+//! flows through the SDX while control-plane events fire — a policy
+//! installation at t=565 s, a route withdrawal at t=1253 s — and plot the
+//! per-upstream traffic rate over time. This simulator does the same in
+//! virtual time: one tick per second, each flow's packets pushed through
+//! the full pipeline (border-router FIB → VNH/ARP tag → flow table), with
+//! the controller's fast path handling the events exactly as it would
+//! live.
+
+use sdx_bgp::msg::UpdateMessage;
+use sdx_core::controller::SdxController;
+use sdx_net::{Ipv4Addr, Packet, ParticipantId, PortId};
+use sdx_openflow::fabric::Fabric;
+use sdx_policy::Policy;
+
+/// A constant-rate flow injected at a participant port.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// Human-readable label for the series legend.
+    pub label: String,
+    /// The fabric port the sender's border router is attached to.
+    pub from: PortId,
+    /// Template packet (addresses/ports); payload length is derived from
+    /// the rate.
+    pub template: Packet,
+    /// Offered rate in Mbps.
+    pub rate_mbps: f64,
+    /// When the flow starts/stops (seconds; end exclusive).
+    pub active: (f64, f64),
+}
+
+/// A control-plane event fired at a point in virtual time.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Install (or replace) an outbound policy and re-optimize.
+    SetOutbound {
+        /// Fire time, seconds.
+        at: f64,
+        /// Whose policy.
+        participant: ParticipantId,
+        /// The policy (None clears).
+        policy: Option<Policy>,
+    },
+    /// Install (or replace) an inbound policy and re-optimize.
+    SetInbound {
+        /// Fire time, seconds.
+        at: f64,
+        /// Whose policy.
+        participant: ParticipantId,
+        /// The policy (None clears).
+        policy: Option<Policy>,
+    },
+    /// A BGP update arrives from a participant (handled via fast path).
+    Bgp {
+        /// Fire time, seconds.
+        at: f64,
+        /// Announcing/withdrawing participant.
+        from: ParticipantId,
+        /// The update.
+        update: UpdateMessage,
+    },
+    /// Replace a remote participant's global policy fragment (the
+    /// wide-area load-balancer application) and re-optimize.
+    GlobalPolicy {
+        /// Fire time, seconds.
+        at: f64,
+        /// The remote participant that owns the fragment.
+        owner: ParticipantId,
+        /// The new fragment (None clears).
+        policy: Option<Policy>,
+    },
+}
+
+impl Event {
+    fn at(&self) -> f64 {
+        match self {
+            Event::SetOutbound { at, .. }
+            | Event::SetInbound { at, .. }
+            | Event::Bgp { at, .. }
+            | Event::GlobalPolicy { at, .. } => *at,
+        }
+    }
+}
+
+/// How deliveries are bucketed into series.
+#[derive(Clone, Copy, Debug)]
+pub enum SeriesKey {
+    /// By the egress participant (Figure 5a: which upstream carried it).
+    EgressParticipant,
+    /// By final destination IP (Figure 5b: which server instance got it).
+    DestinationIp,
+}
+
+/// A measured rate series: per tick, per key, Mbps delivered.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    /// Series labels, index-aligned with each point's rate vector.
+    pub keys: Vec<String>,
+    /// `(t_seconds, rates_mbps)` per tick.
+    pub points: Vec<(f64, Vec<f64>)>,
+}
+
+impl TimeSeries {
+    fn key_index(&mut self, key: &str) -> usize {
+        if let Some(i) = self.keys.iter().position(|k| k == key) {
+            return i;
+        }
+        self.keys.push(key.to_string());
+        for (_, rates) in &mut self.points {
+            rates.push(0.0);
+        }
+        self.keys.len() - 1
+    }
+
+    /// The rate of series `key` at the tick nearest `t` (test helper).
+    pub fn rate_at(&self, key: &str, t: f64) -> Option<f64> {
+        let ki = self.keys.iter().position(|k| k == key)?;
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - t)
+                    .abs()
+                    .partial_cmp(&(b.0 - t).abs())
+                    .expect("finite")
+            })
+            .map(|(_, rates)| rates[ki])
+    }
+}
+
+/// The simulator: a controller + fabric + flows + events.
+pub struct TrafficSim {
+    /// The SDX controller under test.
+    pub controller: SdxController,
+    /// The data plane.
+    pub fabric: Fabric,
+    /// Offered flows.
+    pub flows: Vec<Flow>,
+    /// Control-plane events (will be fired in time order).
+    pub events: Vec<Event>,
+    /// How to bucket deliveries.
+    pub series_key: SeriesKey,
+}
+
+impl TrafficSim {
+    /// Runs for `duration` seconds at 1-second ticks, returning the
+    /// delivered-rate series.
+    pub fn run(mut self, duration: f64) -> TimeSeries {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| a.at().partial_cmp(&b.at()).expect("finite times"));
+        let mut next_event = 0usize;
+        let mut series = TimeSeries::default();
+        // Pre-register flow keys so series exist even before traffic shifts.
+        let mut tick = 0.0f64;
+        while tick < duration {
+            // Fire due events.
+            while next_event < events.len() && events[next_event].at() <= tick {
+                match &events[next_event] {
+                    Event::SetOutbound {
+                        participant,
+                        policy,
+                        ..
+                    } => {
+                        self.controller.set_outbound(*participant, policy.clone());
+                        self.controller
+                            .reoptimize(&mut self.fabric)
+                            .expect("policy recompiles");
+                    }
+                    Event::SetInbound {
+                        participant,
+                        policy,
+                        ..
+                    } => {
+                        self.controller.set_inbound(*participant, policy.clone());
+                        self.controller
+                            .reoptimize(&mut self.fabric)
+                            .expect("policy recompiles");
+                    }
+                    Event::Bgp { from, update, .. } => {
+                        self.controller
+                            .process_update(*from, update, &mut self.fabric)
+                            .expect("fast path");
+                    }
+                    Event::GlobalPolicy { owner, policy, .. } => {
+                        self.controller.compiler.clear_global_policies(*owner);
+                        if let Some(p) = policy {
+                            self.controller.compiler.add_global_policy(*owner, p.clone());
+                        }
+                        self.controller
+                            .reoptimize(&mut self.fabric)
+                            .expect("policy recompiles");
+                    }
+                }
+                next_event += 1;
+            }
+
+            // Offer one tick of each active flow.
+            let mut rates: Vec<(String, f64)> = Vec::new();
+            for flow in &self.flows {
+                if tick < flow.active.0 || tick >= flow.active.1 {
+                    continue;
+                }
+                let delivered = self.fabric.send(flow.from, flow.template);
+                for d in delivered {
+                    let key = match self.series_key {
+                        SeriesKey::EgressParticipant => {
+                            format!("via-{}", d.loc.participant())
+                        }
+                        SeriesKey::DestinationIp => format!("to-{}", d.pkt.nw_dst),
+                    };
+                    rates.push((key, flow.rate_mbps));
+                }
+            }
+
+            // Record the tick.
+            let n = series.keys.len();
+            let mut point = vec![0.0; n];
+            for (key, mbps) in rates {
+                let ki = series.key_index(&key);
+                if ki >= point.len() {
+                    point.resize(ki + 1, 0.0);
+                }
+                point[ki] += mbps;
+            }
+            point.resize(series.keys.len(), 0.0);
+            series.points.push((tick, point));
+            tick += 1.0;
+        }
+        series
+    }
+}
+
+/// Convenience: an anycast/unicast UDP flow template like the paper's
+/// 1 Mbps test flows.
+pub fn udp_flow(
+    label: &str,
+    from: PortId,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    dst_port: u16,
+    rate_mbps: f64,
+    active: (f64, f64),
+) -> Flow {
+    Flow {
+        label: label.to_string(),
+        from,
+        template: Packet::udp(src, dst, 30_000, dst_port).with_len(1250),
+        rate_mbps,
+        active,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_bgp::route_server::ExportPolicy;
+    use sdx_core::participant::ParticipantConfig;
+    use sdx_net::{ip, prefix, FieldMatch};
+    use sdx_policy::Policy as P;
+
+    fn pid(n: u32) -> ParticipantId {
+        ParticipantId(n)
+    }
+
+    /// Figure 4a in miniature: AS A and AS B both reach the AWS prefix;
+    /// AS C hosts the client.
+    fn fig4a_sim() -> TrafficSim {
+        let mut ctl = SdxController::new();
+        let a = ParticipantConfig::new(1, 65001, 1);
+        let b = ParticipantConfig::new(2, 65002, 1);
+        let c = ParticipantConfig::new(3, 65003, 1);
+        ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(c, ExportPolicy::allow_all());
+        ctl.rs
+            .process_update(pid(1), &a.announce([prefix("54.198.0.0/16")], &[65001, 14618]));
+        ctl.rs.process_update(
+            pid(2),
+            &b.announce([prefix("54.198.0.0/16")], &[65002, 7, 14618]),
+        );
+        let fabric = ctl.deploy().expect("deploy");
+        TrafficSim {
+            controller: ctl,
+            fabric,
+            flows: vec![udp_flow(
+                "client",
+                PortId::Phys(pid(3), 1),
+                ip("99.0.0.10"),
+                ip("54.198.0.50"),
+                80,
+                1.0,
+                (0.0, 60.0),
+            )],
+            events: vec![
+                Event::SetOutbound {
+                    at: 20.0,
+                    participant: pid(3),
+                    policy: Some(
+                        P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))),
+                    ),
+                },
+                Event::Bgp {
+                    at: 40.0,
+                    from: pid(2),
+                    update: UpdateMessage::withdraw([prefix("54.198.0.0/16")]),
+                },
+            ],
+            series_key: SeriesKey::EgressParticipant,
+        }
+    }
+
+    #[test]
+    fn figure5a_shape() {
+        let series = fig4a_sim().run(60.0);
+        // Phase 1 (t<20): default best route via A.
+        assert_eq!(series.rate_at("via-P1", 10.0), Some(1.0));
+        assert_eq!(series.rate_at("via-P2", 10.0).unwrap_or(0.0), 0.0);
+        // Phase 2 (20≤t<40): policy shifts port-80 traffic via B.
+        assert_eq!(series.rate_at("via-P2", 30.0), Some(1.0));
+        assert_eq!(series.rate_at("via-P1", 30.0), Some(0.0));
+        // Phase 3 (t≥40): B withdrew; traffic must fall back to A.
+        assert_eq!(series.rate_at("via-P1", 50.0), Some(1.0));
+        assert_eq!(series.rate_at("via-P2", 50.0), Some(0.0));
+    }
+
+    #[test]
+    fn series_bookkeeping_is_rectangular() {
+        let series = fig4a_sim().run(45.0);
+        assert_eq!(series.points.len(), 45);
+        for (_, rates) in &series.points {
+            assert_eq!(rates.len(), series.keys.len());
+        }
+    }
+
+    #[test]
+    fn inactive_flows_send_nothing() {
+        let mut sim = fig4a_sim();
+        sim.flows[0].active = (10.0, 20.0);
+        sim.events.clear();
+        let series = sim.run(30.0);
+        assert_eq!(series.rate_at("via-P1", 5.0).unwrap_or(0.0), 0.0);
+        assert_eq!(series.rate_at("via-P1", 15.0), Some(1.0));
+        assert_eq!(series.rate_at("via-P1", 25.0), Some(0.0));
+    }
+
+    #[test]
+    fn figure5b_shape_with_global_policy_swap() {
+        use sdx_net::{Mod, Prefix};
+        use sdx_policy::Pred;
+        // Tenant D announces the anycast prefix; B reaches both instances.
+        let mut ctl = SdxController::new();
+        let a = ParticipantConfig::new(1, 65001, 1);
+        let b = ParticipantConfig::new(2, 65002, 1);
+        let d = ParticipantConfig::new(4, 65004, 1);
+        ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+        ctl.add_participant(d.clone(), ExportPolicy::allow_all());
+        ctl.rs
+            .process_update(pid(2), &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]));
+        ctl.rs
+            .process_update(pid(2), &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]));
+        ctl.rs
+            .process_update(pid(4), &d.announce([prefix("74.125.1.0/24")], &[65004]));
+        let all_to_one = P::filter(Pred::Test(FieldMatch::NwDst(Prefix::new(
+            ip("74.125.1.0"),
+            24,
+        )))) >> P::modify(Mod::SetNwDst(ip("54.198.0.10")));
+        ctl.compiler.add_global_policy(pid(4), all_to_one);
+        let fabric = ctl.deploy().expect("deploy");
+
+        let split = (P::filter(
+            Pred::Test(FieldMatch::NwDst(Prefix::new(ip("74.125.1.0"), 24)))
+                & Pred::Test(FieldMatch::NwSrc(Prefix::new(ip("204.57.0.0"), 16))),
+        ) >> P::modify(Mod::SetNwDst(ip("54.230.0.10"))))
+            + (P::filter(
+                Pred::Test(FieldMatch::NwDst(Prefix::new(ip("74.125.1.0"), 24)))
+                    & !Pred::Test(FieldMatch::NwSrc(Prefix::new(ip("204.57.0.0"), 16))),
+            ) >> P::modify(Mod::SetNwDst(ip("54.198.0.10"))));
+
+        let client = PortId::Phys(pid(1), 1);
+        let sim = TrafficSim {
+            controller: ctl,
+            fabric,
+            flows: vec![
+                udp_flow("c1", client, ip("204.57.0.67"), ip("74.125.1.1"), 80, 1.0, (0.0, 40.0)),
+                udp_flow("c2", client, ip("99.0.0.10"), ip("74.125.1.1"), 80, 1.0, (0.0, 40.0)),
+            ],
+            events: vec![Event::GlobalPolicy {
+                at: 20.0,
+                owner: pid(4),
+                policy: Some(split),
+            }],
+            series_key: SeriesKey::DestinationIp,
+        };
+        let series = sim.run(40.0);
+        assert_eq!(series.rate_at("to-54.198.0.10", 10.0), Some(2.0));
+        assert_eq!(series.rate_at("to-54.230.0.10", 10.0).unwrap_or(0.0), 0.0);
+        assert_eq!(series.rate_at("to-54.198.0.10", 30.0), Some(1.0));
+        assert_eq!(series.rate_at("to-54.230.0.10", 30.0), Some(1.0));
+    }
+}

@@ -1,0 +1,372 @@
+//! On-the-wire frame encoding for the packet model.
+//!
+//! The simulator carries [`Packet`](crate::Packet) as plain data, but a
+//! credible data plane must be able to materialize real frames — for pcap
+//! export, for interoperability tests, and because the ARP machinery (the
+//! VNH→VMAC resolution at the heart of §4.2) runs over real ARP frames in
+//! a deployment. This module implements Ethernet II + IPv4 (+ TCP/UDP
+//! port words) and ARP, with header checksums computed and verified per
+//! RFC 1071.
+
+use crate::mac::MacAddr;
+use crate::packet::{EtherType, IpProto, Packet};
+use crate::Ipv4Addr;
+
+/// Errors from frame decoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The buffer is shorter than the headers require.
+    Truncated,
+    /// The EtherType is not one this decoder understands.
+    UnsupportedEtherType(u16),
+    /// The IPv4 version/IHL field is malformed.
+    BadIpHeader,
+    /// The IPv4 header checksum does not verify.
+    BadChecksum,
+    /// The ARP body is not an Ethernet/IPv4 request or reply.
+    BadArp,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::UnsupportedEtherType(t) => write!(f, "unsupported EtherType {t:#06x}"),
+            FrameError::BadIpHeader => write!(f, "malformed IPv4 header"),
+            FrameError::BadChecksum => write!(f, "IPv4 header checksum mismatch"),
+            FrameError::BadArp => write!(f, "malformed ARP body"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// RFC 1071 ones'-complement checksum over a header.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+const ETH_HDR: usize = 14;
+const IP_HDR: usize = 20;
+
+/// Encodes a [`Packet`] as an Ethernet II frame carrying IPv4. The
+/// payload is zero-filled to `payload_len` (the simulator never carries
+/// application bytes), and transport headers carry the port words plus
+/// zeroed sequence/checksum fields (8 bytes for UDP, 20 for TCP).
+pub fn encode_frame(pkt: &Packet) -> Vec<u8> {
+    let transport_len = match pkt.nw_proto {
+        IpProto::Tcp => 20,
+        IpProto::Udp => 8,
+        _ => 0,
+    };
+    let ip_total = IP_HDR + transport_len + pkt.payload_len as usize;
+    let mut out = Vec::with_capacity(ETH_HDR + ip_total);
+
+    // Ethernet II.
+    out.extend_from_slice(&pkt.dl_dst.octets());
+    out.extend_from_slice(&pkt.dl_src.octets());
+    out.extend_from_slice(&pkt.eth_type.value().to_be_bytes());
+
+    // IPv4 header.
+    let ip_start = out.len();
+    out.push(0x45); // version 4, IHL 5
+    out.push(0); // DSCP/ECN
+    out.extend_from_slice(&(ip_total as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0, 0x40, 0]); // id 0, DF, no fragment offset
+    out.push(64); // TTL
+    out.push(pkt.nw_proto.value());
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&pkt.nw_src.octets());
+    out.extend_from_slice(&pkt.nw_dst.octets());
+    let csum = internet_checksum(&out[ip_start..ip_start + IP_HDR]);
+    out[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+
+    // Transport ports.
+    match pkt.nw_proto {
+        IpProto::Tcp => {
+            out.extend_from_slice(&pkt.tp_src.to_be_bytes());
+            out.extend_from_slice(&pkt.tp_dst.to_be_bytes());
+            out.extend_from_slice(&[0; 8]); // seq + ack
+            out.push(0x50); // data offset 5
+            out.push(0x18); // PSH|ACK
+            out.extend_from_slice(&[0xff, 0xff, 0, 0, 0, 0]); // window, csum, urg
+        }
+        IpProto::Udp => {
+            out.extend_from_slice(&pkt.tp_src.to_be_bytes());
+            out.extend_from_slice(&pkt.tp_dst.to_be_bytes());
+            out.extend_from_slice(&((8 + pkt.payload_len) as u16).to_be_bytes());
+            out.extend_from_slice(&[0, 0]); // UDP checksum optional over IPv4
+        }
+        _ => {}
+    }
+
+    out.resize(ETH_HDR + ip_total, 0);
+    out
+}
+
+/// Decodes an Ethernet II / IPv4 frame back into a [`Packet`], verifying
+/// the IPv4 header checksum.
+pub fn decode_frame(buf: &[u8]) -> Result<Packet, FrameError> {
+    if buf.len() < ETH_HDR {
+        return Err(FrameError::Truncated);
+    }
+    let dl_dst = MacAddr([buf[0], buf[1], buf[2], buf[3], buf[4], buf[5]]);
+    let dl_src = MacAddr([buf[6], buf[7], buf[8], buf[9], buf[10], buf[11]]);
+    let ety = u16::from_be_bytes([buf[12], buf[13]]);
+    if EtherType::from_value(ety) != EtherType::Ipv4 {
+        return Err(FrameError::UnsupportedEtherType(ety));
+    }
+    let ip = &buf[ETH_HDR..];
+    if ip.len() < IP_HDR {
+        return Err(FrameError::Truncated);
+    }
+    if ip[0] != 0x45 {
+        return Err(FrameError::BadIpHeader);
+    }
+    if internet_checksum(&ip[..IP_HDR]) != 0 {
+        return Err(FrameError::BadChecksum);
+    }
+    let total = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    if ip.len() < total || total < IP_HDR {
+        return Err(FrameError::Truncated);
+    }
+    let proto = IpProto::from_value(ip[9]);
+    let nw_src = Ipv4Addr::from([ip[12], ip[13], ip[14], ip[15]]);
+    let nw_dst = Ipv4Addr::from([ip[16], ip[17], ip[18], ip[19]]);
+    let body = &ip[IP_HDR..total];
+    let (tp_src, tp_dst, transport_len) = match proto {
+        IpProto::Tcp => {
+            if body.len() < 20 {
+                return Err(FrameError::Truncated);
+            }
+            (
+                u16::from_be_bytes([body[0], body[1]]),
+                u16::from_be_bytes([body[2], body[3]]),
+                20,
+            )
+        }
+        IpProto::Udp => {
+            if body.len() < 8 {
+                return Err(FrameError::Truncated);
+            }
+            (
+                u16::from_be_bytes([body[0], body[1]]),
+                u16::from_be_bytes([body[2], body[3]]),
+                8,
+            )
+        }
+        _ => (0, 0, 0),
+    };
+    Ok(Packet {
+        dl_src,
+        dl_dst,
+        eth_type: EtherType::Ipv4,
+        nw_src,
+        nw_dst,
+        nw_proto: proto,
+        tp_src,
+        tp_dst,
+        payload_len: (body.len() - transport_len) as u32,
+    })
+}
+
+/// An ARP message over Ethernet/IPv4 (RFC 826) — the frames the SDX ARP
+/// responder actually answers in a deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArpFrame {
+    /// True for a request (`oper = 1`), false for a reply (`oper = 2`).
+    pub is_request: bool,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address — the VNH being resolved.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpFrame {
+    /// A who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpFrame {
+            is_request: true,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// The reply answering this request with `mac` (the VMAC, at the SDX).
+    pub fn reply_with(&self, mac: MacAddr) -> ArpFrame {
+        ArpFrame {
+            is_request: false,
+            sender_mac: mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+}
+
+/// Encodes an ARP message as a full Ethernet frame (broadcast for
+/// requests, unicast for replies).
+pub fn encode_arp(arp: &ArpFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ETH_HDR + 28);
+    let dst = if arp.is_request {
+        MacAddr::BROADCAST
+    } else {
+        arp.target_mac
+    };
+    out.extend_from_slice(&dst.octets());
+    out.extend_from_slice(&arp.sender_mac.octets());
+    out.extend_from_slice(&EtherType::Arp.value().to_be_bytes());
+    out.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+    out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+    out.push(6); // hlen
+    out.push(4); // plen
+    out.extend_from_slice(&(if arp.is_request { 1u16 } else { 2 }).to_be_bytes());
+    out.extend_from_slice(&arp.sender_mac.octets());
+    out.extend_from_slice(&arp.sender_ip.octets());
+    out.extend_from_slice(&arp.target_mac.octets());
+    out.extend_from_slice(&arp.target_ip.octets());
+    out
+}
+
+/// Decodes an ARP message from a full Ethernet frame.
+pub fn decode_arp(buf: &[u8]) -> Result<ArpFrame, FrameError> {
+    if buf.len() < ETH_HDR + 28 {
+        return Err(FrameError::Truncated);
+    }
+    let ety = u16::from_be_bytes([buf[12], buf[13]]);
+    if EtherType::from_value(ety) != EtherType::Arp {
+        return Err(FrameError::UnsupportedEtherType(ety));
+    }
+    let a = &buf[ETH_HDR..];
+    let htype = u16::from_be_bytes([a[0], a[1]]);
+    let ptype = u16::from_be_bytes([a[2], a[3]]);
+    if htype != 1 || ptype != 0x0800 || a[4] != 6 || a[5] != 4 {
+        return Err(FrameError::BadArp);
+    }
+    let oper = u16::from_be_bytes([a[6], a[7]]);
+    let is_request = match oper {
+        1 => true,
+        2 => false,
+        _ => return Err(FrameError::BadArp),
+    };
+    let mac_at = |i: usize| MacAddr([a[i], a[i + 1], a[i + 2], a[i + 3], a[i + 4], a[i + 5]]);
+    let ip_at = |i: usize| Ipv4Addr::from([a[i], a[i + 1], a[i + 2], a[i + 3]]);
+    Ok(ArpFrame {
+        is_request,
+        sender_mac: mac_at(8),
+        sender_ip: ip_at(14),
+        target_mac: mac_at(18),
+        target_ip: ip_at(24),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::ip;
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // Classic worked example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+        // A header with its checksum in place sums to zero.
+        let mut with = data.to_vec();
+        let c = internet_checksum(&with);
+        with.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(internet_checksum(&with), 0);
+        // Odd length is handled (padded with zero).
+        assert_eq!(internet_checksum(&[0xff]), !0xff00);
+    }
+
+    #[test]
+    fn tcp_frame_roundtrip() {
+        let pkt = Packet::tcp(ip("10.0.0.1"), ip("20.0.0.2"), 40_000, 80)
+            .with_macs(MacAddr::physical(1), MacAddr::vmac(7))
+            .with_len(100);
+        let frame = encode_frame(&pkt);
+        assert_eq!(frame.len(), 14 + 20 + 20 + 100);
+        let back = decode_frame(&frame).expect("decodes");
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn udp_frame_roundtrip() {
+        let pkt = Packet::udp(ip("9.9.9.9"), ip("8.8.8.8"), 53, 53)
+            .with_macs(MacAddr::physical(2), MacAddr::physical(3))
+            .with_len(64);
+        let back = decode_frame(&encode_frame(&pkt)).expect("decodes");
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn corrupted_ip_header_is_rejected() {
+        let pkt = Packet::tcp(ip("10.0.0.1"), ip("20.0.0.2"), 1, 2);
+        let mut frame = encode_frame(&pkt);
+        frame[14 + 12] ^= 0xff; // flip a source-address byte
+        assert_eq!(decode_frame(&frame), Err(FrameError::BadChecksum));
+        // Truncations are detected.
+        for cut in [4usize, 13, 20, 33] {
+            assert!(decode_frame(&frame[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn non_ip_ethertype_rejected() {
+        let pkt = Packet::tcp(ip("10.0.0.1"), ip("20.0.0.2"), 1, 2);
+        let mut frame = encode_frame(&pkt);
+        frame[12] = 0x86;
+        frame[13] = 0xdd; // IPv6
+        assert_eq!(
+            decode_frame(&frame),
+            Err(FrameError::UnsupportedEtherType(0x86dd))
+        );
+    }
+
+    #[test]
+    fn arp_request_reply_roundtrip() {
+        // The §4.2 exchange: a border router resolves a VNH, the SDX
+        // responder answers with the VMAC.
+        let req = ArpFrame::request(MacAddr::physical(1), ip("172.16.0.5"), ip("172.16.128.9"));
+        let wire = encode_arp(&req);
+        assert_eq!(&wire[..6], &MacAddr::BROADCAST.octets());
+        let back = decode_arp(&wire).expect("decodes");
+        assert_eq!(back, req);
+
+        let reply = back.reply_with(MacAddr::vmac(9));
+        assert!(!reply.is_request);
+        assert_eq!(reply.sender_mac, MacAddr::vmac(9));
+        assert_eq!(reply.sender_ip, ip("172.16.128.9"));
+        assert_eq!(reply.target_mac, MacAddr::physical(1));
+        let wire = encode_arp(&reply);
+        assert_eq!(&wire[..6], &MacAddr::physical(1).octets());
+        assert_eq!(decode_arp(&wire).expect("decodes"), reply);
+    }
+
+    #[test]
+    fn malformed_arp_rejected() {
+        let req = ArpFrame::request(MacAddr::physical(1), ip("1.1.1.1"), ip("2.2.2.2"));
+        let mut wire = encode_arp(&req);
+        wire[14 + 7] = 9; // bogus operation
+        assert_eq!(decode_arp(&wire), Err(FrameError::BadArp));
+        wire.truncate(20);
+        assert_eq!(decode_arp(&wire), Err(FrameError::Truncated));
+    }
+}

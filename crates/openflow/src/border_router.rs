@@ -1,0 +1,233 @@
+//! The participant border-router model: the free first FIB stage.
+//!
+//! §4.2 of the paper (Figure 2): the SDX needs a two-stage FIB — stage 1
+//! maps destination prefix → FEC tag, stage 2 maps tag → forwarding action.
+//! Stage 1 would be enormous (500k+ prefixes), so the SDX offloads it to
+//! the participant's *own border router*, transparently:
+//!
+//! 1. the route server re-advertises each best route with a **virtual next
+//!    hop** (VNH) IP as its NEXT_HOP;
+//! 2. the border router installs a FIB entry for the prefix pointing at the
+//!    VNH, as any BGP router would;
+//! 3. when forwarding, it ARPs for the VNH; the SDX ARP responder answers
+//!    with the **virtual MAC** encoding the FEC;
+//! 4. every packet the router sends into the fabric therefore carries its
+//!    FEC in the destination MAC field — the tag stage 2 matches on.
+//!
+//! This model implements exactly that: it consumes the route server's
+//! UPDATE messages, maintains a prefix-trie FIB, resolves next hops through
+//! an [`ArpResponder`], and emits tagged packets. It is *unmodified-BGP*
+//! faithful — nothing here knows about FECs; the tag appears purely through
+//! next-hop+ARP mechanics, which is the paper's point.
+
+use sdx_net::{Ipv4Addr, LocatedPacket, MacAddr, Packet, PortId, Prefix, PrefixTrie};
+
+use sdx_bgp::msg::UpdateMessage;
+
+use crate::arp::{ArpRequest, ArpResponder};
+
+/// A FIB entry: where the router sends matching packets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FibEntry {
+    /// The BGP next-hop address (a VNH at the SDX).
+    pub next_hop: Ipv4Addr,
+}
+
+/// A participant's border router.
+#[derive(Clone, Debug)]
+pub struct BorderRouter {
+    /// The fabric port this router is attached to.
+    pub port: PortId,
+    /// The router's interface MAC.
+    pub mac: MacAddr,
+    fib: PrefixTrie<FibEntry>,
+    /// Local ARP cache, filled by querying the SDX responder.
+    arp_cache: std::collections::BTreeMap<Ipv4Addr, MacAddr>,
+    /// Packets dropped for lack of a route.
+    pub no_route_drops: u64,
+    /// Packets dropped because ARP resolution failed.
+    pub no_arp_drops: u64,
+}
+
+impl BorderRouter {
+    /// A router attached at `port` with interface `mac` and an empty FIB.
+    pub fn new(port: PortId, mac: MacAddr) -> Self {
+        BorderRouter {
+            port,
+            mac,
+            fib: PrefixTrie::new(),
+            arp_cache: std::collections::BTreeMap::new(),
+            no_route_drops: 0,
+            no_arp_drops: 0,
+        }
+    }
+
+    /// Applies an UPDATE from the route server: withdrawals remove FIB
+    /// entries, announcements install `prefix → next_hop`.
+    pub fn apply_update(&mut self, update: &UpdateMessage) {
+        for p in &update.withdrawn {
+            self.fib.remove(*p);
+        }
+        if let Some(attrs) = &update.attrs {
+            for p in &update.nlri {
+                self.fib.insert(
+                    *p,
+                    FibEntry {
+                        next_hop: attrs.next_hop,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The FIB entry that would forward `dst`, if any (longest-prefix).
+    pub fn route_for(&self, dst: Ipv4Addr) -> Option<(Prefix, FibEntry)> {
+        self.fib.lookup(dst).map(|(p, e)| (p, *e))
+    }
+
+    /// Number of FIB entries (the paper's "no additional table space"
+    /// claim is that this count is what the router holds *anyway*).
+    pub fn fib_len(&self) -> usize {
+        self.fib.len()
+    }
+
+    /// Flushes the ARP cache — required when the SDX re-binds a VNH to a
+    /// new VMAC (the real system shortens ARP TTLs / sends gratuitous ARP).
+    pub fn flush_arp(&mut self) {
+        self.arp_cache.clear();
+    }
+
+    /// Drops every FIB entry — the effect of bouncing the BGP session to
+    /// the route server (full state is re-learned from re-advertisements).
+    pub fn clear_fib(&mut self) {
+        self.fib.clear();
+    }
+
+    /// Forwards an IP packet originated behind this router into the
+    /// fabric: FIB lookup, ARP for the next hop (through the SDX
+    /// responder), MAC rewrite, and emission on the fabric port.
+    ///
+    /// Returns `None` when the packet has no route or ARP fails — both
+    /// counted for the failure-injection tests.
+    pub fn forward(&mut self, pkt: Packet, arp: &mut ArpResponder) -> Option<LocatedPacket> {
+        let Some((_, entry)) = self.route_for(pkt.nw_dst) else {
+            self.no_route_drops += 1;
+            return None;
+        };
+        let mac = match self.arp_cache.get(&entry.next_hop) {
+            Some(m) => *m,
+            None => {
+                let Some(reply) = arp.handle(ArpRequest {
+                    target: entry.next_hop,
+                }) else {
+                    self.no_arp_drops += 1;
+                    return None;
+                };
+                self.arp_cache.insert(entry.next_hop, reply.mac);
+                reply.mac
+            }
+        };
+        let tagged = pkt.with_macs(self.mac, mac);
+        Some(LocatedPacket::at(self.port, tagged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_bgp::attrs::{AsPath, PathAttributes};
+    use sdx_net::{ip, prefix, ParticipantId};
+
+    fn router() -> BorderRouter {
+        BorderRouter::new(PortId::Phys(ParticipantId(1), 1), MacAddr::physical(1))
+    }
+
+    fn announce(pfx: &str, nh: Ipv4Addr) -> UpdateMessage {
+        UpdateMessage::announce(
+            [prefix(pfx)],
+            PathAttributes::new(AsPath::sequence([65002]), nh),
+        )
+    }
+
+    #[test]
+    fn fib_follows_updates() {
+        let mut r = router();
+        r.apply_update(&announce("74.125.0.0/16", ip("172.16.255.1")));
+        assert_eq!(r.fib_len(), 1);
+        let (p, e) = r.route_for(ip("74.125.1.1")).unwrap();
+        assert_eq!(p, prefix("74.125.0.0/16"));
+        assert_eq!(e.next_hop, ip("172.16.255.1"));
+        r.apply_update(&UpdateMessage::withdraw([prefix("74.125.0.0/16")]));
+        assert!(r.route_for(ip("74.125.1.1")).is_none());
+    }
+
+    #[test]
+    fn forward_tags_with_vmac() {
+        let mut r = router();
+        let mut arp = ArpResponder::new();
+        arp.bind(ip("172.16.255.1"), MacAddr::vmac(42));
+        r.apply_update(&announce("74.125.0.0/16", ip("172.16.255.1")));
+        let lp = r
+            .forward(
+                Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80),
+                &mut arp,
+            )
+            .unwrap();
+        // The packet enters the fabric on the router's port with the FEC
+        // encoded in the destination MAC — the paper's data-plane tag.
+        assert_eq!(lp.loc, PortId::Phys(ParticipantId(1), 1));
+        assert_eq!(lp.pkt.dl_dst.fec_id(), Some(42));
+        assert_eq!(lp.pkt.dl_src, MacAddr::physical(1));
+    }
+
+    #[test]
+    fn arp_is_cached_until_flushed() {
+        let mut r = router();
+        let mut arp = ArpResponder::new();
+        arp.bind(ip("172.16.255.1"), MacAddr::vmac(1));
+        r.apply_update(&announce("74.125.0.0/16", ip("172.16.255.1")));
+        let p = Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80);
+        assert_eq!(r.forward(p, &mut arp).unwrap().pkt.dl_dst, MacAddr::vmac(1));
+        // Rebind without flushing: stale cache still serves the old VMAC.
+        arp.bind(ip("172.16.255.1"), MacAddr::vmac(2));
+        assert_eq!(r.forward(p, &mut arp).unwrap().pkt.dl_dst, MacAddr::vmac(1));
+        // Flush → new VMAC picked up.
+        r.flush_arp();
+        assert_eq!(r.forward(p, &mut arp).unwrap().pkt.dl_dst, MacAddr::vmac(2));
+    }
+
+    #[test]
+    fn drops_are_counted() {
+        let mut r = router();
+        let mut arp = ArpResponder::new();
+        // No route at all.
+        assert!(r
+            .forward(Packet::tcp(ip("1.1.1.1"), ip("2.2.2.2"), 5, 80), &mut arp)
+            .is_none());
+        assert_eq!(r.no_route_drops, 1);
+        // Route exists but the VNH is unresolvable.
+        r.apply_update(&announce("2.0.0.0/8", ip("172.16.255.9")));
+        assert!(r
+            .forward(Packet::tcp(ip("1.1.1.1"), ip("2.2.2.2"), 5, 80), &mut arp)
+            .is_none());
+        assert_eq!(r.no_arp_drops, 1);
+        assert_eq!(arp.unanswered, 1);
+    }
+
+    #[test]
+    fn more_specific_route_wins() {
+        let mut r = router();
+        let mut arp = ArpResponder::new();
+        arp.bind(ip("172.16.255.1"), MacAddr::vmac(1));
+        arp.bind(ip("172.16.255.2"), MacAddr::vmac(2));
+        r.apply_update(&announce("74.0.0.0/8", ip("172.16.255.1")));
+        r.apply_update(&announce("74.125.0.0/16", ip("172.16.255.2")));
+        let lp = r
+            .forward(
+                Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80),
+                &mut arp,
+            )
+            .unwrap();
+        assert_eq!(lp.pkt.dl_dst.fec_id(), Some(2));
+    }
+}

@@ -1,0 +1,45 @@
+//! # sdx-openflow — the SDN data plane the SDX controls
+//!
+//! The paper's prototype drives an Open vSwitch instance over OpenFlow.
+//! This crate is the equivalent substrate as a deterministic simulator:
+//!
+//! * [`table`] — a priority flow table with match patterns, action buckets
+//!   and per-entry counters. Rule counts read from here are the metric of
+//!   Figures 7 and 9.
+//! * [`switch`] — the packet-processing pipeline: classify against the
+//!   table, execute buckets, emit `(port, packet)` outputs.
+//! * [`arp`] — the SDX ARP responder that answers queries for virtual next
+//!   hops with the corresponding virtual MAC (§4.2).
+//! * [`middlebox`] — middleboxes behind fabric ports and the §8
+//!   service-chaining harness.
+//! * [`border_router`] — the participant border-router model: a BGP-fed
+//!   FIB whose next-hop-MAC rewriting implements the *first stage* of the
+//!   SDX's multi-stage FIB without any switch table space (Figure 2).
+//! * [`fabric`] — glues border routers and the SDX switch into an exchange
+//!   point you can inject packets into and observe deliveries from.
+//! * [`multiswitch`] — the §4.1 topology abstraction: the same logical
+//!   classifier distributed over multiple physical switches.
+//!
+//! Multicast rules use group-bucket semantics (each bucket processes its
+//! own copy of the packet), i.e. OpenFlow 1.1+ ALL-groups rather than the
+//! OF 1.0 accumulate-and-output quirk; this matches what the compiled
+//! classifiers mean and what modern switches do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arp;
+pub mod border_router;
+pub mod fabric;
+pub mod middlebox;
+pub mod multiswitch;
+pub mod switch;
+pub mod table;
+
+pub use arp::ArpResponder;
+pub use border_router::BorderRouter;
+pub use fabric::Fabric;
+pub use middlebox::Middlebox;
+pub use multiswitch::MultiFabric;
+pub use switch::Switch;
+pub use table::{FlowEntry, FlowTable};

@@ -1,0 +1,255 @@
+//! The flow table: prioritized match/action entries with counters.
+//!
+//! Entries are matched highest-priority-first (insertion order breaks
+//! ties, matching OpenFlow's behaviour of overwriting equal-priority
+//! identical matches). Each entry carries *buckets*: independent action
+//! lists, each applied to its own copy of the packet (group semantics).
+//! An entry with no buckets drops.
+//!
+//! A compiled [`sdx_policy::Classifier`] converts directly: rule `i` of `n`
+//! gets priority `n - i`, preserving first-match order.
+
+use sdx_net::{HeaderMatch, LocatedPacket, Mod};
+use sdx_policy::Classifier;
+
+/// One flow entry.
+#[derive(Clone, Debug)]
+pub struct FlowEntry {
+    /// Higher matches first.
+    pub priority: u32,
+    /// Match pattern (the `in_port` field of the pattern matches the port
+    /// the packet arrived on).
+    pub pattern: HeaderMatch,
+    /// Action buckets; each is a modification list applied to a fresh copy
+    /// of the packet (the final `SetLoc` is the output port). Empty = drop.
+    pub buckets: Vec<Vec<Mod>>,
+    /// Packets that hit this entry.
+    pub packet_count: u64,
+    /// Bytes that hit this entry.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    /// A new entry with zeroed counters.
+    pub fn new(priority: u32, pattern: HeaderMatch, buckets: Vec<Vec<Mod>>) -> Self {
+        FlowEntry {
+            priority,
+            pattern,
+            buckets,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    /// True if the entry drops matching packets.
+    pub fn is_drop(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// A single flow table.
+#[derive(Clone, Debug, Default)]
+pub struct FlowTable {
+    /// Entries sorted by descending priority (stable for equal priorities).
+    entries: Vec<FlowEntry>,
+}
+
+impl FlowTable {
+    /// An empty table (table-miss drops).
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Installs an entry. An existing entry with identical (priority,
+    /// pattern) is replaced in place, as OpenFlow `ADD` does.
+    pub fn install(&mut self, entry: FlowEntry) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.priority == entry.priority && e.pattern == entry.pattern)
+        {
+            *e = entry;
+            return;
+        }
+        // Insert before the first strictly-lower priority (stable order).
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.priority < entry.priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(idx, entry);
+    }
+
+    /// Removes entries whose pattern equals `pattern` (any priority),
+    /// returning how many were removed.
+    pub fn remove(&mut self, pattern: &HeaderMatch) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| &e.pattern != pattern);
+        before - self.entries.len()
+    }
+
+    /// Removes every entry with priority `>= min_priority` — how the SDX
+    /// retires the fast-path delta rules once background re-optimization
+    /// lands (§4.3.2).
+    pub fn remove_at_or_above(&mut self, min_priority: u32) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.priority < min_priority);
+        before - self.entries.len()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries that forward (the Figures 7/9 metric).
+    pub fn forwarding_entry_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_drop()).count()
+    }
+
+    /// Read-only view of the entries, priority order.
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+
+    /// Classifies a packet: the highest-priority matching entry, with
+    /// counters updated. `None` = table miss (drop).
+    pub fn lookup(&mut self, lp: &LocatedPacket) -> Option<&FlowEntry> {
+        let idx = self.entries.iter().position(|e| e.pattern.matches(lp))?;
+        let e = &mut self.entries[idx];
+        e.packet_count += 1;
+        e.byte_count += lp.pkt.payload_len as u64;
+        Some(&self.entries[idx])
+    }
+
+    /// Installs a compiled classifier wholesale, replacing the table.
+    /// Rule `i` of `n` receives priority `base + n - i`, so rule order is
+    /// priority order and higher `base` layers shadow lower ones.
+    pub fn install_classifier(&mut self, c: &Classifier, base: u32) {
+        let n = c.rules().len() as u32;
+        for (i, r) in c.rules().iter().enumerate() {
+            let buckets = r
+                .actions
+                .iter()
+                .map(|a| a.mods.clone())
+                .collect::<Vec<_>>();
+            self.install(FlowEntry::new(base + n - i as u32, r.matches, buckets));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{ip, FieldMatch, Packet, ParticipantId, PortId};
+    use sdx_policy::{compile, Policy};
+
+    fn port(n: u32) -> PortId {
+        PortId::Phys(ParticipantId(n), 1)
+    }
+
+    fn web(loc: PortId) -> LocatedPacket {
+        LocatedPacket::at(loc, Packet::tcp(ip("10.0.0.1"), ip("20.0.0.1"), 5, 80).with_len(100))
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new();
+        t.install(FlowEntry::new(
+            1,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(9))]],
+        ));
+        t.install(FlowEntry::new(
+            10,
+            HeaderMatch::of(FieldMatch::TpDst(80)),
+            vec![vec![Mod::SetLoc(port(2))]],
+        ));
+        let hit = t.lookup(&web(port(1))).unwrap();
+        assert_eq!(hit.priority, 10);
+        // installation order does not matter
+        assert_eq!(t.entries()[0].priority, 10);
+    }
+
+    #[test]
+    fn identical_priority_pattern_replaces() {
+        let mut t = FlowTable::new();
+        let m = HeaderMatch::of(FieldMatch::TpDst(80));
+        t.install(FlowEntry::new(5, m, vec![vec![Mod::SetLoc(port(2))]]));
+        t.install(FlowEntry::new(5, m, vec![vec![Mod::SetLoc(port(3))]]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].buckets[0], vec![Mod::SetLoc(port(3))]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new();
+        t.install(FlowEntry::new(
+            1,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(2))]],
+        ));
+        t.lookup(&web(port(1)));
+        t.lookup(&web(port(1)));
+        assert_eq!(t.entries()[0].packet_count, 2);
+        assert_eq!(t.entries()[0].byte_count, 200);
+    }
+
+    #[test]
+    fn table_miss_is_none() {
+        let mut t = FlowTable::new();
+        t.install(FlowEntry::new(
+            5,
+            HeaderMatch::of(FieldMatch::TpDst(443)),
+            vec![],
+        ));
+        assert!(t.lookup(&web(port(1))).is_none());
+    }
+
+    #[test]
+    fn remove_by_pattern_and_priority_band() {
+        let mut t = FlowTable::new();
+        let m = HeaderMatch::of(FieldMatch::TpDst(80));
+        t.install(FlowEntry::new(5, m, vec![]));
+        t.install(FlowEntry::new(1000, HeaderMatch::any(), vec![]));
+        assert_eq!(t.remove(&m), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove_at_or_above(1000), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn classifier_installation_preserves_first_match() {
+        let p = (Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(2)))
+            + (Policy::match_(FieldMatch::TpDst(443)) >> Policy::fwd(port(3)));
+        let c = compile(&p);
+        let mut t = FlowTable::new();
+        t.install_classifier(&c, 0);
+        assert_eq!(t.len(), c.rules().len());
+        assert_eq!(t.forwarding_entry_count(), c.forwarding_rule_count());
+        // First-match equivalence on a sample.
+        let hit = t.lookup(&web(port(1))).unwrap();
+        assert_eq!(hit.buckets, vec![vec![Mod::SetLoc(port(2))]]);
+    }
+
+    #[test]
+    fn layered_classifier_install_shadows_lower_base() {
+        let low = compile(&(Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(2))));
+        let high = compile(&(Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(7))));
+        let mut t = FlowTable::new();
+        t.install_classifier(&low, 0);
+        t.install_classifier(&high, 1000);
+        let hit = t.lookup(&web(port(1))).unwrap();
+        assert_eq!(hit.buckets, vec![vec![Mod::SetLoc(port(7))]]);
+    }
+}

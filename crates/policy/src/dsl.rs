@@ -1,0 +1,719 @@
+//! A text syntax for SDX policies, matching the paper's examples.
+//!
+//! Participants in the paper write policies like:
+//!
+//! ```text
+//! (match(dstport = 80) >> fwd(B)) + (match(dstport = 443) >> fwd(C))
+//! ```
+//!
+//! ```text
+//! match(dstip = 74.125.1.1) >>
+//!   (match(srcip = 96.25.160.0/24) >> mod(dstip = 74.125.224.161)) +
+//!   (match(srcip = 128.125.163.0/24) >> mod(dstip = 74.125.137.139))
+//! ```
+//!
+//! This module parses that syntax into a [`Policy`]. Port names (`B`, `B1`,
+//! `A1`, `E1`) are resolved through a [`PortResolver`] table supplied by the
+//! SDX controller, which knows each participant's physical and virtual
+//! ports.
+//!
+//! Grammar sketch:
+//!
+//! ```text
+//! policy := seq ('+' seq)*
+//! seq    := conj ('>>' conj)*
+//! conj   := term ('&&' term)*          -- only meaningful between filters
+//! term   := 'match' '(' pred ')' | 'fwd' '(' NAME ')'
+//!         | 'mod' '(' FIELD '=' VALUE ')' | 'drop' | 'id'
+//!         | 'if_' '(' pred ',' policy ',' policy ')' | '(' policy ')'
+//! pred   := apred ('||' apred)* ; apred := npred ('&&' npred)*
+//! npred  := '!' npred | FIELD '=' VSET | '(' pred ')'
+//! VSET   := VALUE | '{' VALUE (',' VALUE)* '}'
+//! ```
+//!
+//! Fields: `srcip dstip srcport dstport srcmac dstmac proto ethtype port`.
+
+use std::collections::BTreeMap;
+
+use sdx_net::{
+    EtherType, FieldMatch, IpProto, Ipv4Addr, MacAddr, Mod, PortId, Prefix,
+};
+
+use crate::policy::Policy;
+use crate::pred::Pred;
+
+/// Resolves the port names appearing in `fwd(...)` and `port=...`.
+#[derive(Clone, Debug, Default)]
+pub struct PortResolver {
+    names: BTreeMap<String, PortId>,
+}
+
+impl PortResolver {
+    /// An empty table.
+    pub fn new() -> Self {
+        PortResolver::default()
+    }
+
+    /// Registers `name` → `port`, replacing any previous binding.
+    pub fn add(&mut self, name: impl Into<String>, port: PortId) -> &mut Self {
+        self.names.insert(name.into(), port);
+        self
+    }
+
+    /// Looks a name up.
+    pub fn resolve(&self, name: &str) -> Option<PortId> {
+        self.names.get(name).copied()
+    }
+}
+
+impl FromIterator<(String, PortId)> for PortResolver {
+    fn from_iter<I: IntoIterator<Item = (String, PortId)>>(iter: I) -> Self {
+        PortResolver {
+            names: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Parse errors, with a byte offset into the source where available.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DslError {
+    /// Lexer met a character it cannot start a token with.
+    BadChar(usize, char),
+    /// Parser expected something else here.
+    Expected(&'static str, usize),
+    /// Unknown field name in a match/mod.
+    UnknownField(String),
+    /// A port name `fwd`/`port=` could not be resolved.
+    UnknownPort(String),
+    /// A value did not parse as the type the field requires.
+    BadValue(String),
+    /// `&&` between non-filter policies is not supported.
+    ConjunctionOfNonFilters,
+    /// Input ended too soon.
+    UnexpectedEof,
+    /// Leftover tokens after a complete policy.
+    TrailingInput(usize),
+}
+
+impl core::fmt::Display for DslError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DslError::BadChar(i, c) => write!(f, "bad character {c:?} at offset {i}"),
+            DslError::Expected(what, i) if *i == usize::MAX => {
+                write!(f, "expected {what} at end of input")
+            }
+            DslError::Expected(what, i) => write!(f, "expected {what} at offset {i}"),
+            DslError::UnknownField(s) => write!(f, "unknown field {s:?}"),
+            DslError::UnknownPort(s) => write!(f, "unknown port name {s:?}"),
+            DslError::BadValue(s) => write!(f, "bad value {s:?}"),
+            DslError::ConjunctionOfNonFilters => {
+                write!(f, "`&&` may only join match(...) filters")
+            }
+            DslError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DslError::TrailingInput(i) => write!(f, "trailing input at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+// ------------------------------------------------------------------ lexer
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Atom(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Eq,
+    Plus,
+    Bang,
+    Shr,   // >>
+    AndAnd,
+    OrOr,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, DslError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '{' => {
+                toks.push((i, Tok::LBrace));
+                i += 1;
+            }
+            '}' => {
+                toks.push((i, Tok::RBrace));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            '=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            '+' => {
+                toks.push((i, Tok::Plus));
+                i += 1;
+            }
+            '!' => {
+                toks.push((i, Tok::Bang));
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((i, Tok::Shr));
+                    i += 2;
+                } else {
+                    return Err(DslError::BadChar(i, '>'));
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    toks.push((i, Tok::AndAnd));
+                    i += 2;
+                } else {
+                    return Err(DslError::BadChar(i, '&'));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push((i, Tok::OrOr));
+                    i += 2;
+                } else {
+                    return Err(DslError::BadChar(i, '|'));
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '/') {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((start, Tok::Atom(src[start..i].to_string())));
+            }
+            other => return Err(DslError::BadChar(i, other)),
+        }
+    }
+    Ok(toks)
+}
+
+// ----------------------------------------------------------------- parser
+
+struct P<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    resolver: &'a PortResolver,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(o, _)| *o)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &'static str) -> Result<(), DslError> {
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            Some(_) => Err(DslError::Expected(what, self.toks[self.pos - 1].0)),
+            None => Err(DslError::UnexpectedEof),
+        }
+    }
+
+    fn atom(&mut self, what: &'static str) -> Result<String, DslError> {
+        match self.bump() {
+            Some(Tok::Atom(s)) => Ok(s),
+            Some(_) => Err(DslError::Expected(what, self.toks[self.pos - 1].0)),
+            None => Err(DslError::UnexpectedEof),
+        }
+    }
+
+    // policy := seq ('+' seq)*
+    fn policy(&mut self) -> Result<Policy, DslError> {
+        let mut p = self.seq()?;
+        while self.peek() == Some(&Tok::Plus) {
+            self.bump();
+            p = p + self.seq()?;
+        }
+        Ok(p)
+    }
+
+    // seq := conj ('>>' conj)*
+    fn seq(&mut self) -> Result<Policy, DslError> {
+        let mut p = self.conj()?;
+        while self.peek() == Some(&Tok::Shr) {
+            self.bump();
+            p = p >> self.conj()?;
+        }
+        Ok(p)
+    }
+
+    // conj := term ('&&' term)* — filters only. Binds tighter than `>>`, as
+    // in Pyretic, so `match(port=A1) && match(dstport=80) >> fwd(B)` reads
+    // "(both matches) then forward".
+    fn conj(&mut self) -> Result<Policy, DslError> {
+        let mut p = self.term()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.bump();
+            let rhs = self.term()?;
+            p = match (p, rhs) {
+                (Policy::Filter(a), Policy::Filter(b)) => Policy::Filter(a & b),
+                _ => return Err(DslError::ConjunctionOfNonFilters),
+            };
+        }
+        Ok(p)
+    }
+
+    fn term(&mut self) -> Result<Policy, DslError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let p = self.policy()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(p)
+            }
+            Some(Tok::Atom(kw)) => {
+                let kw = kw.clone();
+                match kw.as_str() {
+                    "match" => {
+                        self.bump();
+                        self.expect(Tok::LParen, "`(` after match")?;
+                        let pred = self.pred()?;
+                        self.expect(Tok::RParen, "`)` after match predicate")?;
+                        Ok(Policy::Filter(pred))
+                    }
+                    "fwd" => {
+                        self.bump();
+                        self.expect(Tok::LParen, "`(` after fwd")?;
+                        let name = self.atom("port name")?;
+                        self.expect(Tok::RParen, "`)` after fwd port")?;
+                        let port = self
+                            .resolver
+                            .resolve(&name)
+                            .ok_or(DslError::UnknownPort(name))?;
+                        Ok(Policy::fwd(port))
+                    }
+                    "mod" | "modify" => {
+                        self.bump();
+                        self.expect(Tok::LParen, "`(` after mod")?;
+                        let field = self.atom("field name")?;
+                        self.expect(Tok::Eq, "`=` in mod")?;
+                        let value = self.atom("value")?;
+                        self.expect(Tok::RParen, "`)` after mod")?;
+                        Ok(Policy::modify(parse_mod(&field, &value)?))
+                    }
+                    "drop" => {
+                        self.bump();
+                        Ok(Policy::drop())
+                    }
+                    "id" => {
+                        self.bump();
+                        Ok(Policy::id())
+                    }
+                    "if_" => {
+                        self.bump();
+                        self.expect(Tok::LParen, "`(` after if_")?;
+                        let pred = self.pred()?;
+                        self.expect(Tok::Comma, "`,` after if_ predicate")?;
+                        let then = self.policy()?;
+                        self.expect(Tok::Comma, "`,` after then-branch")?;
+                        let otherwise = self.policy()?;
+                        self.expect(Tok::RParen, "`)` after if_")?;
+                        Ok(Policy::if_(pred, then, otherwise))
+                    }
+                    _ => Err(DslError::Expected("policy term", self.offset())),
+                }
+            }
+            _ => Err(DslError::Expected("policy term", self.offset())),
+        }
+    }
+
+    // pred := apred ('||' apred)*
+    fn pred(&mut self) -> Result<Pred, DslError> {
+        let mut p = self.apred()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.bump();
+            p = p | self.apred()?;
+        }
+        Ok(p)
+    }
+
+    // apred := npred ('&&' npred)*  (also accepts ',' as Pyretic does:
+    // match(a=1, b=2) is a conjunction)
+    fn apred(&mut self) -> Result<Pred, DslError> {
+        let mut p = self.npred()?;
+        loop {
+            match self.peek() {
+                Some(Tok::AndAnd) => {
+                    self.bump();
+                    p = p & self.npred()?;
+                }
+                Some(Tok::Comma) => {
+                    // Only treat `,` as conjunction inside match(); if_ has
+                    // its own comma handling, but pred() is only invoked on
+                    // the predicate slot so a comma before `)` would be an
+                    // error anyway. We conservatively stop at `,` unless the
+                    // following token starts a field test.
+                    if matches!(self.toks.get(self.pos + 1), Some((_, Tok::Atom(a)))
+                        if field_name(a) && matches!(self.toks.get(self.pos + 2), Some((_, Tok::Eq))))
+                    {
+                        self.bump();
+                        p = p & self.npred()?;
+                    } else {
+                        return Ok(p);
+                    }
+                }
+                _ => return Ok(p),
+            }
+        }
+    }
+
+    fn npred(&mut self) -> Result<Pred, DslError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(!self.npred()?)
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let p = self.pred()?;
+                self.expect(Tok::RParen, "`)` in predicate")?;
+                Ok(p)
+            }
+            Some(Tok::Atom(_)) => {
+                let field = self.atom("field name")?;
+                self.expect(Tok::Eq, "`=` in field test")?;
+                // Value set `{a, b}` or single value.
+                if self.peek() == Some(&Tok::LBrace) {
+                    self.bump();
+                    let mut pred: Option<Pred> = None;
+                    loop {
+                        let v = self.atom("value")?;
+                        let t = parse_test(&field, &v, self.resolver)?;
+                        pred = Some(match pred {
+                            None => t,
+                            Some(p) => p | t,
+                        });
+                        match self.bump() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RBrace) => break,
+                            Some(_) => {
+                                return Err(DslError::Expected(
+                                    "`,` or `}`",
+                                    self.toks[self.pos - 1].0,
+                                ))
+                            }
+                            None => return Err(DslError::UnexpectedEof),
+                        }
+                    }
+                    Ok(pred.unwrap_or(Pred::None))
+                } else {
+                    let v = self.atom("value")?;
+                    parse_test(&field, &v, self.resolver)
+                }
+            }
+            _ => Err(DslError::Expected("predicate", self.offset())),
+        }
+    }
+}
+
+fn field_name(s: &str) -> bool {
+    matches!(
+        s,
+        "srcip" | "dstip" | "srcport" | "dstport" | "srcmac" | "dstmac" | "proto" | "ethtype"
+            | "port" | "inport"
+    )
+}
+
+fn parse_prefix(v: &str) -> Result<Prefix, DslError> {
+    v.parse().map_err(|_| DslError::BadValue(v.to_string()))
+}
+
+fn parse_test(field: &str, v: &str, resolver: &PortResolver) -> Result<Pred, DslError> {
+    let t = match field {
+        "srcip" => FieldMatch::NwSrc(parse_prefix(v)?),
+        "dstip" => FieldMatch::NwDst(parse_prefix(v)?),
+        "srcport" => FieldMatch::TpSrc(v.parse().map_err(|_| DslError::BadValue(v.into()))?),
+        "dstport" => FieldMatch::TpDst(v.parse().map_err(|_| DslError::BadValue(v.into()))?),
+        "srcmac" => FieldMatch::DlSrc(v.parse().map_err(|_| DslError::BadValue(v.into()))?),
+        "dstmac" => FieldMatch::DlDst(v.parse().map_err(|_| DslError::BadValue(v.into()))?),
+        "proto" => FieldMatch::NwProto(parse_proto(v)?),
+        "ethtype" => FieldMatch::EthType(parse_ethtype(v)?),
+        "port" | "inport" => FieldMatch::InPort(
+            resolver
+                .resolve(v)
+                .ok_or_else(|| DslError::UnknownPort(v.to_string()))?,
+        ),
+        other => return Err(DslError::UnknownField(other.to_string())),
+    };
+    Ok(Pred::Test(t))
+}
+
+fn parse_proto(v: &str) -> Result<IpProto, DslError> {
+    Ok(match v {
+        "tcp" => IpProto::Tcp,
+        "udp" => IpProto::Udp,
+        "icmp" => IpProto::Icmp,
+        n => IpProto::from_value(n.parse().map_err(|_| DslError::BadValue(v.into()))?),
+    })
+}
+
+fn parse_ethtype(v: &str) -> Result<EtherType, DslError> {
+    Ok(match v {
+        "ip" | "ipv4" => EtherType::Ipv4,
+        "arp" => EtherType::Arp,
+        n => EtherType::from_value(n.parse().map_err(|_| DslError::BadValue(v.into()))?),
+    })
+}
+
+fn parse_mod(field: &str, v: &str) -> Result<Mod, DslError> {
+    let bad = || DslError::BadValue(v.to_string());
+    Ok(match field {
+        "srcip" => Mod::SetNwSrc(v.parse::<Ipv4Addr>().map_err(|_| bad())?),
+        "dstip" => Mod::SetNwDst(v.parse::<Ipv4Addr>().map_err(|_| bad())?),
+        "srcport" => Mod::SetTpSrc(v.parse().map_err(|_| bad())?),
+        "dstport" => Mod::SetTpDst(v.parse().map_err(|_| bad())?),
+        "srcmac" => Mod::SetDlSrc(v.parse::<MacAddr>().map_err(|_| bad())?),
+        "dstmac" => Mod::SetDlDst(v.parse::<MacAddr>().map_err(|_| bad())?),
+        other => return Err(DslError::UnknownField(other.to_string())),
+    })
+}
+
+/// Parses a policy written in the paper's syntax.
+///
+/// ```
+/// use sdx_policy::dsl::{parse_policy, PortResolver};
+/// use sdx_net::{ParticipantId, PortId};
+///
+/// let mut names = PortResolver::new();
+/// names.add("B", PortId::Virt(ParticipantId(2)));
+/// names.add("C", PortId::Virt(ParticipantId(3)));
+/// let policy = parse_policy(
+///     "(match(dstport = 80) >> fwd(B)) + (match(dstport = 443) >> fwd(C))",
+///     &names,
+/// )
+/// .unwrap();
+/// assert_eq!(policy.size(), 7);
+/// ```
+pub fn parse_policy(src: &str, resolver: &PortResolver) -> Result<Policy, DslError> {
+    let toks = lex(src)?;
+    let mut p = P {
+        toks,
+        pos: 0,
+        resolver,
+    };
+    let pol = p.policy()?;
+    if p.pos != p.toks.len() {
+        return Err(DslError::TrailingInput(p.toks[p.pos].0));
+    }
+    Ok(pol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use sdx_net::{ip, Packet, ParticipantId, PortId};
+    use sdx_net::LocatedPacket;
+
+    fn resolver() -> PortResolver {
+        let mut r = PortResolver::new();
+        r.add("A", PortId::Virt(ParticipantId(1)))
+            .add("B", PortId::Virt(ParticipantId(2)))
+            .add("C", PortId::Virt(ParticipantId(3)))
+            .add("A1", PortId::Phys(ParticipantId(1), 1))
+            .add("B1", PortId::Phys(ParticipantId(2), 1))
+            .add("B2", PortId::Phys(ParticipantId(2), 2))
+            .add("E1", PortId::Phys(ParticipantId(5), 1));
+        r
+    }
+
+    fn pkt(src: &str, dst: &str, dport: u16) -> LocatedPacket {
+        LocatedPacket::at(
+            PortId::Phys(ParticipantId(1), 1),
+            Packet::tcp(ip(src), ip(dst), 999, dport),
+        )
+    }
+
+    #[test]
+    fn paper_outbound_policy_parses() {
+        let p = parse_policy(
+            "(match(dstport = 80) >> fwd(B)) + (match(dstport = 443) >> fwd(C))",
+            &resolver(),
+        )
+        .unwrap();
+        let out = eval(&p, &pkt("10.0.0.1", "20.0.0.1", 80));
+        assert_eq!(out[0].loc, PortId::Virt(ParticipantId(2)));
+        let out = eval(&p, &pkt("10.0.0.1", "20.0.0.1", 443));
+        assert_eq!(out[0].loc, PortId::Virt(ParticipantId(3)));
+        assert!(eval(&p, &pkt("10.0.0.1", "20.0.0.1", 22)).is_empty());
+    }
+
+    #[test]
+    fn paper_inbound_policy_parses() {
+        let p = parse_policy(
+            "(match(srcip = {0.0.0.0/1}) >> fwd(B1)) + (match(srcip = {128.0.0.0/1}) >> fwd(B2))",
+            &resolver(),
+        )
+        .unwrap();
+        let out = eval(&p, &pkt("10.0.0.1", "20.0.0.1", 80));
+        assert_eq!(out[0].loc, PortId::Phys(ParticipantId(2), 1));
+        let out = eval(&p, &pkt("200.0.0.1", "20.0.0.1", 80));
+        assert_eq!(out[0].loc, PortId::Phys(ParticipantId(2), 2));
+    }
+
+    #[test]
+    fn paper_load_balancer_parses() {
+        let p = parse_policy(
+            "match(dstip=74.125.1.1) >> \
+               (match(srcip=96.25.160.0/24) >> mod(dstip=74.125.224.161)) + \
+               (match(srcip=128.125.163.0/24) >> mod(dstip=74.125.137.139))",
+            &resolver(),
+        )
+        .unwrap();
+        let out = eval(&p, &pkt("96.25.160.9", "74.125.1.1", 80));
+        assert_eq!(out[0].pkt.nw_dst, ip("74.125.224.161"));
+        let out = eval(&p, &pkt("128.125.163.9", "74.125.1.1", 80));
+        assert_eq!(out[0].pkt.nw_dst, ip("74.125.137.139"));
+        assert!(eval(&p, &pkt("1.2.3.4", "74.125.1.1", 80)).is_empty());
+    }
+
+    #[test]
+    fn conjunction_of_matches() {
+        let p = parse_policy(
+            "match(port=A1) && match(dstport=80) >> fwd(B)",
+            &resolver(),
+        )
+        .unwrap();
+        let out = eval(&p, &pkt("10.0.0.1", "20.0.0.1", 80));
+        assert_eq!(out[0].loc, PortId::Virt(ParticipantId(2)));
+    }
+
+    #[test]
+    fn comma_conjunction_inside_match() {
+        let p = parse_policy("match(dstport=80, srcip=10.0.0.0/8) >> fwd(B)", &resolver())
+            .unwrap();
+        assert!(!eval(&p, &pkt("10.0.0.1", "2.2.2.2", 80)).is_empty());
+        assert!(eval(&p, &pkt("99.0.0.1", "2.2.2.2", 80)).is_empty());
+    }
+
+    #[test]
+    fn negation_and_or() {
+        let p = parse_policy(
+            "match(!(dstport=80) && (srcip=10.0.0.0/8 || srcip=11.0.0.0/8)) >> fwd(C)",
+            &resolver(),
+        )
+        .unwrap();
+        assert!(eval(&p, &pkt("10.0.0.1", "2.2.2.2", 80)).is_empty());
+        assert!(!eval(&p, &pkt("11.0.0.1", "2.2.2.2", 443)).is_empty());
+        assert!(eval(&p, &pkt("12.0.0.1", "2.2.2.2", 443)).is_empty());
+    }
+
+    #[test]
+    fn if_else_and_literals() {
+        let p = parse_policy(
+            "if_(dstport=80, fwd(B), fwd(C)) ",
+            &resolver(),
+        )
+        .unwrap();
+        assert_eq!(
+            eval(&p, &pkt("1.1.1.1", "2.2.2.2", 80))[0].loc,
+            PortId::Virt(ParticipantId(2))
+        );
+        assert_eq!(
+            eval(&p, &pkt("1.1.1.1", "2.2.2.2", 22))[0].loc,
+            PortId::Virt(ParticipantId(3))
+        );
+    }
+
+    #[test]
+    fn drop_and_id_keywords() {
+        assert_eq!(parse_policy("drop", &resolver()).unwrap(), Policy::drop());
+        assert_eq!(parse_policy("id", &resolver()).unwrap(), Policy::id());
+    }
+
+    #[test]
+    fn mac_and_proto_values() {
+        let p = parse_policy(
+            "match(dstmac=0a:00:00:00:00:07, proto=udp) >> mod(dstmac=02:00:00:00:00:01) >> fwd(B1)",
+            &resolver(),
+        )
+        .unwrap();
+        let mut lp = pkt("1.1.1.1", "2.2.2.2", 53);
+        lp.pkt.nw_proto = sdx_net::packet::IpProto::Udp;
+        lp.pkt.dl_dst = sdx_net::MacAddr::vmac(7);
+        let out = eval(&p, &lp);
+        assert_eq!(out[0].pkt.dl_dst, sdx_net::MacAddr::physical(1));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let r = resolver();
+        assert!(matches!(
+            parse_policy("fwd(Z)", &r),
+            Err(DslError::UnknownPort(_))
+        ));
+        assert!(matches!(
+            parse_policy("match(bogus=1) >> fwd(B)", &r),
+            Err(DslError::UnknownField(_))
+        ));
+        assert!(matches!(
+            parse_policy("match(dstport=99999) >> fwd(B)", &r),
+            Err(DslError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_policy("match(dstport=80) >>", &r),
+            Err(DslError::UnexpectedEof | DslError::Expected(..))
+        ));
+        assert!(matches!(
+            parse_policy("fwd(B) && fwd(C)", &r),
+            Err(DslError::ConjunctionOfNonFilters)
+        ));
+        assert!(matches!(
+            parse_policy("match(dstport=80) ) ", &r),
+            Err(DslError::TrailingInput(_))
+        ));
+        assert!(matches!(
+            parse_policy("match(dstport=80) # fwd(B)", &r),
+            Err(DslError::BadChar(..))
+        ));
+    }
+
+    #[test]
+    fn empty_value_set_is_deny() {
+        // `{}` is not produced by the paper but must not panic; lexer sees
+        // `{` then `}` — our grammar requires at least one value, so this
+        // is a parse error rather than silent acceptance.
+        assert!(parse_policy("match(srcip={}) >> fwd(B)", &resolver()).is_err());
+    }
+}

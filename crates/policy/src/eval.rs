@@ -1,0 +1,181 @@
+//! Denotational semantics: what a policy *means*.
+//!
+//! `eval(policy, packet)` returns the set of located packets the policy
+//! produces — empty for drop, a singleton for unicast, more for multicast.
+//! This interpreter is deliberately naive and obviously correct; the
+//! classifier compiler in [`mod@crate::compile`] is differential-tested against
+//! it on random policies and packets.
+
+use sdx_net::LocatedPacket;
+
+use crate::policy::Policy;
+
+/// Evaluates `policy` on `lp`, returning the output packet set
+/// (deduplicated, in first-production order).
+pub fn eval(policy: &Policy, lp: &LocatedPacket) -> Vec<LocatedPacket> {
+    let mut out = Vec::new();
+    eval_into(policy, *lp, &mut out);
+    out
+}
+
+fn push_unique(out: &mut Vec<LocatedPacket>, lp: LocatedPacket) {
+    if !out.contains(&lp) {
+        out.push(lp);
+    }
+}
+
+fn eval_into(policy: &Policy, lp: LocatedPacket, out: &mut Vec<LocatedPacket>) {
+    match policy {
+        Policy::Filter(pred) => {
+            if pred.eval(&lp) {
+                push_unique(out, lp);
+            }
+        }
+        Policy::Mod(m) => {
+            let mut moved = lp;
+            m.apply(&mut moved);
+            push_unique(out, moved);
+        }
+        Policy::Parallel(ps) => {
+            for p in ps {
+                eval_into(p, lp, out);
+            }
+        }
+        Policy::Sequential(ps) => {
+            let mut current = vec![lp];
+            for p in ps {
+                let mut next = Vec::new();
+                for c in current {
+                    eval_into(p, c, &mut next);
+                }
+                current = next;
+                if current.is_empty() {
+                    return;
+                }
+            }
+            for c in current {
+                push_unique(out, c);
+            }
+        }
+        Policy::IfElse(pred, then, otherwise) => {
+            if pred.eval(&lp) {
+                eval_into(then, lp, out);
+            } else {
+                eval_into(otherwise, lp, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::Pred;
+    use sdx_net::{ip, FieldMatch, Mod, Packet, ParticipantId, PortId};
+
+    fn port(n: u32) -> PortId {
+        PortId::Virt(ParticipantId(n))
+    }
+
+    fn web_pkt() -> LocatedPacket {
+        LocatedPacket::at(
+            PortId::Phys(ParticipantId(1), 1),
+            Packet::tcp(ip("10.0.0.1"), ip("20.0.0.1"), 999, 80),
+        )
+    }
+
+    #[test]
+    fn filter_passes_or_drops() {
+        let lp = web_pkt();
+        assert_eq!(eval(&Policy::id(), &lp), vec![lp]);
+        assert!(eval(&Policy::drop(), &lp).is_empty());
+        assert_eq!(eval(&Policy::match_(FieldMatch::TpDst(80)), &lp), vec![lp]);
+        assert!(eval(&Policy::match_(FieldMatch::TpDst(443)), &lp).is_empty());
+    }
+
+    #[test]
+    fn fwd_moves_packet() {
+        let lp = web_pkt();
+        let out = eval(&Policy::fwd(port(2)), &lp);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, port(2));
+        assert_eq!(out[0].pkt, lp.pkt);
+    }
+
+    #[test]
+    fn sequential_pipelines() {
+        // The paper's application-specific peering policy for AS A.
+        let pol = (Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(2)))
+            + (Policy::match_(FieldMatch::TpDst(443)) >> Policy::fwd(port(3)));
+        let lp = web_pkt();
+        let out = eval(&pol, &lp);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, port(2));
+
+        let mut https = lp;
+        https.pkt.tp_dst = 443;
+        let out = eval(&pol, &https);
+        assert_eq!(out[0].loc, port(3));
+
+        let mut other = lp;
+        other.pkt.tp_dst = 22;
+        assert!(eval(&pol, &other).is_empty(), "+ drops unmatched traffic");
+    }
+
+    #[test]
+    fn parallel_multicasts() {
+        let pol = Policy::fwd(port(2)) + Policy::fwd(port(3));
+        let out = eval(&pol, &web_pkt());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].loc, port(2));
+        assert_eq!(out[1].loc, port(3));
+    }
+
+    #[test]
+    fn parallel_deduplicates() {
+        let pol = Policy::id() + Policy::id();
+        let out = eval(&pol, &web_pkt());
+        assert_eq!(out.len(), 1, "sets, not multisets");
+    }
+
+    #[test]
+    fn modify_rewrites_field() {
+        // Wide-area load balancing: rewrite anycast destination.
+        let pol = Policy::match_(FieldMatch::NwDst(sdx_net::prefix("20.0.0.1/32")))
+            >> Policy::modify(Mod::SetNwDst(ip("74.125.224.161")))
+            >> Policy::fwd(port(4));
+        let out = eval(&pol, &web_pkt());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].pkt.nw_dst, ip("74.125.224.161"));
+        assert_eq!(out[0].loc, port(4));
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let pol = Policy::if_(
+            Pred::Test(FieldMatch::TpDst(80)),
+            Policy::fwd(port(2)),
+            Policy::fwd(port(3)),
+        );
+        assert_eq!(eval(&pol, &web_pkt())[0].loc, port(2));
+        let mut https = web_pkt();
+        https.pkt.tp_dst = 443;
+        assert_eq!(eval(&pol, &https)[0].loc, port(3));
+    }
+
+    #[test]
+    fn sequence_through_multicast() {
+        // Multicast then a filter that kills one branch.
+        let pol = (Policy::fwd(port(2)) + Policy::fwd(port(3)))
+            >> Policy::match_(FieldMatch::InPort(port(2)));
+        let out = eval(&pol, &web_pkt());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, port(2));
+    }
+
+    #[test]
+    fn empty_sequential_short_circuits() {
+        let pol = Policy::match_(FieldMatch::TpDst(443)) >> Policy::fwd(port(2));
+        assert!(eval(&pol, &web_pkt()).is_empty());
+    }
+}

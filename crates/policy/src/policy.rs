@@ -1,0 +1,191 @@
+//! The policy AST: Pyretic's combinators as Rust values.
+//!
+//! A policy is a function from a located packet to a *set* of located
+//! packets (§3.1 of the paper). The combinators:
+//!
+//! * `filter(pred)` — pass the packet iff the predicate holds;
+//! * `fwd(port)` — move the packet to a port;
+//! * `modify(field)` — rewrite a header field;
+//! * `p1 + p2` — parallel composition: apply both, union the results;
+//! * `p1 >> p2` — sequential composition: feed `p1`'s outputs through `p2`;
+//! * `if_(pred, p1, p2)` — branch; the SDX uses this to splice default BGP
+//!   forwarding beneath participant policies (§4.1).
+//!
+//! `Add` and `Shr` are overloaded so policies read like the paper:
+//! `(match(dstport=80) >> fwd(B)) + (match(dstport=443) >> fwd(C))` is
+//! `(m80 >> fwd(b)) + (m443 >> fwd(c))` in Rust.
+
+use core::ops;
+
+use sdx_net::{Mod, PortId};
+
+use crate::pred::Pred;
+
+/// A packet-processing policy.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Policy {
+    /// Pass packets satisfying the predicate, drop the rest.
+    Filter(Pred),
+    /// Apply a single modification (including `fwd` = set location).
+    Mod(Mod),
+    /// Parallel composition: union of all sub-policy outputs.
+    Parallel(Vec<Policy>),
+    /// Sequential composition: left-to-right pipeline.
+    Sequential(Vec<Policy>),
+    /// `if_(pred, then, else)`.
+    IfElse(Pred, Box<Policy>, Box<Policy>),
+}
+
+impl Policy {
+    /// The identity policy: passes every packet unchanged.
+    pub fn id() -> Policy {
+        Policy::Filter(Pred::Any)
+    }
+
+    /// The drop policy: passes nothing.
+    pub fn drop() -> Policy {
+        Policy::Filter(Pred::None)
+    }
+
+    /// `filter(pred)`.
+    pub fn filter(pred: Pred) -> Policy {
+        Policy::Filter(pred)
+    }
+
+    /// `match(f) >> ...` convenience: a filter on one field test.
+    pub fn match_(f: sdx_net::FieldMatch) -> Policy {
+        Policy::Filter(Pred::Test(f))
+    }
+
+    /// `fwd(port)` — move the packet to `port`.
+    pub fn fwd(port: PortId) -> Policy {
+        Policy::Mod(Mod::SetLoc(port))
+    }
+
+    /// `modify(m)` — rewrite one header field.
+    pub fn modify(m: Mod) -> Policy {
+        Policy::Mod(m)
+    }
+
+    /// `if_(pred, then, else)`.
+    pub fn if_(pred: Pred, then: Policy, otherwise: Policy) -> Policy {
+        Policy::IfElse(pred, Box::new(then), Box::new(otherwise))
+    }
+
+    /// Structural node count — the compile-cost metric reported alongside
+    /// the Figure 8 experiment.
+    pub fn size(&self) -> usize {
+        match self {
+            Policy::Filter(p) => p.size(),
+            Policy::Mod(_) => 1,
+            Policy::Parallel(ps) | Policy::Sequential(ps) => {
+                1 + ps.iter().map(Policy::size).sum::<usize>()
+            }
+            Policy::IfElse(p, a, b) => 1 + p.size() + a.size() + b.size(),
+        }
+    }
+
+    /// True if this is syntactically the drop policy. (Semantic emptiness
+    /// is decided by compiling; this is the cheap check used to skip
+    /// composition work, §4.3.1.)
+    pub fn is_drop(&self) -> bool {
+        matches!(self, Policy::Filter(Pred::None))
+    }
+}
+
+impl ops::Add for Policy {
+    type Output = Policy;
+    /// Parallel composition. Flattens nested sums and elides drops, which
+    /// keeps the compiler's cross-products small.
+    fn add(self, rhs: Policy) -> Policy {
+        if self.is_drop() {
+            return rhs;
+        }
+        if rhs.is_drop() {
+            return self;
+        }
+        let mut parts = match self {
+            Policy::Parallel(ps) => ps,
+            p => vec![p],
+        };
+        match rhs {
+            Policy::Parallel(ps) => parts.extend(ps),
+            p => parts.push(p),
+        }
+        Policy::Parallel(parts)
+    }
+}
+
+impl ops::Shr for Policy {
+    type Output = Policy;
+    /// Sequential composition. Flattens nested pipelines; drop annihilates.
+    fn shr(self, rhs: Policy) -> Policy {
+        if self.is_drop() || rhs.is_drop() {
+            return Policy::drop();
+        }
+        // Identity is a unit for `>>`.
+        if self == Policy::id() {
+            return rhs;
+        }
+        if rhs == Policy::id() {
+            return self;
+        }
+        let mut parts = match self {
+            Policy::Sequential(ps) => ps,
+            p => vec![p],
+        };
+        match rhs {
+            Policy::Sequential(ps) => parts.extend(ps),
+            p => parts.push(p),
+        }
+        Policy::Sequential(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{FieldMatch, ParticipantId};
+
+    fn port(n: u32) -> PortId {
+        PortId::Virt(ParticipantId(n))
+    }
+
+    #[test]
+    fn operators_flatten() {
+        let a = Policy::match_(FieldMatch::TpDst(80));
+        let b = Policy::fwd(port(1));
+        let c = Policy::fwd(port(2));
+        match a.clone() + b.clone() + c.clone() {
+            Policy::Parallel(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected Parallel, got {other:?}"),
+        }
+        match a.clone() >> b.clone() >> c.clone() {
+            Policy::Sequential(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected Sequential, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_is_identity_for_plus_and_zero_for_shr() {
+        let a = Policy::fwd(port(1));
+        assert_eq!(a.clone() + Policy::drop(), a);
+        assert_eq!(Policy::drop() + a.clone(), a);
+        assert_eq!(a.clone() >> Policy::drop(), Policy::drop());
+        assert_eq!(Policy::drop() >> a.clone(), Policy::drop());
+    }
+
+    #[test]
+    fn id_is_unit_for_shr() {
+        let a = Policy::fwd(port(1));
+        assert_eq!(a.clone() >> Policy::id(), a);
+        assert_eq!(Policy::id() >> a.clone(), a);
+    }
+
+    #[test]
+    fn size_accounts_structure() {
+        let p = (Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(1)))
+            + (Policy::match_(FieldMatch::TpDst(443)) >> Policy::fwd(port(2)));
+        assert_eq!(p.size(), 1 + (1 + 2) + (1 + 2));
+    }
+}

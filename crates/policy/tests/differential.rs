@@ -1,0 +1,164 @@
+//! Differential testing: the classifier compiler against the interpreter.
+//!
+//! `compile(p).evaluate(pkt)` must produce exactly the same packet set as
+//! `eval(p, pkt)` for *every* policy and packet. Random policy trees are the
+//! sharpest test of the composition algorithms (sequential composition with
+//! modifications + multicast is where compilers go wrong).
+
+use proptest::prelude::*;
+use sdx_policy::{compile, eval, Policy, Pred};
+use sdx_net::{
+    ip, prefix, FieldMatch, Ipv4Addr, LocatedPacket, Mod, Packet, ParticipantId, PortId, Prefix,
+};
+
+fn arb_port() -> impl Strategy<Value = PortId> {
+    prop_oneof![
+        (1u32..5, 1u8..3).prop_map(|(p, i)| PortId::Phys(ParticipantId(p), i)),
+        (1u32..5).prop_map(|p| PortId::Virt(ParticipantId(p))),
+    ]
+}
+
+/// Small, collision-prone value domains so predicates and packets overlap.
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    prop_oneof![
+        Just(ip("10.0.0.1")),
+        Just(ip("10.1.0.1")),
+        Just(ip("128.0.0.1")),
+        Just(ip("74.125.1.1")),
+        Just(ip("96.25.160.7")),
+    ]
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        Just(prefix("10.0.0.0/8")),
+        Just(prefix("10.1.0.0/16")),
+        Just(prefix("0.0.0.0/1")),
+        Just(prefix("128.0.0.0/1")),
+        Just(prefix("74.125.1.1/32")),
+        Just(prefix("0.0.0.0/0")),
+    ]
+}
+
+fn arb_field() -> impl Strategy<Value = FieldMatch> {
+    prop_oneof![
+        arb_port().prop_map(FieldMatch::InPort),
+        arb_prefix().prop_map(FieldMatch::NwSrc),
+        arb_prefix().prop_map(FieldMatch::NwDst),
+        prop_oneof![Just(80u16), Just(443), Just(22)].prop_map(FieldMatch::TpDst),
+        prop_oneof![Just(1000u16), Just(2000)].prop_map(FieldMatch::TpSrc),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        Just(Pred::Any),
+        Just(Pred::None),
+        arb_field().prop_map(Pred::Test),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Pred::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_mod() -> impl Strategy<Value = Mod> {
+    prop_oneof![
+        arb_port().prop_map(Mod::SetLoc),
+        arb_addr().prop_map(Mod::SetNwDst),
+        arb_addr().prop_map(Mod::SetNwSrc),
+        prop_oneof![Just(80u16), Just(443)].prop_map(Mod::SetTpDst),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let leaf = prop_oneof![
+        arb_pred().prop_map(Policy::Filter),
+        arb_mod().prop_map(Policy::Mod),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Policy::Parallel),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Policy::Sequential),
+            (arb_pred(), inner.clone(), inner).prop_map(|(p, a, b)| Policy::IfElse(
+                p,
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = LocatedPacket> {
+    (
+        arb_port(),
+        arb_addr(),
+        arb_addr(),
+        prop_oneof![Just(80u16), Just(443), Just(22)],
+        prop_oneof![Just(1000u16), Just(2000), Just(3000)],
+    )
+        .prop_map(|(loc, src, dst, dport, sport)| {
+            LocatedPacket::at(loc, Packet::tcp(src, dst, sport, dport))
+        })
+}
+
+fn canonical(mut v: Vec<LocatedPacket>) -> Vec<String> {
+    let mut s: Vec<String> = v.drain(..).map(|p| format!("{p}")).collect();
+    s.sort();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The compiler agrees with the interpreter on every policy and packet.
+    #[test]
+    fn compiled_equals_interpreted(pol in arb_policy(), pkts in proptest::collection::vec(arb_packet(), 1..6)) {
+        let c = compile(&pol);
+        for pkt in &pkts {
+            let direct = canonical(eval(&pol, pkt));
+            let compiled = canonical(c.evaluate(pkt));
+            prop_assert_eq!(compiled, direct, "policy {:?} on {}", pol, pkt);
+        }
+    }
+
+    /// Parallel composition on classifiers equals `+` semantics.
+    #[test]
+    fn classifier_parallel_sound(a in arb_policy(), b in arb_policy(), pkt in arb_packet()) {
+        let combined = compile(&a).parallel(&compile(&b));
+        let direct = canonical(eval(&(a + b), &pkt));
+        prop_assert_eq!(canonical(combined.evaluate(&pkt)), direct);
+    }
+
+    /// Sequential composition on classifiers equals `>>` semantics.
+    #[test]
+    fn classifier_sequential_sound(a in arb_policy(), b in arb_policy(), pkt in arb_packet()) {
+        let combined = compile(&a).sequential(&compile(&b));
+        let direct = canonical(eval(&(a >> b), &pkt));
+        prop_assert_eq!(canonical(combined.evaluate(&pkt)), direct);
+    }
+
+    /// Shadow elimination never changes behaviour.
+    #[test]
+    fn shadow_elimination_preserves_semantics(pol in arb_policy(), pkt in arb_packet()) {
+        let c = compile(&pol);
+        let mut opt = c.clone();
+        opt.shadow_eliminate();
+        prop_assert_eq!(canonical(opt.evaluate(&pkt)), canonical(c.evaluate(&pkt)));
+        prop_assert!(opt.len() <= c.len());
+    }
+
+    /// `+` is commutative and `>>` associative, observationally.
+    #[test]
+    fn algebraic_laws(a in arb_policy(), b in arb_policy(), c in arb_policy(), pkt in arb_packet()) {
+        let ab = canonical(eval(&(a.clone() + b.clone()), &pkt));
+        let ba = canonical(eval(&(b.clone() + a.clone()), &pkt));
+        prop_assert_eq!(ab, ba);
+        let left = canonical(eval(&((a.clone() >> b.clone()) >> c.clone()), &pkt));
+        let right = canonical(eval(&(a >> (b >> c)), &pkt));
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,114 @@
+//! Fuzz-style property tests for the policy DSL parser: arbitrary input
+//! never panics, and grammatically generated policies always parse to the
+//! semantics their structure dictates.
+
+use proptest::prelude::*;
+use sdx_policy::dsl::{parse_policy, PortResolver};
+use sdx_policy::eval;
+use sdx_net::{ip, Packet, ParticipantId, PortId};
+use sdx_net::LocatedPacket;
+
+fn resolver() -> PortResolver {
+    let mut r = PortResolver::new();
+    for (name, port) in [
+        ("A", PortId::Virt(ParticipantId(1))),
+        ("B", PortId::Virt(ParticipantId(2))),
+        ("C", PortId::Virt(ParticipantId(3))),
+        ("A1", PortId::Phys(ParticipantId(1), 1)),
+        ("B1", PortId::Phys(ParticipantId(2), 1)),
+        ("B2", PortId::Phys(ParticipantId(2), 2)),
+    ] {
+        r.add(name, port);
+    }
+    r
+}
+
+/// Random strings over the DSL's alphabet.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("match".to_string()),
+            Just("fwd".to_string()),
+            Just("mod".to_string()),
+            Just("drop".to_string()),
+            Just("id".to_string()),
+            Just("if_".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just(",".to_string()),
+            Just("=".to_string()),
+            Just("+".to_string()),
+            Just(">>".to_string()),
+            Just("&&".to_string()),
+            Just("||".to_string()),
+            Just("!".to_string()),
+            Just("dstport".to_string()),
+            Just("srcip".to_string()),
+            Just("80".to_string()),
+            Just("10.0.0.0/8".to_string()),
+            Just("B".to_string()),
+            Just("Z9".to_string()),
+            Just("#".to_string()),
+        ],
+        0..24,
+    )
+    .prop_map(|toks| toks.join(" "))
+}
+
+/// Grammatically valid single clauses.
+fn arb_clause() -> impl Strategy<Value = (String, u16, &'static str)> {
+    (
+        prop_oneof![Just("B"), Just("C"), Just("B1"), Just("B2")],
+        prop_oneof![Just(80u16), Just(443), Just(53)],
+    )
+        .prop_map(|(target, port)| {
+            (
+                format!("match(dstport = {port}) >> fwd({target})"),
+                port,
+                target,
+            )
+        })
+}
+
+proptest! {
+    /// The parser returns Ok or Err — it never panics on any token soup.
+    #[test]
+    fn parser_never_panics(src in arb_garbage()) {
+        let _ = parse_policy(&src, &resolver());
+    }
+
+    /// Clause sums parse and route exactly the port each clause names.
+    #[test]
+    fn generated_policies_behave(clauses in proptest::collection::vec(arb_clause(), 1..4)) {
+        // Distinct ports only, to keep semantics predictable.
+        let mut seen = std::collections::BTreeSet::new();
+        let chosen: Vec<_> = clauses
+            .into_iter()
+            .filter(|(_, port, _)| seen.insert(*port))
+            .collect();
+        let src = chosen
+            .iter()
+            .map(|(s, _, _)| format!("({s})"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let pol = parse_policy(&src, &resolver()).expect("valid by construction");
+        for (_, port, target) in &chosen {
+            let lp = LocatedPacket::at(
+                PortId::Phys(ParticipantId(1), 1),
+                Packet::tcp(ip("9.9.9.9"), ip("8.8.8.8"), 40_000, *port),
+            );
+            let out = eval(&pol, &lp);
+            prop_assert_eq!(out.len(), 1);
+            let expect = resolver().resolve(target).expect("known name");
+            prop_assert_eq!(out[0].loc, expect);
+        }
+        // Ports named by no clause drop.
+        let lp = LocatedPacket::at(
+            PortId::Phys(ParticipantId(1), 1),
+            Packet::tcp(ip("9.9.9.9"), ip("8.8.8.8"), 40_000, 9999),
+        );
+        prop_assert!(eval(&pol, &lp).is_empty());
+    }
+}

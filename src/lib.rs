@@ -1,0 +1,71 @@
+//! # sdx — a Software Defined Internet Exchange, in Rust
+//!
+//! A from-scratch reproduction of *SDX: A Software Defined Internet
+//! Exchange* (Gupta et al., SIGCOMM 2014): an SDN controller for an
+//! Internet exchange point that gives every participant AS the illusion of
+//! its own virtual switch, lets it write Pyretic-style policies over
+//! multiple header fields, keeps the data plane consistent with BGP, and
+//! scales through forwarding-equivalence-class (VNH/VMAC) compression and
+//! incremental compilation.
+//!
+//! This crate is the façade: it re-exports the workspace's subsystems and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sdx::core::controller::SdxController;
+//! use sdx::core::participant::ParticipantConfig;
+//! use sdx::bgp::route_server::ExportPolicy;
+//! use sdx::net::{ip, prefix, FieldMatch, Packet, ParticipantId, PortId};
+//! use sdx::policy::Policy;
+//!
+//! // Three participants; A and B announce the same prefix.
+//! let mut ctl = SdxController::new();
+//! let a = ParticipantConfig::new(1, 65001, 1);
+//! let b = ParticipantConfig::new(2, 65002, 1);
+//! let c = ParticipantConfig::new(3, 65003, 1).with_outbound(
+//!     // Application-specific peering: web traffic via B.
+//!     Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(PortId::Virt(ParticipantId(2))),
+//! );
+//! ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+//! ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+//! ctl.add_participant(c, ExportPolicy::allow_all());
+//! ctl.rs.process_update(ParticipantId(1), &a.announce([prefix("54.0.0.0/8")], &[65001, 7]));
+//! ctl.rs.process_update(ParticipantId(2), &b.announce([prefix("54.0.0.0/8")], &[65002, 9, 7]));
+//!
+//! // Compile + deploy, then send a packet through the data plane.
+//! let mut fabric = ctl.deploy().expect("deploy");
+//! let out = fabric.send(
+//!     PortId::Phys(ParticipantId(3), 1),
+//!     Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+//! );
+//! assert_eq!(out[0].loc, PortId::Phys(ParticipantId(2), 1)); // via B
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Foundational network types: addresses, prefixes, tries, packets,
+/// header-space matches.
+pub use sdx_net as net;
+
+/// The BGP substrate: messages, wire codec, RIBs, decision process, route
+/// server, AS-path regular expressions, session FSM.
+pub use sdx_bgp as bgp;
+
+/// The Pyretic-equivalent policy language: predicates, policies,
+/// evaluation semantics, classifier compiler, text DSL.
+pub use sdx_policy as policy;
+
+/// The SDN data plane: flow tables, switch pipeline, ARP responder,
+/// border-router model, IXP fabric.
+pub use sdx_openflow as openflow;
+
+/// The SDX controller: virtual switches, FEC/VNH computation, the policy
+/// transformation pipeline, incremental compilation.
+pub use sdx_core as core;
+
+/// IXP emulation: Table-1-calibrated datasets, §6.1 policy workloads,
+/// bursty BGP update traces, deployment traffic simulation.
+pub use sdx_ixp as ixp;

@@ -1,0 +1,226 @@
+//! Failure injection across the stack: malformed wire input, session
+//! resets mid-stream, ARP failures, VNH exhaustion, and conflicting
+//! policies. A credible IXP controller must degrade loudly and locally,
+//! never silently corrupt forwarding state.
+
+use sdx::bgp::msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
+use sdx::bgp::route_server::ExportPolicy;
+use sdx::bgp::session::{establish_pair, Session, SessionEvent, SessionState};
+use sdx::bgp::wire;
+use sdx::core::controller::SdxController;
+use sdx::core::participant::ParticipantConfig;
+use sdx::net::{ip, prefix, Asn, FieldMatch, Packet, ParticipantId, PortId, RouterId};
+use sdx::policy::Policy as P;
+
+fn pid(n: u32) -> ParticipantId {
+    ParticipantId(n)
+}
+
+#[test]
+fn corrupted_frames_never_parse_as_something_else() {
+    // Flip every single byte of a valid UPDATE frame; the decoder must
+    // either reject the frame or produce *a* message — never panic, and
+    // never mistake an UPDATE body for a different message type.
+    let cfg = ParticipantConfig::new(1, 65001, 1);
+    let update = cfg.announce([prefix("10.0.0.0/8"), prefix("20.0.0.0/16")], &[65001, 7]);
+    let frame = wire::encode(&BgpMessage::Update(update));
+    for i in 0..frame.len() {
+        for flip in [0x01u8, 0x80, 0xff] {
+            let mut corrupted = frame.to_vec();
+            corrupted[i] ^= flip;
+            let mut buf = bytes::Bytes::from(corrupted);
+            match wire::decode(&mut buf) {
+                Ok(BgpMessage::Update(_)) | Err(_) => {}
+                Ok(other) => {
+                    // Only the type byte can legitimately change the
+                    // message kind, and then the body must still parse.
+                    assert_eq!(i, 18, "byte {i} turned an UPDATE into {other:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn session_reset_mid_stream_discards_peer_state() {
+    let mut rs = sdx::bgp::route_server::RouteServer::new();
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 1);
+    rs.add_peer(a.route_source(), ExportPolicy::allow_all());
+    rs.add_peer(b.route_source(), ExportPolicy::allow_all());
+    rs.process_update(pid(1), &a.announce([prefix("10.0.0.0/8")], &[65001]));
+
+    // Drive a real FSM pair; kill it with a hold-timer expiry.
+    let mut left = Session::new(OpenMessage {
+        version: 4,
+        asn: Asn(65001),
+        hold_time: 90,
+        router_id: RouterId(1),
+    });
+    let mut right = Session::new(OpenMessage {
+        version: 4,
+        asn: Asn(65099),
+        hold_time: 90,
+        router_id: RouterId(99),
+    });
+    establish_pair(&mut left, &mut right).expect("up");
+    let out = left.handle(SessionEvent::HoldTimerExpired);
+    assert!(out.reset);
+    assert_eq!(left.state(), SessionState::Idle);
+    // The route server reacts to the reset by flushing the peer.
+    let events = rs.reset_session(pid(1));
+    assert!(!events.is_empty());
+    assert!(rs.best_for(pid(2), prefix("10.0.0.0/8")).is_none());
+}
+
+#[test]
+fn update_after_notification_is_not_processed() {
+    let mut s = Session::new(OpenMessage {
+        version: 4,
+        asn: Asn(65001),
+        hold_time: 90,
+        router_id: RouterId(1),
+    });
+    let mut peer = Session::new(OpenMessage {
+        version: 4,
+        asn: Asn(65002),
+        hold_time: 90,
+        router_id: RouterId(2),
+    });
+    establish_pair(&mut s, &mut peer).expect("up");
+    s.handle(SessionEvent::Received(BgpMessage::Notification {
+        code: NotificationCode::Cease,
+        subcode: 0,
+    }));
+    // A straggler update after the reset must not be delivered.
+    let out = s.handle(SessionEvent::Received(BgpMessage::Update(
+        UpdateMessage::withdraw([prefix("10.0.0.0/8")]),
+    )));
+    assert!(out.updates.is_empty());
+}
+
+#[test]
+fn unresolvable_vnh_drops_locally_and_counts() {
+    // A router whose FIB points at a VNH nobody answers for: traffic is
+    // dropped at the first stage, counted, and nothing reaches the fabric.
+    let mut ctl = SdxController::new();
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 1);
+    ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+    ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+    ctl.rs
+        .process_update(pid(2), &b.announce([prefix("20.0.0.0/8")], &[65002]));
+    let mut fabric = ctl.deploy().expect("deploy");
+    // Sabotage: unbind B's peering address from the ARP responder.
+    fabric.arp.unbind(b.primary_port().addr);
+    // Also flush A's ARP cache so the miss is observed.
+    fabric
+        .router_mut(PortId::Phys(pid(1), 1))
+        .expect("router")
+        .flush_arp();
+    let out = fabric.send(
+        PortId::Phys(pid(1), 1),
+        Packet::tcp(ip("9.9.9.9"), ip("20.0.0.1"), 40_000, 80),
+    );
+    assert!(out.is_empty());
+    assert_eq!(
+        fabric
+            .router(PortId::Phys(pid(1), 1))
+            .expect("router")
+            .no_arp_drops,
+        1
+    );
+    assert_eq!(fabric.arp.unanswered, 1);
+}
+
+#[test]
+fn conflicting_policies_resolve_by_isolation_not_interference() {
+    // A and B both claim port-80 traffic toward the same prefix — A
+    // outbound (its own traffic only) and B outbound (its own traffic
+    // only). Conflicts cannot arise across participants by construction.
+    let mut ctl = SdxController::new();
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 1);
+    let c = ParticipantConfig::new(3, 65003, 1);
+    let d = ParticipantConfig::new(4, 65004, 1);
+    ctl.add_participant(a, ExportPolicy::allow_all());
+    ctl.add_participant(b, ExportPolicy::allow_all());
+    ctl.add_participant(c.clone(), ExportPolicy::allow_all());
+    ctl.add_participant(d.clone(), ExportPolicy::allow_all());
+    ctl.rs
+        .process_update(pid(3), &c.announce([prefix("30.0.0.0/8")], &[65003, 9]));
+    ctl.rs
+        .process_update(pid(4), &d.announce([prefix("30.0.0.0/8")], &[65004, 9, 9]));
+    // A sends web traffic for 30/8 via C; B sends it via D.
+    ctl.set_outbound(
+        pid(1),
+        Some(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(3)))),
+    );
+    ctl.set_outbound(
+        pid(2),
+        Some(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(4)))),
+    );
+    let mut fabric = ctl.deploy().expect("deploy");
+    let from_a = fabric.send(
+        PortId::Phys(pid(1), 1),
+        Packet::tcp(ip("9.9.9.9"), ip("30.0.0.1"), 40_000, 80),
+    );
+    assert_eq!(from_a[0].loc.participant(), pid(3));
+    let from_b = fabric.send(
+        PortId::Phys(pid(2), 1),
+        Packet::tcp(ip("9.9.9.9"), ip("30.0.0.1"), 40_000, 80),
+    );
+    assert_eq!(from_b[0].loc.participant(), pid(4));
+}
+
+#[test]
+fn vnh_pool_exhaustion_panics_loudly() {
+    // Deliberately tiny pool: allocation must fail fast with a clear
+    // message, not wrap around into colliding tags.
+    let result = std::panic::catch_unwind(|| {
+        let mut alloc =
+            sdx::core::vnh::VnhAllocator::new(prefix("10.0.0.0/30")); // 4 addrs
+        for _ in 0..10 {
+            alloc.allocate();
+        }
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn withdrawn_only_route_blackholes_cleanly() {
+    // All routes for a prefix disappear while a policy still references
+    // it: traffic is dropped at the sender's FIB (withdrawn), the fabric
+    // sees nothing, and no rule forwards to the vanished participant.
+    let mut ctl = SdxController::new();
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 1);
+    ctl.add_participant(a, ExportPolicy::allow_all());
+    ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+    ctl.rs
+        .process_update(pid(2), &b.announce([prefix("20.0.0.0/8")], &[65002]));
+    ctl.set_outbound(
+        pid(1),
+        Some(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2)))),
+    );
+    let mut fabric = ctl.deploy().expect("deploy");
+    ctl.process_update(
+        pid(2),
+        &UpdateMessage::withdraw([prefix("20.0.0.0/8")]),
+        &mut fabric,
+    )
+    .expect("fast path");
+    let out = fabric.send(
+        PortId::Phys(pid(1), 1),
+        Packet::tcp(ip("9.9.9.9"), ip("20.0.0.1"), 40_000, 80),
+    );
+    assert!(out.is_empty(), "withdrawn destination must not be reachable");
+    assert_eq!(
+        fabric
+            .router(PortId::Phys(pid(1), 1))
+            .expect("router")
+            .no_route_drops,
+        1,
+        "dropped at the sender's own FIB"
+    );
+}
