@@ -118,7 +118,11 @@ fn ablation_incremental(c: &mut Criterion) {
     let target: Prefix = *base.vnh_of.keys().map(|(_, p)| p).next().expect("affected");
 
     g.bench_function("fast_path_per_update", |b| {
-        b.iter(|| compiler.fast_update(&wb.rs, &mut vnh, target).expect("delta"))
+        b.iter(|| {
+            compiler
+                .fast_update(&wb.rs, &mut vnh, target)
+                .expect("delta")
+        })
     });
     g.bench_function("full_recompile_per_update", |b| {
         b.iter(|| {

@@ -37,9 +37,11 @@ fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("policy_compile");
     for n in [16usize, 64, 256] {
         let disjoint = block_policy(n);
-        g.bench_with_input(BenchmarkId::new("disjoint_clauses", n), &disjoint, |b, p| {
-            b.iter(|| compile(p))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("disjoint_clauses", n),
+            &disjoint,
+            |b, p| b.iter(|| compile(p)),
+        );
     }
     for n in [4usize, 8, 16] {
         let overlapping = overlapping_policy(n);

@@ -60,9 +60,7 @@ fn bench_route_server_convergence(c: &mut Criterion) {
         seed: 5,
         ..Default::default()
     });
-    g.bench_function("full_table_load_100x10k", |b| {
-        b.iter(|| ixp.route_server())
-    });
+    g.bench_function("full_table_load_100x10k", |b| b.iter(|| ixp.route_server()));
     g.finish();
 }
 

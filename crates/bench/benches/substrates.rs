@@ -17,10 +17,7 @@ fn bench_trie(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let mut trie = PrefixTrie::new();
         for i in 0..n {
-            trie.insert(
-                Prefix::new(Ipv4Addr(rng.gen()), 8 + (i % 25) as u8),
-                i,
-            );
+            trie.insert(Prefix::new(Ipv4Addr(rng.gen()), 8 + (i % 25) as u8), i);
         }
         let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr(rng.gen())).collect();
         g.bench_with_input(BenchmarkId::new("lpm_1024_lookups", n), &trie, |b, t| {
@@ -88,7 +85,9 @@ fn bench_aspath_regex(c: &mut Criterion) {
 }
 
 fn bench_flow_table(c: &mut Criterion) {
-    use sdx_net::{FieldMatch, HeaderMatch, LocatedPacket, MacAddr, Mod, Packet, ParticipantId, PortId};
+    use sdx_net::{
+        FieldMatch, HeaderMatch, LocatedPacket, MacAddr, Mod, Packet, ParticipantId, PortId,
+    };
     use sdx_openflow::table::{FlowEntry, FlowTable};
     let mut table = FlowTable::new();
     for i in 0..2000u32 {

@@ -45,9 +45,7 @@ fn main() {
                 let events = rs.process_update(*from, update);
                 for ev in events {
                     if let sdx_bgp::route_server::RouteServerEvent::PrefixChanged(p) = ev {
-                        let _ = compiler
-                            .fast_update(&rs, &mut vnh, p)
-                            .expect("fast path");
+                        let _ = compiler.fast_update(&rs, &mut vnh, p).expect("fast path");
                     }
                 }
                 times_ms.push(t0.elapsed().as_secs_f64() * 1e3);

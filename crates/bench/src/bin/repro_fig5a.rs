@@ -29,8 +29,10 @@ fn main() {
     ctl.add_participant(c, ExportPolicy::allow_all());
     // Both upstreams announce the Amazon /16; A's path is shorter, so
     // default traffic goes via A.
-    ctl.rs
-        .process_update(pid(1), &a.announce([prefix("54.198.0.0/16")], &[65001, 14618]));
+    ctl.rs.process_update(
+        pid(1),
+        &a.announce([prefix("54.198.0.0/16")], &[65001, 14618]),
+    );
     ctl.rs.process_update(
         pid(2),
         &b.announce([prefix("54.198.0.0/16")], &[65002, 7018, 14618]),
@@ -41,9 +43,33 @@ fn main() {
     // source/destination addressing and ports).
     let client = PortId::Phys(pid(3), 1);
     let flows = vec![
-        udp_flow("web", client, ip("99.0.0.10"), ip("54.198.0.50"), 80, 1.0, (0.0, 1800.0)),
-        udp_flow("https", client, ip("99.0.0.11"), ip("54.198.0.50"), 443, 1.0, (0.0, 1800.0)),
-        udp_flow("dns", client, ip("99.0.0.12"), ip("54.198.0.50"), 53, 1.0, (0.0, 1800.0)),
+        udp_flow(
+            "web",
+            client,
+            ip("99.0.0.10"),
+            ip("54.198.0.50"),
+            80,
+            1.0,
+            (0.0, 1800.0),
+        ),
+        udp_flow(
+            "https",
+            client,
+            ip("99.0.0.11"),
+            ip("54.198.0.50"),
+            443,
+            1.0,
+            (0.0, 1800.0),
+        ),
+        udp_flow(
+            "dns",
+            client,
+            ip("99.0.0.12"),
+            ip("54.198.0.50"),
+            53,
+            1.0,
+            (0.0, 1800.0),
+        ),
     ];
     let events = vec![
         Event::SetOutbound {

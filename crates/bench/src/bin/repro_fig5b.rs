@@ -29,10 +29,14 @@ fn main() {
     ctl.add_participant(d.clone(), ExportPolicy::allow_all());
     // B reaches both AWS instances; D originates the anycast service
     // prefix at the SDX.
-    ctl.rs
-        .process_update(pid(2), &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]));
-    ctl.rs
-        .process_update(pid(2), &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]));
+    ctl.rs.process_update(
+        pid(2),
+        &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]),
+    );
+    ctl.rs.process_update(
+        pid(2),
+        &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]),
+    );
     ctl.rs
         .process_update(pid(4), &d.announce([prefix("74.125.1.0/24")], &[65004]));
 
@@ -57,8 +61,24 @@ fn main() {
 
     let client = PortId::Phys(pid(1), 1);
     let flows = vec![
-        udp_flow("client-204.57", client, ip("204.57.0.67"), ip("74.125.1.1"), 80, 1.0, (0.0, 600.0)),
-        udp_flow("client-other", client, ip("99.0.0.10"), ip("74.125.1.1"), 80, 1.0, (0.0, 600.0)),
+        udp_flow(
+            "client-204.57",
+            client,
+            ip("204.57.0.67"),
+            ip("74.125.1.1"),
+            80,
+            1.0,
+            (0.0, 600.0),
+        ),
+        udp_flow(
+            "client-other",
+            client,
+            ip("99.0.0.10"),
+            ip("74.125.1.1"),
+            80,
+            1.0,
+            (0.0, 600.0),
+        ),
     ];
     let sim = TrafficSim {
         controller: ctl,
@@ -75,7 +95,10 @@ fn main() {
 
     let rate = |key: &str, t: f64| series.rate_at(key, t).unwrap_or(0.0);
     let mut rows = Vec::new();
-    for (label, t) in [("0–246s (before policy)", 120.0), ("246–600s (after policy)", 420.0)] {
+    for (label, t) in [
+        ("0–246s (before policy)", 120.0),
+        ("246–600s (after policy)", 420.0),
+    ] {
         rows.push(vec![
             label.to_string(),
             format!("{:.1} Mbps", rate("to-54.198.0.10", t)),

@@ -46,9 +46,7 @@ fn main() {
             // p'_i = p_i ∩ p_x
             let restricted: Vec<Vec<Prefix>> = sets
                 .iter()
-                .map(|(_, ps)| {
-                    ps.iter().copied().filter(|p| px.contains(p)).collect()
-                })
+                .map(|(_, ps)| ps.iter().copied().filter(|p| px.contains(p)).collect())
                 .collect();
             let groups = minimum_disjoint_subsets(&restricted).len();
             rows.push(vec![

@@ -30,8 +30,7 @@ fn main() {
                 report.stats.forwarding_rules.to_string(),
                 format!(
                     "{:.1}",
-                    report.stats.forwarding_rules as f64
-                        / report.stats.group_count.max(1) as f64
+                    report.stats.forwarding_rules as f64 / report.stats.group_count.max(1) as f64
                 ),
             ]);
             json.push(serde_json::json!({

@@ -199,9 +199,7 @@ impl<'a> Parser<'a> {
                         Some(c) if c.is_ascii_digit() => {
                             set.insert(self.number().ok_or(AsPathReError::Unbalanced)?);
                         }
-                        Some(c) => {
-                            return Err(AsPathReError::UnexpectedChar(self.pos, c as char))
-                        }
+                        Some(c) => return Err(AsPathReError::UnexpectedChar(self.pos, c as char)),
                         None => return Err(AsPathReError::Unbalanced),
                     }
                 }
@@ -435,7 +433,9 @@ impl AsPathRegex {
 
         // `^$` special case: both anchors, empty body → items empty → but we
         // replaced with match-all above. Fix: represent as Opt of nothing.
-        let full = if anchored_start && anchored_end && matches!(&full, Ast::Star(b) if matches!(**b, Ast::Any))
+        let full = if anchored_start
+            && anchored_end
+            && matches!(&full, Ast::Star(b) if matches!(**b, Ast::Any))
         {
             // Accept only the empty token sequence: Star over an impossible
             // set gives exactly that.

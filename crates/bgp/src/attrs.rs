@@ -82,9 +82,7 @@ impl AsPath {
     /// A path consisting of one plain sequence.
     pub fn sequence(asns: impl IntoIterator<Item = u32>) -> Self {
         AsPath {
-            segments: vec![AsPathSegment::Sequence(
-                asns.into_iter().map(Asn).collect(),
-            )],
+            segments: vec![AsPathSegment::Sequence(asns.into_iter().map(Asn).collect())],
         }
     }
 

@@ -20,6 +20,9 @@
 //! * [`session`] — a simplified BGP finite-state machine over an in-memory
 //!   transport, used for session-reset failure injection (Table 1 discards
 //!   updates caused by session resets).
+//! * [`supervisor`] — the operational layer over the session FSMs:
+//!   hold-timer bookkeeping, reconnect with exponential backoff, and
+//!   route-flap damping so a flapping peer costs O(1) recompilations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod msg;
 pub mod rib;
 pub mod route_server;
 pub mod session;
+pub mod supervisor;
 pub mod wire;
 
 pub use attrs::{AsPath, Origin, PathAttributes};
@@ -39,3 +43,4 @@ pub use msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib, Route, RouteSource};
 pub use route_server::{ExportPolicy, RouteServer, RouteServerEvent};
 pub use session::{Session, SessionEvent, SessionState};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorOutput};

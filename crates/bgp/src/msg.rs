@@ -138,7 +138,10 @@ impl BgpMessage {
 pub fn simple_announce(prefix: Prefix, path: &[u32], next_hop: Ipv4Addr) -> UpdateMessage {
     UpdateMessage::announce(
         [prefix],
-        PathAttributes::new(crate::attrs::AsPath::sequence(path.iter().copied()), next_hop),
+        PathAttributes::new(
+            crate::attrs::AsPath::sequence(path.iter().copied()),
+            next_hop,
+        ),
     )
 }
 

@@ -172,9 +172,7 @@ impl LocRib {
     /// Longest-prefix-match lookup: the most specific prefix covering
     /// `addr` that has candidates, with those candidates.
     pub fn lookup_candidates(&self, addr: Ipv4Addr) -> Option<(Prefix, &[Route])> {
-        self.candidates
-            .lookup(addr)
-            .map(|(p, v)| (p, v.as_slice()))
+        self.candidates.lookup(addr).map(|(p, v)| (p, v.as_slice()))
     }
 
     /// Iterates all prefixes with at least one candidate.
@@ -353,12 +351,18 @@ mod tests {
         rib.upsert(p, rt(2, &[65002, 9]));
         // Viewer 3 sees participant 1's (shorter) route as best.
         assert_eq!(
-            rib.best_for(p, ParticipantId(3)).unwrap().source.participant,
+            rib.best_for(p, ParticipantId(3))
+                .unwrap()
+                .source
+                .participant,
             ParticipantId(1)
         );
         // Viewer 1 must not have its own route reflected back.
         assert_eq!(
-            rib.best_for(p, ParticipantId(1)).unwrap().source.participant,
+            rib.best_for(p, ParticipantId(1))
+                .unwrap()
+                .source
+                .participant,
             ParticipantId(2)
         );
         // A viewer who is the only announcer gets nothing.
@@ -392,10 +396,14 @@ mod tests {
         let mut out = AdjRibOut::new();
         let attrs = PathAttributes::new(AsPath::sequence([65001]), ip("172.16.0.1"));
         // First announcement goes out.
-        let u = out.reconcile(prefix("10.0.0.0/8"), Some(attrs.clone())).unwrap();
+        let u = out
+            .reconcile(prefix("10.0.0.0/8"), Some(attrs.clone()))
+            .unwrap();
         assert_eq!(u.nlri, vec![prefix("10.0.0.0/8")]);
         // Re-announcing the same state is silent.
-        assert!(out.reconcile(prefix("10.0.0.0/8"), Some(attrs.clone())).is_none());
+        assert!(out
+            .reconcile(prefix("10.0.0.0/8"), Some(attrs.clone()))
+            .is_none());
         // A changed next hop re-announces.
         let changed = attrs.clone().with_next_hop(ip("172.16.255.9"));
         assert!(out.reconcile(prefix("10.0.0.0/8"), Some(changed)).is_some());

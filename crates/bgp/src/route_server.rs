@@ -66,11 +66,7 @@ pub mod communities {
         if comms.contains(&no_export_to(peer)) {
             return false;
         }
-        let allow: Vec<u16> = comms
-            .iter()
-            .filter(|c| c.0 == 1)
-            .map(|c| c.1)
-            .collect();
+        let allow: Vec<u16> = comms.iter().filter(|c| c.0 == 1).map(|c| c.1).collect();
         allow.is_empty() || allow.contains(&(peer.0 as u16))
     }
 }
@@ -128,8 +124,7 @@ impl RouteServer {
     /// that participant are processed.
     pub fn add_peer(&mut self, source: RouteSource, export: ExportPolicy) {
         self.asns.insert(source.participant, source.asn);
-        self.peers
-            .insert(source.participant, AdjRibIn::new(source));
+        self.peers.insert(source.participant, AdjRibIn::new(source));
         self.export.insert(source.participant, export);
     }
 
@@ -211,7 +206,7 @@ impl RouteServer {
         }
         self.export
             .get(&ap)
-            .map_or(true, |e| e.exports_to(viewer, prefix))
+            .is_none_or(|e| e.exports_to(viewer, prefix))
     }
 
     /// The candidate routes `viewer` may use for `prefix` — the feasible
@@ -244,11 +239,7 @@ impl RouteServer {
     ///
     /// The most specific announced prefix covering `addr`, from `viewer`'s
     /// point of view, with the participants that exported it.
-    pub fn reachable_via_addr(
-        &self,
-        viewer: ParticipantId,
-        addr: Ipv4Addr,
-    ) -> Vec<ParticipantId> {
+    pub fn reachable_via_addr(&self, viewer: ParticipantId, addr: Ipv4Addr) -> Vec<ParticipantId> {
         let Some((p, routes)) = self.loc_rib.lookup_candidates(addr) else {
             return Vec::new();
         };
@@ -447,7 +438,9 @@ mod tests {
     fn routes_never_reflected_to_announcer() {
         let rs = figure1_server();
         // B announced p3; B must not see its own route.
-        assert!(rs.best_for(ParticipantId(2), prefix("30.0.0.0/8")).is_none());
+        assert!(rs
+            .best_for(ParticipantId(2), prefix("30.0.0.0/8"))
+            .is_none());
     }
 
     #[test]
@@ -460,7 +453,9 @@ mod tests {
             ParticipantId(2),
             &simple_announce(prefix("50.0.0.0/8"), &[65002, 65001, 9], ip("172.16.0.2")),
         );
-        assert!(rs.best_for(ParticipantId(1), prefix("50.0.0.0/8")).is_none());
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("50.0.0.0/8"))
+            .is_none());
         assert!(rs
             .reachable_via(ParticipantId(1), prefix("50.0.0.0/8"))
             .is_empty());
@@ -518,9 +513,13 @@ mod tests {
         // B announced 4 prefixes → 4 PrefixChanged events follow.
         assert_eq!(ev.len(), 5);
         // p3 (only from B) is now unreachable.
-        assert!(rs.best_for(ParticipantId(1), prefix("30.0.0.0/8")).is_none());
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("30.0.0.0/8"))
+            .is_none());
         // p1 still reachable via C.
-        assert!(rs.best_for(ParticipantId(1), prefix("10.0.0.0/8")).is_some());
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("10.0.0.0/8"))
+            .is_some());
     }
 
     #[test]
@@ -601,8 +600,12 @@ mod tests {
             ParticipantId(2),
             &UpdateMessage::announce([prefix("60.0.0.0/8")], attrs),
         );
-        assert!(rs.best_for(ParticipantId(1), prefix("60.0.0.0/8")).is_none());
-        assert!(rs.best_for(ParticipantId(3), prefix("60.0.0.0/8")).is_some());
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("60.0.0.0/8"))
+            .is_none());
+        assert!(rs
+            .best_for(ParticipantId(3), prefix("60.0.0.0/8"))
+            .is_some());
     }
 
     #[test]
@@ -617,8 +620,12 @@ mod tests {
             ParticipantId(2),
             &UpdateMessage::announce([prefix("61.0.0.0/8")], attrs),
         );
-        assert!(rs.best_for(ParticipantId(1), prefix("61.0.0.0/8")).is_none());
-        assert!(rs.best_for(ParticipantId(3), prefix("61.0.0.0/8")).is_some());
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("61.0.0.0/8"))
+            .is_none());
+        assert!(rs
+            .best_for(ParticipantId(3), prefix("61.0.0.0/8"))
+            .is_some());
     }
 
     #[test]
@@ -632,7 +639,9 @@ mod tests {
             ParticipantId(2),
             &UpdateMessage::announce([prefix("62.0.0.0/8")], attrs),
         );
-        assert!(rs.best_for(ParticipantId(1), prefix("62.0.0.0/8")).is_none());
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("62.0.0.0/8"))
+            .is_none());
     }
 
     #[test]
@@ -644,7 +653,10 @@ mod tests {
             Community(9, 9), // unrelated community is ignored
         ];
         assert!(!communities::allows(&comms, ParticipantId(1)));
-        assert!(!communities::allows(&comms, ParticipantId(2)), "not on allow list");
+        assert!(
+            !communities::allows(&comms, ParticipantId(2)),
+            "not on allow list"
+        );
         assert!(communities::allows(&[Community(9, 9)], ParticipantId(2)));
     }
 }

@@ -145,7 +145,10 @@ impl Session {
             (_, SessionEvent::Received(BgpMessage::Notification { .. })) => {
                 self.drop_session(&mut out, None);
             }
-            (SessionState::Established | SessionState::OpenConfirm, SessionEvent::HoldTimerExpired) => {
+            (
+                SessionState::Established | SessionState::OpenConfirm,
+                SessionEvent::HoldTimerExpired,
+            ) => {
                 self.drop_session(&mut out, Some(NotificationCode::HoldTimerExpired));
             }
             (_, SessionEvent::ManualStop) => {
@@ -161,10 +164,7 @@ impl Session {
                 // Ignore stray keepalives/updates before establishment is
                 // lenient in real stacks only for Keepalive in Established;
                 // everything else is an error that resets the session.
-                let benign = matches!(
-                    (s, &m),
-                    (SessionState::Connect, BgpMessage::Keepalive)
-                );
+                let benign = matches!((s, &m), (SessionState::Connect, BgpMessage::Keepalive));
                 if !benign {
                     self.drop_session(&mut out, Some(NotificationCode::FsmError));
                 }

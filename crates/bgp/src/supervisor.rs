@@ -1,0 +1,599 @@
+//! Peer-session supervision: reconnect, liveness, and flap damping.
+//!
+//! The paper's prototype delegates session handling to ExaBGP; a deployed
+//! exchange additionally needs the *operational* layer around each session
+//! — noticing silent peers, re-establishing dropped sessions without
+//! thundering herds, and preventing a flapping peer from driving the
+//! policy compiler into a recompilation storm. [`Supervisor`] is that
+//! layer. It owns one [`Session`] FSM per peer and is driven by two calls:
+//!
+//! * [`handle_message`](Supervisor::handle_message) — a message arrived
+//!   from a peer; step its FSM, feed delivered UPDATEs to the
+//!   [`RouteServer`], and translate any session reset into an immediate
+//!   RIB flush.
+//! * [`tick`](Supervisor::tick) — time passed; expire hold timers, send
+//!   keepalives, retry connections (exponential backoff plus deterministic
+//!   jitter), decay flap penalties, and release suppressed peers.
+//!
+//! Time is a caller-supplied `u64` of milliseconds, so the supervisor is
+//! fully deterministic and directly unit-testable — the same philosophy as
+//! the session FSM itself.
+//!
+//! # Route-flap damping
+//!
+//! Each session reset adds [`SupervisorConfig::flap_penalty`] to the
+//! peer's penalty, which decays exponentially with half-life
+//! [`SupervisorConfig::half_life_ms`]. When the penalty reaches
+//! [`SupervisorConfig::suppress_threshold`] the peer is *suppressed*:
+//!
+//! * the reset that crossed the threshold still flushes the fabric — its
+//!   withdrawal prefixes are emitted immediately, so a dying peer's routes
+//!   never linger in the data plane;
+//! * every subsequent prefix change from the peer (re-announcements after
+//!   reconnect, further flap flushes) accumulates in a pending set and
+//!   produces **no** recompilation;
+//! * once the penalty decays below
+//!   [`SupervisorConfig::reuse_threshold`], the pending set is drained in
+//!   one batch — a single recompilation reinstates the peer's routes.
+//!
+//! A peer that flaps N times inside a half-life therefore costs O(1)
+//! recompilations, not O(N). While a peer is suppressed the route server's
+//! RIB may be ahead of the installed fabric for the pending prefixes; the
+//! batch release (or any full reoptimize) reconverges them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdx_net::{ParticipantId, Prefix};
+
+use crate::msg::{BgpMessage, OpenMessage};
+use crate::route_server::{RouteServer, RouteServerEvent};
+use crate::session::{Session, SessionEvent, SessionState};
+
+/// Tunables for reconnect backoff and route-flap damping.
+///
+/// The damping defaults follow RFC 2439's commonly deployed values
+/// (penalty 1000, suppress 2000, reuse 750, half-life 15 s scaled for the
+/// simulator's compressed clock).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SupervisorConfig {
+    /// First reconnect delay after a session drop, milliseconds.
+    pub reconnect_base_ms: u64,
+    /// Ceiling on the exponential reconnect backoff, milliseconds.
+    pub reconnect_max_ms: u64,
+    /// Penalty added to a peer for each session reset.
+    pub flap_penalty: f64,
+    /// Penalty at or above which the peer is suppressed.
+    pub suppress_threshold: f64,
+    /// Penalty below which a suppressed peer is released.
+    pub reuse_threshold: f64,
+    /// Exponential-decay half-life of the penalty, milliseconds.
+    pub half_life_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            reconnect_base_ms: 1_000,
+            reconnect_max_ms: 60_000,
+            flap_penalty: 1_000.0,
+            suppress_threshold: 2_000.0,
+            reuse_threshold: 750.0,
+            half_life_ms: 15_000,
+        }
+    }
+}
+
+/// What a supervision step produced.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SupervisorOutput {
+    /// Messages to transmit, in order, per peer.
+    pub send: Vec<(ParticipantId, BgpMessage)>,
+    /// Prefixes whose best route changed and should be pushed through the
+    /// controller's fast path now (already de-duplicated, sorted).
+    pub changed_prefixes: Vec<Prefix>,
+    /// Peers whose session dropped during this step.
+    pub resets: Vec<ParticipantId>,
+}
+
+impl SupervisorOutput {
+    fn push_changed(&mut self, prefixes: impl IntoIterator<Item = Prefix>) {
+        self.changed_prefixes.extend(prefixes);
+        self.changed_prefixes.sort();
+        self.changed_prefixes.dedup();
+    }
+}
+
+/// Per-peer supervision state.
+#[derive(Clone, Debug)]
+struct PeerState {
+    session: Session,
+    /// Flap penalty as of `penalty_at_ms` (decays exponentially).
+    penalty: f64,
+    penalty_at_ms: u64,
+    suppressed: bool,
+    /// Consecutive failed/dropped connections since the last establish.
+    attempts: u32,
+    /// When to (re)try connecting, if the session is down.
+    next_reconnect_at: Option<u64>,
+    /// Last time we heard anything from the peer.
+    last_heard_ms: u64,
+    /// Last time we sent a keepalive.
+    last_keepalive_ms: u64,
+    /// Prefix changes withheld while suppressed.
+    pending: BTreeSet<Prefix>,
+}
+
+/// Supervises every peer session of the exchange (see module docs).
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    rng: u64,
+    peers: BTreeMap<ParticipantId, PeerState>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given tunables; `seed` drives the reconnect
+    /// jitter deterministically (0 folds to a fixed odd constant).
+    pub fn new(cfg: SupervisorConfig, seed: u64) -> Self {
+        Supervisor {
+            cfg,
+            rng: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+            peers: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a peer; the session starts connecting on the next
+    /// [`tick`](Supervisor::tick). The peer must already be registered
+    /// with the route server that is later passed to
+    /// [`handle_message`](Supervisor::handle_message).
+    pub fn add_peer(&mut self, id: ParticipantId, local: OpenMessage, now_ms: u64) {
+        self.peers.insert(
+            id,
+            PeerState {
+                session: Session::new(local),
+                penalty: 0.0,
+                penalty_at_ms: now_ms,
+                suppressed: false,
+                attempts: 0,
+                next_reconnect_at: Some(now_ms),
+                last_heard_ms: now_ms,
+                last_keepalive_ms: now_ms,
+                pending: BTreeSet::new(),
+            },
+        );
+    }
+
+    /// The supervised session of `id`, if registered.
+    pub fn session(&self, id: ParticipantId) -> Option<&Session> {
+        self.peers.get(&id).map(|p| &p.session)
+    }
+
+    /// The peer's flap penalty decayed to `now_ms`.
+    pub fn penalty(&self, id: ParticipantId, now_ms: u64) -> f64 {
+        self.peers
+            .get(&id)
+            .map(|p| decay(&self.cfg, p.penalty, now_ms.saturating_sub(p.penalty_at_ms)))
+            .unwrap_or(0.0)
+    }
+
+    /// Whether the peer's prefix changes are currently being withheld.
+    pub fn is_suppressed(&self, id: ParticipantId) -> bool {
+        self.peers.get(&id).is_some_and(|p| p.suppressed)
+    }
+
+    /// Prefix changes withheld from the fabric while `id` is suppressed.
+    pub fn pending(&self, id: ParticipantId) -> Vec<Prefix> {
+        self.peers
+            .get(&id)
+            .map(|p| p.pending.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// A message arrived from peer `id` at `now_ms`: steps the FSM,
+    /// forwards delivered UPDATEs to `rs`, and handles any reset
+    /// (penalize, flush, schedule reconnect).
+    pub fn handle_message(
+        &mut self,
+        now_ms: u64,
+        id: ParticipantId,
+        msg: BgpMessage,
+        rs: &mut RouteServer,
+    ) -> SupervisorOutput {
+        let mut out = SupervisorOutput::default();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return out;
+        };
+        peer.last_heard_ms = now_ms;
+        let step = peer.session.handle(SessionEvent::Received(msg));
+        out.send.extend(step.send.into_iter().map(|m| (id, m)));
+        if step.established {
+            peer.attempts = 0;
+            peer.next_reconnect_at = None;
+            peer.last_keepalive_ms = now_ms;
+        }
+        let suppressed = peer.suppressed;
+        let mut changed: Vec<Prefix> = Vec::new();
+        for update in &step.updates {
+            changed.extend(prefixes_of(rs.process_update(id, update)));
+        }
+        if suppressed {
+            let peer = self.peers.get_mut(&id).expect("peer present");
+            peer.pending.extend(changed);
+        } else {
+            out.push_changed(changed);
+        }
+        if step.reset {
+            self.on_reset(now_ms, id, rs, &mut out);
+        }
+        out
+    }
+
+    /// Advances time to `now_ms`: expires hold timers, emits keepalives,
+    /// retries due connections, and releases peers whose penalty decayed
+    /// below the reuse threshold (draining their pending prefix set).
+    pub fn tick(&mut self, now_ms: u64, rs: &mut RouteServer) -> SupervisorOutput {
+        let mut out = SupervisorOutput::default();
+        let ids: Vec<ParticipantId> = self.peers.keys().copied().collect();
+        for id in ids {
+            self.tick_peer(now_ms, id, rs, &mut out);
+        }
+        out
+    }
+
+    fn tick_peer(
+        &mut self,
+        now_ms: u64,
+        id: ParticipantId,
+        rs: &mut RouteServer,
+        out: &mut SupervisorOutput,
+    ) {
+        let cfg = self.cfg;
+        let peer = self.peers.get_mut(&id).expect("peer present");
+
+        // Hold-timer bookkeeping: a negotiated hold time of 0 disables it.
+        if matches!(
+            peer.session.state(),
+            SessionState::Established | SessionState::OpenConfirm
+        ) {
+            if let Some(hold) = peer.session.negotiated_hold_time() {
+                let hold_ms = u64::from(hold) * 1_000;
+                if hold > 0 && now_ms.saturating_sub(peer.last_heard_ms) >= hold_ms {
+                    let step = peer.session.handle(SessionEvent::HoldTimerExpired);
+                    out.send.extend(step.send.into_iter().map(|m| (id, m)));
+                    if step.reset {
+                        self.on_reset(now_ms, id, rs, out);
+                    }
+                    return;
+                }
+                // RFC 4271 §4.4: keepalives at a third of the hold time.
+                let peer = self.peers.get_mut(&id).expect("peer present");
+                if peer.session.state() == SessionState::Established
+                    && hold > 0
+                    && now_ms.saturating_sub(peer.last_keepalive_ms) >= hold_ms / 3
+                {
+                    peer.last_keepalive_ms = now_ms;
+                    out.send.push((id, BgpMessage::Keepalive));
+                }
+            }
+        }
+
+        // Reconnect when due, with exponential backoff.
+        let idle_unscheduled = self.peers.get(&id).is_some_and(|p| {
+            p.session.state() == SessionState::Idle && p.next_reconnect_at.is_none()
+        });
+        if idle_unscheduled {
+            // Dropped outside our control (e.g. the FSM was driven
+            // directly); schedule as if we just observed the drop.
+            let attempts = self.peers[&id].attempts;
+            let delay = self.backoff_delay(attempts);
+            let peer = self.peers.get_mut(&id).expect("peer present");
+            peer.next_reconnect_at = Some(now_ms + delay);
+        }
+        let peer = self.peers.get_mut(&id).expect("peer present");
+        if peer.session.state() == SessionState::Idle {
+            let peer = self.peers.get_mut(&id).expect("peer present");
+            if peer.next_reconnect_at.is_some_and(|at| now_ms >= at) {
+                peer.next_reconnect_at = None;
+                let mut step = peer.session.handle(SessionEvent::ManualStart);
+                let connected = peer.session.handle(SessionEvent::Connected);
+                step.send.extend(connected.send);
+                out.send.extend(step.send.into_iter().map(|m| (id, m)));
+            }
+        }
+
+        // Penalty decay and release from suppression.
+        let peer = self.peers.get_mut(&id).expect("peer present");
+        peer.penalty = decay(
+            &cfg,
+            peer.penalty,
+            now_ms.saturating_sub(peer.penalty_at_ms),
+        );
+        peer.penalty_at_ms = now_ms;
+        if peer.suppressed && peer.penalty < cfg.reuse_threshold {
+            peer.suppressed = false;
+            let pending = std::mem::take(&mut peer.pending);
+            out.push_changed(pending);
+        }
+    }
+
+    /// Common reset handling: penalize, maybe suppress, flush the route
+    /// server, and schedule the reconnect.
+    fn on_reset(
+        &mut self,
+        now_ms: u64,
+        id: ParticipantId,
+        rs: &mut RouteServer,
+        out: &mut SupervisorOutput,
+    ) {
+        let cfg = self.cfg;
+        let delay = {
+            let peer = self.peers.get_mut(&id).expect("peer present");
+            let was_suppressed = peer.suppressed;
+            peer.penalty = decay(
+                &cfg,
+                peer.penalty,
+                now_ms.saturating_sub(peer.penalty_at_ms),
+            ) + cfg.flap_penalty;
+            peer.penalty_at_ms = now_ms;
+            if peer.penalty >= cfg.suppress_threshold {
+                peer.suppressed = true;
+            }
+            let flushed = prefixes_of(rs.reset_session(id));
+            if was_suppressed {
+                // The fabric holds nothing from this peer (it was flushed
+                // when suppression began), so the flush needs no
+                // recompilation now; replay it at release instead.
+                peer.pending.extend(flushed);
+            } else {
+                out.push_changed(flushed);
+            }
+            peer.attempts = peer.attempts.saturating_add(1);
+            self.backoff_delay(self.peers[&id].attempts)
+        };
+        let peer = self.peers.get_mut(&id).expect("peer present");
+        peer.next_reconnect_at = Some(now_ms + delay);
+        out.resets.push(id);
+    }
+
+    /// Exponential backoff with deterministic jitter: `base * 2^(n-1)`
+    /// capped at `reconnect_max_ms`, plus up to half a base interval.
+    fn backoff_delay(&mut self, attempts: u32) -> u64 {
+        let exp = attempts.saturating_sub(1).min(16);
+        let base = self
+            .cfg
+            .reconnect_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cfg.reconnect_max_ms);
+        let jitter_span = self.cfg.reconnect_base_ms / 2 + 1;
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        base + self.rng % jitter_span
+    }
+}
+
+/// Exponential decay of `penalty` after `elapsed_ms`.
+fn decay(cfg: &SupervisorConfig, penalty: f64, elapsed_ms: u64) -> f64 {
+    if cfg.half_life_ms == 0 {
+        return 0.0;
+    }
+    penalty * 0.5f64.powf(elapsed_ms as f64 / cfg.half_life_ms as f64)
+}
+
+/// The prefixes touched by a batch of route-server events.
+fn prefixes_of(events: Vec<RouteServerEvent>) -> Vec<Prefix> {
+    events
+        .into_iter()
+        .filter_map(|e| match e {
+            RouteServerEvent::PrefixChanged(p) => Some(p),
+            RouteServerEvent::SessionReset(_) => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{simple_announce, NotificationCode};
+    use crate::route_server::ExportPolicy;
+    use sdx_net::{ip, prefix, Asn, RouterId};
+
+    fn open(asn: u32, hold: u16) -> OpenMessage {
+        OpenMessage {
+            version: 4,
+            asn: Asn(asn),
+            hold_time: hold,
+            router_id: RouterId(asn),
+        }
+    }
+
+    fn rs_with(peers: &[u32]) -> RouteServer {
+        let mut rs = RouteServer::default();
+        for &p in peers {
+            rs.add_peer(
+                crate::rib::RouteSource {
+                    participant: ParticipantId(p),
+                    asn: Asn(65000 + p),
+                    router_id: RouterId(p),
+                    peer_addr: sdx_net::Ipv4Addr(0xac10_0000 + p),
+                },
+                ExportPolicy::allow_all(),
+            );
+        }
+        rs
+    }
+
+    /// Drives the supervised side to Established by playing the peer's
+    /// half of the handshake.
+    fn establish(sup: &mut Supervisor, rs: &mut RouteServer, id: ParticipantId, now: u64) {
+        let out = sup.tick(now, rs);
+        assert!(
+            out.send
+                .iter()
+                .any(|(p, m)| *p == id && matches!(m, BgpMessage::Open(_))),
+            "supervisor must initiate the connection"
+        );
+        sup.handle_message(now, id, BgpMessage::Open(open(60000 + id.0, 90)), rs);
+        let out = sup.handle_message(now, id, BgpMessage::Keepalive, rs);
+        assert!(out.changed_prefixes.is_empty());
+        assert_eq!(sup.session(id).unwrap().state(), SessionState::Established);
+    }
+
+    #[test]
+    fn supervisor_establishes_and_routes_updates() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        sup.add_peer(ParticipantId(1), open(65001, 90), 0);
+        establish(&mut sup, &mut rs, ParticipantId(1), 0);
+        let u = simple_announce(prefix("10.0.0.0/8"), &[65001], ip("1.1.1.1"));
+        let out = sup.handle_message(10, ParticipantId(1), BgpMessage::Update(u), &mut rs);
+        assert_eq!(out.changed_prefixes, vec![prefix("10.0.0.0/8")]);
+        assert!(out.resets.is_empty());
+    }
+
+    #[test]
+    fn reset_flushes_immediately_when_not_suppressed() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        sup.add_peer(ParticipantId(1), open(65001, 90), 0);
+        establish(&mut sup, &mut rs, ParticipantId(1), 0);
+        let u = simple_announce(prefix("10.0.0.0/8"), &[65001], ip("1.1.1.1"));
+        sup.handle_message(10, ParticipantId(1), BgpMessage::Update(u), &mut rs);
+        let out = sup.handle_message(
+            20,
+            ParticipantId(1),
+            BgpMessage::Notification {
+                code: NotificationCode::Cease,
+                subcode: 0,
+            },
+            &mut rs,
+        );
+        assert_eq!(out.resets, vec![ParticipantId(1)]);
+        assert_eq!(out.changed_prefixes, vec![prefix("10.0.0.0/8")]);
+        assert!(sup.penalty(ParticipantId(1), 20) > 0.0);
+    }
+
+    #[test]
+    fn flapping_peer_is_suppressed_then_released() {
+        let cfg = SupervisorConfig {
+            reconnect_base_ms: 10,
+            reconnect_max_ms: 100,
+            flap_penalty: 1_000.0,
+            suppress_threshold: 1_500.0,
+            reuse_threshold: 750.0,
+            half_life_ms: 1_000,
+        };
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(cfg, 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 90), 0);
+        establish(&mut sup, &mut rs, id, 0);
+
+        let mut recompiles = 0u32;
+        let mut now = 10;
+        for _ in 0..6 {
+            // Flap: notification drops the session.
+            let out = sup.handle_message(
+                now,
+                id,
+                BgpMessage::Notification {
+                    code: NotificationCode::Cease,
+                    subcode: 0,
+                },
+                &mut rs,
+            );
+            recompiles += u32::from(!out.changed_prefixes.is_empty());
+            // Let the backoff elapse, reconnect, re-announce.
+            now += 200;
+            let mut t = sup.tick(now, &mut rs);
+            while !t.send.iter().any(|(_, m)| matches!(m, BgpMessage::Open(_))) {
+                now += 200;
+                t = sup.tick(now, &mut rs);
+            }
+            sup.handle_message(now, id, BgpMessage::Open(open(60001, 90)), &mut rs);
+            sup.handle_message(now, id, BgpMessage::Keepalive, &mut rs);
+            let u = simple_announce(prefix("10.0.0.0/8"), &[65001], ip("1.1.1.1"));
+            let out = sup.handle_message(now, id, BgpMessage::Update(u), &mut rs);
+            recompiles += u32::from(!out.changed_prefixes.is_empty());
+            now += 10;
+        }
+        assert!(sup.is_suppressed(id), "six rapid flaps must suppress");
+        assert!(
+            recompiles <= 3,
+            "suppression must bound recompilations, got {recompiles}"
+        );
+        assert_eq!(sup.pending(id), vec![prefix("10.0.0.0/8")]);
+
+        // Far in the future the penalty has decayed below reuse: the
+        // pending announcement is released in one batch.
+        let out = sup.tick(now + 60_000, &mut rs);
+        assert!(!sup.is_suppressed(id));
+        assert_eq!(out.changed_prefixes, vec![prefix("10.0.0.0/8")]);
+        assert!(sup.pending(id).is_empty());
+    }
+
+    #[test]
+    fn hold_timer_expiry_is_driven_by_tick() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 9), 0);
+        establish(&mut sup, &mut rs, id, 0);
+        // Negotiated hold is min(9, 90) = 9 s. Nothing heard for 10 s.
+        let out = sup.tick(10_000, &mut rs);
+        assert_eq!(out.resets, vec![id]);
+        assert!(out.send.iter().any(|(_, m)| matches!(
+            m,
+            BgpMessage::Notification {
+                code: NotificationCode::HoldTimerExpired,
+                ..
+            }
+        )));
+        assert_eq!(sup.session(id).unwrap().state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn keepalives_flow_while_established() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 9), 0);
+        establish(&mut sup, &mut rs, id, 0);
+        // A third of the 9 s hold time has passed: keepalive goes out.
+        let out = sup.tick(3_000, &mut rs);
+        assert!(out.send.contains(&(id, BgpMessage::Keepalive)));
+        // But not again immediately.
+        let out = sup.tick(3_100, &mut rs);
+        assert!(!out.send.contains(&(id, BgpMessage::Keepalive)));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = SupervisorConfig {
+            reconnect_base_ms: 100,
+            reconnect_max_ms: 1_000,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(cfg, 42);
+        let jitter_max = cfg.reconnect_base_ms / 2;
+        for (attempts, floor) in [
+            (1u32, 100u64),
+            (2, 200),
+            (3, 400),
+            (4, 800),
+            (5, 1_000),
+            (9, 1_000),
+        ] {
+            let d = sup.backoff_delay(attempts);
+            assert!(
+                d >= floor && d <= floor + jitter_max,
+                "attempt {attempts}: delay {d} outside [{floor}, {}]",
+                floor + jitter_max
+            );
+        }
+    }
+}

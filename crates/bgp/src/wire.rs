@@ -134,7 +134,12 @@ fn encode_update(u: &UpdateMessage, out: &mut BytesMut) {
     // Path attributes.
     let mut attrs = BytesMut::new();
     if let Some(a) = &u.attrs {
-        encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[a.origin.value()]);
+        encode_attr(
+            &mut attrs,
+            FLAG_TRANSITIVE,
+            ATTR_ORIGIN,
+            &[a.origin.value()],
+        );
 
         let mut path = BytesMut::new();
         for seg in &a.as_path.segments {
@@ -160,7 +165,12 @@ fn encode_update(u: &UpdateMessage, out: &mut BytesMut) {
             encode_attr(&mut attrs, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
         }
         if let Some(lp) = a.local_pref {
-            encode_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+            encode_attr(
+                &mut attrs,
+                FLAG_TRANSITIVE,
+                ATTR_LOCAL_PREF,
+                &lp.to_be_bytes(),
+            );
         }
         if !a.communities.is_empty() {
             let mut cs = BytesMut::new();
@@ -210,8 +220,7 @@ pub fn decode(buf: &mut Bytes) -> Result<BgpMessage, WireError> {
             if body.len() < 2 {
                 return Err(WireError::Truncated);
             }
-            let code =
-                NotificationCode::from_value(body[0]).ok_or(WireError::BadNotification)?;
+            let code = NotificationCode::from_value(body[0]).ok_or(WireError::BadNotification)?;
             Ok(BgpMessage::Notification {
                 code,
                 subcode: body[1],
@@ -384,7 +393,7 @@ fn decode_attrs(mut body: Bytes) -> Result<PathAttributes, WireError> {
                 local_pref = Some(val.get_u32());
             }
             ATTR_COMMUNITIES => {
-                if val.len() % 4 != 0 {
+                if !val.len().is_multiple_of(4) {
                     return Err(WireError::BadAttribute);
                 }
                 while val.has_remaining() {

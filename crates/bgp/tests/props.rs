@@ -5,6 +5,7 @@ use sdx_bgp::attrs::{AsPath, AsPathSegment, Community, Origin, PathAttributes};
 use sdx_bgp::decision;
 use sdx_bgp::msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
 use sdx_bgp::rib::{Route, RouteSource};
+use sdx_bgp::session::{Session, SessionEvent, SessionState};
 use sdx_bgp::wire;
 use sdx_net::{Asn, Ipv4Addr, ParticipantId, Prefix, RouterId};
 
@@ -82,6 +83,16 @@ fn arb_message() -> impl Strategy<Value = BgpMessage> {
     ]
 }
 
+fn arb_session_event() -> impl Strategy<Value = SessionEvent> {
+    prop_oneof![
+        Just(SessionEvent::ManualStart),
+        Just(SessionEvent::Connected),
+        Just(SessionEvent::HoldTimerExpired),
+        Just(SessionEvent::ManualStop),
+        arb_message().prop_map(SessionEvent::Received),
+    ]
+}
+
 fn arb_route() -> impl Strategy<Value = Route> {
     (arb_attrs(), 0u32..16, any::<u32>(), any::<u32>()).prop_map(|(attrs, p, rid, addr)| Route {
         source: RouteSource {
@@ -143,6 +154,54 @@ proptest! {
         // The winner may be a tie-equal route; compare by decision equality.
         let (b1, b2) = (best1.unwrap(), best2.unwrap());
         prop_assert_eq!(decision::compare(&b1, &b2), core::cmp::Ordering::Equal);
+    }
+
+    /// The session FSM never panics and always lands in one of the five
+    /// declared states, whatever the event sequence — and its invariants
+    /// hold at every step: negotiated hold time and peer parameters exist
+    /// only once the OPEN exchange completed, and are gone again in Idle.
+    #[test]
+    fn session_fsm_total_under_arbitrary_events(
+        hold in proptest::num::u16::ANY,
+        events in proptest::collection::vec(arb_session_event(), 0..48),
+    ) {
+        let mut s = Session::new(OpenMessage {
+            version: 4,
+            asn: Asn(65001),
+            hold_time: hold,
+            router_id: RouterId(1),
+        });
+        for ev in events {
+            let out = s.handle(ev);
+            let state = s.state();
+            prop_assert!(matches!(
+                state,
+                SessionState::Idle
+                    | SessionState::Connect
+                    | SessionState::OpenSent
+                    | SessionState::OpenConfirm
+                    | SessionState::Established
+            ));
+            // A reset must land in Idle with session context cleared.
+            if out.reset {
+                prop_assert_eq!(state, SessionState::Idle);
+            }
+            if state == SessionState::Idle {
+                prop_assert_eq!(s.negotiated_hold_time(), None);
+                prop_assert!(s.peer().is_none());
+            }
+            // OPEN parameters exist exactly from OpenConfirm onwards.
+            let open_done = matches!(
+                state,
+                SessionState::OpenConfirm | SessionState::Established
+            );
+            prop_assert_eq!(s.negotiated_hold_time().is_some(), open_done);
+            prop_assert_eq!(s.peer().is_some(), open_done);
+            // UPDATEs are only ever delivered while Established.
+            if !out.updates.is_empty() {
+                prop_assert_eq!(state, SessionState::Established);
+            }
+        }
     }
 
     /// AS-path prepending increases selection length monotonically and

@@ -25,17 +25,23 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use sdx_bgp::route_server::RouteServer;
+use sdx_net::Mod;
 use sdx_net::{Ipv4Addr, MacAddr, ParticipantId, PortId, Prefix};
 use sdx_policy::classifier::{Action, Classifier, Rule};
 use sdx_policy::{compile as compile_policy, Policy};
-use sdx_net::Mod;
 
+use crate::error::SdxError;
+use crate::faults::{FaultPlan, InjectionPoint};
 use crate::fec::{partition_by_signature, FecGroup};
 use crate::participant::ParticipantConfig;
 use crate::transform::{
     self, compose_optimized, dst_coverage, expand_fwd_rule, Coverage, FwdRule, TransformError,
 };
 use crate::vnh::VnhAllocator;
+
+/// Per FEC group: rule indices whose affected set contains the group,
+/// plus the subset that only partially covers it.
+type GroupMembership = (BTreeSet<usize>, BTreeSet<usize>);
 
 /// Switches for the §4.3.1 optimizations — all on by default; the ablation
 /// benches turn them off one at a time.
@@ -168,15 +174,19 @@ impl SdxCompiler {
     /// The outbound policy effective for `viewer`: its own policy plus
     /// every remote fragment, in parallel.
     pub fn effective_outbound(&self, viewer: ParticipantId) -> Option<Policy> {
-        let own = self.participants.get(&viewer).and_then(|c| c.outbound.clone());
-        let globals: Vec<Policy> =
-            self.global_policies.iter().map(|(_, p)| p.clone()).collect();
+        let own = self
+            .participants
+            .get(&viewer)
+            .and_then(|c| c.outbound.clone());
+        let globals: Vec<Policy> = self
+            .global_policies
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
         match (own, globals.is_empty()) {
             (own, true) => own,
             (None, false) => globals.into_iter().reduce(|a, b| a + b),
-            (Some(own), false) => {
-                Some(globals.into_iter().fold(own, |acc, g| acc + g))
-            }
+            (Some(own), false) => Some(globals.into_iter().fold(own, |acc, g| acc + g)),
         }
     }
 
@@ -198,7 +208,20 @@ impl SdxCompiler {
         &mut self,
         rs: &RouteServer,
         vnh: &mut VnhAllocator,
-    ) -> Result<CompileReport, TransformError> {
+    ) -> Result<CompileReport, SdxError> {
+        self.compile_all_with_faults(rs, vnh, &mut FaultPlan::disabled())
+    }
+
+    /// [`compile_all`](Self::compile_all) with a fault-injection plan
+    /// threaded through the named pipeline points (compilation entry and
+    /// each VNH allocation).
+    pub fn compile_all_with_faults(
+        &mut self,
+        rs: &RouteServer,
+        vnh: &mut VnhAllocator,
+        faults: &mut FaultPlan,
+    ) -> Result<CompileReport, SdxError> {
+        faults.check(InjectionPoint::Compile)?;
         let t0 = Instant::now();
         let mut stats = CompileStats::default();
 
@@ -223,8 +246,7 @@ impl SdxCompiler {
         let mut groups: BTreeMap<ParticipantId, Vec<FecGroup>> = BTreeMap::new();
         // (viewer, group-id) → set of rule indices whose affected set
         // contains the group, plus partial-coverage marks.
-        let mut rule_membership: BTreeMap<ParticipantId, Vec<(BTreeSet<usize>, BTreeSet<usize>)>> =
-            BTreeMap::new();
+        let mut rule_membership: BTreeMap<ParticipantId, Vec<GroupMembership>> = BTreeMap::new();
         // prefixes_via scans the whole Loc-RIB; many rules share the same
         // (viewer, target) pair, so cache the scan.
         let mut via_cache: HashMap<(ParticipantId, ParticipantId), Vec<Prefix>> = HashMap::new();
@@ -277,7 +299,8 @@ impl SdxCompiler {
             let mut viewer_groups = Vec::with_capacity(parts.len());
             let mut memberships = Vec::with_capacity(parts.len());
             for prefixes in parts {
-                let (id, addr, vmac) = vnh.allocate();
+                faults.check(InjectionPoint::VnhAlloc)?;
+                let (id, addr, vmac) = vnh.try_allocate()?;
                 let first = prefixes[0];
                 let default_next_hop = rs.best_for(viewer, first).map(|r| r.source.participant);
                 let (mem, part) = sig_of_prefix[&first].clone();
@@ -349,12 +372,16 @@ impl SdxCompiler {
                             PortId::Virt(nh),
                             vgroups,
                             |g| {
-                                let idx = vgroups.iter().position(|x| x.id == g.id).expect("own");
-                                memberships[idx].0.contains(&k)
+                                vgroups
+                                    .iter()
+                                    .position(|x| x.id == g.id)
+                                    .is_some_and(|idx| memberships[idx].0.contains(&k))
                             },
                             |g| {
-                                let idx = vgroups.iter().position(|x| x.id == g.id).expect("own");
-                                memberships[idx].1.contains(&k)
+                                vgroups
+                                    .iter()
+                                    .position(|x| x.id == g.id)
+                                    .is_some_and(|idx| memberships[idx].1.contains(&k))
                             },
                         );
                         for r in &expanded {
@@ -371,7 +398,7 @@ impl SdxCompiler {
                             continue;
                         };
                         let Some(mac) = target_cfg.port_mac(idx) else {
-                            return Err(TransformError::NoSuchPort(owner, idx));
+                            return Err(TransformError::NoSuchPort(owner, idx).into());
                         };
                         // Port steering is a *direct output* — `fwd(E1)`
                         // means "this exact port". It deliberately bypasses
@@ -537,11 +564,7 @@ mod tests {
 
     /// Sends `pkt` through the compiled data plane the way a border router
     /// would: resolve the viewer's VNH for the destination, tag, classify.
-    fn send(
-        report: &CompileReport,
-        viewer: u32,
-        pkt: Packet,
-    ) -> Vec<LocatedPacket> {
+    fn send(report: &CompileReport, viewer: u32, pkt: Packet) -> Vec<LocatedPacket> {
         let viewer_id = ParticipantId(viewer);
         // Stage 1 of the multi-stage FIB (what the border router does):
         // find the most specific announced prefix covering the destination.
@@ -635,7 +658,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].loc, PortId::Phys(ParticipantId(3), 1));
         // p5 is untouched by any policy: no VNH was allocated for it.
-        assert!(!report.vnh_of.keys().any(|(_, p)| *p == prefix("50.0.0.0/8")));
+        assert!(!report
+            .vnh_of
+            .keys()
+            .any(|(_, p)| *p == prefix("50.0.0.0/8")));
         // Default delivery for p5 still works via the MAC-learning rules
         // (next hop = D's physical address, untouched by the SDX)…
         let best = rs.best_for(ParticipantId(1), prefix("50.0.0.0/8")).unwrap();

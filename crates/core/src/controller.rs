@@ -22,9 +22,12 @@ use sdx_openflow::fabric::Fabric;
 use sdx_policy::Policy;
 
 use crate::compiler::{CompileReport, SdxCompiler};
+use crate::error::SdxError;
+use crate::faults::{FaultPlan, InjectionPoint};
 use crate::incremental::DeltaResult;
 use crate::participant::ParticipantConfig;
 use crate::transform::TransformError;
+use crate::txn::{DeltaTxn, FabricTxn};
 use crate::vnh::VnhAllocator;
 
 /// Priority floor for delta overlays; the base table compiles into
@@ -45,20 +48,23 @@ pub struct SdxController {
     pub vnh: VnhAllocator,
     /// The last full compilation, if any.
     pub report: Option<CompileReport>,
+    /// The fault-injection plan threaded through every pipeline run.
+    /// Disabled by default; test harnesses arm it to exercise rollback.
+    pub faults: FaultPlan,
     /// Monotone counter of delta overlays currently installed.
-    delta_layers: u32,
+    pub(crate) delta_layers: u32,
     /// Next free priority for an overlay (monotonic; reset on reoptimize).
-    next_delta_priority: u32,
+    pub(crate) next_delta_priority: u32,
     /// FEC ids allocated by fast-path deltas since the last reoptimize —
     /// recycled (with the previous report's group ids) once background
     /// re-optimization replaces every rule and FIB entry that used them.
-    live_delta_ids: Vec<crate::fec::FecId>,
+    pub(crate) live_delta_ids: Vec<crate::fec::FecId>,
     /// Pending (viewer, prefix, vnh) re-advertisements accumulated since
     /// the last fabric sync.
-    pending_fib: Vec<(ParticipantId, Prefix, Option<Ipv4Addr>)>,
+    pub(crate) pending_fib: Vec<(ParticipantId, Prefix, Option<Ipv4Addr>)>,
     /// Per-viewer Adj-RIB-Out: what the route server last advertised, so
     /// synchronization sends minimal BGP diffs rather than table dumps.
-    rib_out: BTreeMap<ParticipantId, AdjRibOut>,
+    pub(crate) rib_out: BTreeMap<ParticipantId, AdjRibOut>,
 }
 
 impl Default for SdxController {
@@ -75,6 +81,7 @@ impl SdxController {
             rs: RouteServer::new(),
             vnh: VnhAllocator::default(),
             report: None,
+            faults: FaultPlan::disabled(),
             delta_layers: 0,
             next_delta_priority: DELTA_BASE,
             pending_fib: Vec::new(),
@@ -116,8 +123,7 @@ impl SdxController {
         for r in &rules {
             if let Some(t) = r.target {
                 let owner = t.participant();
-                if self.compiler.participant(owner).is_none() && !unknown_targets.contains(&owner)
-                {
+                if self.compiler.participant(owner).is_none() && !unknown_targets.contains(&owner) {
                     unknown_targets.push(owner);
                 }
             }
@@ -167,12 +173,19 @@ impl SdxController {
     /// Processes one BGP update through the route server and the fast
     /// path, applying the delta overlay to `fabric` (switch rules, ARP
     /// bindings, and FIB re-advertisements).
+    ///
+    /// The fabric mutation is transactional: on any failure (policy
+    /// transformation, VNH exhaustion, validation, injected fault) the
+    /// installed fabric and the controller's bookkeeping roll back to the
+    /// pre-call state, and the typed error is returned. The route server's
+    /// RIB keeps the update — BGP knowledge is never discarded — so a
+    /// later [`reoptimize`](Self::reoptimize) converges the data plane.
     pub fn process_update(
         &mut self,
         from: ParticipantId,
         update: &UpdateMessage,
         fabric: &mut Fabric,
-    ) -> Result<DeltaResult, TransformError> {
+    ) -> Result<DeltaResult, SdxError> {
         let events = self.rs.process_update(from, update);
         let changed: Vec<Prefix> = events
             .into_iter()
@@ -181,19 +194,60 @@ impl SdxController {
                 RouteServerEvent::SessionReset(_) => None,
             })
             .collect();
-        let delta = self
-            .compiler
-            .fast_update_burst(&self.rs, &mut self.vnh, &changed)?;
-        self.apply_delta(&delta, fabric);
+        self.apply_changed_prefixes(&changed, fabric)
+    }
+
+    /// Runs the fast path for prefixes whose routes already changed in the
+    /// route server (e.g. replayed withdrawals after a supervised session
+    /// reset) and commits the delta transactionally, exactly like
+    /// [`process_update`](Self::process_update).
+    pub fn apply_changed_prefixes(
+        &mut self,
+        changed: &[Prefix],
+        fabric: &mut Fabric,
+    ) -> Result<DeltaResult, SdxError> {
+        let txn = DeltaTxn::begin(self);
+        match self.fast_path_in_txn(changed, fabric) {
+            Ok(delta) => Ok(delta),
+            Err(e) => {
+                txn.rollback(self, fabric);
+                Err(e)
+            }
+        }
+    }
+
+    /// The staged (validate, then mutate) portion of the fast path; runs
+    /// inside a [`DeltaTxn`].
+    fn fast_path_in_txn(
+        &mut self,
+        changed: &[Prefix],
+        fabric: &mut Fabric,
+    ) -> Result<DeltaResult, SdxError> {
+        let delta = self.compiler.fast_update_burst_with_faults(
+            &self.rs,
+            &mut self.vnh,
+            changed,
+            &mut self.faults,
+        )?;
+        crate::txn::validate_delta(&delta)?;
+        self.apply_delta(&delta, fabric)?;
         Ok(delta)
     }
 
     /// Installs a fast-path delta on the fabric.
-    pub fn apply_delta(&mut self, delta: &DeltaResult, fabric: &mut Fabric) {
+    ///
+    /// Direct callers get no rollback — the transactional entry points
+    /// ([`process_update`](Self::process_update),
+    /// [`apply_changed_prefixes`](Self::apply_changed_prefixes)) wrap this
+    /// in a [`DeltaTxn`] and are what non-test code should use.
+    pub fn apply_delta(
+        &mut self,
+        delta: &DeltaResult,
+        fabric: &mut Fabric,
+    ) -> Result<(), SdxError> {
         if !delta.rules.is_empty() {
             self.delta_layers += 1;
-            let overlay =
-                crate::incremental::delta_classifier(delta.rules.clone());
+            let overlay = crate::incremental::delta_classifier(delta.rules.clone());
             // Install only the real rules; the overlay's synthetic
             // catch-all would blackhole the base table.
             let n = overlay.rules().len() as u32;
@@ -203,15 +257,20 @@ impl SdxController {
                 if r.matches.is_wildcard() && r.is_drop() {
                     continue;
                 }
-                fabric.switch.table_mut().install(
-                    sdx_openflow::table::FlowEntry::new(
+                fabric
+                    .switch
+                    .table_mut()
+                    .install(sdx_openflow::table::FlowEntry::new(
                         base + n - i as u32,
                         r.matches,
                         r.actions.iter().map(|a| a.mods.clone()).collect(),
-                    ),
-                );
+                    ));
             }
         }
+        // Mid-commit fault point: overlay rules are staged on the switch
+        // but ARP/FIB synchronization has not run — a firing here leaves
+        // the fabric torn unless the enclosing transaction rolls back.
+        self.faults.check(InjectionPoint::FabricCommit)?;
         for &(vnh, vmac) in &delta.arp_bindings {
             fabric.arp.bind(vnh, vmac);
             if let Some(id) = vmac.fec_id() {
@@ -220,10 +279,16 @@ impl SdxController {
         }
         self.pending_fib.extend(delta.vnh_updates.iter().copied());
         self.flush_fib(fabric);
+        Ok(())
     }
 
     /// Runs the full (background) pipeline and swaps the fabric state:
     /// fresh base table, fresh ARP bindings, FIB re-sync, overlays retired.
+    ///
+    /// The swap is transactional: the compiled result is validated before
+    /// any mutation, and any failure (compilation, validation, injected
+    /// fault) rolls the fabric and the controller bookkeeping back to the
+    /// pre-call state byte-for-byte, returning the typed error.
     ///
     /// VNH recycling: the previous compilation's group ids and every
     /// fast-path delta id are released back to the pool here — by the end
@@ -231,7 +296,27 @@ impl SdxController {
     /// them (the table is replaced, the FIBs are reconciled to the new VNH
     /// map, and router ARP caches are flushed below), so a long-lived
     /// controller never exhausts the pool under sustained churn.
-    pub fn reoptimize(&mut self, fabric: &mut Fabric) -> Result<&CompileReport, TransformError> {
+    pub fn reoptimize(&mut self, fabric: &mut Fabric) -> Result<&CompileReport, SdxError> {
+        let txn = FabricTxn::begin(self, fabric);
+        match self.reoptimize_in_txn(fabric) {
+            Ok(()) => match self.report.as_ref() {
+                Some(r) => Ok(r),
+                // Unreachable by construction: the txn body always sets
+                // the report on success.
+                None => Err(SdxError::InvalidCommit(
+                    "reoptimize committed without a report".into(),
+                )),
+            },
+            Err(e) => {
+                txn.rollback(self, fabric);
+                Err(e)
+            }
+        }
+    }
+
+    /// The staged (compile, validate, then mutate) portion of reoptimize;
+    /// runs inside a [`FabricTxn`].
+    fn reoptimize_in_txn(&mut self, fabric: &mut Fabric) -> Result<(), SdxError> {
         let mut retired: Vec<crate::fec::FecId> = std::mem::take(&mut self.live_delta_ids);
         let mut retired_addrs: Vec<Ipv4Addr> = Vec::new();
         if let Some(old) = &self.report {
@@ -242,10 +327,25 @@ impl SdxController {
                 }
             }
         }
-        let report = self.compiler.compile_all(&self.rs, &mut self.vnh)?;
+        // Release the retiring generation *before* compiling, so a pool
+        // exhausted by fast-path churn can recover here. Safe under the
+        // transaction: the snapshot restores the allocator on failure, and
+        // on success the whole fabric generation is swapped in this same
+        // commit, so a recycled id can never alias a live binding.
+        for &id in &retired {
+            self.vnh.release(id);
+        }
+        let report =
+            self.compiler
+                .compile_all_with_faults(&self.rs, &mut self.vnh, &mut self.faults)?;
+        crate::txn::validate_report(&report)?;
         fabric.switch.load_classifier(&report.classifier);
         self.delta_layers = 0;
         self.next_delta_priority = DELTA_BASE;
+        // Mid-commit fault point: the base table is already swapped but
+        // ARP and FIBs are not yet synchronized — the torn state a firing
+        // here produces must be rolled back by the enclosing transaction.
+        self.faults.check(InjectionPoint::FabricCommit)?;
         self.install_static_arp(fabric);
         for &(vnh, vmac) in &report.arp_bindings {
             fabric.arp.bind(vnh, vmac);
@@ -261,9 +361,6 @@ impl SdxController {
                 fabric.arp.unbind(addr);
             }
         }
-        for id in retired {
-            self.vnh.release(id);
-        }
         let ports: Vec<_> = fabric.ports().collect();
         for port in ports {
             if let Some(r) = fabric.router_mut(port) {
@@ -272,7 +369,7 @@ impl SdxController {
         }
         self.report = Some(report);
         self.full_fib_sync(fabric);
-        Ok(self.report.as_ref().expect("just set"))
+        Ok(())
     }
 
     /// Binds every participant port's physical address → MAC.
@@ -344,7 +441,7 @@ impl SdxController {
     /// Builds a fabric with one border router per participant port,
     /// compiles, and fully syncs — the one-call deployment used by the
     /// examples and the deployment experiments.
-    pub fn deploy(&mut self) -> Result<Fabric, TransformError> {
+    pub fn deploy(&mut self) -> Result<Fabric, SdxError> {
         let mut fabric = Fabric::new();
         let routers: Vec<BorderRouter> = self
             .compiler
@@ -432,8 +529,8 @@ pub struct PolicyDiagnostics {
 pub enum LbError {
     /// The requesting participant never announced the anycast prefix.
     NotOwner(ParticipantId, Prefix),
-    /// The resulting policy failed to compile.
-    Compile(TransformError),
+    /// The resulting policy failed to compile or commit.
+    Compile(SdxError),
 }
 
 impl std::fmt::Display for LbError {
@@ -465,9 +562,8 @@ mod tests {
         let mut ctl = SdxController::new();
         let a = ParticipantConfig::new(1, 65001, 1);
         let b = ParticipantConfig::new(2, 65002, 1);
-        let c = ParticipantConfig::new(3, 65003, 1).with_outbound(
-            P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))),
-        );
+        let c = ParticipantConfig::new(3, 65003, 1)
+            .with_outbound(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))));
         ctl.add_participant(a.clone(), ExportPolicy::allow_all());
         ctl.add_participant(b.clone(), ExportPolicy::allow_all());
         ctl.add_participant(c, ExportPolicy::allow_all());
@@ -577,10 +673,14 @@ mod tests {
         ctl.add_participant(a.clone(), ExportPolicy::allow_all());
         ctl.add_participant(b.clone(), ExportPolicy::allow_all());
         ctl.add_participant(d.clone(), ExportPolicy::allow_all());
-        ctl.rs
-            .process_update(pid(2), &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]));
-        ctl.rs
-            .process_update(pid(2), &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]));
+        ctl.rs.process_update(
+            pid(2),
+            &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]),
+        );
+        ctl.rs.process_update(
+            pid(2),
+            &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]),
+        );
         ctl.rs
             .process_update(pid(4), &d.announce([prefix("74.125.1.0/24")], &[65004]));
         let mut fabric = ctl.deploy().expect("deploy");

@@ -1,0 +1,97 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Every fallible step of the controller runtime — policy transformation,
+//! VNH allocation, fabric commit validation, and injected test faults —
+//! funnels into [`SdxError`], so callers of
+//! [`process_update`](crate::controller::SdxController::process_update) and
+//! [`reoptimize`](crate::controller::SdxController::reoptimize) see one
+//! typed error channel instead of a mixture of panics and ad-hoc enums.
+
+use sdx_net::Prefix;
+
+use crate::faults::InjectionPoint;
+use crate::transform::TransformError;
+
+/// Any error the controller runtime can report.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SdxError {
+    /// A participant policy failed one of the §4.1 transformations
+    /// (isolation, unicast restriction, unknown ports).
+    Transform(TransformError),
+    /// The VNH pool has no free addresses left. The transaction that hit
+    /// this is rolled back; a subsequent
+    /// [`reoptimize`](crate::controller::SdxController::reoptimize)
+    /// recycles retired delta ids and usually clears the condition.
+    VnhExhausted {
+        /// The pool that ran dry.
+        pool: Prefix,
+    },
+    /// Pre-commit validation rejected a compiled result; the installed
+    /// fabric was left untouched.
+    InvalidCommit(String),
+    /// A deterministic fault-injection point fired (test harnesses only;
+    /// see [`crate::faults::FaultPlan`]).
+    Injected(InjectionPoint),
+}
+
+impl core::fmt::Display for SdxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SdxError::Transform(e) => write!(f, "policy transformation failed: {e}"),
+            SdxError::VnhExhausted { pool } => {
+                write!(f, "VNH pool {pool} exhausted")
+            }
+            SdxError::InvalidCommit(why) => {
+                write!(f, "fabric commit rejected: {why}")
+            }
+            SdxError::Injected(point) => {
+                write!(f, "injected fault at {point}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdxError::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransformError> for SdxError {
+    fn from(e: TransformError) -> Self {
+        SdxError::Transform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{prefix, ParticipantId};
+
+    #[test]
+    fn display_is_informative() {
+        let e = SdxError::from(TransformError::MulticastOutbound(ParticipantId(7)));
+        assert!(e.to_string().contains("multicast"));
+        let e = SdxError::VnhExhausted {
+            pool: prefix("10.0.0.0/30"),
+        };
+        assert!(e.to_string().contains("exhausted"));
+        let e = SdxError::Injected(InjectionPoint::FabricCommit);
+        assert!(e.to_string().contains("fabric-commit"));
+    }
+
+    #[test]
+    fn transform_source_is_chained() {
+        use std::error::Error;
+        let e = SdxError::from(TransformError::NoSuchPort(ParticipantId(1), 9));
+        assert!(e.source().is_some());
+        assert!(SdxError::VnhExhausted {
+            pool: prefix("10.0.0.0/30")
+        }
+        .source()
+        .is_none());
+    }
+}

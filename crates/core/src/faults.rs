@@ -1,0 +1,225 @@
+//! Deterministic fault injection for the controller runtime.
+//!
+//! A [`FaultPlan`] arms named [`InjectionPoint`]s in the pipeline —
+//! compilation start, VNH allocation, mid-fabric-commit — and decides,
+//! deterministically from a seed, whether each crossing of a point fails.
+//! The controller threads its plan through
+//! [`compile_all_with_faults`](crate::compiler::SdxCompiler::compile_all_with_faults)
+//! and the fast path, so recovery logic (transactional rollback, pool
+//! recycling) can be exercised by tests at exactly reproducible moments.
+//!
+//! A disarmed plan (the default) never fires and costs one branch per
+//! crossing, so production paths carry no measurable overhead.
+
+use std::collections::BTreeMap;
+
+use crate::error::SdxError;
+
+/// Named points in the controller pipeline where a fault can fire.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum InjectionPoint {
+    /// Entry of a full pipeline run (`compile_all`).
+    Compile,
+    /// A virtual-next-hop allocation (full pipeline or fast path).
+    VnhAlloc,
+    /// Mid-way through applying a compiled result to the fabric — after
+    /// flow rules are staged but before ARP/FIB synchronization, so a
+    /// firing here exercises rollback of a half-mutated fabric.
+    FabricCommit,
+}
+
+impl core::fmt::Display for InjectionPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InjectionPoint::Compile => write!(f, "compile"),
+            InjectionPoint::VnhAlloc => write!(f, "vnh-alloc"),
+            InjectionPoint::FabricCommit => write!(f, "fabric-commit"),
+        }
+    }
+}
+
+/// When an armed point fires.
+#[derive(Clone, Copy, Debug)]
+enum Trigger {
+    /// Fire on exactly the n-th crossing (1-based) of the point.
+    Nth(u64),
+    /// Fire on each crossing with this probability, drawn from the plan's
+    /// seeded generator.
+    Probability(f64),
+}
+
+/// A seeded, deterministic schedule of faults.
+///
+/// Two plans built with the same seed and the same arming calls make
+/// identical decisions at every crossing, independent of wall clock or
+/// global state — reruns of a failing test replay the exact fault.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Xorshift64 state; zero means "no probabilistic faults possible"
+    /// (the disarmed default).
+    rng: u64,
+    armed: Vec<(InjectionPoint, Trigger)>,
+    crossings: BTreeMap<InjectionPoint, u64>,
+    fired: u64,
+}
+
+impl FaultPlan {
+    /// A plan with nothing armed: every [`check`](Self::check) passes.
+    pub fn disabled() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan whose probabilistic decisions derive from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            // Xorshift needs a nonzero state; fold seed 0 onto a constant.
+            rng: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Arms `point` to fail on its `n`-th crossing (1-based), once.
+    pub fn fail_nth(mut self, point: InjectionPoint, n: u64) -> Self {
+        self.armed.push((point, Trigger::Nth(n.max(1))));
+        self
+    }
+
+    /// Arms `point` to fail each crossing with probability `p` (clamped to
+    /// `[0, 1]`), decided by the seeded generator.
+    pub fn fail_with_probability(mut self, point: InjectionPoint, p: f64) -> Self {
+        self.armed
+            .push((point, Trigger::Probability(p.clamp(0.0, 1.0))));
+        self
+    }
+
+    /// True if any injection point is armed.
+    pub fn is_armed(&self) -> bool {
+        !self.armed.is_empty()
+    }
+
+    /// How many times `point` has been crossed so far.
+    pub fn crossings(&self, point: InjectionPoint) -> u64 {
+        self.crossings.get(&point).copied().unwrap_or(0)
+    }
+
+    /// Total faults fired by this plan.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Records a crossing of `point` and decides whether it fails.
+    ///
+    /// The pipeline calls this at each named point; a disarmed plan
+    /// returns `Ok(())` without bookkeeping.
+    pub fn check(&mut self, point: InjectionPoint) -> Result<(), SdxError> {
+        if self.armed.is_empty() {
+            return Ok(());
+        }
+        let count = self.crossings.entry(point).or_insert(0);
+        *count += 1;
+        let count = *count;
+        let mut fire = false;
+        for (p, trigger) in &self.armed {
+            if *p != point {
+                continue;
+            }
+            match trigger {
+                Trigger::Nth(n) => fire |= count == *n,
+                Trigger::Probability(prob) => {
+                    let draw = (Self::next(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    fire |= draw < *prob;
+                }
+            }
+        }
+        if fire {
+            self.fired += 1;
+            Err(SdxError::Injected(point))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn next(state: &mut u64) -> u64 {
+        // Xorshift64: deterministic, dependency-free, good enough to
+        // decorrelate successive probability draws.
+        let mut x = if *state == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            *state
+        };
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_never_fires() {
+        let mut plan = FaultPlan::disabled();
+        for _ in 0..1000 {
+            assert!(plan.check(InjectionPoint::VnhAlloc).is_ok());
+        }
+        assert_eq!(plan.fired(), 0);
+        assert!(!plan.is_armed());
+    }
+
+    #[test]
+    fn nth_crossing_fires_exactly_once() {
+        let mut plan = FaultPlan::seeded(1).fail_nth(InjectionPoint::Compile, 3);
+        assert!(plan.check(InjectionPoint::Compile).is_ok());
+        assert!(plan.check(InjectionPoint::Compile).is_ok());
+        assert_eq!(
+            plan.check(InjectionPoint::Compile),
+            Err(SdxError::Injected(InjectionPoint::Compile))
+        );
+        assert!(plan.check(InjectionPoint::Compile).is_ok());
+        assert_eq!(plan.fired(), 1);
+        assert_eq!(plan.crossings(InjectionPoint::Compile), 4);
+    }
+
+    #[test]
+    fn points_are_counted_independently() {
+        let mut plan = FaultPlan::seeded(1).fail_nth(InjectionPoint::VnhAlloc, 1);
+        assert!(plan.check(InjectionPoint::Compile).is_ok());
+        assert!(plan.check(InjectionPoint::FabricCommit).is_ok());
+        assert!(plan.check(InjectionPoint::VnhAlloc).is_err());
+    }
+
+    #[test]
+    fn probability_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut plan =
+                FaultPlan::seeded(seed).fail_with_probability(InjectionPoint::VnhAlloc, 0.5);
+            (0..64)
+                .map(|_| plan.check(InjectionPoint::VnhAlloc).is_err())
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+        let fired = run(42).iter().filter(|&&b| b).count();
+        assert!(
+            fired > 10 && fired < 54,
+            "p=0.5 fires roughly half: {fired}"
+        );
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let mut never = FaultPlan::seeded(7).fail_with_probability(InjectionPoint::Compile, 0.0);
+        let mut always = FaultPlan::seeded(7).fail_with_probability(InjectionPoint::Compile, 1.0);
+        for _ in 0..32 {
+            assert!(never.check(InjectionPoint::Compile).is_ok());
+            assert!(always.check(InjectionPoint::Compile).is_err());
+        }
+    }
+}

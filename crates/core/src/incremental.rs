@@ -26,10 +26,10 @@ use sdx_net::{Ipv4Addr, MacAddr, ParticipantId, PortId, Prefix};
 use sdx_policy::classifier::{Classifier, Rule};
 
 use crate::compiler::SdxCompiler;
+use crate::error::SdxError;
+use crate::faults::{FaultPlan, InjectionPoint};
 use crate::fec::FecGroup;
-use crate::transform::{
-    self, dst_coverage, expand_fwd_rule, Coverage, TransformError,
-};
+use crate::transform::{self, dst_coverage, expand_fwd_rule, Coverage};
 use crate::vnh::VnhAllocator;
 
 /// The product of one fast-path recompilation.
@@ -63,7 +63,19 @@ impl SdxCompiler {
         rs: &RouteServer,
         vnh: &mut VnhAllocator,
         prefix: Prefix,
-    ) -> Result<DeltaResult, TransformError> {
+    ) -> Result<DeltaResult, SdxError> {
+        self.fast_update_with_faults(rs, vnh, prefix, &mut FaultPlan::disabled())
+    }
+
+    /// [`fast_update`](Self::fast_update) with a fault-injection plan
+    /// threaded through each VNH allocation.
+    pub fn fast_update_with_faults(
+        &mut self,
+        rs: &RouteServer,
+        vnh: &mut VnhAllocator,
+        prefix: Prefix,
+        faults: &mut FaultPlan,
+    ) -> Result<DeltaResult, SdxError> {
         let t0 = Instant::now();
         let mut out = DeltaResult::default();
 
@@ -115,7 +127,8 @@ impl SdxCompiler {
             }
 
             // Fresh singleton group — no MDS, no ARP invalidation.
-            let (id, addr, vmac) = vnh.allocate();
+            faults.check(InjectionPoint::VnhAlloc)?;
+            let (id, addr, vmac) = vnh.try_allocate()?;
             let group = FecGroup {
                 id,
                 viewer,
@@ -197,11 +210,23 @@ impl SdxCompiler {
         rs: &RouteServer,
         vnh: &mut VnhAllocator,
         prefixes: &[Prefix],
-    ) -> Result<DeltaResult, TransformError> {
+    ) -> Result<DeltaResult, SdxError> {
+        self.fast_update_burst_with_faults(rs, vnh, prefixes, &mut FaultPlan::disabled())
+    }
+
+    /// [`fast_update_burst`](Self::fast_update_burst) with a
+    /// fault-injection plan threaded through each VNH allocation.
+    pub fn fast_update_burst_with_faults(
+        &mut self,
+        rs: &RouteServer,
+        vnh: &mut VnhAllocator,
+        prefixes: &[Prefix],
+        faults: &mut FaultPlan,
+    ) -> Result<DeltaResult, SdxError> {
         let t0 = Instant::now();
         let mut merged = DeltaResult::default();
         for &p in prefixes {
-            let d = self.fast_update(rs, vnh, p)?;
+            let d = self.fast_update_with_faults(rs, vnh, p, faults)?;
             merged.rules.extend(d.rules);
             merged.arp_bindings.extend(d.arp_bindings);
             merged.vnh_updates.extend(d.vnh_updates);
@@ -335,11 +360,7 @@ mod tests {
             &simple_announce(prefix("20.0.0.0/8"), &[65002], ip("172.16.0.10")),
         );
         let delta = compiler
-            .fast_update_burst(
-                &rs,
-                &mut vnh,
-                &[prefix("10.0.0.0/8"), prefix("20.0.0.0/8")],
-            )
+            .fast_update_burst(&rs, &mut vnh, &[prefix("10.0.0.0/8"), prefix("20.0.0.0/8")])
             .unwrap();
         assert_eq!(delta.arp_bindings.len(), 2);
         assert!(delta.additional_rules() >= 4);

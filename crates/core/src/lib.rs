@@ -29,23 +29,34 @@
 //! * [`service_chain`] — the §8 extension: steering a traffic class
 //!   through an ordered sequence of middleboxes, synthesized from the
 //!   existing policy machinery.
+//! * [`error`] — the workspace-wide error taxonomy ([`SdxError`]).
+//! * [`txn`] — transactional fabric commits: snapshot, validate, commit
+//!   atomically, roll back to last-known-good on failure.
+//! * [`faults`] — seeded, deterministic fault injection for exercising the
+//!   recovery paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compiler;
 pub mod controller;
+pub mod error;
+pub mod faults;
 pub mod fec;
 pub mod incremental;
 pub mod participant;
 pub mod service_chain;
 pub mod transform;
+pub mod txn;
 pub mod vnh;
 pub mod vswitch;
 
 pub use compiler::{CompileOptions, CompileReport, SdxCompiler};
 pub use controller::SdxController;
+pub use error::SdxError;
+pub use faults::{FaultPlan, InjectionPoint};
 pub use fec::{minimum_disjoint_subsets, FecGroup, FecId};
 pub use participant::{ParticipantConfig, PhysicalPort};
 pub use service_chain::ServiceChain;
+pub use txn::{DeltaTxn, FabricTxn};
 pub use vnh::VnhAllocator;

@@ -99,9 +99,8 @@ impl ServiceChain {
         // consumer's port after the last hop).
         for (i, &hop) in self.hops.iter().enumerate() {
             let next = self.hops.get(i + 1).copied().unwrap_or(final_port);
-            let clause = Policy::filter(
-                Pred::Test(FieldMatch::InPort(hop)) & self.traffic.clone(),
-            ) >> Policy::fwd(next);
+            let clause = Policy::filter(Pred::Test(FieldMatch::InPort(hop)) & self.traffic.clone())
+                >> Policy::fwd(next);
             let owner = hop.participant();
             let existing = ctl
                 .compiler
@@ -211,12 +210,18 @@ mod tests {
             hops: vec![PortId::Phys(pid(1), 1)],
             ..base.clone()
         };
-        assert!(matches!(own_port.validate(&ctl), Err(ChainError::BadHop(_))));
+        assert!(matches!(
+            own_port.validate(&ctl),
+            Err(ChainError::BadHop(_))
+        ));
         let repeated = ServiceChain {
             hops: vec![PortId::Phys(pid(5), 1), PortId::Phys(pid(5), 1)],
             ..base.clone()
         };
-        assert!(matches!(repeated.validate(&ctl), Err(ChainError::BadHop(_))));
+        assert!(matches!(
+            repeated.validate(&ctl),
+            Err(ChainError::BadHop(_))
+        ));
         let virt = ServiceChain {
             hops: vec![PortId::Virt(pid(5))],
             ..base.clone()

@@ -18,9 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use sdx_net::{
-    FieldMatch, HeaderMatch, MacAddr, Mod, ParticipantId, PortId, Prefix,
-};
+use sdx_net::{FieldMatch, HeaderMatch, MacAddr, Mod, ParticipantId, PortId, Prefix};
 use sdx_policy::classifier::{Action, Classifier, Rule};
 
 use crate::fec::FecGroup;
@@ -48,7 +46,10 @@ impl core::fmt::Display for TransformError {
                 write!(f, "{p}: multicast outbound policies are not supported")
             }
             TransformError::InboundEscapesSwitch(p, port) => {
-                write!(f, "{p}: inbound policy forwards outside its switch ({port})")
+                write!(
+                    f,
+                    "{p}: inbound policy forwards outside its switch ({port})"
+                )
             }
             TransformError::MatchOutsideSwitch(p, port) => {
                 write!(f, "{p}: policy matches traffic outside its switch ({port})")
@@ -214,9 +215,7 @@ pub fn default_stage1_rules(groups: &[FecGroup]) -> Vec<Rule> {
 /// participant's virtual switch. These carry the default forwarding of
 /// every prefix the SDX left untouched (the route server re-advertised it
 /// with the real next hop). Sender-independent, hence un-isolated.
-pub fn mac_default_rules(
-    participants: &BTreeMap<ParticipantId, ParticipantConfig>,
-) -> Vec<Rule> {
+pub fn mac_default_rules(participants: &BTreeMap<ParticipantId, ParticipantConfig>) -> Vec<Rule> {
     let mut out = Vec::new();
     for cfg in participants.values() {
         for port in &cfg.ports {
@@ -276,7 +275,8 @@ pub fn stage2_block(
                 // Own port: normal delivery. Foreign physical port:
                 // middlebox steering (allowed; matching there is not).
                 let mac = if owner == me {
-                    cfg.port_mac(idx).ok_or(TransformError::NoSuchPort(me, idx))?
+                    cfg.port_mac(idx)
+                        .ok_or(TransformError::NoSuchPort(me, idx))?
                 } else {
                     foreign_mac(owner, idx).ok_or(TransformError::NoSuchPort(owner, idx))?
                 };
@@ -569,7 +569,10 @@ mod tests {
         let steering = &block.rules()[0];
         assert_eq!(
             steering.actions[0].mods,
-            vec![Mod::SetDlDst(mbox_mac), Mod::SetLoc(PortId::Phys(pid(3), 1))]
+            vec![
+                Mod::SetDlDst(mbox_mac),
+                Mod::SetLoc(PortId::Phys(pid(3), 1))
+            ]
         );
         // An unknown foreign port is rejected.
         assert!(matches!(

@@ -12,6 +12,7 @@
 
 use sdx_net::{Ipv4Addr, MacAddr, Prefix};
 
+use crate::error::SdxError;
 use crate::fec::FecId;
 
 /// Allocates `(FecId, VNH, VMAC)` triples from a configurable pool.
@@ -43,24 +44,36 @@ impl VnhAllocator {
         self.pool.size() - self.next_offset as u64 + self.free.len() as u64
     }
 
+    /// Allocates a fresh id/VNH/VMAC triple, or reports pool exhaustion as
+    /// a typed error. The controller's transactional paths use this so a
+    /// dry pool rolls back cleanly instead of tearing the process down.
+    pub fn try_allocate(&mut self) -> Result<(FecId, Ipv4Addr, MacAddr), SdxError> {
+        let off = match self.free.pop() {
+            Some(off) => off,
+            None => {
+                let off = self.next_offset;
+                if (off as u64) >= self.pool.size() {
+                    return Err(SdxError::VnhExhausted { pool: self.pool });
+                }
+                self.next_offset += 1;
+                off
+            }
+        };
+        let vnh = self.pool.addr().saturating_add(off);
+        Ok((FecId(off), vnh, MacAddr::vmac(off)))
+    }
+
     /// Allocates a fresh id/VNH/VMAC triple.
     ///
     /// # Panics
     /// Panics if the pool is exhausted — a configuration error (pool too
     /// small for the workload), not a runtime condition to limp past.
+    /// Recoverable callers use [`try_allocate`](Self::try_allocate).
     pub fn allocate(&mut self) -> (FecId, Ipv4Addr, MacAddr) {
-        let off = self.free.pop().unwrap_or_else(|| {
-            let off = self.next_offset;
-            assert!(
-                (off as u64) < self.pool.size(),
-                "VNH pool {} exhausted",
-                self.pool
-            );
-            self.next_offset += 1;
-            off
-        });
-        let vnh = self.pool.addr().saturating_add(off);
-        (FecId(off), vnh, MacAddr::vmac(off))
+        match self.try_allocate() {
+            Ok(triple) => triple,
+            Err(_) => panic!("VNH pool {} exhausted", self.pool),
+        }
     }
 
     /// Returns an id to the pool for reuse.
@@ -131,6 +144,18 @@ mod tests {
         let (id, _, _) = a.allocate();
         a.release(id);
         assert_eq!(a.remaining(), 6);
+    }
+
+    #[test]
+    fn try_allocate_reports_typed_exhaustion_and_recovers() {
+        let mut a = VnhAllocator::new(prefix("10.0.0.0/31")); // 2 addresses
+        let (id, _, _) = a.try_allocate().expect("first id fits");
+        assert!(matches!(
+            a.try_allocate(),
+            Err(SdxError::VnhExhausted { .. })
+        ));
+        a.release(id);
+        assert!(a.try_allocate().is_ok(), "released ids are reusable");
     }
 
     #[test]

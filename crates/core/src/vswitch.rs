@@ -16,7 +16,7 @@ use sdx_policy::dsl::PortResolver;
 /// writes them; numeric fallback `P7` beyond 26.
 pub fn participant_name(id: ParticipantId) -> String {
     let n = id.0;
-    if n >= 1 && n <= 26 {
+    if (1..=26).contains(&n) {
         char::from(b'A' + (n - 1) as u8).to_string()
     } else {
         format!("P{n}")

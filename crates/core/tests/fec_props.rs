@@ -14,8 +14,11 @@ fn arb_prefix_pool() -> impl Strategy<Value = Vec<Prefix>> {
 }
 
 fn arb_sets() -> impl Strategy<Value = Vec<Vec<Prefix>>> {
-    (arb_prefix_pool(), proptest::collection::vec(any::<u64>(), 0..8)).prop_map(
-        |(pool, masks)| {
+    (
+        arb_prefix_pool(),
+        proptest::collection::vec(any::<u64>(), 0..8),
+    )
+        .prop_map(|(pool, masks)| {
             masks
                 .into_iter()
                 .map(|mask| {
@@ -26,8 +29,7 @@ fn arb_sets() -> impl Strategy<Value = Vec<Vec<Prefix>>> {
                         .collect()
                 })
                 .collect()
-        },
-    )
+        })
 }
 
 proptest! {

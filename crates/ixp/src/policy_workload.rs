@@ -60,7 +60,9 @@ impl Default for PolicyWorkloadParams {
 /// selected header field".
 fn random_field(rng: &mut StdRng) -> Pred {
     match rng.gen_range(0..4u8) {
-        0 => Pred::Test(FieldMatch::TpDst(*[80u16, 443, 8080, 1935].choose(rng).expect("set"))),
+        0 => Pred::Test(FieldMatch::TpDst(
+            *[80u16, 443, 8080, 1935].choose(rng).expect("set"),
+        )),
         1 => Pred::Test(FieldMatch::TpSrc(rng.gen_range(1024..65000))),
         2 => {
             // A random /8 source block.
@@ -83,7 +85,8 @@ fn inbound_policy(rng: &mut StdRng, owner: ParticipantId, nports: u8, clauses: u
     let mut pol = Policy::drop();
     for _ in 0..clauses.max(1) {
         let port_idx = rng.gen_range(1..=nports);
-        let clause = Policy::filter(random_field(rng)) >> Policy::fwd(PortId::Phys(owner, port_idx));
+        let clause =
+            Policy::filter(random_field(rng)) >> Policy::fwd(PortId::Phys(owner, port_idx));
         pol = pol + clause;
     }
     pol
@@ -99,7 +102,9 @@ pub fn assign_policies(ixp: &mut SyntheticIxp, params: &PolicyWorkloadParams) ->
     let contents = ixp.by_class(ParticipantClass::Content);
 
     let top = |v: &[ParticipantId], frac: f64| -> Vec<ParticipantId> {
-        let n = ((v.len() as f64 * frac).ceil() as usize).min(v.len()).max(1);
+        let n = ((v.len() as f64 * frac).ceil() as usize)
+            .min(v.len())
+            .max(1);
         v[..n].to_vec()
     };
     let policy_eyeballs = top(&eyeballs, params.eyeball_policy_fraction);
@@ -144,13 +149,20 @@ pub fn assign_policies(ixp: &mut SyntheticIxp, params: &PolicyWorkloadParams) ->
         }
     }
 
-    let top_eyeballs: Vec<ParticipantId> = eyeballs.iter().copied().take(10.max(eyeballs.len() / 10)).collect();
+    let top_eyeballs: Vec<ParticipantId> = eyeballs
+        .iter()
+        .copied()
+        .take(10.max(eyeballs.len() / 10))
+        .collect();
     let mut touched = 0usize;
 
     // Content providers: app-specific peering to 3 random top eyeballs +
     // one single-field inbound policy.
-    let top_transits: Vec<ParticipantId> =
-        transits.iter().copied().take(10.max(transits.len() / 5)).collect();
+    let top_transits: Vec<ParticipantId> = transits
+        .iter()
+        .copied()
+        .take(10.max(transits.len() / 5))
+        .collect();
     for &cp in &policy_contents {
         let mut outbound = Policy::drop();
         let mut targets = top_eyeballs.clone();
@@ -164,17 +176,21 @@ pub fn assign_policies(ixp: &mut SyntheticIxp, params: &PolicyWorkloadParams) ->
         // transit export sets overlap, which is what produces the rich
         // forwarding-equivalence-class structure of Figure 6.
         for (&t, &port) in targets.iter().take(3).zip(&[80u16, 443, 1935]) {
-            outbound =
-                outbound + (Policy::match_(FieldMatch::TpDst(port)) >> Policy::fwd(PortId::Virt(t)));
+            outbound = outbound
+                + (Policy::match_(FieldMatch::TpDst(port)) >> Policy::fwd(PortId::Virt(t)));
         }
         let mut via_transit = top_transits.clone();
         via_transit.retain(|t| *t != cp);
         via_transit.shuffle(&mut rng);
         for (&t, &port) in via_transit.iter().take(2).zip(&[8080u16, 8443]) {
-            outbound =
-                outbound + (Policy::match_(FieldMatch::TpDst(port)) >> Policy::fwd(PortId::Virt(t)));
+            outbound = outbound
+                + (Policy::match_(FieldMatch::TpDst(port)) >> Policy::fwd(PortId::Virt(t)));
         }
-        let idx = ixp.participants.iter().position(|p| p.id == cp).expect("known id");
+        let idx = ixp
+            .participants
+            .iter()
+            .position(|p| p.id == cp)
+            .expect("known id");
         let nports = ixp.participants[idx].ports.len() as u8;
         ixp.participants[idx].outbound = Some(outbound);
         ixp.participants[idx].inbound = Some(inbound_policy(&mut rng, cp, nports, 1));
@@ -183,7 +199,11 @@ pub fn assign_policies(ixp: &mut SyntheticIxp, params: &PolicyWorkloadParams) ->
 
     // Eyeballs: inbound policies for half the content providers.
     for &eb in &policy_eyeballs {
-        let idx = ixp.participants.iter().position(|p| p.id == eb).expect("known id");
+        let idx = ixp
+            .participants
+            .iter()
+            .position(|p| p.id == eb)
+            .expect("known id");
         let nports = ixp.participants[idx].ports.len() as u8;
         let clauses = (policy_contents.len() / 2).clamp(1, 5);
         ixp.participants[idx].inbound = Some(inbound_policy(&mut rng, eb, nports, clauses));
@@ -222,10 +242,13 @@ pub fn assign_policies(ixp: &mut SyntheticIxp, params: &PolicyWorkloadParams) ->
         let Some(target) = announcer_of(block, tr) else {
             continue;
         };
-        let clause = Policy::filter(
-            Pred::Test(FieldMatch::NwDst(block)) & random_field(&mut rng),
-        ) >> Policy::fwd(PortId::Virt(target));
-        let idx = ixp.participants.iter().position(|p| p.id == tr).expect("known id");
+        let clause = Policy::filter(Pred::Test(FieldMatch::NwDst(block)) & random_field(&mut rng))
+            >> Policy::fwd(PortId::Virt(target));
+        let idx = ixp
+            .participants
+            .iter()
+            .position(|p| p.id == tr)
+            .expect("known id");
         block_clauses.push((idx, clause));
     }
     for (idx, clause) in block_clauses {
@@ -236,7 +259,11 @@ pub fn assign_policies(ixp: &mut SyntheticIxp, params: &PolicyWorkloadParams) ->
         });
     }
     for &tr in &policy_transits {
-        let idx = ixp.participants.iter().position(|p| p.id == tr).expect("known id");
+        let idx = ixp
+            .participants
+            .iter()
+            .position(|p| p.id == tr)
+            .expect("known id");
         let nports = ixp.participants[idx].ports.len() as u8;
         let clauses = policy_contents.len().clamp(1, 5);
         ixp.participants[idx].inbound = Some(inbound_policy(&mut rng, tr, nports, clauses));
@@ -335,10 +362,13 @@ mod tests {
     #[test]
     fn workload_compiles_through_the_sdx_pipeline() {
         let mut ixp = small_ixp();
-        assign_policies(&mut ixp, &PolicyWorkloadParams {
-            policy_prefixes: 100,
-            ..Default::default()
-        });
+        assign_policies(
+            &mut ixp,
+            &PolicyWorkloadParams {
+                policy_prefixes: 100,
+                ..Default::default()
+            },
+        );
         let rs = ixp.route_server();
         let mut compiler = sdx_core::compiler::SdxCompiler::new();
         for p in &ixp.participants {

@@ -132,11 +132,15 @@ pub fn build(params: &TopologyParams) -> SyntheticIxp {
         // "top-X% of class" selections need big members in every class.
         let class = match i % 10 {
             0 | 1 => ParticipantClass::Transit,
-            2 | 3 | 4 => ParticipantClass::Content,
+            2..=4 => ParticipantClass::Content,
             _ => ParticipantClass::Eyeball,
         };
         classes.push(class);
-        announcements.push((0..count).map(|k| universe_prefix(next_prefix + k)).collect());
+        announcements.push(
+            (0..count)
+                .map(|k| universe_prefix(next_prefix + k))
+                .collect(),
+        );
         next_prefix += count;
     }
 

@@ -185,7 +185,9 @@ impl TrafficSim {
                     Event::GlobalPolicy { owner, policy, .. } => {
                         self.controller.compiler.clear_global_policies(*owner);
                         if let Some(p) = policy {
-                            self.controller.compiler.add_global_policy(*owner, p.clone());
+                            self.controller
+                                .compiler
+                                .add_global_policy(*owner, p.clone());
                         }
                         self.controller
                             .reoptimize(&mut self.fabric)
@@ -273,8 +275,10 @@ mod tests {
         ctl.add_participant(a.clone(), ExportPolicy::allow_all());
         ctl.add_participant(b.clone(), ExportPolicy::allow_all());
         ctl.add_participant(c, ExportPolicy::allow_all());
-        ctl.rs
-            .process_update(pid(1), &a.announce([prefix("54.198.0.0/16")], &[65001, 14618]));
+        ctl.rs.process_update(
+            pid(1),
+            &a.announce([prefix("54.198.0.0/16")], &[65001, 14618]),
+        );
         ctl.rs.process_update(
             pid(2),
             &b.announce([prefix("54.198.0.0/16")], &[65002, 7, 14618]),
@@ -296,9 +300,7 @@ mod tests {
                 Event::SetOutbound {
                     at: 20.0,
                     participant: pid(3),
-                    policy: Some(
-                        P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))),
-                    ),
+                    policy: Some(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2)))),
                 },
                 Event::Bgp {
                     at: 40.0,
@@ -356,10 +358,14 @@ mod tests {
         ctl.add_participant(a.clone(), ExportPolicy::allow_all());
         ctl.add_participant(b.clone(), ExportPolicy::allow_all());
         ctl.add_participant(d.clone(), ExportPolicy::allow_all());
-        ctl.rs
-            .process_update(pid(2), &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]));
-        ctl.rs
-            .process_update(pid(2), &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]));
+        ctl.rs.process_update(
+            pid(2),
+            &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]),
+        );
+        ctl.rs.process_update(
+            pid(2),
+            &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]),
+        );
         ctl.rs
             .process_update(pid(4), &d.announce([prefix("74.125.1.0/24")], &[65004]));
         let all_to_one = P::filter(Pred::Test(FieldMatch::NwDst(Prefix::new(
@@ -383,8 +389,24 @@ mod tests {
             controller: ctl,
             fabric,
             flows: vec![
-                udp_flow("c1", client, ip("204.57.0.67"), ip("74.125.1.1"), 80, 1.0, (0.0, 40.0)),
-                udp_flow("c2", client, ip("99.0.0.10"), ip("74.125.1.1"), 80, 1.0, (0.0, 40.0)),
+                udp_flow(
+                    "c1",
+                    client,
+                    ip("204.57.0.67"),
+                    ip("74.125.1.1"),
+                    80,
+                    1.0,
+                    (0.0, 40.0),
+                ),
+                udp_flow(
+                    "c2",
+                    client,
+                    ip("99.0.0.10"),
+                    ip("74.125.1.1"),
+                    80,
+                    1.0,
+                    (0.0, 40.0),
+                ),
             ],
             events: vec![Event::GlobalPolicy {
                 at: 20.0,

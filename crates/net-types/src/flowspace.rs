@@ -165,14 +165,14 @@ impl HeaderMatch {
     /// Membership: does `lp` satisfy every constraint?
     pub fn matches(&self, lp: &LocatedPacket) -> bool {
         fn eq_ok<V: PartialEq>(c: Option<V>, v: V) -> bool {
-            c.map_or(true, |x| x == v)
+            c.is_none_or(|x| x == v)
         }
         eq_ok(self.in_port, lp.loc)
             && eq_ok(self.dl_src, lp.pkt.dl_src)
             && eq_ok(self.dl_dst, lp.pkt.dl_dst)
             && eq_ok(self.eth_type, lp.pkt.eth_type)
-            && self.nw_src.map_or(true, |p| p.contains(lp.pkt.nw_src))
-            && self.nw_dst.map_or(true, |p| p.contains(lp.pkt.nw_dst))
+            && self.nw_src.is_none_or(|p| p.contains(lp.pkt.nw_src))
+            && self.nw_dst.is_none_or(|p| p.contains(lp.pkt.nw_dst))
             && eq_ok(self.nw_proto, lp.pkt.nw_proto)
             && eq_ok(self.tp_src, lp.pkt.tp_src)
             && eq_ok(self.tp_dst, lp.pkt.tp_dst)

@@ -153,7 +153,9 @@ impl Prefix {
         self.addr
     }
 
-    /// The prefix length in bits.
+    /// The prefix length in bits. Not a container length: a /0 covers
+    /// everything, so there is deliberately no `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }
@@ -297,7 +299,8 @@ impl Ord for Prefix {
 /// # Panics
 /// Panics on malformed input; intended for literals only.
 pub fn prefix(s: &str) -> Prefix {
-    s.parse().unwrap_or_else(|e| panic!("bad prefix {s:?}: {e}"))
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad prefix {s:?}: {e}"))
 }
 
 /// Literal-only address constructor, mirroring [`prefix`].
@@ -305,7 +308,8 @@ pub fn prefix(s: &str) -> Prefix {
 /// # Panics
 /// Panics on malformed input; intended for literals only.
 pub fn ip(s: &str) -> Ipv4Addr {
-    s.parse().unwrap_or_else(|e| panic!("bad address {s:?}: {e}"))
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad address {s:?}: {e}"))
 }
 
 #[cfg(test)]

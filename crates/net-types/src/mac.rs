@@ -56,7 +56,9 @@ impl MacAddr {
     /// If this address is an SDX VMAC, returns the FEC id it encodes.
     pub fn fec_id(self) -> Option<u32> {
         if self.0[0] == Self::VMAC_OUI && self.0[1] == 0x00 {
-            Some(u32::from_be_bytes([self.0[2], self.0[3], self.0[4], self.0[5]]))
+            Some(u32::from_be_bytes([
+                self.0[2], self.0[3], self.0[4], self.0[5],
+            ]))
         } else {
             None
         }

@@ -25,13 +25,13 @@ use crate::ipv4::{Ipv4Addr, Prefix};
 /// assert_eq!(fib.lookup(ip("10.9.9.9")).unwrap().1, &"coarse");
 /// assert!(fib.lookup(ip("11.0.0.1")).is_none());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct PrefixTrie<T> {
     root: Node<T>,
     len: usize,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 struct Node<T> {
     value: Option<T>,
     children: [Option<Box<Node<T>>>; 2],
@@ -260,10 +260,7 @@ mod tests {
         assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().1, &"sixteen");
         assert_eq!(t.lookup(ip("10.9.2.3")).unwrap().1, &"eight");
         assert_eq!(t.lookup(ip("11.0.0.1")).unwrap().1, &"default");
-        assert_eq!(
-            t.lookup(ip("10.1.2.3")).unwrap().0,
-            prefix("10.1.0.0/16")
-        );
+        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().0, prefix("10.1.0.0/16"));
     }
 
     #[test]
@@ -305,7 +302,11 @@ mod tests {
         t.insert(prefix("10.1.0.0/16"), 2);
         t.insert(prefix("10.1.2.0/24"), 3);
         t.insert(prefix("11.0.0.0/8"), 4);
-        let covered: Vec<_> = t.covered_by(prefix("10.1.0.0/16")).into_iter().map(|(p, _)| p).collect();
+        let covered: Vec<_> = t
+            .covered_by(prefix("10.1.0.0/16"))
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
         assert_eq!(covered, vec![prefix("10.1.0.0/16"), prefix("10.1.2.0/24")]);
         assert!(t.covered_by(prefix("12.0.0.0/8")).is_empty());
     }

@@ -27,7 +27,7 @@ pub struct ArpReply {
 }
 
 /// The controller-side ARP table/responder.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct ArpResponder {
     table: BTreeMap<Ipv4Addr, MacAddr>,
     /// Requests that could not be answered (diagnostics/failure injection).
@@ -80,7 +80,9 @@ impl ArpResponder {
             return None;
         }
         let reply = self
-            .handle(ArpRequest { target: arp.target_ip })
+            .handle(ArpRequest {
+                target: arp.target_ip,
+            })
             .map(|r| arp.reply_with(r.mac))?;
         Some(sdx_net::wire::encode_arp(&reply))
     }

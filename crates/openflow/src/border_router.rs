@@ -34,7 +34,7 @@ pub struct FibEntry {
 }
 
 /// A participant's border router.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct BorderRouter {
     /// The fabric port this router is attached to.
     pub port: PortId,

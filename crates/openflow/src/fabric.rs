@@ -19,7 +19,7 @@ use crate::switch::Switch;
 pub type Delivery = LocatedPacket;
 
 /// The assembled IXP data plane.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Fabric {
     /// The SDX switch.
     pub switch: Switch,
@@ -92,15 +92,46 @@ impl Fabric {
         }
         out
     }
+
+    /// Captures the complete fabric state — flow table, ARP responder,
+    /// every border router's FIB and ARP cache, and the counters — as a
+    /// last-known-good image a transaction can roll back to.
+    pub fn snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot {
+            fabric: self.clone(),
+        }
+    }
+
+    /// Restores the fabric to a previously captured snapshot, discarding
+    /// every change made since.
+    pub fn restore(&mut self, snapshot: FabricSnapshot) {
+        *self = snapshot.fabric;
+    }
+}
+
+/// An owned, immutable image of a [`Fabric`] at a point in time (see
+/// [`Fabric::snapshot`]). Comparing a fabric against a snapshot's
+/// [`view`](FabricSnapshot::view) checks byte-for-byte equivalence of the
+/// installed state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FabricSnapshot {
+    fabric: Fabric,
+}
+
+impl FabricSnapshot {
+    /// The captured fabric image.
+    pub fn view(&self) -> &Fabric {
+        &self.fabric
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::FlowEntry;
     use sdx_bgp::attrs::{AsPath, PathAttributes};
     use sdx_bgp::msg::UpdateMessage;
     use sdx_net::{ip, prefix, FieldMatch, HeaderMatch, MacAddr, Mod};
-    use crate::table::FlowEntry;
 
     fn port(p: u32, i: u8) -> PortId {
         PortId::Phys(ParticipantId(p), i)
@@ -135,7 +166,10 @@ mod tests {
     #[test]
     fn end_to_end_delivery() {
         let mut f = two_party_fabric();
-        let out = f.send(port(1, 1), Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80));
+        let out = f.send(
+            port(1, 1),
+            Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].loc, port(2, 1));
         // The VMAC tag was rewritten to the receiver's physical MAC, so B's
@@ -147,7 +181,10 @@ mod tests {
     #[test]
     fn unrouted_traffic_goes_nowhere() {
         let mut f = two_party_fabric();
-        let out = f.send(port(1, 1), Packet::tcp(ip("10.0.0.1"), ip("9.9.9.9"), 5, 80));
+        let out = f.send(
+            port(1, 1),
+            Packet::tcp(ip("10.0.0.1"), ip("9.9.9.9"), 5, 80),
+        );
         assert!(out.is_empty());
         assert_eq!(f.router(port(1, 1)).unwrap().no_route_drops, 1);
     }
@@ -168,9 +205,34 @@ mod tests {
             HeaderMatch::any(),
             vec![vec![Mod::SetLoc(PortId::Virt(ParticipantId(2)))]],
         ));
-        let out = f.send(port(1, 1), Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80));
+        let out = f.send(
+            port(1, 1),
+            Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80),
+        );
         assert!(out.is_empty());
         assert_eq!(f.stuck_at_virtual, 1);
+    }
+
+    #[test]
+    fn snapshot_restores_byte_for_byte() {
+        let mut f = two_party_fabric();
+        let snap = f.snapshot();
+        assert_eq!(&f, snap.view());
+        // Mutate every component: traffic (counters + router ARP), a new
+        // flow rule, a new responder binding.
+        f.send(
+            port(1, 1),
+            Packet::tcp(ip("10.0.0.1"), ip("74.125.1.1"), 5, 80),
+        );
+        f.switch.install(FlowEntry::new(
+            99,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(2, 1))]],
+        ));
+        f.arp.bind(ip("172.16.255.2"), MacAddr::vmac(8));
+        assert_ne!(&f, snap.view());
+        f.restore(snap.clone());
+        assert_eq!(&f, snap.view(), "restore is exact");
     }
 
     #[test]

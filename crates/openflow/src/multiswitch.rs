@@ -67,7 +67,7 @@ impl MultiFabric {
 
     /// Adds a physical switch.
     pub fn add_switch(&mut self, id: SwitchId) {
-        self.switches.entry(id).or_insert_with(Switch::new);
+        self.switches.entry(id).or_default();
     }
 
     /// Attaches a border router's port to a switch.
@@ -206,7 +206,10 @@ mod tests {
         f.add_switch(SwitchId(0));
         f.add_switch(SwitchId(1));
         f.attach(SwitchId(0), router_with_route(1, 11));
-        f.attach(SwitchId(1), BorderRouter::new(port(2, 1), MacAddr::physical(21)));
+        f.attach(
+            SwitchId(1),
+            BorderRouter::new(port(2, 1), MacAddr::physical(21)),
+        );
         f.arp.bind(ip("172.16.255.1"), MacAddr::vmac(7));
         f.load_classifier(&classifier());
         f
@@ -215,7 +218,10 @@ mod tests {
     #[test]
     fn cross_switch_delivery_uses_the_trunk() {
         let mut f = split_fabric();
-        let out = f.send(port(1, 1), Packet::tcp(ip("9.9.9.9"), ip("20.0.0.1"), 5, 80));
+        let out = f.send(
+            port(1, 1),
+            Packet::tcp(ip("9.9.9.9"), ip("20.0.0.1"), 5, 80),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].loc, port(2, 1));
         assert_eq!(out[0].pkt.dl_dst, MacAddr::physical(21));
@@ -228,10 +234,16 @@ mod tests {
         let mut f = MultiFabric::new();
         f.add_switch(SwitchId(0));
         f.attach(SwitchId(0), router_with_route(1, 11));
-        f.attach(SwitchId(0), BorderRouter::new(port(2, 1), MacAddr::physical(21)));
+        f.attach(
+            SwitchId(0),
+            BorderRouter::new(port(2, 1), MacAddr::physical(21)),
+        );
         f.arp.bind(ip("172.16.255.1"), MacAddr::vmac(7));
         f.load_classifier(&classifier());
-        let out = f.send(port(1, 1), Packet::tcp(ip("9.9.9.9"), ip("20.0.0.1"), 5, 80));
+        let out = f.send(
+            port(1, 1),
+            Packet::tcp(ip("9.9.9.9"), ip("20.0.0.1"), 5, 80),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(f.trunk_frames, 0, "no trunk for local delivery");
     }
@@ -267,6 +279,9 @@ mod tests {
     #[should_panic(expected = "unknown switch")]
     fn attaching_to_missing_switch_panics() {
         let mut f = MultiFabric::new();
-        f.attach(SwitchId(9), BorderRouter::new(port(1, 1), MacAddr::physical(1)));
+        f.attach(
+            SwitchId(9),
+            BorderRouter::new(port(1, 1), MacAddr::physical(1)),
+        );
     }
 }

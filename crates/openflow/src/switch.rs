@@ -11,7 +11,7 @@ use sdx_policy::Classifier;
 use crate::table::{FlowEntry, FlowTable};
 
 /// A software OpenFlow-style switch.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Switch {
     table: FlowTable,
     /// Packets that missed the table (dropped).
@@ -84,7 +84,10 @@ mod tests {
     }
 
     fn pkt(dport: u16) -> LocatedPacket {
-        LocatedPacket::at(port(1), Packet::tcp(ip("10.0.0.1"), ip("20.0.0.1"), 5, dport))
+        LocatedPacket::at(
+            port(1),
+            Packet::tcp(ip("10.0.0.1"), ip("20.0.0.1"), 5, dport),
+        )
     }
 
     #[test]

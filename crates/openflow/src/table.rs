@@ -13,7 +13,7 @@ use sdx_net::{HeaderMatch, LocatedPacket, Mod};
 use sdx_policy::Classifier;
 
 /// One flow entry.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FlowEntry {
     /// Higher matches first.
     pub priority: u32,
@@ -48,7 +48,7 @@ impl FlowEntry {
 }
 
 /// A single flow table.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct FlowTable {
     /// Entries sorted by descending priority (stable for equal priorities).
     entries: Vec<FlowEntry>,
@@ -138,11 +138,7 @@ impl FlowTable {
     pub fn install_classifier(&mut self, c: &Classifier, base: u32) {
         let n = c.rules().len() as u32;
         for (i, r) in c.rules().iter().enumerate() {
-            let buckets = r
-                .actions
-                .iter()
-                .map(|a| a.mods.clone())
-                .collect::<Vec<_>>();
+            let buckets = r.actions.iter().map(|a| a.mods.clone()).collect::<Vec<_>>();
             self.install(FlowEntry::new(base + n - i as u32, r.matches, buckets));
         }
     }
@@ -159,7 +155,10 @@ mod tests {
     }
 
     fn web(loc: PortId) -> LocatedPacket {
-        LocatedPacket::at(loc, Packet::tcp(ip("10.0.0.1"), ip("20.0.0.1"), 5, 80).with_len(100))
+        LocatedPacket::at(
+            loc,
+            Packet::tcp(ip("10.0.0.1"), ip("20.0.0.1"), 5, 80).with_len(100),
+        )
     }
 
     #[test]

@@ -126,9 +126,7 @@ impl Classifier {
     /// Builds a classifier, appending a wildcard drop if `rules` is not
     /// already total.
     pub fn from_rules(mut rules: Vec<Rule>) -> Classifier {
-        let total = rules
-            .last()
-            .is_some_and(|r| r.matches.is_wildcard());
+        let total = rules.last().is_some_and(|r| r.matches.is_wildcard());
         if !total {
             rules.push(Rule::drop(HeaderMatch::any()));
         }
@@ -268,8 +266,7 @@ impl Classifier {
         let mut by_dldst: HashMap<Option<sdx_net::MacAddr>, Vec<usize>> = HashMap::new();
         for r in self.rules.drain(..) {
             let mut shadowed = false;
-            let mut candidate_buckets: [Option<&Vec<usize>>; 2] =
-                [by_dldst.get(&None), None];
+            let mut candidate_buckets: [Option<&Vec<usize>>; 2] = [by_dldst.get(&None), None];
             if r.matches.dl_dst.is_some() {
                 candidate_buckets[1] = by_dldst.get(&r.matches.dl_dst);
             }
@@ -477,8 +474,7 @@ mod tests {
         )]);
         let with_drop = c.parallel(&Classifier::drop_all());
         // Same observable behaviour as c alone.
-        for p in [web_pkt()] {
-            assert_eq!(with_drop.evaluate(&p), c.evaluate(&p));
-        }
+        let p = web_pkt();
+        assert_eq!(with_drop.evaluate(&p), c.evaluate(&p));
     }
 }

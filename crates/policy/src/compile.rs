@@ -67,10 +67,7 @@ fn compile_pred(pred: &Pred) -> BoolClassifier {
         Pred::Any => BoolClassifier::always(true),
         Pred::None => BoolClassifier::always(false),
         Pred::Test(f) => BoolClassifier {
-            rules: vec![
-                (HeaderMatch::of(*f), true),
-                (HeaderMatch::any(), false),
-            ],
+            rules: vec![(HeaderMatch::of(*f), true), (HeaderMatch::any(), false)],
         },
         Pred::And(a, b) => compile_pred(a).combine(&compile_pred(b), |x, y| x && y),
         Pred::Or(a, b) => compile_pred(a).combine(&compile_pred(b), |x, y| x || y),
@@ -138,10 +135,9 @@ pub fn compile(policy: &Policy) -> Classifier {
             c.shadow_eliminate();
             c
         }
-        Policy::Mod(m) => Classifier::from_rules(vec![Rule::unicast(
-            HeaderMatch::any(),
-            Action::of(*m),
-        )]),
+        Policy::Mod(m) => {
+            Classifier::from_rules(vec![Rule::unicast(HeaderMatch::any(), Action::of(*m))])
+        }
         Policy::Parallel(ps) => {
             let branches: Vec<Classifier> = ps.iter().map(compile).collect();
             // §4.3.1: "most SDX policies are disjoint… the SDX controller
@@ -227,8 +223,7 @@ mod tests {
 
     #[test]
     fn compile_boolean_structure() {
-        let pred = (Pred::Test(FieldMatch::TpDst(80))
-            | Pred::Test(FieldMatch::TpDst(443)))
+        let pred = (Pred::Test(FieldMatch::TpDst(80)) | Pred::Test(FieldMatch::TpDst(443)))
             & !Pred::Test(FieldMatch::NwSrc(prefix("128.0.0.0/1")));
         check(&Policy::filter(pred), &samples());
     }

@@ -35,9 +35,7 @@
 
 use std::collections::BTreeMap;
 
-use sdx_net::{
-    EtherType, FieldMatch, IpProto, Ipv4Addr, MacAddr, Mod, PortId, Prefix,
-};
+use sdx_net::{EtherType, FieldMatch, IpProto, Ipv4Addr, MacAddr, Mod, PortId, Prefix};
 
 use crate::policy::Policy;
 use crate::pred::Pred;
@@ -130,7 +128,7 @@ enum Tok {
     Eq,
     Plus,
     Bang,
-    Shr,   // >>
+    Shr, // >>
     AndAnd,
     OrOr,
 }
@@ -234,6 +232,16 @@ impl<'a> P<'a> {
         self.toks.get(self.pos).map_or(usize::MAX, |(o, _)| *o)
     }
 
+    /// Source offset of the token just consumed by `bump` — total even if
+    /// called before any bump (then: end-of-input), so error paths can
+    /// never panic on an index.
+    fn prev_offset(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.toks.get(i))
+            .map_or(usize::MAX, |(o, _)| *o)
+    }
+
     fn bump(&mut self) -> Option<Tok> {
         let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
         if t.is_some() {
@@ -245,7 +253,7 @@ impl<'a> P<'a> {
     fn expect(&mut self, tok: Tok, what: &'static str) -> Result<(), DslError> {
         match self.bump() {
             Some(t) if t == tok => Ok(()),
-            Some(_) => Err(DslError::Expected(what, self.toks[self.pos - 1].0)),
+            Some(_) => Err(DslError::Expected(what, self.prev_offset())),
             None => Err(DslError::UnexpectedEof),
         }
     }
@@ -253,7 +261,7 @@ impl<'a> P<'a> {
     fn atom(&mut self, what: &'static str) -> Result<String, DslError> {
         match self.bump() {
             Some(Tok::Atom(s)) => Ok(s),
-            Some(_) => Err(DslError::Expected(what, self.toks[self.pos - 1].0)),
+            Some(_) => Err(DslError::Expected(what, self.prev_offset())),
             None => Err(DslError::UnexpectedEof),
         }
     }
@@ -428,10 +436,7 @@ impl<'a> P<'a> {
                             Some(Tok::Comma) => continue,
                             Some(Tok::RBrace) => break,
                             Some(_) => {
-                                return Err(DslError::Expected(
-                                    "`,` or `}`",
-                                    self.toks[self.pos - 1].0,
-                                ))
+                                return Err(DslError::Expected("`,` or `}`", self.prev_offset()))
                             }
                             None => return Err(DslError::UnexpectedEof),
                         }
@@ -450,8 +455,16 @@ impl<'a> P<'a> {
 fn field_name(s: &str) -> bool {
     matches!(
         s,
-        "srcip" | "dstip" | "srcport" | "dstport" | "srcmac" | "dstmac" | "proto" | "ethtype"
-            | "port" | "inport"
+        "srcip"
+            | "dstip"
+            | "srcport"
+            | "dstport"
+            | "srcmac"
+            | "dstmac"
+            | "proto"
+            | "ethtype"
+            | "port"
+            | "inport"
     )
 }
 
@@ -543,8 +556,8 @@ pub fn parse_policy(src: &str, resolver: &PortResolver) -> Result<Policy, DslErr
 mod tests {
     use super::*;
     use crate::eval::eval;
-    use sdx_net::{ip, Packet, ParticipantId, PortId};
     use sdx_net::LocatedPacket;
+    use sdx_net::{ip, Packet, ParticipantId, PortId};
 
     fn resolver() -> PortResolver {
         let mut r = PortResolver::new();
@@ -610,19 +623,14 @@ mod tests {
 
     #[test]
     fn conjunction_of_matches() {
-        let p = parse_policy(
-            "match(port=A1) && match(dstport=80) >> fwd(B)",
-            &resolver(),
-        )
-        .unwrap();
+        let p = parse_policy("match(port=A1) && match(dstport=80) >> fwd(B)", &resolver()).unwrap();
         let out = eval(&p, &pkt("10.0.0.1", "20.0.0.1", 80));
         assert_eq!(out[0].loc, PortId::Virt(ParticipantId(2)));
     }
 
     #[test]
     fn comma_conjunction_inside_match() {
-        let p = parse_policy("match(dstport=80, srcip=10.0.0.0/8) >> fwd(B)", &resolver())
-            .unwrap();
+        let p = parse_policy("match(dstport=80, srcip=10.0.0.0/8) >> fwd(B)", &resolver()).unwrap();
         assert!(!eval(&p, &pkt("10.0.0.1", "2.2.2.2", 80)).is_empty());
         assert!(eval(&p, &pkt("99.0.0.1", "2.2.2.2", 80)).is_empty());
     }
@@ -641,11 +649,7 @@ mod tests {
 
     #[test]
     fn if_else_and_literals() {
-        let p = parse_policy(
-            "if_(dstport=80, fwd(B), fwd(C)) ",
-            &resolver(),
-        )
-        .unwrap();
+        let p = parse_policy("if_(dstport=80, fwd(B), fwd(C)) ", &resolver()).unwrap();
         assert_eq!(
             eval(&p, &pkt("1.1.1.1", "2.2.2.2", 80))[0].loc,
             PortId::Virt(ParticipantId(2))

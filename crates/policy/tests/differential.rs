@@ -6,10 +6,10 @@
 //! modifications + multicast is where compilers go wrong).
 
 use proptest::prelude::*;
-use sdx_policy::{compile, eval, Policy, Pred};
 use sdx_net::{
     ip, prefix, FieldMatch, Ipv4Addr, LocatedPacket, Mod, Packet, ParticipantId, PortId, Prefix,
 };
+use sdx_policy::{compile, eval, Policy, Pred};
 
 fn arb_port() -> impl Strategy<Value = PortId> {
     prop_oneof![

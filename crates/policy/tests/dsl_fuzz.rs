@@ -3,10 +3,10 @@
 //! semantics their structure dictates.
 
 use proptest::prelude::*;
+use sdx_net::LocatedPacket;
+use sdx_net::{ip, Packet, ParticipantId, PortId};
 use sdx_policy::dsl::{parse_policy, PortResolver};
 use sdx_policy::eval;
-use sdx_net::{ip, Packet, ParticipantId, PortId};
-use sdx_net::LocatedPacket;
 
 fn resolver() -> PortResolver {
     let mut r = PortResolver::new();

@@ -25,8 +25,10 @@ fn main() {
     ctl.add_participant(a.clone(), ExportPolicy::allow_all());
     ctl.add_participant(b.clone(), ExportPolicy::allow_all());
     ctl.add_participant(c, ExportPolicy::allow_all());
-    ctl.rs
-        .process_update(pid(1), &a.announce([prefix("54.198.0.0/16")], &[65001, 14618]));
+    ctl.rs.process_update(
+        pid(1),
+        &a.announce([prefix("54.198.0.0/16")], &[65001, 14618]),
+    );
     ctl.rs.process_update(
         pid(2),
         &b.announce([prefix("54.198.0.0/16")], &[65002, 7018, 14618]),
@@ -38,9 +40,33 @@ fn main() {
         controller: ctl,
         fabric,
         flows: vec![
-            udp_flow("web", client, ip("99.0.0.10"), ip("54.198.0.50"), 80, 1.0, (0.0, 1800.0)),
-            udp_flow("https", client, ip("99.0.0.11"), ip("54.198.0.50"), 443, 1.0, (0.0, 1800.0)),
-            udp_flow("dns", client, ip("99.0.0.12"), ip("54.198.0.50"), 53, 1.0, (0.0, 1800.0)),
+            udp_flow(
+                "web",
+                client,
+                ip("99.0.0.10"),
+                ip("54.198.0.50"),
+                80,
+                1.0,
+                (0.0, 1800.0),
+            ),
+            udp_flow(
+                "https",
+                client,
+                ip("99.0.0.11"),
+                ip("54.198.0.50"),
+                443,
+                1.0,
+                (0.0, 1800.0),
+            ),
+            udp_flow(
+                "dns",
+                client,
+                ip("99.0.0.12"),
+                ip("54.198.0.50"),
+                53,
+                1.0,
+                (0.0, 1800.0),
+            ),
         ],
         events: vec![
             Event::SetOutbound {

@@ -30,7 +30,10 @@ fn main() {
 
     let mut ctl = SdxController::new();
     for cfg in &ixp.participants {
-        ctl.add_participant(cfg.clone(), sdx::bgp::route_server::ExportPolicy::allow_all());
+        ctl.add_participant(
+            cfg.clone(),
+            sdx::bgp::route_server::ExportPolicy::allow_all(),
+        );
     }
     // Feed the initial table through the controller's own route server.
     let seeded = ixp.route_server();
@@ -85,13 +88,14 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nprocessed {processed} updates; slowest single fast-path event: {slowest:?}"
-    );
+    println!("\nprocessed {processed} updates; slowest single fast-path event: {slowest:?}");
     println!(
         "table: {} rules at start, {} after the final re-optimization",
         base_rules,
         fabric.switch.table().len()
     );
-    assert!(slowest < std::time::Duration::from_secs(1), "sub-second always");
+    assert!(
+        slowest < std::time::Duration::from_secs(1),
+        "sub-second always"
+    );
 }

@@ -20,12 +20,8 @@ fn main() {
     let b = ParticipantConfig::new(2, 65002, 2);
     let c = ParticipantConfig::new(3, 65003, 1);
 
-    let book: BTreeMap<ParticipantId, Vec<u8>> = [
-        (pid(1), vec![1]),
-        (pid(2), vec![1, 2]),
-        (pid(3), vec![1]),
-    ]
-    .into();
+    let book: BTreeMap<ParticipantId, Vec<u8>> =
+        [(pid(1), vec![1]), (pid(2), vec![1, 2]), (pid(3), vec![1])].into();
 
     // The §3.1 inbound policy, in the paper's own words: split arriving
     // traffic across B1 and B2 by source address halves.
@@ -45,10 +41,10 @@ fn main() {
 
     println!("traffic toward B's prefix 20.0.0.0/8, split by B's inbound TE policy:\n");
     for (sender, src) in [
-        (1u32, "9.0.0.1"),     // low half → B1
-        (1, "200.0.0.1"),      // high half → B2
-        (3, "64.10.0.1"),      // low half → B1, regardless of sender
-        (3, "190.3.2.1"),      // high half → B2
+        (1u32, "9.0.0.1"), // low half → B1
+        (1, "200.0.0.1"),  // high half → B2
+        (3, "64.10.0.1"),  // low half → B1, regardless of sender
+        (3, "190.3.2.1"),  // high half → B2
     ] {
         let out = fabric.send(
             PortId::Phys(pid(sender), 1),

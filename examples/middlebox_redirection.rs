@@ -34,8 +34,10 @@ fn main() {
         pid(2),
         &b.announce([prefix("208.65.152.0/22")], &[65002, 3356, 43515]),
     );
-    ctl.rs
-        .process_update(pid(2), &b.announce([prefix("151.101.0.0/16")], &[65002, 54113]));
+    ctl.rs.process_update(
+        pid(2),
+        &b.announce([prefix("151.101.0.0/16")], &[65002, 54113]),
+    );
     // A announces its own eyeball prefix so return traffic routes.
     ctl.rs
         .process_update(pid(1), &a.announce([prefix("99.0.0.0/8")], &[65001]));
@@ -68,7 +70,11 @@ fn main() {
             .map(|d| d.loc.to_string())
             .unwrap_or_else(|| "dropped".into())
     );
-    assert_eq!(from_youtube[0].loc, PortId::Phys(pid(5), 1), "via middlebox E1");
+    assert_eq!(
+        from_youtube[0].loc,
+        PortId::Phys(pid(5), 1),
+        "via middlebox E1"
+    );
 
     // Unrelated traffic toward A is delivered to A's router untouched.
     let other = fabric.send(

@@ -28,12 +28,8 @@ fn main() {
 
     // Each participant writes policies against its own virtual switch; the
     // name tables give the paper's names (A1, B, B1, B2, C …).
-    let port_book: BTreeMap<ParticipantId, Vec<u8>> = [
-        (pid(1), vec![1]),
-        (pid(2), vec![1, 2]),
-        (pid(3), vec![1]),
-    ]
-    .into();
+    let port_book: BTreeMap<ParticipantId, Vec<u8>> =
+        [(pid(1), vec![1]), (pid(2), vec![1, 2]), (pid(3), vec![1])].into();
 
     // AS A's outbound policy, exactly as printed in §3.1 of the paper.
     let a_policy = parse_policy(
@@ -57,8 +53,10 @@ fn main() {
 
     // B and C both announce p1 = 10.0.0.0/8; C's AS path is shorter, so
     // plain BGP would send everything via C.
-    ctl.rs
-        .process_update(pid(2), &b.announce([prefix("10.0.0.0/8")], &[65002, 100, 200]));
+    ctl.rs.process_update(
+        pid(2),
+        &b.announce([prefix("10.0.0.0/8")], &[65002, 100, 200]),
+    );
     ctl.rs
         .process_update(pid(3), &c.announce([prefix("10.0.0.0/8")], &[65003, 200]));
 
@@ -73,10 +71,22 @@ fn main() {
     // --- Send traffic -----------------------------------------------------
     let from_a = PortId::Phys(pid(1), 1);
     let probes = [
-        ("web from low-half source", Packet::tcp(ip("9.9.9.9"), ip("10.0.0.1"), 5000, 80)),
-        ("web from high-half source", Packet::tcp(ip("200.1.1.1"), ip("10.0.0.1"), 5000, 80)),
-        ("https", Packet::tcp(ip("9.9.9.9"), ip("10.0.0.1"), 5000, 443)),
-        ("ssh (no policy: default BGP)", Packet::tcp(ip("9.9.9.9"), ip("10.0.0.1"), 5000, 22)),
+        (
+            "web from low-half source",
+            Packet::tcp(ip("9.9.9.9"), ip("10.0.0.1"), 5000, 80),
+        ),
+        (
+            "web from high-half source",
+            Packet::tcp(ip("200.1.1.1"), ip("10.0.0.1"), 5000, 80),
+        ),
+        (
+            "https",
+            Packet::tcp(ip("9.9.9.9"), ip("10.0.0.1"), 5000, 443),
+        ),
+        (
+            "ssh (no policy: default BGP)",
+            Packet::tcp(ip("9.9.9.9"), ip("10.0.0.1"), 5000, 22),
+        ),
     ];
     for (label, pkt) in probes {
         let out = fabric.send(from_a, pkt);

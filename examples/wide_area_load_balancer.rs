@@ -24,10 +24,14 @@ fn main() {
 
     // The instances live behind transit B; the tenant originates the
     // anycast prefix at the SDX route server.
-    ctl.rs
-        .process_update(pid(2), &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]));
-    ctl.rs
-        .process_update(pid(2), &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]));
+    ctl.rs.process_update(
+        pid(2),
+        &b.announce([prefix("54.198.0.0/24")], &[65002, 14618]),
+    );
+    ctl.rs.process_update(
+        pid(2),
+        &b.announce([prefix("54.230.0.0/24")], &[65002, 14618]),
+    );
     ctl.rs
         .process_update(pid(4), &d.announce([prefix("74.125.1.0/24")], &[65004]));
     let mut fabric = ctl.deploy().expect("deploy");
@@ -73,6 +77,11 @@ fn main() {
         &[(prefix("0.0.0.0/0"), ip("54.198.0.99"))],
         &mut fabric,
     );
-    println!("\nownership check: B's attempt to steer D's prefix -> {}",
-        hijack.err().map(|e| e.to_string()).unwrap_or_else(|| "ACCEPTED (BUG)".into()));
+    println!(
+        "\nownership check: B's attempt to steer D's prefix -> {}",
+        hijack
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "ACCEPTED (BUG)".into())
+    );
 }

@@ -69,3 +69,8 @@ pub use sdx_core as core;
 /// IXP emulation: Table-1-calibrated datasets, §6.1 policy workloads,
 /// bursty BGP update traces, deployment traffic simulation.
 pub use sdx_ixp as ixp;
+
+pub use sdx_bgp::supervisor::{Supervisor, SupervisorConfig, SupervisorOutput};
+pub use sdx_core::error::SdxError;
+pub use sdx_core::faults::{FaultPlan, InjectionPoint};
+pub use sdx_core::txn::{DeltaTxn, FabricTxn};

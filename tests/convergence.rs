@@ -119,8 +119,7 @@ fn fast_path_agrees_with_full_recompilation() {
         let update = if rng.gen_bool(0.4) {
             UpdateMessage::withdraw([p])
         } else {
-            rig.configs[who as usize - 1]
-                .announce([p], &[65000 + who, rng.gen_range(1000..2000)])
+            rig.configs[who as usize - 1].announce([p], &[65000 + who, rng.gen_range(1000..2000)])
         };
         rig.ctl
             .process_update(pid(who), &update, &mut rig.fabric)
@@ -171,8 +170,10 @@ fn session_reset_churn_recovers() {
     assert!(!events.is_empty());
     rig.ctl.reoptimize(&mut rig.fabric).expect("recompile");
     let view_without = fingerprint(&mut rig);
-    assert!(view_without.iter().all(|s| !s.contains("=>P2")),
-        "no traffic may reach the reset participant");
+    assert!(
+        view_without.iter().all(|s| !s.contains("=>P2")),
+        "no traffic may reach the reset participant"
+    );
     // Re-announce and verify traffic can return.
     for (i, p) in rig.prefixes.clone().iter().enumerate() {
         if i % 6 == 1 {
@@ -183,6 +184,8 @@ fn session_reset_churn_recovers() {
         }
     }
     let view_after = fingerprint(&mut rig);
-    assert!(view_after.iter().any(|s| s.contains("=>P2")),
-        "traffic flows to participant 2 again");
+    assert!(
+        view_after.iter().any(|s| s.contains("=>P2")),
+        "traffic flows to participant 2 again"
+    );
 }

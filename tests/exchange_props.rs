@@ -34,7 +34,14 @@ fn arb_spec() -> impl Strategy<Value = ExchangeSpec> {
     (
         proptest::collection::vec(proptest::collection::vec(10u8..40, 1..4), n..=n),
         proptest::collection::vec((0usize..n, 0usize..n, 10u8..40), 0..4),
-        proptest::collection::vec((0usize..n, prop_oneof![Just(80u16), Just(443), Just(53)], 0usize..n), 0..5),
+        proptest::collection::vec(
+            (
+                0usize..n,
+                prop_oneof![Just(80u16), Just(443), Just(53)],
+                0usize..n,
+            ),
+            0..5,
+        ),
     )
         .prop_map(|(announcements, denials, outbound)| ExchangeSpec {
             announcements,
@@ -79,14 +86,20 @@ fn build(spec: &ExchangeSpec) -> Option<(SdxController, sdx::openflow::fabric::F
             .map(|&o| Prefix::new(Ipv4Addr::new(o, 0, 0, 0), 8))
             .collect();
         let path: Vec<u32> = vec![65001 + i as u32, 900 + i as u32];
-        ctl.rs
-            .process_update(ParticipantId(i as u32 + 1), &cfgs[i].announce(prefixes, &path));
+        ctl.rs.process_update(
+            ParticipantId(i as u32 + 1),
+            &cfgs[i].announce(prefixes, &path),
+        );
     }
     // Distinct dst ports per sender keep each policy unicast.
     for (sender, port, target) in effective_clauses(spec) {
-        let clause =
-            P::match_(FieldMatch::TpDst(port)) >> P::fwd(PortId::Virt(ParticipantId(target as u32 + 1)));
-        let slot = &mut ctl.compiler.participants().get(&ParticipantId(sender as u32 + 1)).cloned();
+        let clause = P::match_(FieldMatch::TpDst(port))
+            >> P::fwd(PortId::Virt(ParticipantId(target as u32 + 1)));
+        let slot = &mut ctl
+            .compiler
+            .participants()
+            .get(&ParticipantId(sender as u32 + 1))
+            .cloned();
         let merged = match slot.as_ref().and_then(|c| c.outbound.clone()) {
             Some(p) => p + clause,
             None => clause,

@@ -9,11 +9,44 @@ use sdx::bgp::session::{establish_pair, Session, SessionEvent, SessionState};
 use sdx::bgp::wire;
 use sdx::core::controller::SdxController;
 use sdx::core::participant::ParticipantConfig;
+use sdx::core::vnh::VnhAllocator;
 use sdx::net::{ip, prefix, Asn, FieldMatch, Packet, ParticipantId, PortId, RouterId};
+use sdx::openflow::fabric::Fabric;
 use sdx::policy::Policy as P;
+use sdx::{FaultPlan, InjectionPoint, SdxError};
 
 fn pid(n: u32) -> ParticipantId {
     ParticipantId(n)
+}
+
+/// Two participants, B announcing 20/8, A steering web traffic through an
+/// outbound policy (so fast-path updates exercise VNH allocation),
+/// compiled and deployed.
+fn two_party_deployment() -> (SdxController, Fabric) {
+    let mut ctl = SdxController::new();
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 1);
+    ctl.add_participant(a, ExportPolicy::allow_all());
+    ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+    ctl.set_outbound(
+        pid(1),
+        Some(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2)))),
+    );
+    ctl.rs
+        .process_update(pid(2), &b.announce([prefix("20.0.0.0/8")], &[65002]));
+    let fabric = ctl.deploy().expect("deploy");
+    (ctl, fabric)
+}
+
+fn announce_30_8() -> UpdateMessage {
+    ParticipantConfig::new(2, 65002, 1).announce([prefix("30.0.0.0/8")], &[65002, 5])
+}
+
+fn probe(fabric: &mut Fabric, dst: &str) -> Vec<sdx::openflow::fabric::Delivery> {
+    fabric.send(
+        PortId::Phys(pid(1), 1),
+        Packet::tcp(ip("9.9.9.9"), ip(dst), 40_000, 80),
+    )
 }
 
 #[test]
@@ -174,12 +207,159 @@ fn conflicting_policies_resolve_by_isolation_not_interference() {
 }
 
 #[test]
+fn injected_compile_fault_rolls_back_reoptimize() {
+    let (mut ctl, mut fabric) = two_party_deployment();
+    let snap = fabric.snapshot();
+    ctl.faults = FaultPlan::seeded(7).fail_nth(InjectionPoint::Compile, 1);
+    let err = ctl.reoptimize(&mut fabric).unwrap_err();
+    assert_eq!(err, SdxError::Injected(InjectionPoint::Compile));
+    assert_eq!(
+        &fabric,
+        snap.view(),
+        "failed compile must not touch the fabric"
+    );
+    // The one-shot fault has fired; the very next reoptimize succeeds and
+    // the fabric still forwards.
+    ctl.reoptimize(&mut fabric).expect("recovers");
+    assert_eq!(probe(&mut fabric, "20.0.0.1")[0].loc.participant(), pid(2));
+}
+
+#[test]
+fn injected_vnh_fault_leaves_fast_path_atomic() {
+    let (mut ctl, mut fabric) = two_party_deployment();
+    let snap = fabric.snapshot();
+    ctl.faults = FaultPlan::seeded(7).fail_nth(InjectionPoint::VnhAlloc, 1);
+    let err = ctl
+        .process_update(pid(2), &announce_30_8(), &mut fabric)
+        .unwrap_err();
+    assert_eq!(err, SdxError::Injected(InjectionPoint::VnhAlloc));
+    // Flow tables, ARP responder, and every border-router FIB are exactly
+    // the pre-failure image.
+    assert_eq!(fabric.switch, snap.view().switch);
+    assert_eq!(fabric.arp, snap.view().arp);
+    assert_eq!(&fabric, snap.view());
+    // The RIB kept the route (BGP state is not fabric state); a background
+    // reoptimize reconverges the data plane.
+    ctl.reoptimize(&mut fabric).expect("reconverge");
+    assert_eq!(probe(&mut fabric, "30.0.0.1")[0].loc.participant(), pid(2));
+}
+
+#[test]
+fn injected_commit_fault_rolls_back_torn_fast_path() {
+    let (mut ctl, mut fabric) = two_party_deployment();
+    let snap = fabric.snapshot();
+    // FabricCommit fires *mid-commit*: delta rules are already staged in
+    // the flow table when the fault hits, so this exercises rollback of a
+    // genuinely torn fabric.
+    ctl.faults = FaultPlan::seeded(3).fail_nth(InjectionPoint::FabricCommit, 1);
+    let err = ctl
+        .process_update(pid(2), &announce_30_8(), &mut fabric)
+        .unwrap_err();
+    assert_eq!(err, SdxError::Injected(InjectionPoint::FabricCommit));
+    assert_eq!(
+        &fabric,
+        snap.view(),
+        "torn commit must be rolled back whole"
+    );
+    // Replay the already-ingested prefix through the fast path (the same
+    // hook supervised session resets use) once the fault is spent.
+    ctl.apply_changed_prefixes(&[prefix("30.0.0.0/8")], &mut fabric)
+        .expect("replay");
+    assert_eq!(probe(&mut fabric, "30.0.0.1")[0].loc.participant(), pid(2));
+}
+
+#[test]
+fn injected_commit_fault_rolls_back_torn_reoptimize() {
+    let (mut ctl, mut fabric) = two_party_deployment();
+    ctl.process_update(pid(2), &announce_30_8(), &mut fabric)
+        .expect("fast path");
+    let snap = fabric.snapshot();
+    // Mid-reoptimize the base table has already been swapped when the
+    // fault fires (ARP/FIB sync still pending): the worst possible tear.
+    ctl.faults = FaultPlan::seeded(3).fail_nth(InjectionPoint::FabricCommit, 1);
+    let err = ctl.reoptimize(&mut fabric).unwrap_err();
+    assert_eq!(err, SdxError::Injected(InjectionPoint::FabricCommit));
+    assert_eq!(&fabric, snap.view(), "reoptimize tear must be invisible");
+    ctl.reoptimize(&mut fabric).expect("recovers");
+    assert_eq!(probe(&mut fabric, "20.0.0.1")[0].loc.participant(), pid(2));
+    assert_eq!(probe(&mut fabric, "30.0.0.1")[0].loc.participant(), pid(2));
+}
+
+#[test]
+fn vnh_exhaustion_is_typed_contained_and_recoverable() {
+    // A deliberately tiny pool: /29 leaves 7 allocatable VNHs (offset 0 is
+    // reserved). Announce/withdraw churn burns one delta VNH per
+    // re-announce — retired ids are only recycled by reoptimize.
+    let mut ctl = SdxController::new();
+    ctl.vnh = VnhAllocator::new(prefix("172.16.128.0/29"));
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 1);
+    ctl.add_participant(a, ExportPolicy::allow_all());
+    ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+    // A's policy makes every announced prefix policy-affected, so each
+    // fast-path re-announce burns a fresh delta VNH.
+    ctl.set_outbound(
+        pid(1),
+        Some(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2)))),
+    );
+    ctl.rs
+        .process_update(pid(2), &b.announce([prefix("20.0.0.0/8")], &[65002]));
+    let mut fabric = ctl.deploy().expect("deploy");
+
+    let mut exhausted = None;
+    for _ in 0..20 {
+        ctl.process_update(
+            pid(2),
+            &UpdateMessage::withdraw([prefix("30.0.0.0/8")]),
+            &mut fabric,
+        )
+        .expect("withdraw never allocates");
+        let snap = fabric.snapshot();
+        match ctl.process_update(pid(2), &announce_30_8(), &mut fabric) {
+            Ok(_) => {}
+            Err(e) => {
+                assert!(
+                    matches!(e, SdxError::VnhExhausted { .. }),
+                    "expected typed exhaustion, got {e}"
+                );
+                assert_eq!(
+                    &fabric,
+                    snap.view(),
+                    "exhaustion must keep last-good fabric"
+                );
+                exhausted = Some(e);
+                break;
+            }
+        }
+    }
+    assert!(
+        exhausted.is_some(),
+        "churn must eventually exhaust a /29 pool"
+    );
+    // 20/8 still forwards on the last-known-good tables.
+    assert_eq!(probe(&mut fabric, "20.0.0.1")[0].loc.participant(), pid(2));
+
+    // Reoptimize releases every retired delta id *before* compiling, so
+    // the drained pool recovers...
+    ctl.reoptimize(&mut fabric).expect("recycles delta ids");
+    // ...and both routes forward again, with fresh fast-path allocations
+    // working too.
+    assert_eq!(probe(&mut fabric, "30.0.0.1")[0].loc.participant(), pid(2));
+    ctl.process_update(
+        pid(2),
+        &ParticipantConfig::new(2, 65002, 1).announce([prefix("40.0.0.0/8")], &[65002]),
+        &mut fabric,
+    )
+    .expect("post-recycle allocation");
+    assert_eq!(probe(&mut fabric, "40.0.0.1")[0].loc.participant(), pid(2));
+}
+
+#[test]
 fn vnh_pool_exhaustion_panics_loudly() {
     // Deliberately tiny pool: allocation must fail fast with a clear
     // message, not wrap around into colliding tags.
     let result = std::panic::catch_unwind(|| {
-        let mut alloc =
-            sdx::core::vnh::VnhAllocator::new(prefix("10.0.0.0/30")); // 4 addrs
+        let mut alloc = sdx::core::vnh::VnhAllocator::new(prefix("10.0.0.0/30")); // 4 addrs
         for _ in 0..10 {
             alloc.allocate();
         }
@@ -214,7 +394,10 @@ fn withdrawn_only_route_blackholes_cleanly() {
         PortId::Phys(pid(1), 1),
         Packet::tcp(ip("9.9.9.9"), ip("20.0.0.1"), 40_000, 80),
     );
-    assert!(out.is_empty(), "withdrawn destination must not be reachable");
+    assert!(
+        out.is_empty(),
+        "withdrawn destination must not be reachable"
+    );
     assert_eq!(
         fabric
             .router(PortId::Phys(pid(1), 1))

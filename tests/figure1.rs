@@ -58,14 +58,16 @@ fn figure1() -> (SdxController, sdx::openflow::fabric::Fabric) {
         ("30.0.0.0/8", vec![65002, 300]),
         ("40.0.0.0/8", vec![65002, 400]),
     ] {
-        ctl.rs.process_update(pid(2), &b.announce([prefix(pfx)], &path));
+        ctl.rs
+            .process_update(pid(2), &b.announce([prefix(pfx)], &path));
     }
     for (pfx, path) in [
         ("10.0.0.0/8", vec![65003, 200]),
         ("20.0.0.0/8", vec![65003, 200]),
         ("40.0.0.0/8", vec![65003, 400]),
     ] {
-        ctl.rs.process_update(pid(3), &c.announce([prefix(pfx)], &path));
+        ctl.rs
+            .process_update(pid(3), &c.announce([prefix(pfx)], &path));
     }
     ctl.rs
         .process_update(pid(4), &d.announce([prefix("50.0.0.0/8")], &[65004, 500]));
@@ -104,7 +106,11 @@ fn inbound_te_picks_the_port() {
     let low = send_from_a(&mut fabric, "9.0.0.1", "10.0.0.1", 80);
     assert_eq!(low[0].loc, PortId::Phys(pid(2), 1), "low-half source → B1");
     let high = send_from_a(&mut fabric, "200.0.0.1", "10.0.0.1", 80);
-    assert_eq!(high[0].loc, PortId::Phys(pid(2), 2), "high-half source → B2");
+    assert_eq!(
+        high[0].loc,
+        PortId::Phys(pid(2), 2),
+        "high-half source → B2"
+    );
 }
 
 #[test]
@@ -143,7 +149,10 @@ fn untouched_prefixes_use_plain_route_server_path() {
     // server for it (§4.2's "we do not need to consider BGP prefixes that
     // retain their default behavior").
     let report = ctl.report.as_ref().expect("compiled");
-    assert!(!report.vnh_of.keys().any(|(_, p)| *p == prefix("50.0.0.0/8")));
+    assert!(!report
+        .vnh_of
+        .keys()
+        .any(|(_, p)| *p == prefix("50.0.0.0/8")));
     let out = send_from_a(&mut fabric, "9.0.0.1", "50.0.0.1", 80);
     assert_eq!(out[0].loc, PortId::Phys(pid(4), 1));
 }

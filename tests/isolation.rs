@@ -9,6 +9,7 @@ use sdx::core::participant::ParticipantConfig;
 use sdx::core::transform::TransformError;
 use sdx::net::{ip, prefix, FieldMatch, Packet, ParticipantId, PortId};
 use sdx::policy::{Policy as P, Pred};
+use sdx::SdxError;
 
 fn pid(n: u32) -> ParticipantId {
     ParticipantId(n)
@@ -57,12 +58,13 @@ fn matching_on_foreign_ports_is_rejected_at_install() {
     ctl.set_outbound(
         pid(1),
         Some(
-            P::match_(FieldMatch::InPort(PortId::Phys(pid(2), 1)))
-                >> P::fwd(PortId::Virt(pid(3))),
+            P::match_(FieldMatch::InPort(PortId::Phys(pid(2), 1))) >> P::fwd(PortId::Virt(pid(3))),
         ),
     );
     let err = ctl.deploy().expect_err("isolation violation");
-    assert!(matches!(err, TransformError::MatchOutsideSwitch(p, _) if p == pid(1)));
+    assert!(
+        matches!(err, SdxError::Transform(TransformError::MatchOutsideSwitch(p, _)) if p == pid(1))
+    );
 }
 
 #[test]
@@ -71,7 +73,9 @@ fn inbound_policy_cannot_hijack_to_peer_switch() {
     // B tries to bounce its inbound traffic to C's virtual switch.
     ctl.set_inbound(pid(2), Some(P::fwd(PortId::Virt(pid(3)))));
     let err = ctl.deploy().expect_err("isolation violation");
-    assert!(matches!(err, TransformError::InboundEscapesSwitch(p, _) if p == pid(2)));
+    assert!(
+        matches!(err, SdxError::Transform(TransformError::InboundEscapesSwitch(p, _)) if p == pid(2))
+    );
 }
 
 #[test]
@@ -84,10 +88,7 @@ fn never_forward_to_a_nonexporting_neighbor() {
     // announced 33/8, so the consistency filter erases the clause.
     ctl.set_outbound(
         pid(1),
-        Some(
-            P::match_(FieldMatch::NwDst(prefix("33.0.0.0/8")))
-                >> P::fwd(PortId::Virt(pid(2))),
-        ),
+        Some(P::match_(FieldMatch::NwDst(prefix("33.0.0.0/8"))) >> P::fwd(PortId::Virt(pid(2)))),
     );
     let mut fabric = ctl.deploy().expect("deploy");
     let out = fabric.send(
@@ -145,7 +146,14 @@ fn policy_bearing_exchange_stays_loop_free() {
         Some(P::match_(FieldMatch::NwSrc(prefix("0.0.0.0/1"))) >> P::fwd(PortId::Phys(pid(3), 1))),
     );
     let mut fabric = ctl.deploy().expect("deploy");
-    for (sender, dst) in [(1u32, "22.0.0.1"), (1, "33.0.0.1"), (2, "11.0.0.1"), (2, "33.0.0.1"), (3, "11.0.0.1"), (3, "22.0.0.1")] {
+    for (sender, dst) in [
+        (1u32, "22.0.0.1"),
+        (1, "33.0.0.1"),
+        (2, "11.0.0.1"),
+        (2, "33.0.0.1"),
+        (3, "11.0.0.1"),
+        (3, "22.0.0.1"),
+    ] {
         for port in [80u16, 443, 22] {
             let out = fabric.send(
                 PortId::Phys(pid(sender), 1),

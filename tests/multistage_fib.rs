@@ -19,10 +19,13 @@ fn pid(n: u32) -> ParticipantId {
 
 /// A viewer with a port-80 policy toward B; B and C announce 64 prefixes
 /// each with identical behaviour.
-fn setup() -> (SdxController, sdx::openflow::fabric::Fabric, Vec<sdx::net::Prefix>) {
-    let a = ParticipantConfig::new(1, 65001, 1).with_outbound(
-        P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))),
-    );
+fn setup() -> (
+    SdxController,
+    sdx::openflow::fabric::Fabric,
+    Vec<sdx::net::Prefix>,
+) {
+    let a = ParticipantConfig::new(1, 65001, 1)
+        .with_outbound(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))));
     let b = ParticipantConfig::new(2, 65002, 1);
     let c = ParticipantConfig::new(3, 65003, 1);
     let mut ctl = SdxController::new();
@@ -92,7 +95,10 @@ fn tag_is_applied_by_bgp_plus_arp_only() {
             &mut fabric.arp,
         )
         .expect("has route + ARP");
-    assert!(tagged.pkt.dl_dst.is_vmac(), "stage-1 output carries the tag");
+    assert!(
+        tagged.pkt.dl_dst.is_vmac(),
+        "stage-1 output carries the tag"
+    );
 }
 
 #[test]

@@ -16,21 +16,15 @@ fn pid(n: u32) -> ParticipantId {
 
 /// Builds the controller, deploys a single-switch fabric (the reference),
 /// and mirrors the same compiled state onto a two-switch MultiFabric.
-fn dual_deployment() -> (
-    SdxController,
-    sdx::openflow::fabric::Fabric,
-    MultiFabric,
-) {
+fn dual_deployment() -> (SdxController, sdx::openflow::fabric::Fabric, MultiFabric) {
     let mut ctl = SdxController::new();
     let a = ParticipantConfig::new(1, 65001, 1);
     let b = ParticipantConfig::new(2, 65002, 2);
-    let c = ParticipantConfig::new(3, 65003, 1).with_outbound(
-        P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))),
-    );
+    let c = ParticipantConfig::new(3, 65003, 1)
+        .with_outbound(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))));
     let b_inbound = (P::match_(FieldMatch::NwSrc(prefix("0.0.0.0/1")))
         >> P::fwd(PortId::Phys(pid(2), 1)))
-        + (P::match_(FieldMatch::NwSrc(prefix("128.0.0.0/1")))
-            >> P::fwd(PortId::Phys(pid(2), 2)));
+        + (P::match_(FieldMatch::NwSrc(prefix("128.0.0.0/1"))) >> P::fwd(PortId::Phys(pid(2), 2)));
     let b = b.with_inbound(b_inbound);
     ctl.add_participant(a.clone(), ExportPolicy::allow_all());
     ctl.add_participant(b.clone(), ExportPolicy::allow_all());
@@ -48,7 +42,11 @@ fn dual_deployment() -> (
     multi.add_switch(SwitchId(0));
     multi.add_switch(SwitchId(1));
     for (sw, port_owner) in [(0u32, 1u32), (0, 2), (1, 3)] {
-        let cfg = ctl.compiler.participant(pid(port_owner)).expect("known").clone();
+        let cfg = ctl
+            .compiler
+            .participant(pid(port_owner))
+            .expect("known")
+            .clone();
         for p in &cfg.ports {
             let mut r = BorderRouter::new(PortId::Phys(cfg.id, p.index), p.mac);
             // Copy the reference router's FIB state by re-applying the
@@ -69,10 +67,10 @@ fn dual_deployment() -> (
 fn multiswitch_agrees_with_single_switch() {
     let (_ctl, mut single, mut multi) = dual_deployment();
     for (sender, src, dport) in [
-        (3u32, "9.0.0.1", 80u16),    // policy: via B, inbound TE → B1
-        (3, "200.0.0.1", 80),        // policy: via B, inbound TE → B2
-        (3, "9.0.0.1", 443),         // default: best route via A
-        (2, "9.0.0.1", 80),          // B's own traffic toward A's route
+        (3u32, "9.0.0.1", 80u16), // policy: via B, inbound TE → B1
+        (3, "200.0.0.1", 80),     // policy: via B, inbound TE → B2
+        (3, "9.0.0.1", 443),      // default: best route via A
+        (2, "9.0.0.1", 80),       // B's own traffic toward A's route
     ] {
         let pkt = Packet::tcp(ip(src), ip("54.1.2.3"), 40_000, dport);
         let from = PortId::Phys(pid(sender), 1);
@@ -103,7 +101,13 @@ fn trunk_carries_only_cross_switch_traffic() {
 #[test]
 fn rule_state_replicates_per_switch() {
     let (ctl, single, multi) = dual_deployment();
-    let logical = ctl.report.as_ref().expect("compiled").classifier.rules().len();
+    let logical = ctl
+        .report
+        .as_ref()
+        .expect("compiled")
+        .classifier
+        .rules()
+        .len();
     assert_eq!(single.switch.table().len(), logical);
     assert_eq!(multi.total_rules(), 2 * logical);
 }
