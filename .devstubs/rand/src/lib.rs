@@ -1,0 +1,158 @@
+//! Offline typecheck stub for the `rand` crate (subset used by sdx-ixp).
+
+fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub trait SampleUniform: Copy {
+    fn sample_in(lo: Self, hi_exclusive: Self, r: u64) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, r: u64) -> Self {
+                let span = (hi as i128 - lo as i128).max(1) as u128;
+                (lo as i128 + (r as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub trait RangeLike<T> {
+    fn bounds(self) -> (T, T, bool);
+}
+
+impl<T: Copy> RangeLike<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: Copy> RangeLike<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (*self.start(), *self.end(), true)
+    }
+}
+
+pub trait Sampleable {
+    fn from_u64(r: u64) -> Self;
+}
+
+impl Sampleable for f64 {
+    fn from_u64(r: u64) -> Self {
+        (r >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Sampleable for u64 {
+    fn from_u64(r: u64) -> Self {
+        r
+    }
+}
+
+impl Sampleable for u32 {
+    fn from_u64(r: u64) -> Self {
+        r as u32
+    }
+}
+
+pub trait Rng {
+    fn next(&mut self) -> u64;
+
+    fn gen<T: Sampleable>(&mut self) -> T {
+        T::from_u64(self.next())
+    }
+
+    fn gen_range<T: SampleUniform, R: RangeLike<T>>(&mut self, range: R) -> T {
+        let (lo, hi, inclusive) = range.bounds();
+        let _ = inclusive;
+        T::sample_in(lo, hi, self.next())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+pub mod rngs {
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed | 1,
+            }
+        }
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng {
+                state: seed | 1,
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next(&mut self) -> u64 {
+            super::next_u64(&mut self.state)
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        fn next(&mut self) -> u64 {
+            super::next_u64(&mut self.state)
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    pub trait SliceRandom {
+        type Item;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.next() as usize % self.len())
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.next() as usize % (i + 1));
+            }
+        }
+    }
+}
+
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng { state: 0x9e3779b9 }
+}

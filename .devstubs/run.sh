@@ -1,0 +1,13 @@
+#!/bin/sh
+# Offline typecheck harness (verification scaffolding only — never commit .devstubs/).
+# Usage: sh .devstubs/check.sh [extra cargo-check args...]
+exec cargo run --offline \
+  --config 'patch.crates-io.bytes.path=".devstubs/bytes"' \
+  --config 'patch.crates-io.rand.path=".devstubs/rand"' \
+  --config 'patch.crates-io.proptest.path=".devstubs/proptest"' \
+  --config 'patch.crates-io.criterion.path=".devstubs/criterion"' \
+  --config 'patch.crates-io.parking_lot.path=".devstubs/parking_lot"' \
+  --config 'patch.crates-io.crossbeam.path=".devstubs/crossbeam"' \
+  --config 'patch.crates-io.serde.path=".devstubs/serde"' \
+  --config 'patch.crates-io.serde_json.path=".devstubs/serde_json"' \
+  "$@"
