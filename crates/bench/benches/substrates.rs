@@ -77,7 +77,13 @@ fn bench_decision(c: &mut Criterion) {
 fn bench_aspath_regex(c: &mut Criterion) {
     let re = AsPathRegex::compile(".*43515$").expect("compiles");
     let paths: Vec<AsPath> = (0..256u32)
-        .map(|i| AsPath::sequence([65000 + i, 3356, if i % 3 == 0 { 43515 } else { 15169 }]))
+        .map(|i| {
+            AsPath::sequence([
+                65000 + i,
+                3356,
+                if i.is_multiple_of(3) { 43515 } else { 15169 },
+            ])
+        })
         .collect();
     c.bench_function("aspath_regex_256_paths", |b| {
         b.iter(|| paths.iter().filter(|p| re.is_match(p)).count())

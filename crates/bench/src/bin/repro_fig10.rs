@@ -6,16 +6,22 @@
 //! tables are recomputed in **under 100 ms most of the time**, giving
 //! sub-second convergence; the CDF shifts right with more participants.
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_fig10`
+//! Timing goes through the telemetry registry — one `fastpath.update.nN`
+//! histogram per participant count — so the `--json` report carries the
+//! same distribution the table summarizes.
+//!
+//! Run: `cargo run --release -p sdx-bench --bin repro_fig10 [--json out.json]`
 
-use std::time::Instant;
+use std::time::Duration;
 
-use sdx_bench::{print_json, print_table, quantile, Workbench};
+use sdx_bench::{print_table, row, Workbench};
 use sdx_core::vnh::VnhAllocator;
 use sdx_ixp::updates::{generate, TraceParams};
+use sdx_telemetry::Registry;
 
 fn main() {
     let participants = [100usize, 200, 300];
+    let reg = Registry::new();
     let mut rows = Vec::new();
     let mut json = Vec::new();
 
@@ -38,48 +44,46 @@ fn main() {
             },
         );
 
-        let mut times_ms: Vec<f64> = Vec::new();
+        let key = format!("fastpath.update.n{n}");
+        let under = reg.counter(&format!("fastpath.update.n{n}.under_100ms.count"));
         for burst in &trace.bursts {
             for (from, update) in &burst.updates {
-                let t0 = Instant::now();
-                let events = rs.process_update(*from, update);
-                for ev in events {
-                    if let sdx_bgp::route_server::RouteServerEvent::PrefixChanged(p) = ev {
-                        let _ = compiler.fast_update(&rs, &mut vnh, p).expect("fast path");
+                let ((), took) = reg.timed(&key, || {
+                    let events = rs.process_update(*from, update);
+                    for ev in events {
+                        if let sdx_bgp::route_server::RouteServerEvent::PrefixChanged(p) = ev {
+                            let _ = compiler.fast_update(&rs, &mut vnh, p).expect("fast path");
+                        }
                     }
+                });
+                if took < Duration::from_millis(100) {
+                    under.inc();
                 }
-                times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
             }
         }
-        times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let samples = times_ms.len();
-        let row_q: Vec<f64> = [0.5, 0.75, 0.9, 0.99, 1.0]
-            .iter()
-            .map(|&q| quantile(&times_ms, q))
-            .collect();
+
+        let h = reg.histogram(&key).snapshot();
+        let samples = h.count;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let pct_under = 100.0 * under.get() as f64 / samples.max(1) as f64;
         rows.push(vec![
             n.to_string(),
             samples.to_string(),
-            format!("{:.2}ms", row_q[0]),
-            format!("{:.2}ms", row_q[1]),
-            format!("{:.2}ms", row_q[2]),
-            format!("{:.2}ms", row_q[3]),
-            format!("{:.2}ms", row_q[4]),
-            format!(
-                "{:.1}%",
-                100.0 * times_ms.iter().filter(|&&t| t < 100.0).count() as f64 / samples as f64
-            ),
+            format!("{:.2}ms", ms(h.p50)),
+            format!("{:.2}ms", ms(h.p90)),
+            format!("{:.2}ms", ms(h.p99)),
+            format!("{:.2}ms", ms(h.max)),
+            format!("{pct_under:.1}%"),
         ]);
-        json.push(serde_json::json!({
-            "participants": n,
-            "samples": samples,
-            "p50_ms": row_q[0],
-            "p75_ms": row_q[1],
-            "p90_ms": row_q[2],
-            "p99_ms": row_q[3],
-            "max_ms": row_q[4],
-            "pct_under_100ms": 100.0 * times_ms.iter().filter(|&&t| t < 100.0).count() as f64 / samples as f64,
-        }));
+        json.push(row([
+            ("participants", n.into()),
+            ("samples", samples.into()),
+            ("p50_ms", ms(h.p50).into()),
+            ("p90_ms", ms(h.p90).into()),
+            ("p99_ms", ms(h.p99).into()),
+            ("max_ms", ms(h.max).into()),
+            ("pct_under_100ms", pct_under.into()),
+        ]));
     }
     print_table(
         "Figure 10: time to process a single BGP update (CDF quantiles)",
@@ -87,7 +91,6 @@ fn main() {
             "participants",
             "updates",
             "p50",
-            "p75",
             "p90",
             "p99",
             "max",
@@ -99,5 +102,5 @@ fn main() {
         "\n  expected shape (paper): sub-second always; under 100 ms most of\n  \
          the time; distribution shifts right as participants grow."
     );
-    print_json("fig10", &json);
+    sdx_bench::report("fig10", &json, &reg.snapshot());
 }

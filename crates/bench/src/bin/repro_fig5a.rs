@@ -7,9 +7,9 @@
 //! withdraws its route, and the SDX must shift all traffic back to AS A —
 //! keeping the data plane consistent with BGP.
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_fig5a`
+//! Run: `cargo run --release -p sdx-bench --bin repro_fig5a [--json out.json]`
 
-use sdx_bench::{print_json, print_table};
+use sdx_bench::print_table;
 use sdx_bgp::msg::UpdateMessage;
 use sdx_bgp::route_server::ExportPolicy;
 use sdx_core::controller::SdxController;
@@ -17,6 +17,7 @@ use sdx_core::participant::ParticipantConfig;
 use sdx_ixp::traffic::{udp_flow, Event, SeriesKey, TrafficSim};
 use sdx_net::{ip, prefix, FieldMatch, ParticipantId, PortId};
 use sdx_policy::Policy as P;
+use sdx_telemetry::Json;
 
 fn main() {
     let pid = ParticipantId;
@@ -84,6 +85,9 @@ fn main() {
         },
     ];
 
+    // Keep a handle on the controller's registry: the sim consumes the
+    // controller, but the shared sink keeps collecting.
+    let telemetry = ctl.telemetry.clone();
     let sim = TrafficSim {
         controller: ctl,
         fabric,
@@ -126,17 +130,17 @@ fn main() {
          t=1253 s returns all traffic to A (forwarding consistent with BGP)."
     );
 
-    let json: Vec<serde_json::Value> = series
+    let json: Vec<Json> = series
         .points
         .iter()
-        .filter(|(t, _)| *t as u64 % 30 == 0)
+        .filter(|(t, _)| (*t as u64).is_multiple_of(30))
         .map(|(t, rates)| {
-            let mut obj = serde_json::json!({ "t": t });
+            let mut pairs = vec![("t".to_string(), Json::from(*t))];
             for (k, r) in series.keys.iter().zip(rates) {
-                obj[k] = serde_json::json!(r);
+                pairs.push((k.clone(), Json::from(*r)));
             }
-            obj
+            Json::Obj(pairs)
         })
         .collect();
-    print_json("fig5a", &json);
+    sdx_bench::report("fig5a", &json, &telemetry.snapshot());
 }

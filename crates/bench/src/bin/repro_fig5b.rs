@@ -8,15 +8,16 @@
 //! across both instances, purely through SDX data-plane rewriting (no DNS
 //! involved).
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_fig5b`
+//! Run: `cargo run --release -p sdx-bench --bin repro_fig5b [--json out.json]`
 
-use sdx_bench::{print_json, print_table};
+use sdx_bench::print_table;
 use sdx_bgp::route_server::ExportPolicy;
 use sdx_core::controller::SdxController;
 use sdx_core::participant::ParticipantConfig;
 use sdx_ixp::traffic::{udp_flow, Event, SeriesKey, TrafficSim};
 use sdx_net::{ip, prefix, FieldMatch, Mod, ParticipantId, PortId};
 use sdx_policy::{Policy as P, Pred};
+use sdx_telemetry::Json;
 
 fn main() {
     let pid = ParticipantId;
@@ -80,6 +81,9 @@ fn main() {
             (0.0, 600.0),
         ),
     ];
+    // Keep a handle on the controller's registry: the sim consumes the
+    // controller, but the shared sink keeps collecting.
+    let telemetry = ctl.telemetry.clone();
     let sim = TrafficSim {
         controller: ctl,
         fabric,
@@ -116,17 +120,17 @@ fn main() {
          while the other client stays on instance #1."
     );
 
-    let json: Vec<serde_json::Value> = series
+    let json: Vec<Json> = series
         .points
         .iter()
-        .filter(|(t, _)| *t as u64 % 15 == 0)
+        .filter(|(t, _)| (*t as u64).is_multiple_of(15))
         .map(|(t, rates)| {
-            let mut obj = serde_json::json!({ "t": t });
+            let mut pairs = vec![("t".to_string(), Json::from(*t))];
             for (k, r) in series.keys.iter().zip(rates) {
-                obj[k] = serde_json::json!(r);
+                pairs.push((k.clone(), Json::from(*r)));
             }
-            obj
+            Json::Obj(pairs)
         })
         .collect();
-    print_json("fig5b", &json);
+    sdx_bench::report("fig5b", &json, &telemetry.snapshot());
 }

@@ -7,20 +7,22 @@
 //! over the collection. The paper finds the group count **sub-linear** in
 //! the prefix count and far below it.
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_fig6`
+//! Run: `cargo run --release -p sdx-bench --bin repro_fig6 [--json out.json]`
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sdx_bench::{print_json, print_table};
+use sdx_bench::{print_table, row};
 use sdx_core::fec::minimum_disjoint_subsets;
 use sdx_ixp::topology::{build, TopologyParams};
 use sdx_net::Prefix;
+use sdx_telemetry::Registry;
 
 fn main() {
     let sweep: Vec<usize> = vec![1000, 2500, 5000, 7500, 10_000, 15_000, 20_000, 25_000];
     let participants = [100usize, 200, 300];
 
+    let reg = Registry::new();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for &n in &participants {
@@ -48,18 +50,20 @@ fn main() {
                 .iter()
                 .map(|(_, ps)| ps.iter().copied().filter(|p| px.contains(p)).collect())
                 .collect();
-            let groups = minimum_disjoint_subsets(&restricted).len();
+            let groups = reg
+                .time("compile.mds", || minimum_disjoint_subsets(&restricted))
+                .len();
             rows.push(vec![
                 n.to_string(),
                 x.to_string(),
                 groups.to_string(),
                 format!("{:.1}x", x as f64 / groups.max(1) as f64),
             ]);
-            json.push(serde_json::json!({
-                "participants": n,
-                "prefixes": x,
-                "prefix_groups": groups,
-            }));
+            json.push(row([
+                ("participants", n.into()),
+                ("prefixes", x.into()),
+                ("prefix_groups", groups.into()),
+            ]));
         }
     }
     print_table(
@@ -71,5 +75,5 @@ fn main() {
         "\n  expected shape (paper): sub-linear growth; groups ≪ prefixes;\n  \
          compression ratio improves as prefixes grow; more participants ⇒ more groups."
     );
-    print_json("fig6", &json);
+    sdx_bench::report("fig6", &json, &reg.snapshot());
 }

@@ -7,9 +7,10 @@
 //! `N ∈ {100, 200, 300}` participants. The paper's shape: **linear** in
 //! the number of prefix groups, ordered by participant count.
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_fig7`
+//! Run: `cargo run --release -p sdx-bench --bin repro_fig7 [--json out.json]`
 
-use sdx_bench::{print_json, print_table, Workbench};
+use sdx_bench::{print_table, row, Workbench};
+use sdx_telemetry::MetricsSnapshot;
 
 fn main() {
     let participants = [100usize, 200, 300];
@@ -17,12 +18,14 @@ fn main() {
     // reference aligned 16-prefix destination blocks).
     let sweep = [3_200usize, 6_400, 9_600, 12_800, 16_000, 19_200, 22_400];
 
+    let mut metrics = MetricsSnapshot::default();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for &n in &participants {
         for &px in &sweep {
             let wb = Workbench::new(n, 25_000, px, 7 + n as u64);
             let report = wb.compile();
+            metrics.absorb(report.metrics_snapshot());
             rows.push(vec![
                 n.to_string(),
                 px.to_string(),
@@ -33,12 +36,12 @@ fn main() {
                     report.stats.forwarding_rules as f64 / report.stats.group_count.max(1) as f64
                 ),
             ]);
-            json.push(serde_json::json!({
-                "participants": n,
-                "policy_prefixes": px,
-                "prefix_groups": report.stats.group_count,
-                "forwarding_rules": report.stats.forwarding_rules,
-            }));
+            json.push(row([
+                ("participants", n.into()),
+                ("policy_prefixes", px.into()),
+                ("prefix_groups", report.stats.group_count.into()),
+                ("forwarding_rules", report.stats.forwarding_rules.into()),
+            ]));
         }
     }
     print_table(
@@ -57,5 +60,5 @@ fn main() {
          (each group occupies a disjoint slice of flow space); more\n  \
          participants ⇒ more rules at equal group count."
     );
-    print_json("fig7", &json);
+    sdx_bench::report("fig7", &json, &metrics);
 }

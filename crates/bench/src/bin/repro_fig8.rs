@@ -8,15 +8,17 @@
 //! group count, driven by pairwise policy interaction, with VNH
 //! computation a visible fraction of the total.
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_fig8`
+//! Run: `cargo run --release -p sdx-bench --bin repro_fig8 [--json out.json]`
 
-use sdx_bench::{fmt_duration, print_json, print_table, Workbench};
+use sdx_bench::{fmt_duration, print_table, row, Workbench};
+use sdx_telemetry::MetricsSnapshot;
 
 fn main() {
     let participants = [100usize, 200, 300];
     // policy_prefixes sweeps the group count (≈ blocks of 16 prefixes).
     let sweep = [3_200usize, 6_400, 9_600, 12_800, 16_000, 19_200, 22_400];
 
+    let mut metrics = MetricsSnapshot::default();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for &n in &participants {
@@ -29,6 +31,7 @@ fn main() {
             let _ = compiler.compile_all(&wb.rs, &mut vnh).expect("warm-up");
             let mut vnh = sdx_core::vnh::VnhAllocator::default();
             let report = compiler.compile_all(&wb.rs, &mut vnh).expect("compile");
+            metrics.absorb(report.metrics_snapshot());
             rows.push(vec![
                 n.to_string(),
                 report.stats.group_count.to_string(),
@@ -37,15 +40,21 @@ fn main() {
                 fmt_duration(report.stats.vnh_time),
                 fmt_duration(report.stats.compose_time),
             ]);
-            json.push(serde_json::json!({
-                "participants": n,
-                "policy_prefixes": px,
-                "prefix_groups": report.stats.group_count,
-                "forwarding_rules": report.stats.forwarding_rules,
-                "compile_ms": report.stats.total.as_secs_f64() * 1e3,
-                "vnh_ms": report.stats.vnh_time.as_secs_f64() * 1e3,
-                "compose_ms": report.stats.compose_time.as_secs_f64() * 1e3,
-            }));
+            json.push(row([
+                ("participants", n.into()),
+                ("policy_prefixes", px.into()),
+                ("prefix_groups", report.stats.group_count.into()),
+                ("forwarding_rules", report.stats.forwarding_rules.into()),
+                (
+                    "compile_ms",
+                    (report.stats.total.as_secs_f64() * 1e3).into(),
+                ),
+                ("vnh_ms", (report.stats.vnh_time.as_secs_f64() * 1e3).into()),
+                (
+                    "compose_ms",
+                    (report.stats.compose_time.as_secs_f64() * 1e3).into(),
+                ),
+            ]));
         }
     }
     print_table(
@@ -66,5 +75,5 @@ fn main() {
          equal group count. Absolute times are far below the paper's\n  \
          (Rust pipeline vs. their Python prototype)."
     );
-    print_json("fig8", &json);
+    sdx_bench::report("fig8", &json, &metrics);
 }

@@ -9,19 +9,21 @@
 //! burst size, steeper with more participants (≈3,000 rules at 100
 //! updates with 300 participants).
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_fig9`
+//! Run: `cargo run --release -p sdx-bench --bin repro_fig9 [--json out.json]`
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sdx_bench::{print_json, print_table, Workbench};
+use sdx_bench::{print_table, row, Workbench};
 use sdx_core::vnh::VnhAllocator;
 use sdx_net::Prefix;
+use sdx_telemetry::MetricsSnapshot;
 
 fn main() {
     let participants = [100usize, 200, 300];
     let burst_sizes = [10usize, 20, 40, 60, 80, 100];
 
+    let mut metrics = MetricsSnapshot::default();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for &n in &participants {
@@ -51,12 +53,13 @@ fn main() {
                 delta.additional_rules().to_string(),
                 format!("{:.1}", delta.additional_rules() as f64 / size as f64),
             ]);
-            json.push(serde_json::json!({
-                "participants": n,
-                "burst_size": size,
-                "additional_rules": delta.additional_rules(),
-            }));
+            json.push(row([
+                ("participants", n.into()),
+                ("burst_size", size.into()),
+                ("additional_rules", delta.additional_rules().into()),
+            ]));
         }
+        metrics.absorb(compiler.telemetry().snapshot());
     }
     print_table(
         "Figure 9: additional rules vs BGP update burst size",
@@ -72,5 +75,5 @@ fn main() {
         "\n  expected shape (paper): additional rules grow linearly with the\n  \
          burst size; more participants with policies ⇒ steeper slope."
     );
-    print_json("fig9", &json);
+    sdx_bench::report("fig9", &json, &metrics);
 }

@@ -9,12 +9,13 @@
 //! peer, times BGP path exploration). Session-reset churn is injected and
 //! discarded exactly as the paper's methodology (Zhang et al.) does.
 //!
-//! Run: `cargo run --release -p sdx-bench --bin repro_table1`
+//! Run: `cargo run --release -p sdx-bench --bin repro_table1 [--json out.json]`
 
-use sdx_bench::{print_json, print_table};
+use sdx_bench::{print_table, row};
 use sdx_ixp::dataset::{IxpDataset, ALL, MEASUREMENT_WINDOW_SECS};
 use sdx_ixp::topology::{build, TopologyParams};
 use sdx_ixp::updates::{generate, TraceParams};
+use sdx_telemetry::Registry;
 
 /// Calibration pass: expected distinct touched prefixes given `events`
 /// samples (with replacement) from a pool of size `pool`.
@@ -84,10 +85,12 @@ fn reproduce(dataset: &IxpDataset, scale: usize) -> (u64, f64, usize) {
 
 fn main() {
     let scale = 4usize;
+    let reg = Registry::new();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for d in &ALL {
-        let (updates, pct, bursts) = reproduce(d, scale);
+        let (updates, pct, bursts) = reg.time("trace.generate", || reproduce(d, scale));
+        reg.add("trace.updates.count", updates);
         rows.push(vec![
             d.name.to_string(),
             format!("{}/{}", d.collector_peers, d.total_peers),
@@ -98,18 +101,18 @@ fn main() {
             format!("{pct:.2}%"),
             format!("{bursts}"),
         ]);
-        json.push(serde_json::json!({
-            "ixp": d.name,
-            "collector_peers": d.collector_peers,
-            "total_peers": d.total_peers,
-            "prefixes": d.prefixes,
-            "updates_paper": d.updates,
-            "updates_measured": updates,
-            "pct_updated_paper": d.pct_prefixes_with_updates,
-            "pct_updated_measured": pct,
-            "bursts": bursts,
-            "prefix_scale": scale,
-        }));
+        json.push(row([
+            ("ixp", d.name.into()),
+            ("collector_peers", d.collector_peers.into()),
+            ("total_peers", d.total_peers.into()),
+            ("prefixes", d.prefixes.into()),
+            ("updates_paper", d.updates.into()),
+            ("updates_measured", updates.into()),
+            ("pct_updated_paper", d.pct_prefixes_with_updates.into()),
+            ("pct_updated_measured", pct.into()),
+            ("bursts", bursts.into()),
+            ("prefix_scale", scale.into()),
+        ]));
     }
     print_table(
         "Table 1: IXP datasets (paper vs. regenerated synthetic trace)",
@@ -130,5 +133,5 @@ fn main() {
          calibrated via burst rate + path-exploration factor; session-reset\n  \
          churn injected and discarded per the paper's methodology."
     );
-    print_json("table1", &json);
+    sdx_bench::report("table1", &json, &reg.snapshot());
 }

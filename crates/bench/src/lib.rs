@@ -13,6 +13,8 @@
 
 use std::time::Duration;
 
+use sdx_telemetry::{Json, MetricsSnapshot};
+
 use sdx_core::compiler::{CompileReport, SdxCompiler};
 use sdx_core::vnh::VnhAllocator;
 use sdx_ixp::policy_workload::{assign_policies, PolicyWorkloadParams};
@@ -104,17 +106,61 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Builds a JSON object row from `(key, value)` pairs.
+pub fn row(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)))
+}
+
 /// Emits one JSON line per row to stdout (machine-readable companion).
-pub fn print_json(experiment: &str, rows: &[serde_json::Value]) {
-    for row in rows {
-        let mut obj = row.clone();
-        if let Some(map) = obj.as_object_mut() {
-            map.insert(
-                "experiment".to_string(),
-                serde_json::Value::String(experiment.to_string()),
-            );
+pub fn print_json(experiment: &str, rows: &[Json]) {
+    for r in rows {
+        let mut obj = vec![("experiment".to_string(), Json::from(experiment))];
+        if let Json::Obj(pairs) = r {
+            obj.extend(pairs.iter().cloned());
         }
-        println!("{obj}");
+        println!("{}", Json::Obj(obj));
+    }
+}
+
+/// The `--json <path>` argument, if the binary was invoked with one.
+pub fn json_path_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Writes the full machine-readable report for an experiment:
+/// `{"experiment", "rows", "metrics"}`, where `metrics` is the
+/// [`MetricsSnapshot`] collected while the experiment ran.
+pub fn write_json_report(
+    path: &str,
+    experiment: &str,
+    rows: &[Json],
+    metrics: &MetricsSnapshot,
+) -> std::io::Result<()> {
+    let doc = Json::obj([
+        ("experiment".to_string(), Json::from(experiment)),
+        ("rows".to_string(), Json::Arr(rows.to_vec())),
+        ("metrics".to_string(), metrics.to_json()),
+    ]);
+    std::fs::write(path, doc.pretty())
+}
+
+/// The shared reporting contract of every `repro_*` binary: rows as JSON
+/// lines on stdout, plus — when `--json <path>` was passed — the full
+/// `{experiment, rows, metrics}` report written to the path.
+pub fn report(experiment: &str, rows: &[Json], metrics: &MetricsSnapshot) {
+    print_json(experiment, rows);
+    if let Some(path) = json_path_from_args() {
+        write_json_report(&path, experiment, rows, metrics).expect("write --json report");
+        eprintln!("wrote {path}");
     }
 }
 
@@ -144,6 +190,38 @@ mod tests {
         assert_eq!(quantile(&v, 0.75), 75.0);
         assert_eq!(quantile(&v, 1.0), 100.0);
         assert_eq!(quantile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_a_file() {
+        let reg = sdx_telemetry::Registry::new();
+        reg.inc("bench.test.count");
+        reg.observe_duration("bench.stage", Duration::from_millis(3));
+        let rows = vec![row([
+            ("participants", 100usize.into()),
+            ("p50_ms", 1.5.into()),
+        ])];
+        let path = std::env::temp_dir().join("sdx_bench_report_test.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        write_json_report(path, "figX", &rows, &reg.snapshot()).expect("write");
+        let text = std::fs::read_to_string(path).expect("read back");
+        let doc = Json::parse(&text).expect("parses");
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("figX"));
+        let first = &doc.get("rows").and_then(Json::as_arr).expect("rows")[0];
+        assert_eq!(first.get("participants").and_then(Json::as_u64), Some(100));
+        let metrics = doc.get("metrics").expect("metrics");
+        assert_eq!(
+            metrics
+                .get("counters")
+                .and_then(|c| c.get("bench.test.count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(metrics
+            .get("histograms")
+            .and_then(|h| h.get("bench.stage"))
+            .is_some());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use sdx_net::{Asn, Ipv4Addr, ParticipantId, Prefix};
+use sdx_telemetry::SharedRegistry;
 
 use crate::msg::UpdateMessage;
 use crate::rib::{AdjRibIn, LocRib, Route, RouteSource};
@@ -112,12 +113,24 @@ pub struct RouteServer {
     export: BTreeMap<ParticipantId, ExportPolicy>,
     asns: BTreeMap<ParticipantId, Asn>,
     loc_rib: LocRib,
+    /// Decision/export stage timers land here.
+    telemetry: SharedRegistry,
 }
 
 impl RouteServer {
     /// An empty route server.
     pub fn new() -> Self {
         RouteServer::default()
+    }
+
+    /// Points this route server's stage timers at `reg`.
+    pub fn set_telemetry(&mut self, reg: SharedRegistry) {
+        self.telemetry = reg;
+    }
+
+    /// The registry this route server emits into.
+    pub fn telemetry(&self) -> &SharedRegistry {
+        &self.telemetry
     }
 
     /// Registers a participant session. Must be called before updates from
@@ -155,20 +168,24 @@ impl RouteServer {
         from: ParticipantId,
         update: &UpdateMessage,
     ) -> Vec<RouteServerEvent> {
-        let rib = self
-            .peers
-            .get_mut(&from)
-            .unwrap_or_else(|| panic!("update from unregistered participant {from}"));
-        let changed = rib.apply(update);
-        let mut events = Vec::with_capacity(changed.len());
-        for p in changed {
-            match self.peers[&from].route(p) {
-                Some(route) => self.loc_rib.upsert(p, route),
-                None => self.loc_rib.remove(p, from),
+        let reg = self.telemetry.clone();
+        reg.inc("rs.update.count");
+        reg.time("rs.decision", || {
+            let rib = self
+                .peers
+                .get_mut(&from)
+                .unwrap_or_else(|| panic!("update from unregistered participant {from}"));
+            let changed = rib.apply(update);
+            let mut events = Vec::with_capacity(changed.len());
+            for p in changed {
+                match self.peers[&from].route(p) {
+                    Some(route) => self.loc_rib.upsert(p, route),
+                    None => self.loc_rib.remove(p, from),
+                }
+                events.push(RouteServerEvent::PrefixChanged(p));
             }
-            events.push(RouteServerEvent::PrefixChanged(p));
-        }
-        events
+            events
+        })
     }
 
     /// Handles a session reset: drops every route from `from` (Table 1's
@@ -305,28 +322,30 @@ impl RouteServer {
         changed: &[Prefix],
         mut vnh: impl FnMut(ParticipantId, Prefix, &Route) -> Ipv4Addr,
     ) -> Vec<(ParticipantId, UpdateMessage)> {
-        let mut out = Vec::new();
-        for viewer in self.peers.keys().copied() {
-            let mut msgs = UpdateMessage::default();
-            let mut announces: Vec<(Prefix, UpdateMessage)> = Vec::new();
-            for &p in changed {
-                match self.best_for(viewer, p) {
-                    Some(best) => {
-                        let nh = vnh(viewer, p, best);
-                        let attrs = best.attrs.clone().with_next_hop(nh);
-                        announces.push((p, UpdateMessage::announce([p], attrs)));
+        self.telemetry.clone().time("rs.export", || {
+            let mut out = Vec::new();
+            for viewer in self.peers.keys().copied() {
+                let mut msgs = UpdateMessage::default();
+                let mut announces: Vec<(Prefix, UpdateMessage)> = Vec::new();
+                for &p in changed {
+                    match self.best_for(viewer, p) {
+                        Some(best) => {
+                            let nh = vnh(viewer, p, best);
+                            let attrs = best.attrs.clone().with_next_hop(nh);
+                            announces.push((p, UpdateMessage::announce([p], attrs)));
+                        }
+                        None => msgs.withdrawn.push(p),
                     }
-                    None => msgs.withdrawn.push(p),
+                }
+                if !msgs.withdrawn.is_empty() {
+                    out.push((viewer, msgs));
+                }
+                for (_, m) in announces {
+                    out.push((viewer, m));
                 }
             }
-            if !msgs.withdrawn.is_empty() {
-                out.push((viewer, msgs));
-            }
-            for (_, m) in announces {
-                out.push((viewer, m));
-            }
-        }
-        out
+            out
+        })
     }
 
     /// Filters the Loc-RIB by an AS-path regular expression: the prefixes

@@ -44,6 +44,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use sdx_net::{ParticipantId, Prefix};
+use sdx_telemetry::{Event, SharedRegistry};
 
 use crate::msg::{BgpMessage, OpenMessage};
 use crate::route_server::{RouteServer, RouteServerEvent};
@@ -129,6 +130,7 @@ pub struct Supervisor {
     cfg: SupervisorConfig,
     rng: u64,
     peers: BTreeMap<ParticipantId, PeerState>,
+    telemetry: SharedRegistry,
 }
 
 impl Supervisor {
@@ -143,7 +145,19 @@ impl Supervisor {
                 seed
             },
             peers: BTreeMap::new(),
+            telemetry: SharedRegistry::default(),
         }
+    }
+
+    /// Points session-lifecycle events and counters at `reg`.
+    pub fn with_telemetry(mut self, reg: SharedRegistry) -> Self {
+        self.telemetry = reg;
+        self
+    }
+
+    /// The registry this supervisor emits into.
+    pub fn telemetry(&self) -> &SharedRegistry {
+        &self.telemetry
     }
 
     /// Registers a peer; the session starts connecting on the next
@@ -214,6 +228,9 @@ impl Supervisor {
             peer.attempts = 0;
             peer.next_reconnect_at = None;
             peer.last_keepalive_ms = now_ms;
+            self.telemetry.inc("session.established.count");
+            self.telemetry
+                .record_event(Event::SessionEstablished { peer: id.0 });
         }
         let suppressed = peer.suppressed;
         let mut changed: Vec<Prefix> = Vec::new();
@@ -277,6 +294,7 @@ impl Supervisor {
                 {
                     peer.last_keepalive_ms = now_ms;
                     out.send.push((id, BgpMessage::Keepalive));
+                    self.telemetry.inc("session.keepalive.count");
                 }
             }
         }
@@ -316,6 +334,10 @@ impl Supervisor {
         if peer.suppressed && peer.penalty < cfg.reuse_threshold {
             peer.suppressed = false;
             let pending = std::mem::take(&mut peer.pending);
+            self.telemetry.record_event(Event::SessionReleased {
+                peer: id.0,
+                pending: pending.len(),
+            });
             out.push_changed(pending);
         }
     }
@@ -339,8 +361,10 @@ impl Supervisor {
                 now_ms.saturating_sub(peer.penalty_at_ms),
             ) + cfg.flap_penalty;
             peer.penalty_at_ms = now_ms;
-            if peer.penalty >= cfg.suppress_threshold {
+            if peer.penalty >= cfg.suppress_threshold && !peer.suppressed {
                 peer.suppressed = true;
+                self.telemetry
+                    .record_event(Event::SessionSuppressed { peer: id.0 });
             }
             let flushed = prefixes_of(rs.reset_session(id));
             if was_suppressed {
@@ -356,6 +380,9 @@ impl Supervisor {
         };
         let peer = self.peers.get_mut(&id).expect("peer present");
         peer.next_reconnect_at = Some(now_ms + delay);
+        self.telemetry.inc("session.reset.count");
+        self.telemetry
+            .record_event(Event::SessionReset { peer: id.0 });
         out.resets.push(id);
     }
 

@@ -29,6 +29,7 @@ use sdx_net::Mod;
 use sdx_net::{Ipv4Addr, MacAddr, ParticipantId, PortId, Prefix};
 use sdx_policy::classifier::{Action, Classifier, Rule};
 use sdx_policy::{compile as compile_policy, Policy};
+use sdx_telemetry::{MetricsSnapshot, Registry, SharedRegistry};
 
 use crate::error::SdxError;
 use crate::faults::{FaultPlan, InjectionPoint};
@@ -104,6 +105,27 @@ pub struct CompileReport {
     pub stats: CompileStats,
 }
 
+impl CompileReport {
+    /// This run's accounting as a [`MetricsSnapshot`], keyed with the
+    /// workspace metric naming convention (timers in nanoseconds). The
+    /// snapshot is *derived* from [`CompileStats`] — both views come from
+    /// the same measurements, so they cannot disagree.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let r = Registry::new();
+        r.observe_duration("compile.total", self.stats.total);
+        r.observe_duration("compile.fec", self.stats.vnh_time);
+        r.observe_duration("compile.compose", self.stats.compose_time);
+        r.add("compile.rules.count", self.stats.rule_count as u64);
+        r.add(
+            "compile.forwarding_rules.count",
+            self.stats.forwarding_rules as u64,
+        );
+        r.add("compile.groups.count", self.stats.group_count as u64);
+        r.add("compile.memo_hits.count", self.stats.memo_hits as u64);
+        r.snapshot()
+    }
+}
+
 /// The pipeline driver. Holds the participant book and the memo cache;
 /// route state comes in per call so the compiler can be re-run as BGP
 /// changes.
@@ -118,12 +140,26 @@ pub struct SdxCompiler {
     global_policies: Vec<(ParticipantId, Policy)>,
     /// Options applied by `compile_all`.
     pub options: CompileOptions,
+    /// Where stage timings and allocation counters land. Defaults to a
+    /// private sink; the controller shares its own registry in.
+    pub(crate) telemetry: SharedRegistry,
 }
 
 impl SdxCompiler {
     /// A compiler with default (fully optimized) options.
     pub fn new() -> Self {
         SdxCompiler::default()
+    }
+
+    /// Points this compiler's stage timers at `reg` (the controller calls
+    /// this so the whole stack shares one sink).
+    pub fn set_telemetry(&mut self, reg: SharedRegistry) {
+        self.telemetry = reg;
+    }
+
+    /// The registry this compiler emits into.
+    pub fn telemetry(&self) -> &SharedRegistry {
+        &self.telemetry
     }
 
     /// Adds or replaces a participant.
@@ -222,10 +258,12 @@ impl SdxCompiler {
         faults: &mut FaultPlan,
     ) -> Result<CompileReport, SdxError> {
         faults.check(InjectionPoint::Compile)?;
+        let reg = self.telemetry.clone();
         let t0 = Instant::now();
         let mut stats = CompileStats::default();
 
         // ---- Step 1: raw policy classifiers + outbound clause extraction.
+        let t_classifiers = Instant::now();
         let ids: Vec<ParticipantId> = self.participants.keys().copied().collect();
         let mut fwd_rules: BTreeMap<ParticipantId, Vec<FwdRule>> = BTreeMap::new();
         let mut inbound_compiled: BTreeMap<ParticipantId, Classifier> = BTreeMap::new();
@@ -241,7 +279,10 @@ impl SdxCompiler {
             }
         }
 
+        reg.observe_duration("compile.classifiers", t_classifiers.elapsed());
+
         // ---- Steps 2–3: affected sets, FEC grouping, VNH assignment.
+        let vnh_allocs = reg.counter("vnh.alloc.count");
         let t_vnh = Instant::now();
         let mut groups: BTreeMap<ParticipantId, Vec<FecGroup>> = BTreeMap::new();
         // (viewer, group-id) → set of rule indices whose affected set
@@ -301,6 +342,7 @@ impl SdxCompiler {
             for prefixes in parts {
                 faults.check(InjectionPoint::VnhAlloc)?;
                 let (id, addr, vmac) = vnh.try_allocate()?;
+                vnh_allocs.inc();
                 let first = prefixes[0];
                 let default_next_hop = rs.best_for(viewer, first).map(|r| r.source.participant);
                 let (mem, part) = sig_of_prefix[&first].clone();
@@ -318,6 +360,7 @@ impl SdxCompiler {
             groups.insert(viewer, viewer_groups);
         }
         stats.vnh_time = t_vnh.elapsed();
+        reg.observe_duration("compile.fec", stats.vnh_time);
 
         // ---- Step 4: stage-1 rules.
         let mut stage1: Vec<Rule> = Vec::new();
@@ -469,6 +512,7 @@ impl SdxCompiler {
             stage1_c.sequential(&stage2_all)
         };
         stats.compose_time = t_compose.elapsed();
+        reg.observe_duration("compile.compose", stats.compose_time);
 
         // ---- Report assembly.
         let mut arp_bindings = Vec::new();
@@ -485,6 +529,8 @@ impl SdxCompiler {
         stats.forwarding_rules = classifier.forwarding_rule_count();
         stats.group_count = groups.values().map(Vec::len).sum();
         stats.total = t0.elapsed();
+        reg.observe_duration("compile.total", stats.total);
+        reg.inc("compile.count");
 
         Ok(CompileReport {
             classifier,

@@ -12,6 +12,7 @@
 //! overlays.
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use sdx_bgp::msg::UpdateMessage;
 use sdx_bgp::rib::AdjRibOut;
@@ -20,6 +21,7 @@ use sdx_net::{Ipv4Addr, ParticipantId, Prefix};
 use sdx_openflow::border_router::BorderRouter;
 use sdx_openflow::fabric::Fabric;
 use sdx_policy::Policy;
+use sdx_telemetry::{Event, SharedRegistry};
 
 use crate::compiler::{CompileReport, SdxCompiler};
 use crate::error::SdxError;
@@ -37,6 +39,11 @@ use crate::vnh::VnhAllocator;
 /// monotonic cursor just keeps the bands tidy at any overlay size).
 const DELTA_BASE: u32 = 1_000_000;
 
+/// A duration as journal-friendly nanoseconds (saturating).
+fn nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// The assembled SDX controller.
 #[derive(Debug)]
 pub struct SdxController {
@@ -51,6 +58,10 @@ pub struct SdxController {
     /// The fault-injection plan threaded through every pipeline run.
     /// Disabled by default; test harnesses arm it to exercise rollback.
     pub faults: FaultPlan,
+    /// The telemetry sink the whole stack shares: stage timers, counters,
+    /// and the lifecycle event journal. The compiler and the deployed
+    /// fabric emit into the same registry.
+    pub telemetry: SharedRegistry,
     /// Monotone counter of delta overlays currently installed.
     pub(crate) delta_layers: u32,
     /// Next free priority for an overlay (monotonic; reset on reoptimize).
@@ -74,20 +85,47 @@ impl Default for SdxController {
 }
 
 impl SdxController {
-    /// An empty controller.
+    /// An empty controller with a fresh telemetry registry.
     pub fn new() -> Self {
+        Self::with_telemetry(SharedRegistry::new())
+    }
+
+    /// An empty controller emitting into `telemetry` (shared into the
+    /// compiler here, and into any fabric built by
+    /// [`deploy`](Self::deploy)).
+    pub fn with_telemetry(telemetry: SharedRegistry) -> Self {
+        let mut compiler = SdxCompiler::new();
+        compiler.set_telemetry(telemetry.clone());
+        let mut rs = RouteServer::new();
+        rs.set_telemetry(telemetry.clone());
         SdxController {
-            compiler: SdxCompiler::new(),
-            rs: RouteServer::new(),
+            compiler,
+            rs,
             vnh: VnhAllocator::default(),
             report: None,
             faults: FaultPlan::disabled(),
+            telemetry,
             delta_layers: 0,
             next_delta_priority: DELTA_BASE,
             pending_fib: Vec::new(),
             rib_out: BTreeMap::new(),
             live_delta_ids: Vec::new(),
         }
+    }
+
+    /// Journals a pipeline failure: the injected fault (if that's what
+    /// fired) and the rollback that followed.
+    fn note_failure(&self, stage: &str, e: &SdxError) {
+        if let SdxError::Injected(point) = e {
+            self.telemetry.record_event(Event::FaultInjected {
+                point: point.to_string(),
+            });
+        }
+        self.telemetry.record_event(Event::TxnRolledBack {
+            stage: stage.to_string(),
+            error: e.to_string(),
+        });
+        self.telemetry.inc("txn.rollback.count");
     }
 
     /// Registers a participant with the compiler and the route server.
@@ -194,6 +232,11 @@ impl SdxController {
                 RouteServerEvent::SessionReset(_) => None,
             })
             .collect();
+        self.telemetry.inc("controller.update.count");
+        self.telemetry.record_event(Event::UpdateReceived {
+            from: from.0,
+            prefixes: changed.len(),
+        });
         self.apply_changed_prefixes(&changed, fabric)
     }
 
@@ -206,11 +249,24 @@ impl SdxController {
         changed: &[Prefix],
         fabric: &mut Fabric,
     ) -> Result<DeltaResult, SdxError> {
+        let reg = self.telemetry.clone();
+        let t0 = Instant::now();
         let txn = DeltaTxn::begin(self);
         match self.fast_path_in_txn(changed, fabric) {
-            Ok(delta) => Ok(delta),
+            Ok(delta) => {
+                let elapsed = t0.elapsed();
+                reg.observe_duration("fastpath.total", elapsed);
+                reg.record_event(Event::DeltaApplied {
+                    rules: delta.additional_rules(),
+                    latency_ns: nanos(elapsed),
+                });
+                reg.set_gauge("controller.delta_layers", i64::from(self.delta_layers));
+                Ok(delta)
+            }
             Err(e) => {
-                txn.rollback(self, fabric);
+                reg.observe_duration("fastpath.total", t0.elapsed());
+                self.note_failure("fastpath", &e);
+                reg.time("txn.rollback", || txn.rollback(self, fabric));
                 Err(e)
             }
         }
@@ -223,14 +279,15 @@ impl SdxController {
         changed: &[Prefix],
         fabric: &mut Fabric,
     ) -> Result<DeltaResult, SdxError> {
+        let reg = self.telemetry.clone();
         let delta = self.compiler.fast_update_burst_with_faults(
             &self.rs,
             &mut self.vnh,
             changed,
             &mut self.faults,
         )?;
-        crate::txn::validate_delta(&delta)?;
-        self.apply_delta(&delta, fabric)?;
+        reg.time("txn.validate", || crate::txn::validate_delta(&delta))?;
+        reg.time("fastpath.apply", || self.apply_delta(&delta, fabric))?;
         Ok(delta)
     }
 
@@ -297,18 +354,39 @@ impl SdxController {
     /// map, and router ARP caches are flushed below), so a long-lived
     /// controller never exhausts the pool under sustained churn.
     pub fn reoptimize(&mut self, fabric: &mut Fabric) -> Result<&CompileReport, SdxError> {
+        let reg = self.telemetry.clone();
+        let overlays = self.delta_layers;
+        let t0 = Instant::now();
         let txn = FabricTxn::begin(self, fabric);
         match self.reoptimize_in_txn(fabric) {
-            Ok(()) => match self.report.as_ref() {
-                Some(r) => Ok(r),
-                // Unreachable by construction: the txn body always sets
-                // the report on success.
-                None => Err(SdxError::InvalidCommit(
-                    "reoptimize committed without a report".into(),
-                )),
-            },
+            Ok(()) => {
+                let elapsed = t0.elapsed();
+                reg.observe_duration("reoptimize.total", elapsed);
+                if overlays > 0 {
+                    reg.record_event(Event::OverlaysRetired { layers: overlays });
+                }
+                reg.set_gauge("controller.delta_layers", 0);
+                match self.report.as_ref() {
+                    Some(r) => {
+                        reg.record_event(Event::ReoptimizeCompleted {
+                            rules: r.stats.rule_count,
+                            groups: r.stats.group_count,
+                            latency_ns: nanos(elapsed),
+                        });
+                        reg.set_gauge("fabric.rules", r.stats.rule_count as i64);
+                        Ok(r)
+                    }
+                    // Unreachable by construction: the txn body always sets
+                    // the report on success.
+                    None => Err(SdxError::InvalidCommit(
+                        "reoptimize committed without a report".into(),
+                    )),
+                }
+            }
             Err(e) => {
-                txn.rollback(self, fabric);
+                reg.observe_duration("reoptimize.total", t0.elapsed());
+                self.note_failure("reoptimize", &e);
+                reg.time("txn.rollback", || txn.rollback(self, fabric));
                 Err(e)
             }
         }
@@ -338,7 +416,9 @@ impl SdxController {
         let report =
             self.compiler
                 .compile_all_with_faults(&self.rs, &mut self.vnh, &mut self.faults)?;
-        crate::txn::validate_report(&report)?;
+        self.telemetry
+            .clone()
+            .time("txn.validate", || crate::txn::validate_report(&report))?;
         fabric.switch.load_classifier(&report.classifier);
         self.delta_layers = 0;
         self.next_delta_priority = DELTA_BASE;
@@ -443,6 +523,7 @@ impl SdxController {
     /// examples and the deployment experiments.
     pub fn deploy(&mut self) -> Result<Fabric, SdxError> {
         let mut fabric = Fabric::new();
+        fabric.set_telemetry(self.telemetry.clone());
         let routers: Vec<BorderRouter> = self
             .compiler
             .participants()

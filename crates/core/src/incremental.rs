@@ -129,6 +129,7 @@ impl SdxCompiler {
             // Fresh singleton group — no MDS, no ARP invalidation.
             faults.check(InjectionPoint::VnhAlloc)?;
             let (id, addr, vmac) = vnh.try_allocate()?;
+            self.telemetry().inc("vnh.alloc.count");
             let group = FecGroup {
                 id,
                 viewer,
@@ -200,6 +201,8 @@ impl SdxCompiler {
         }
 
         out.elapsed = t0.elapsed();
+        self.telemetry()
+            .observe_duration("fastpath.update", out.elapsed);
         Ok(out)
     }
 

@@ -144,6 +144,17 @@ pub struct TrafficSim {
 }
 
 impl TrafficSim {
+    /// Journals a policy swap into the controller's event journal so the
+    /// measured series can be lined up against the control-plane timeline.
+    fn journal_policy_change(&self, participant: ParticipantId, scope: &str) {
+        self.controller
+            .telemetry
+            .record_event(sdx_telemetry::Event::PolicyChanged {
+                participant: participant.0,
+                scope: scope.to_string(),
+            });
+    }
+
     /// Runs for `duration` seconds at 1-second ticks, returning the
     /// delivered-rate series.
     pub fn run(mut self, duration: f64) -> TimeSeries {
@@ -162,6 +173,7 @@ impl TrafficSim {
                         policy,
                         ..
                     } => {
+                        self.journal_policy_change(*participant, "outbound");
                         self.controller.set_outbound(*participant, policy.clone());
                         self.controller
                             .reoptimize(&mut self.fabric)
@@ -172,6 +184,7 @@ impl TrafficSim {
                         policy,
                         ..
                     } => {
+                        self.journal_policy_change(*participant, "inbound");
                         self.controller.set_inbound(*participant, policy.clone());
                         self.controller
                             .reoptimize(&mut self.fabric)
@@ -183,6 +196,7 @@ impl TrafficSim {
                             .expect("fast path");
                     }
                     Event::GlobalPolicy { owner, policy, .. } => {
+                        self.journal_policy_change(*owner, "global");
                         self.controller.compiler.clear_global_policies(*owner);
                         if let Some(p) = policy {
                             self.controller

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use sdx_net::{LocatedPacket, Packet, ParticipantId, PortId};
+use sdx_telemetry::SharedRegistry;
 
 use crate::arp::ArpResponder;
 use crate::border_router::BorderRouter;
@@ -29,12 +30,27 @@ pub struct Fabric {
     /// Packets the switch emitted at a *virtual* location — a compiled
     /// policy must never do this; non-zero means a compilation bug.
     pub stuck_at_virtual: u64,
+    /// Traffic counters land here. `SharedRegistry` compares equal to any
+    /// other handle, so snapshot/restore equality of the *installed state*
+    /// is unaffected by where the fabric reports metrics.
+    telemetry: SharedRegistry,
 }
 
 impl Fabric {
     /// An empty fabric.
     pub fn new() -> Self {
         Fabric::default()
+    }
+
+    /// Points this fabric's traffic counters at `reg` (the controller's
+    /// `deploy` shares its registry in).
+    pub fn set_telemetry(&mut self, reg: SharedRegistry) {
+        self.telemetry = reg;
+    }
+
+    /// The registry this fabric emits into.
+    pub fn telemetry(&self) -> &SharedRegistry {
+        &self.telemetry
     }
 
     /// Attaches a border router at its port.
@@ -70,10 +86,12 @@ impl Fabric {
     /// `from` forwards it (FIB + ARP tag), then the switch classifies and
     /// delivers. Returns the deliveries at physical ports.
     pub fn send(&mut self, from: PortId, pkt: Packet) -> Vec<Delivery> {
+        self.telemetry.inc("fabric.tx.count");
         let Some(router) = self.routers.get_mut(&from) else {
             return Vec::new();
         };
         let Some(tagged) = router.forward(pkt, &mut self.arp) else {
+            self.telemetry.inc("fabric.no_route.count");
             return Vec::new();
         };
         self.inject(tagged)
@@ -88,8 +106,11 @@ impl Fabric {
                 out.push(delivered);
             } else {
                 self.stuck_at_virtual += 1;
+                self.telemetry.inc("fabric.stuck_at_virtual.count");
             }
         }
+        self.telemetry
+            .add("fabric.delivered.count", out.len() as u64);
         out
     }
 

@@ -85,7 +85,11 @@ fn main() {
     let series = sim.run(1800.0);
 
     println!("time   via-AS-A  via-AS-B   (1 Mbps per flow, 3 flows)");
-    for (t, rates) in series.points.iter().filter(|(t, _)| *t as u64 % 120 == 0) {
+    for (t, rates) in series
+        .points
+        .iter()
+        .filter(|(t, _)| (*t as u64).is_multiple_of(120))
+    {
         let get = |key: &str| {
             series
                 .keys

@@ -77,7 +77,7 @@ fn main() {
         reopt_every += 1;
         // Background re-optimization runs in the quiet gaps between
         // bursts; here, after every 50th burst.
-        if reopt_every % 50 == 0 {
+        if reopt_every.is_multiple_of(50) {
             let before = fabric.switch.table().len();
             let t = Instant::now();
             ctl.reoptimize(&mut fabric).expect("reoptimize");

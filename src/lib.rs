@@ -70,7 +70,12 @@ pub use sdx_core as core;
 /// bursty BGP update traces, deployment traffic simulation.
 pub use sdx_ixp as ixp;
 
+/// Telemetry: metrics registry, stage timers, structured event journal,
+/// JSON snapshots.
+pub use sdx_telemetry as telemetry;
+
 pub use sdx_bgp::supervisor::{Supervisor, SupervisorConfig, SupervisorOutput};
 pub use sdx_core::error::SdxError;
 pub use sdx_core::faults::{FaultPlan, InjectionPoint};
 pub use sdx_core::txn::{DeltaTxn, FabricTxn};
+pub use sdx_telemetry::{Event, MetricsSnapshot, Registry, SharedRegistry};

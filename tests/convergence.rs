@@ -162,6 +162,54 @@ fn overlays_accumulate_then_retire() {
 }
 
 #[test]
+fn churn_replay_journals_update_delta_reoptimize_retire() {
+    let mut rig = build_rig(3);
+    let mut rng = StdRng::seed_from_u64(4);
+    rig.ctl.telemetry.journal().clear();
+    for _ in 0..6 {
+        let p = *rig.prefixes.choose(&mut rng).expect("prefixes");
+        let who = rng.gen_range(1..=6u32);
+        rig.ctl
+            .process_update(
+                pid(who),
+                &rig.configs[who as usize - 1].announce([p], &[65000 + who, 1234]),
+                &mut rig.fabric,
+            )
+            .expect("fast path");
+    }
+    assert!(rig.ctl.delta_layers() > 0, "churn must stack overlays");
+    rig.ctl.reoptimize(&mut rig.fabric).expect("reoptimize");
+
+    // The journal must tell the §4.3.2 story in order: updates arrive,
+    // deltas overlay the fabric, re-optimization retires the overlays and
+    // completes.
+    let kinds = rig.ctl.telemetry.journal().kinds();
+    let mut expect = vec![
+        "update_received",
+        "delta_applied",
+        "overlays_retired",
+        "reoptimize_completed",
+    ]
+    .into_iter();
+    let mut next = expect.next();
+    for k in &kinds {
+        if Some(*k) == next {
+            next = expect.next();
+        }
+    }
+    assert!(
+        next.is_none(),
+        "journal {kinds:?} missing expected subsequence (stopped at {next:?})"
+    );
+    // The retire event precedes completion and the layer gauge is back
+    // to zero.
+    assert_eq!(
+        rig.ctl.telemetry.snapshot().gauges["controller.delta_layers"],
+        0
+    );
+}
+
+#[test]
 fn session_reset_churn_recovers() {
     let mut rig = build_rig(5);
     // Reset participant 2's session: all its routes vanish; the fabric
