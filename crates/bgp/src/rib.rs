@@ -7,6 +7,8 @@
 //! next-hop AS that exported a route for the prefix, even a non-best one
 //! (§3.2 "Forwarding only along BGP-advertised paths").
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use sdx_net::{Asn, Ipv4Addr, ParticipantId, Prefix, PrefixTrie, RouterId};
 
 use crate::attrs::PathAttributes;
@@ -110,9 +112,17 @@ impl AdjRibIn {
 }
 
 /// Loc-RIB: per prefix, every candidate route across all participants.
+///
+/// Alongside the per-prefix candidate table it maintains an **inverted
+/// announcer index** — per participant, the set of prefixes it currently
+/// has a candidate route for. Queries of the form "every prefix reachable
+/// via participant X" (`RouteServer::prefixes_via`, the §4.1 BGP filter)
+/// walk that participant's announced set instead of scanning the whole
+/// Loc-RIB.
 #[derive(Clone, Debug, Default)]
 pub struct LocRib {
     candidates: PrefixTrie<Vec<Route>>,
+    by_announcer: BTreeMap<ParticipantId, BTreeSet<Prefix>>,
 }
 
 impl LocRib {
@@ -124,14 +134,16 @@ impl LocRib {
     /// Replaces (or inserts) the route from `route.source.participant` for
     /// `prefix`.
     pub fn upsert(&mut self, prefix: Prefix, route: Route) {
+        let announcer = route.source.participant;
         let v = self.candidates.get_or_insert_with(prefix, Vec::new);
-        match v
-            .iter_mut()
-            .find(|r| r.source.participant == route.source.participant)
-        {
+        match v.iter_mut().find(|r| r.source.participant == announcer) {
             Some(slot) => *slot = route,
             None => v.push(route),
         }
+        self.by_announcer
+            .entry(announcer)
+            .or_default()
+            .insert(prefix);
     }
 
     /// Removes the candidate from `participant` for `prefix`.
@@ -140,6 +152,12 @@ impl LocRib {
             v.retain(|r| r.source.participant != participant);
             if v.is_empty() {
                 self.candidates.remove(prefix);
+            }
+        }
+        if let Some(set) = self.by_announcer.get_mut(&participant) {
+            set.remove(&prefix);
+            if set.is_empty() {
+                self.by_announcer.remove(&participant);
             }
         }
     }
@@ -167,6 +185,21 @@ impl LocRib {
             .iter()
             .map(|r| r.source.participant)
             .collect()
+    }
+
+    /// The prefixes `announcer` currently has a candidate route for, in
+    /// prefix order (the inverted index; O(1) to locate, O(k) to walk).
+    pub fn announced_by(&self, announcer: ParticipantId) -> impl Iterator<Item = Prefix> + '_ {
+        self.by_announcer
+            .get(&announcer)
+            .into_iter()
+            .flatten()
+            .copied()
+    }
+
+    /// Number of prefixes `announcer` currently announces.
+    pub fn announced_count(&self, announcer: ParticipantId) -> usize {
+        self.by_announcer.get(&announcer).map_or(0, BTreeSet::len)
     }
 
     /// Longest-prefix-match lookup: the most specific prefix covering
@@ -378,6 +411,35 @@ mod tests {
         rib.remove(p, ParticipantId(1));
         assert!(rib.is_empty());
         assert!(rib.candidates(p).is_empty());
+    }
+
+    #[test]
+    fn announcer_index_tracks_upserts_and_removals() {
+        let mut rib = LocRib::new();
+        let p1 = prefix("10.0.0.0/8");
+        let p2 = prefix("20.0.0.0/8");
+        rib.upsert(p1, rt(1, &[65001]));
+        rib.upsert(p2, rt(1, &[65001]));
+        rib.upsert(p1, rt(2, &[65002]));
+        assert_eq!(
+            rib.announced_by(ParticipantId(1)).collect::<Vec<_>>(),
+            vec![p1, p2]
+        );
+        assert_eq!(rib.announced_count(ParticipantId(2)), 1);
+        // Re-upserting the same (announcer, prefix) does not duplicate.
+        rib.upsert(p1, rt(1, &[65001, 7]));
+        assert_eq!(rib.announced_count(ParticipantId(1)), 2);
+        // Removal shrinks the announced set; the last prefix removes the key.
+        rib.remove(p1, ParticipantId(1));
+        assert_eq!(
+            rib.announced_by(ParticipantId(1)).collect::<Vec<_>>(),
+            vec![p2]
+        );
+        rib.remove(p2, ParticipantId(1));
+        assert_eq!(rib.announced_count(ParticipantId(1)), 0);
+        // Removing a never-announced pair is a no-op.
+        rib.remove(p2, ParticipantId(9));
+        assert_eq!(rib.announced_by(ParticipantId(2)).count(), 1);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! route is never sent to a peer whose ASN already appears in its AS path,
 //! and never reflected back to its announcer.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::RwLock;
 
 use sdx_net::{Asn, Ipv4Addr, ParticipantId, Prefix};
 use sdx_telemetry::SharedRegistry;
@@ -106,6 +107,58 @@ pub enum RouteServerEvent {
     SessionReset(ParticipantId),
 }
 
+/// Memoized decision-process winners, keyed per prefix so one changed
+/// prefix invalidates exactly its own entries.
+///
+/// The cache stores the winning *announcer id* — not the route — so
+/// [`RouteServer::best_for`] can still hand out a `&Route` borrowed from
+/// the Loc-RIB: the id deterministically selects the winner from the
+/// candidate slice. Interior mutability is an `RwLock` (not `RefCell`)
+/// because the parallel compile pipeline shares `&RouteServer` across
+/// scoped worker threads. A clone of the server starts with a cold cache:
+/// cached winners are derived state, never part of snapshot identity.
+#[derive(Debug, Default)]
+struct BestRouteCache {
+    map: RwLock<HashMap<Prefix, BTreeMap<ParticipantId, Option<ParticipantId>>>>,
+}
+
+impl BestRouteCache {
+    fn get(&self, prefix: Prefix, viewer: ParticipantId) -> Option<Option<ParticipantId>> {
+        self.map
+            .read()
+            .expect("best-route cache poisoned")
+            .get(&prefix)
+            .and_then(|per_viewer| per_viewer.get(&viewer))
+            .copied()
+    }
+
+    fn put(&self, prefix: Prefix, viewer: ParticipantId, winner: Option<ParticipantId>) {
+        self.map
+            .write()
+            .expect("best-route cache poisoned")
+            .entry(prefix)
+            .or_default()
+            .insert(viewer, winner);
+    }
+
+    fn invalidate(&self, prefix: Prefix) {
+        self.map
+            .write()
+            .expect("best-route cache poisoned")
+            .remove(&prefix);
+    }
+
+    fn clear(&self) {
+        self.map.write().expect("best-route cache poisoned").clear();
+    }
+}
+
+impl Clone for BestRouteCache {
+    fn clone(&self) -> Self {
+        BestRouteCache::default()
+    }
+}
+
 /// The multi-participant route server.
 #[derive(Clone, Debug, Default)]
 pub struct RouteServer {
@@ -113,6 +166,9 @@ pub struct RouteServer {
     export: BTreeMap<ParticipantId, ExportPolicy>,
     asns: BTreeMap<ParticipantId, Asn>,
     loc_rib: LocRib,
+    /// Per-(prefix, viewer) decision winners; invalidated per changed
+    /// prefix, cleared on peer/export-policy changes.
+    best_cache: BestRouteCache,
     /// Decision/export stage timers land here.
     telemetry: SharedRegistry,
 }
@@ -139,6 +195,8 @@ impl RouteServer {
         self.asns.insert(source.participant, source.asn);
         self.peers.insert(source.participant, AdjRibIn::new(source));
         self.export.insert(source.participant, export);
+        // A new ASN changes loop-protection outcomes for existing routes.
+        self.best_cache.clear();
     }
 
     /// The registered participants, in id order.
@@ -154,6 +212,8 @@ impl RouteServer {
     /// Replaces a participant's export policy (policy changes at runtime).
     pub fn set_export_policy(&mut self, p: ParticipantId, export: ExportPolicy) {
         self.export.insert(p, export);
+        // Export filtering feeds the candidate sets the decision ran over.
+        self.best_cache.clear();
     }
 
     /// Processes one UPDATE from `from`, returning the prefixes whose
@@ -182,6 +242,7 @@ impl RouteServer {
                     Some(route) => self.loc_rib.upsert(p, route),
                     None => self.loc_rib.remove(p, from),
                 }
+                self.best_cache.invalidate(p);
                 events.push(RouteServerEvent::PrefixChanged(p));
             }
             events
@@ -199,6 +260,7 @@ impl RouteServer {
         let mut events = vec![RouteServerEvent::SessionReset(from)];
         for p in cleared {
             self.loc_rib.remove(p, from);
+            self.best_cache.invalidate(p);
             events.push(RouteServerEvent::PrefixChanged(p));
         }
         events
@@ -244,9 +306,46 @@ impl RouteServer {
             .collect()
     }
 
+    /// [`reachable_via`](Self::reachable_via) recomputed from first
+    /// principles via the full-scan [`prefixes_via_scan`](Self::prefixes_via_scan):
+    /// participant `q` is reachable for `prefix` iff `prefix` appears in
+    /// `prefixes_via_scan(viewer, q)`. Deliberately an *independent*
+    /// implementation, kept as the property-test oracle for the indexed
+    /// paths.
+    pub fn reachable_via_scan(&self, viewer: ParticipantId, prefix: Prefix) -> Vec<ParticipantId> {
+        self.peers
+            .keys()
+            .copied()
+            .filter(|&nh| self.prefixes_via_scan(viewer, nh).contains(&prefix))
+            .collect()
+    }
+
     /// The best route for `prefix` from `viewer`'s point of view, or `None`
     /// if nothing is exported to it.
+    ///
+    /// Served from the per-(prefix, viewer) decision cache when warm; the
+    /// cached winner id selects the route from the candidate slice, so the
+    /// returned reference is identical to what the full decision process
+    /// ([`best_for_scan`](Self::best_for_scan)) would pick.
     pub fn best_for(&self, viewer: ParticipantId, prefix: Prefix) -> Option<&Route> {
+        if let Some(winner) = self.best_cache.get(prefix, viewer) {
+            let nh = winner?;
+            return self
+                .loc_rib
+                .candidates(prefix)
+                .iter()
+                .find(|r| r.source.participant == nh);
+        }
+        let best = self.best_for_scan(viewer, prefix);
+        self.best_cache
+            .put(prefix, viewer, best.map(|r| r.source.participant));
+        best
+    }
+
+    /// The uncached decision process: export-filter the candidates, run
+    /// the total-order comparison. The reference implementation behind
+    /// [`best_for`](Self::best_for) and the property-test oracle.
+    pub fn best_for_scan(&self, viewer: ParticipantId, prefix: Prefix) -> Option<&Route> {
         crate::decision::best_route(self.candidates_for(viewer, prefix))
     }
 
@@ -277,7 +376,28 @@ impl RouteServer {
     /// Every prefix for which `viewer` can reach `next_hop` — the BGP
     /// filter the SDX inserts in front of `fwd(next_hop)` (§4.1, second
     /// transformation).
+    ///
+    /// Walks `next_hop`'s inverted announcer index (O(k) in the prefixes
+    /// it announces) instead of scanning the whole Loc-RIB; the export
+    /// check per prefix is unchanged. Result is in prefix order.
     pub fn prefixes_via(&self, viewer: ParticipantId, next_hop: ParticipantId) -> Vec<Prefix> {
+        self.loc_rib
+            .announced_by(next_hop)
+            .filter(|&p| {
+                self.loc_rib
+                    .candidates(p)
+                    .iter()
+                    .any(|r| r.source.participant == next_hop && self.exported(r, viewer, p))
+            })
+            .collect()
+    }
+
+    /// [`prefixes_via`](Self::prefixes_via) as the original O(|Loc-RIB|)
+    /// scan over every prefix. Kept as the property-test oracle and as the
+    /// `CompileOptions::index_acceleration = false` ablation baseline.
+    /// Result is in trie-key order; sort before comparing with the indexed
+    /// variant.
+    pub fn prefixes_via_scan(&self, viewer: ParticipantId, next_hop: ParticipantId) -> Vec<Prefix> {
         self.loc_rib
             .prefixes()
             .filter(|p| {
@@ -504,6 +624,178 @@ mod tests {
                 prefix("40.0.0.0/8")
             ]
         );
+    }
+
+    #[test]
+    fn best_cache_invalidates_on_update_reset_and_policy_change() {
+        let mut rs = figure1_server();
+        // Warm the cache for A's view of p1 (best = C, shorter path).
+        let warm = rs.best_for(ParticipantId(1), prefix("10.0.0.0/8")).unwrap();
+        assert_eq!(warm.source.participant, ParticipantId(3));
+        // C withdraws p1: the cached winner must not survive.
+        rs.process_update(
+            ParticipantId(3),
+            &UpdateMessage::withdraw([prefix("10.0.0.0/8")]),
+        );
+        let after = rs.best_for(ParticipantId(1), prefix("10.0.0.0/8")).unwrap();
+        assert_eq!(after.source.participant, ParticipantId(2));
+        // Export-policy change clears all cached winners: warm p4 (via C),
+        // then deny C→A; best must disappear (B already hides p4 from A).
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("40.0.0.0/8"))
+            .is_some());
+        let mut c_export = ExportPolicy::allow_all();
+        c_export.deny_peer(ParticipantId(1));
+        rs.set_export_policy(ParticipantId(3), c_export);
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("40.0.0.0/8"))
+            .is_none());
+        // Session reset invalidates every prefix the peer announced.
+        let warm3 = rs.best_for(ParticipantId(1), prefix("30.0.0.0/8"));
+        assert!(warm3.is_some(), "p3 via B before the reset");
+        rs.reset_session(ParticipantId(2));
+        assert!(rs
+            .best_for(ParticipantId(1), prefix("30.0.0.0/8"))
+            .is_none());
+        // A cloned server starts cold and recomputes consistently.
+        let cloned = rs.clone();
+        assert_eq!(
+            cloned
+                .best_for(ParticipantId(3), prefix("10.0.0.0/8"))
+                .map(|r| r.source.participant),
+            rs.best_for_scan(ParticipantId(3), prefix("10.0.0.0/8"))
+                .map(|r| r.source.participant)
+        );
+    }
+
+    #[test]
+    fn indexed_queries_agree_with_scan_oracles_on_figure1() {
+        let rs = figure1_server();
+        for viewer in [ParticipantId(1), ParticipantId(2), ParticipantId(3)] {
+            for nh in [ParticipantId(1), ParticipantId(2), ParticipantId(3)] {
+                let mut indexed = rs.prefixes_via(viewer, nh);
+                let mut scanned = rs.prefixes_via_scan(viewer, nh);
+                indexed.sort();
+                scanned.sort();
+                assert_eq!(indexed, scanned, "prefixes_via({viewer}, {nh})");
+            }
+            for p in rs.all_prefixes() {
+                let mut indexed = rs.reachable_via(viewer, p);
+                let mut scanned = rs.reachable_via_scan(viewer, p);
+                indexed.sort();
+                scanned.sort();
+                assert_eq!(indexed, scanned, "reachable_via({viewer}, {p})");
+                assert_eq!(
+                    rs.best_for(viewer, p).map(|r| r.source.participant),
+                    rs.best_for_scan(viewer, p).map(|r| r.source.participant),
+                    "best_for({viewer}, {p})"
+                );
+            }
+        }
+    }
+
+    /// Randomized churn: the indexed query paths (inverted announcer
+    /// index + best-route cache) must agree with the full-scan oracles
+    /// after every kind of mutation — announce, withdraw, export-policy
+    /// flip, session reset — in any interleaving. Seeded xorshift64 keeps
+    /// the sequences reproducible without a property-testing dependency.
+    #[test]
+    fn indexed_queries_agree_with_scan_oracles_under_random_churn() {
+        struct Rng(u64);
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                let mut x = self.0;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.0 = x;
+                x
+            }
+            fn below(&mut self, n: u64) -> u64 {
+                self.next() % n
+            }
+        }
+
+        const PARTICIPANTS: u64 = 6;
+        const PREFIXES: u64 = 24;
+        const STEPS: u64 = 300;
+        let pfx = |i: u64| Prefix::new(Ipv4Addr::new(10 + i as u8, 0, 0, 0), 8);
+        // Hop pool mixes participant ASNs (exercising loop protection) with
+        // foreign ASNs (exercising path-length tiebreaks).
+        let hop_pool = [65001, 65003, 65005, 100, 200, 300, 400];
+
+        for seed in [3u64, 0x5dee_ce66, 0xfeed_f00d] {
+            let mut rng = Rng(seed);
+            let mut rs = RouteServer::new();
+            for p in 1..=PARTICIPANTS {
+                rs.add_peer(src(p as u32), ExportPolicy::allow_all());
+            }
+            for step in 0..STEPS {
+                let actor = ParticipantId(1 + rng.below(PARTICIPANTS) as u32);
+                let p = pfx(rng.below(PREFIXES));
+                match rng.below(10) {
+                    0..=5 => {
+                        let mut path = vec![65000 + actor.0];
+                        for _ in 0..rng.below(4) {
+                            path.push(hop_pool[rng.below(hop_pool.len() as u64) as usize]);
+                        }
+                        rs.process_update(
+                            actor,
+                            &simple_announce(p, &path, Ipv4Addr(0xac10_0000 + actor.0)),
+                        );
+                    }
+                    6 | 7 => {
+                        rs.process_update(actor, &UpdateMessage::withdraw([p]));
+                    }
+                    8 => {
+                        let mut export = ExportPolicy::allow_all();
+                        if rng.below(2) == 0 {
+                            let peer = ParticipantId(1 + rng.below(PARTICIPANTS) as u32);
+                            export.deny(peer, p);
+                        }
+                        rs.set_export_policy(actor, export);
+                    }
+                    _ => {
+                        rs.reset_session(actor);
+                    }
+                }
+                // Full agreement sweep every few steps (it is O(V·(N+P))
+                // with the oracle a Loc-RIB scan per pair).
+                if step % 7 != 0 && step != STEPS - 1 {
+                    continue;
+                }
+                for v in 1..=PARTICIPANTS {
+                    let viewer = ParticipantId(v as u32);
+                    for n in 1..=PARTICIPANTS {
+                        let nh = ParticipantId(n as u32);
+                        let mut indexed = rs.prefixes_via(viewer, nh);
+                        let mut scanned = rs.prefixes_via_scan(viewer, nh);
+                        indexed.sort();
+                        scanned.sort();
+                        assert_eq!(
+                            indexed, scanned,
+                            "seed {seed} step {step}: prefixes_via({viewer}, {nh})"
+                        );
+                    }
+                    for i in 0..PREFIXES {
+                        let p = pfx(i);
+                        let mut indexed = rs.reachable_via(viewer, p);
+                        let mut scanned = rs.reachable_via_scan(viewer, p);
+                        indexed.sort();
+                        scanned.sort();
+                        assert_eq!(
+                            indexed, scanned,
+                            "seed {seed} step {step}: reachable_via({viewer}, {p})"
+                        );
+                        assert_eq!(
+                            rs.best_for(viewer, p).map(|r| r.source.participant),
+                            rs.best_for_scan(viewer, p).map(|r| r.source.participant),
+                            "seed {seed} step {step}: best_for({viewer}, {p})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

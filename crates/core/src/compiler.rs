@@ -17,11 +17,19 @@
 //!    design"), or naively as one quadratic cross product when the
 //!    optimization is disabled (the ablation baseline).
 //!
+//! Steps 2–4 fan out per viewer, and step 5 per receiver block, on scoped
+//! worker threads ([`CompileOptions::parallelism`]); results are merged in
+//! `ParticipantId` order and VNH ids are assigned from a single serial
+//! reservation, so the report is byte-identical for every worker count
+//! (see DESIGN.md §11).
+//!
 //! The output [`CompileReport`] carries everything the controller must
 //! install: the switch classifier, the ARP bindings (VNH → VMAC), and the
 //! per-(viewer, prefix) VNH map the route server rewrites NEXT_HOP with.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sdx_bgp::route_server::RouteServer;
@@ -34,15 +42,51 @@ use sdx_telemetry::{MetricsSnapshot, Registry, SharedRegistry};
 use crate::error::SdxError;
 use crate::faults::{FaultPlan, InjectionPoint};
 use crate::fec::{partition_by_signature, FecGroup};
+use crate::par::parallel_map;
 use crate::participant::ParticipantConfig;
 use crate::transform::{
-    self, compose_optimized, dst_coverage, expand_fwd_rule, Coverage, FwdRule, TransformError,
+    self, compose_optimized_parallel, dst_coverage, expand_fwd_rule, Coverage, FwdRule,
+    TransformError,
 };
 use crate::vnh::VnhAllocator;
 
 /// Per FEC group: rule indices whose affected set contains the group,
 /// plus the subset that only partially covers it.
 type GroupMembership = (BTreeSet<usize>, BTreeSet<usize>);
+
+/// Default bound on the raw-policy memo cache (entries). Generous — the
+/// paper's workloads compile a few hundred distinct policies — but finite,
+/// so a long-lived controller under policy churn cannot grow without bound.
+pub const DEFAULT_MEMO_CAP: usize = 4096;
+
+/// How many worker threads the compile pipeline fans out on.
+///
+/// Per-viewer pipeline phases (and per-receiver composition) run on scoped
+/// threads (see [`crate::par`]); results are merged in `ParticipantId`
+/// order, so the produced [`CompileReport`] is byte-identical whichever
+/// variant runs it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Use [`std::thread::available_parallelism`].
+    #[default]
+    Auto,
+    /// Single-threaded, no thread machinery at all — the ablation baseline
+    /// and the pre-parallel pipeline's exact behaviour.
+    Serial,
+    /// Exactly `n` workers (clamped to ≥ 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The resolved worker count (always ≥ 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
 
 /// Switches for the §4.3.1 optimizations — all on by default; the ablation
 /// benches turn them off one at a time.
@@ -56,6 +100,16 @@ pub struct CompileOptions {
     /// Group prefixes into FECs; when off, every affected prefix becomes
     /// its own group (the data-plane-state ablation).
     pub fec_grouping: bool,
+    /// Worker threads for the per-viewer and per-receiver pipeline phases.
+    pub parallelism: Parallelism,
+    /// Serve BGP joins from the route server's inverted announcer index
+    /// and decision cache; when off, every query re-scans the full Loc-RIB
+    /// (the index ablation / scan baseline).
+    pub index_acceleration: bool,
+    /// Maximum entries kept in the raw-policy memo cache; least-recently
+    /// used entries are evicted past this (counted in
+    /// `compile.memo_evictions.count`).
+    pub memo_cap: usize,
 }
 
 impl Default for CompileOptions {
@@ -64,6 +118,9 @@ impl Default for CompileOptions {
             pair_pruning: true,
             memoize: true,
             fec_grouping: true,
+            parallelism: Parallelism::Auto,
+            index_acceleration: true,
+            memo_cap: DEFAULT_MEMO_CAP,
         }
     }
 }
@@ -126,13 +183,23 @@ impl CompileReport {
     }
 }
 
+/// The raw-policy memo: compiled classifier + last-use stamp per policy,
+/// with a logical clock for LRU eviction. Behind a [`Mutex`] so
+/// [`SdxCompiler::compile_raw`] can take `&self` (the pipeline borrows the
+/// compiler immutably from worker threads).
+#[derive(Debug, Default)]
+struct MemoCache {
+    map: HashMap<Policy, (Classifier, u64)>,
+    clock: u64,
+}
+
 /// The pipeline driver. Holds the participant book and the memo cache;
 /// route state comes in per call so the compiler can be re-run as BGP
 /// changes.
 #[derive(Debug, Default)]
 pub struct SdxCompiler {
     participants: BTreeMap<ParticipantId, ParticipantConfig>,
-    memo: HashMap<Policy, Classifier>,
+    memo: Mutex<MemoCache>,
     /// Policies installed by *remote* participants (no packets of their
     /// own at this ingress), applied to every sender's traffic — the
     /// wide-area load-balancer application (§3.1). Tagged with the owner
@@ -209,33 +276,65 @@ impl SdxCompiler {
 
     /// The outbound policy effective for `viewer`: its own policy plus
     /// every remote fragment, in parallel.
-    pub fn effective_outbound(&self, viewer: ParticipantId) -> Option<Policy> {
+    ///
+    /// In the common case (no global fragments) this *borrows* the
+    /// participant's installed policy — the per-compile clone the old
+    /// signature forced is gone. Only when remote fragments must be folded
+    /// in does it build an owned combination.
+    pub fn effective_outbound(&self, viewer: ParticipantId) -> Option<Cow<'_, Policy>> {
         let own = self
             .participants
             .get(&viewer)
-            .and_then(|c| c.outbound.clone());
-        let globals: Vec<Policy> = self
-            .global_policies
-            .iter()
-            .map(|(_, p)| p.clone())
-            .collect();
-        match (own, globals.is_empty()) {
-            (own, true) => own,
-            (None, false) => globals.into_iter().reduce(|a, b| a + b),
-            (Some(own), false) => Some(globals.into_iter().fold(own, |acc, g| acc + g)),
+            .and_then(|c| c.outbound.as_ref());
+        if self.global_policies.is_empty() {
+            return own.map(Cow::Borrowed);
         }
+        let mut globals = self.global_policies.iter().map(|(_, p)| p.clone());
+        let first = match own {
+            Some(own) => own.clone() + globals.next().expect("non-empty globals"),
+            None => globals.next().expect("non-empty globals"),
+        };
+        Some(Cow::Owned(globals.fold(first, |acc, g| acc + g)))
     }
 
-    pub(crate) fn compile_raw(&mut self, policy: &Policy, stats: &mut CompileStats) -> Classifier {
+    /// Drops every memoized raw-policy compilation (the ablation benches
+    /// use this to re-measure from a cold cache).
+    pub fn clear_memo(&mut self) {
+        let mut memo = self.memo.lock().expect("memo lock poisoned");
+        memo.map.clear();
+        memo.clock = 0;
+    }
+
+    /// Entries currently held in the raw-policy memo cache.
+    pub fn memo_len(&self) -> usize {
+        self.memo.lock().expect("memo lock poisoned").map.len()
+    }
+
+    pub(crate) fn compile_raw(&self, policy: &Policy, stats: &mut CompileStats) -> Classifier {
         if !self.options.memoize {
             return compile_policy(policy);
         }
-        if let Some(c) = self.memo.get(policy) {
+        let mut memo = self.memo.lock().expect("memo lock poisoned");
+        memo.clock += 1;
+        let stamp = memo.clock;
+        if let Some((c, used)) = memo.map.get_mut(policy) {
+            *used = stamp;
             stats.memo_hits += 1;
             return c.clone();
         }
         let c = compile_policy(policy);
-        self.memo.insert(policy.clone(), c.clone());
+        memo.map.insert(policy.clone(), (c.clone(), stamp));
+        let cap = self.options.memo_cap.max(1);
+        while memo.map.len() > cap {
+            let victim = memo
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, used))| used)
+                .map(|(p, _)| p.clone())
+                .expect("memo over cap is non-empty");
+            memo.map.remove(&victim);
+            self.telemetry.inc("compile.memo_evictions.count");
+        }
         c
     }
 
@@ -261,41 +360,54 @@ impl SdxCompiler {
         let reg = self.telemetry.clone();
         let t0 = Instant::now();
         let mut stats = CompileStats::default();
+        let workers = self.options.parallelism.workers();
+        let use_index = self.options.index_acceleration;
 
-        // ---- Step 1: raw policy classifiers + outbound clause extraction.
+        // ---- Step 1 (serial): raw policy classifiers + outbound clause
+        // extraction. Cheap relative to the BGP joins, and the memo cache
+        // sees every policy exactly once here.
         let t_classifiers = Instant::now();
         let ids: Vec<ParticipantId> = self.participants.keys().copied().collect();
         let mut fwd_rules: BTreeMap<ParticipantId, Vec<FwdRule>> = BTreeMap::new();
         let mut inbound_compiled: BTreeMap<ParticipantId, Classifier> = BTreeMap::new();
         for &id in &ids {
-            let outbound = self.effective_outbound(id);
-            let inbound = self.participants[&id].inbound.clone();
-            if let Some(pol) = outbound {
+            if let Some(pol) = self.effective_outbound(id) {
                 let c = self.compile_raw(&pol, &mut stats);
                 fwd_rules.insert(id, transform::outbound_fwd_rules(id, &c)?);
             }
-            if let Some(pol) = inbound {
-                inbound_compiled.insert(id, self.compile_raw(&pol, &mut stats));
+            if let Some(pol) = self.participants[&id].inbound.as_ref() {
+                let c = self.compile_raw(pol, &mut stats);
+                inbound_compiled.insert(id, c);
             }
         }
 
         reg.observe_duration("compile.classifiers", t_classifiers.elapsed());
 
-        // ---- Steps 2–3: affected sets, FEC grouping, VNH assignment.
+        // ---- Phase A (parallel per viewer): affected sets + FEC
+        // partition. Each viewer's work is independent — it reads the
+        // route server (Sync: the decision cache is behind a lock) and its
+        // own forwarding rules. Results merge in ParticipantId order
+        // below, so output is identical for any worker count.
         let vnh_allocs = reg.counter("vnh.alloc.count");
         let t_vnh = Instant::now();
-        let mut groups: BTreeMap<ParticipantId, Vec<FecGroup>> = BTreeMap::new();
-        // (viewer, group-id) → set of rule indices whose affected set
-        // contains the group, plus partial-coverage marks.
-        let mut rule_membership: BTreeMap<ParticipantId, Vec<GroupMembership>> = BTreeMap::new();
-        // prefixes_via scans the whole Loc-RIB; many rules share the same
-        // (viewer, target) pair, so cache the scan.
-        let mut via_cache: HashMap<(ParticipantId, ParticipantId), Vec<Prefix>> = HashMap::new();
-        for (&viewer, rules) in &fwd_rules {
+        let viewer_rules: Vec<(ParticipantId, &[FwdRule])> =
+            fwd_rules.iter().map(|(&v, r)| (v, r.as_slice())).collect();
+        let fec_grouping = self.options.fec_grouping;
+        type ViewerFecs = (
+            Vec<Vec<Prefix>>,           // prefix partition (the FEC groups)
+            Vec<GroupMembership>,       // per group: rule memberships
+            Vec<Option<ParticipantId>>, // per group: default next hop
+        );
+        let fecs: Vec<ViewerFecs> = parallel_map(workers, &viewer_rules, |_, &(viewer, rules)| {
+            let _viewer_timer = reg.start_timer("compile.viewer");
             // Affected set per rule: prefixes the target exported to the
             // viewer, overlapped by the rule's destination constraint.
             // signature(p) = (rules touching p, partial marks, default nh).
-            let mut sig: BTreeMap<Prefix, (BTreeSet<usize>, BTreeSet<usize>)> = BTreeMap::new();
+            let mut sig: BTreeMap<Prefix, GroupMembership> = BTreeMap::new();
+            // Many rules share the same target: cache the BGP join per
+            // next hop (indexed O(k) walk, or the full Loc-RIB scan when
+            // index acceleration is ablated away).
+            let mut via_cache: HashMap<ParticipantId, Vec<Prefix>> = HashMap::new();
             for (k, rule) in rules.iter().enumerate() {
                 if rule.rewritten_dst().is_some() {
                     continue; // rewrite rules join BGP on the NEW address
@@ -303,9 +415,13 @@ impl SdxCompiler {
                 let Some(PortId::Virt(nh)) = rule.target else {
                     continue; // port steering / no-op: no BGP join
                 };
-                let via = via_cache
-                    .entry((viewer, nh))
-                    .or_insert_with(|| rs.prefixes_via(viewer, nh));
+                let via = via_cache.entry(nh).or_insert_with(|| {
+                    if use_index {
+                        rs.prefixes_via(viewer, nh)
+                    } else {
+                        rs.prefixes_via_scan(viewer, nh)
+                    }
+                });
                 for &p in via.iter() {
                     match dst_coverage(&rule.matches, p) {
                         Coverage::None => {}
@@ -320,12 +436,26 @@ impl SdxCompiler {
                     }
                 }
             }
+            // One batched decision pass per viewer: every affected prefix
+            // is resolved exactly once (the old pipeline re-ran best_for
+            // per group on top of the per-item pass).
+            let best_nh: BTreeMap<Prefix, Option<ParticipantId>> = sig
+                .keys()
+                .map(|&p| {
+                    let best = if use_index {
+                        rs.best_for(viewer, p)
+                    } else {
+                        rs.best_for_scan(viewer, p)
+                    };
+                    (p, best.map(|r| r.source.participant))
+                })
+                .collect();
             // Partition by (rule membership, partial marks, default next hop).
             let items: Vec<(Prefix, _)> = sig
                 .iter()
                 .map(|(&p, (mem, part))| {
-                    let nh = rs.best_for(viewer, p).map(|r| r.source.participant);
-                    let key = if self.options.fec_grouping {
+                    let nh = best_nh[&p];
+                    let key = if fec_grouping {
                         (mem.clone(), part.clone(), nh, None)
                     } else {
                         // Ablation: every prefix its own group.
@@ -334,18 +464,28 @@ impl SdxCompiler {
                     (p, key)
                 })
                 .collect();
-            // Remember signatures so groups can recover their memberships.
-            let sig_of_prefix = sig;
             let parts = partition_by_signature(items);
+            let memberships = parts.iter().map(|ps| sig[&ps[0]].clone()).collect();
+            let defaults = parts.iter().map(|ps| best_nh[&ps[0]]).collect();
+            (parts, memberships, defaults)
+        });
+
+        // ---- Phase B (serial, viewer order): VNH assignment. The whole
+        // batch is reserved up front and committed only after every fault
+        // check passes — an injected fault or exhaustion leaves the
+        // allocator untouched, and id order matches what one-at-a-time
+        // serial allocation produced.
+        let mut groups: BTreeMap<ParticipantId, Vec<FecGroup>> = BTreeMap::new();
+        let mut rule_membership: BTreeMap<ParticipantId, Vec<GroupMembership>> = BTreeMap::new();
+        let total_groups: usize = fecs.iter().map(|(parts, _, _)| parts.len()).sum();
+        let reservation = vnh.reserve(total_groups)?;
+        let mut triples = reservation.triples().iter();
+        for (&(viewer, _), (parts, memberships, defaults)) in viewer_rules.iter().zip(fecs) {
             let mut viewer_groups = Vec::with_capacity(parts.len());
-            let mut memberships = Vec::with_capacity(parts.len());
-            for prefixes in parts {
+            for (prefixes, default_next_hop) in parts.into_iter().zip(defaults) {
                 faults.check(InjectionPoint::VnhAlloc)?;
-                let (id, addr, vmac) = vnh.try_allocate()?;
+                let &(id, addr, vmac) = triples.next().expect("one reserved id per group");
                 vnh_allocs.inc();
-                let first = prefixes[0];
-                let default_next_hop = rs.best_for(viewer, first).map(|r| r.source.participant);
-                let (mem, part) = sig_of_prefix[&first].clone();
                 viewer_groups.push(FecGroup {
                     id,
                     viewer,
@@ -354,121 +494,139 @@ impl SdxCompiler {
                     vmac,
                     default_next_hop,
                 });
-                memberships.push((mem, part));
             }
             rule_membership.insert(viewer, memberships);
             groups.insert(viewer, viewer_groups);
         }
+        vnh.commit(&reservation);
         stats.vnh_time = t_vnh.elapsed();
         reg.observe_duration("compile.fec", stats.vnh_time);
 
-        // ---- Step 4: stage-1 rules.
-        let mut stage1: Vec<Rule> = Vec::new();
-        // VMACs deliverable at each receiver (policy targets + defaults).
-        let mut deliverable: BTreeMap<ParticipantId, BTreeSet<MacAddr>> = BTreeMap::new();
-        for (&viewer, rules) in &fwd_rules {
-            let vgroups = &groups[&viewer];
-            let memberships = &rule_membership[&viewer];
-            for (k, rule) in rules.iter().enumerate() {
-                // Wide-area-LB rewrite rules: consistency is checked on the
-                // rewritten address, and the rule follows that address's
-                // BGP route when no explicit fwd was written.
-                if let Some(new_dst) = rule.rewritten_dst() {
-                    let nh = match rule.target {
-                        Some(PortId::Virt(nh))
-                            if rs.reachable_via_addr(viewer, new_dst).contains(&nh) =>
-                        {
-                            Some(nh)
-                        }
-                        Some(_) => None, // explicit target can't reach it
-                        None => rs
-                            .best_for_addr(viewer, new_dst)
-                            .map(|r| r.source.participant),
-                    };
-                    let Some(nh) = nh else {
-                        continue; // rewritten address unroutable: drop rule
-                    };
-                    let Some(nh_cfg) = self.participants.get(&nh) else {
-                        continue;
-                    };
-                    let nh_mac = nh_cfg.primary_port().mac;
-                    // Isolation: one rule per sender port, unless the rule
-                    // already pinned one of the sender's own ports.
-                    let sender_ports: Vec<PortId> = match rule.matches.in_port {
-                        Some(p) => vec![p],
-                        None => self.participants[&viewer].port_ids().collect(),
-                    };
-                    for sp in sender_ports {
-                        let mut m = rule.matches;
-                        m.set(sdx_net::FieldMatch::InPort(sp));
-                        let mut mods = rule.mods.clone();
-                        mods.push(Mod::SetDlDst(nh_mac));
-                        mods.push(Mod::SetLoc(PortId::Virt(nh)));
-                        stage1.push(Rule::unicast(m, Action { mods }));
-                    }
-                    continue;
-                }
-                match rule.target {
-                    Some(PortId::Virt(nh)) => {
-                        let expanded = expand_fwd_rule(
-                            rule,
-                            PortId::Virt(nh),
-                            vgroups,
-                            |g| {
-                                vgroups
-                                    .iter()
-                                    .position(|x| x.id == g.id)
-                                    .is_some_and(|idx| memberships[idx].0.contains(&k))
-                            },
-                            |g| {
-                                vgroups
-                                    .iter()
-                                    .position(|x| x.id == g.id)
-                                    .is_some_and(|idx| memberships[idx].1.contains(&k))
-                            },
-                        );
-                        for r in &expanded {
-                            if let Some(v) = r.matches.dl_dst {
-                                deliverable.entry(nh).or_default().insert(v);
+        // ---- Phase C (parallel per viewer): stage-1 rules. Membership
+        // closures index a FecId → position map instead of re-scanning the
+        // group list per query (the old quadratic inner loop). Viewers
+        // emit rule batches independently; the merge below concatenates
+        // them in ParticipantId order, so rule priority order is exactly
+        // the serial pipeline's.
+        let participants = &self.participants;
+        type Stage1Batch = Result<(Vec<Rule>, Vec<(ParticipantId, MacAddr)>), SdxError>;
+        let batches: Vec<Stage1Batch> =
+            parallel_map(workers, &viewer_rules, |_, &(viewer, rules)| {
+                let vgroups = &groups[&viewer];
+                let memberships = &rule_membership[&viewer];
+                let idx_of: HashMap<crate::fec::FecId, usize> =
+                    vgroups.iter().enumerate().map(|(i, g)| (g.id, i)).collect();
+                let mut stage1: Vec<Rule> = Vec::new();
+                let mut deliverable: Vec<(ParticipantId, MacAddr)> = Vec::new();
+                for (k, rule) in rules.iter().enumerate() {
+                    // Wide-area-LB rewrite rules: consistency is checked on the
+                    // rewritten address, and the rule follows that address's
+                    // BGP route when no explicit fwd was written.
+                    if let Some(new_dst) = rule.rewritten_dst() {
+                        let nh = match rule.target {
+                            Some(PortId::Virt(nh))
+                                if rs.reachable_via_addr(viewer, new_dst).contains(&nh) =>
+                            {
+                                Some(nh)
                             }
-                        }
-                        stage1.extend(expanded);
-                    }
-                    Some(PortId::Phys(owner, idx)) => {
-                        // Middlebox/port steering: isolate per sender port,
-                        // rewrite the MAC to the target port's.
-                        let Some(target_cfg) = self.participants.get(&owner) else {
+                            Some(_) => None, // explicit target can't reach it
+                            None => rs
+                                .best_for_addr(viewer, new_dst)
+                                .map(|r| r.source.participant),
+                        };
+                        let Some(nh) = nh else {
+                            continue; // rewritten address unroutable: drop rule
+                        };
+                        let Some(nh_cfg) = participants.get(&nh) else {
                             continue;
                         };
-                        let Some(mac) = target_cfg.port_mac(idx) else {
-                            return Err(TransformError::NoSuchPort(owner, idx).into());
-                        };
-                        // Port steering is a *direct output* — `fwd(E1)`
-                        // means "this exact port". It deliberately bypasses
-                        // the owner's virtual switch (and hence its inbound
-                        // policy), which is also what keeps service chains
-                        // loop-free: the final hop's steering back to the
-                        // consumer must not re-enter the consumer's divert.
+                        let nh_mac = nh_cfg.primary_port().mac;
+                        // Isolation: one rule per sender port, unless the rule
+                        // already pinned one of the sender's own ports.
                         let sender_ports: Vec<PortId> = match rule.matches.in_port {
                             Some(p) => vec![p],
-                            None => self.participants[&viewer].port_ids().collect(),
+                            None => participants[&viewer].port_ids().collect(),
                         };
                         for sp in sender_ports {
                             let mut m = rule.matches;
                             m.set(sdx_net::FieldMatch::InPort(sp));
                             let mut mods = rule.mods.clone();
-                            mods.push(Mod::SetDlDst(mac));
-                            mods.push(Mod::SetLoc(PortId::Phys(owner, idx)));
+                            mods.push(Mod::SetDlDst(nh_mac));
+                            mods.push(Mod::SetLoc(PortId::Virt(nh)));
                             stage1.push(Rule::unicast(m, Action { mods }));
                         }
+                        continue;
                     }
-                    None => {} // no-op rule (no fwd, no rewrite)
+                    match rule.target {
+                        Some(PortId::Virt(nh)) => {
+                            let expanded = expand_fwd_rule(
+                                rule,
+                                PortId::Virt(nh),
+                                vgroups,
+                                |g| {
+                                    idx_of
+                                        .get(&g.id)
+                                        .is_some_and(|&idx| memberships[idx].0.contains(&k))
+                                },
+                                |g| {
+                                    idx_of
+                                        .get(&g.id)
+                                        .is_some_and(|&idx| memberships[idx].1.contains(&k))
+                                },
+                            );
+                            for r in &expanded {
+                                if let Some(v) = r.matches.dl_dst {
+                                    deliverable.push((nh, v));
+                                }
+                            }
+                            stage1.extend(expanded);
+                        }
+                        Some(PortId::Phys(owner, idx)) => {
+                            // Middlebox/port steering: isolate per sender port,
+                            // rewrite the MAC to the target port's.
+                            let Some(target_cfg) = participants.get(&owner) else {
+                                continue;
+                            };
+                            let Some(mac) = target_cfg.port_mac(idx) else {
+                                return Err(TransformError::NoSuchPort(owner, idx).into());
+                            };
+                            // Port steering is a *direct output* — `fwd(E1)`
+                            // means "this exact port". It deliberately bypasses
+                            // the owner's virtual switch (and hence its inbound
+                            // policy), which is also what keeps service chains
+                            // loop-free: the final hop's steering back to the
+                            // consumer must not re-enter the consumer's divert.
+                            let sender_ports: Vec<PortId> = match rule.matches.in_port {
+                                Some(p) => vec![p],
+                                None => participants[&viewer].port_ids().collect(),
+                            };
+                            for sp in sender_ports {
+                                let mut m = rule.matches;
+                                m.set(sdx_net::FieldMatch::InPort(sp));
+                                let mut mods = rule.mods.clone();
+                                mods.push(Mod::SetDlDst(mac));
+                                mods.push(Mod::SetLoc(PortId::Phys(owner, idx)));
+                                stage1.push(Rule::unicast(m, Action { mods }));
+                            }
+                        }
+                        None => {} // no-op rule (no fwd, no rewrite)
+                    }
                 }
+                Ok((stage1, deliverable))
+            });
+        // Merge in viewer order; `deliverable` is a set union, so push
+        // order within it cannot affect the outcome.
+        let mut stage1: Vec<Rule> = Vec::new();
+        let mut deliverable: BTreeMap<ParticipantId, BTreeSet<MacAddr>> = BTreeMap::new();
+        for batch in batches {
+            let (rules, delivered) = batch?;
+            stage1.extend(rules);
+            for (nh, vmac) in delivered {
+                deliverable.entry(nh).or_default().insert(vmac);
             }
         }
         // Per-group defaults (below policy rules).
-        for (viewer, vgroups) in &groups {
-            let _ = viewer;
+        for vgroups in groups.values() {
             for g in vgroups {
                 if let Some(nh) = g.default_next_hop {
                     deliverable.entry(nh).or_default().insert(g.vmac);
@@ -479,25 +637,33 @@ impl SdxCompiler {
         // Global MAC-learning defaults.
         stage1.extend(transform::mac_default_rules(&self.participants));
 
-        // ---- Step 4b: stage-2 blocks.
-        let mut blocks: BTreeMap<ParticipantId, Classifier> = BTreeMap::new();
-        for (&id, cfg) in &self.participants {
+        // ---- Phase D (parallel per receiver): stage-2 delivery blocks.
+        let receivers: Vec<(ParticipantId, &ParticipantConfig)> = self
+            .participants
+            .iter()
+            .map(|(&id, cfg)| (id, cfg))
+            .collect();
+        let block_results = parallel_map(workers, &receivers, |_, &(id, cfg)| {
             let vmacs: Vec<MacAddr> = deliverable
                 .get(&id)
                 .map(|s| s.iter().copied().collect())
                 .unwrap_or_default();
             let foreign_mac = |owner: ParticipantId, idx: u8| {
-                self.participants.get(&owner).and_then(|c| c.port_mac(idx))
+                participants.get(&owner).and_then(|c| c.port_mac(idx))
             };
-            let block =
-                transform::stage2_block(cfg, inbound_compiled.get(&id), &vmacs, &foreign_mac)?;
+            transform::stage2_block(cfg, inbound_compiled.get(&id), &vmacs, &foreign_mac)
+                .map(|block| (id, block))
+        });
+        let mut blocks: BTreeMap<ParticipantId, Classifier> = BTreeMap::new();
+        for r in block_results {
+            let (id, block) = r?;
             blocks.insert(id, block);
         }
 
-        // ---- Step 5: composition.
+        // ---- Phase E: composition, fanned out per receiver block.
         let t_compose = Instant::now();
         let classifier = if self.options.pair_pruning {
-            compose_optimized(&stage1, &blocks)
+            compose_optimized_parallel(&stage1, &blocks, workers)
         } else {
             // Naive baseline: full sequential cross product of the summed
             // stages, as if every pair of participants exchanged traffic.
@@ -767,12 +933,76 @@ mod tests {
         }
     }
 
+    /// Field-by-field CompileReport equality (stats carry wall-clock, so
+    /// they are deliberately excluded).
+    fn assert_reports_identical(a: &CompileReport, b: &CompileReport, what: &str) {
+        assert_eq!(a.classifier, b.classifier, "{what}: classifier differs");
+        assert_eq!(a.groups, b.groups, "{what}: groups differ");
+        assert_eq!(
+            a.arp_bindings, b.arp_bindings,
+            "{what}: ARP bindings differ"
+        );
+        assert_eq!(a.vnh_of, b.vnh_of, "{what}: VNH map differs");
+    }
+
+    #[test]
+    fn parallel_pipeline_output_is_byte_identical_to_serial() {
+        let (mut compiler, rs) = figure1();
+        compiler.options.parallelism = Parallelism::Serial;
+        let serial = run(&mut compiler, &rs);
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Auto,
+        ] {
+            compiler.options.parallelism = par;
+            let report = run(&mut compiler, &rs);
+            assert_reports_identical(&report, &serial, &format!("{par:?}"));
+        }
+    }
+
+    #[test]
+    fn index_ablation_output_is_byte_identical() {
+        let (mut compiler, rs) = figure1();
+        let indexed = run(&mut compiler, &rs);
+        compiler.options.index_acceleration = false;
+        let scanned = run(&mut compiler, &rs);
+        assert_reports_identical(&indexed, &scanned, "index ablation");
+    }
+
+    #[test]
+    fn memo_is_bounded_with_lru_eviction() {
+        let mut compiler = SdxCompiler::new();
+        compiler.options.memo_cap = 2;
+        let pol = |port: u16| {
+            P::match_(FieldMatch::TpDst(port)) >> P::fwd(PortId::Virt(ParticipantId(2)))
+        };
+        let mut stats = CompileStats::default();
+        for port in 0..5u16 {
+            compiler.compile_raw(&pol(port), &mut stats);
+        }
+        assert_eq!(compiler.memo_len(), 2, "cap bounds the cache");
+        assert_eq!(
+            compiler
+                .telemetry()
+                .counter("compile.memo_evictions.count")
+                .get(),
+            3
+        );
+        // LRU: the most recent entries survive, the oldest were evicted.
+        compiler.compile_raw(&pol(4), &mut stats);
+        compiler.compile_raw(&pol(3), &mut stats);
+        assert_eq!(stats.memo_hits, 2, "recent entries still cached");
+        compiler.compile_raw(&pol(0), &mut stats);
+        assert_eq!(stats.memo_hits, 2, "oldest entry was evicted");
+    }
+
     #[test]
     fn fec_ablation_allocates_per_prefix() {
         let (mut compiler, rs) = figure1();
         let grouped = run(&mut compiler, &rs);
         compiler.options.fec_grouping = false;
-        compiler.memo.clear();
+        compiler.clear_memo();
         let mut vnh = VnhAllocator::default();
         let ungrouped = compiler.compile_all(&rs, &mut vnh).unwrap();
         assert!(ungrouped.stats.group_count > grouped.stats.group_count);

@@ -44,6 +44,7 @@ pub mod error;
 pub mod faults;
 pub mod fec;
 pub mod incremental;
+pub mod par;
 pub mod participant;
 pub mod service_chain;
 pub mod transform;
@@ -51,7 +52,7 @@ pub mod txn;
 pub mod vnh;
 pub mod vswitch;
 
-pub use compiler::{CompileOptions, CompileReport, SdxCompiler};
+pub use compiler::{CompileOptions, CompileReport, Parallelism, SdxCompiler};
 pub use controller::SdxController;
 pub use error::SdxError;
 pub use faults::{FaultPlan, InjectionPoint};

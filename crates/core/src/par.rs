@@ -1,0 +1,85 @@
+//! Minimal scoped-thread fan-out for the compile pipeline.
+//!
+//! The workspace is deliberately dependency-free (no rayon), so parallel
+//! pipeline phases are built on [`std::thread::scope`]: a shared atomic
+//! cursor hands work items to a fixed pool of scoped workers, each worker
+//! collects `(index, result)` pairs, and the results are re-assembled in
+//! item order. Ordering is therefore *deterministic regardless of thread
+//! scheduling* — the property the compiler's byte-identical-output
+//! guarantee rests on (see DESIGN.md §11).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning the results in item order.
+///
+/// With `threads <= 1` (or fewer than two items) this degrades to a plain
+/// serial map on the calling thread — the `Parallelism::Serial` ablation
+/// path runs exactly this, with no thread machinery in the way.
+///
+/// # Panics
+/// Propagates a panic from `f` (the worker's panic aborts the map).
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("compile worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = parallel_map(1, &items, |i, &x| (i as u64) * 1000 + x * x);
+        let parallel = parallel_map(8, &items, |i, &x| (i as u64) * 1000 + x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[3], 3 * 1000 + 9);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u8, 2, 3];
+        assert_eq!(parallel_map(64, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+}

@@ -330,39 +330,81 @@ pub fn compose_optimized(
     stage1: &[Rule],
     blocks: &BTreeMap<ParticipantId, Classifier>,
 ) -> Classifier {
+    compose_optimized_parallel(stage1, blocks, 1)
+}
+
+/// The stage-2 receiver a stage-1 rule forwards to, if any.
+///
+/// Unicast stage-1 rules by construction (multicast outbound is rejected
+/// earlier; defaults and MAC rules are unicast).
+fn compose_receiver(r1: &Rule) -> Option<ParticipantId> {
+    if r1.is_drop() {
+        return None;
+    }
+    r1.actions[0].mods.iter().rev().find_map(|m| match m {
+        Mod::SetLoc(PortId::Virt(p)) => Some(*p),
+        _ => None,
+    })
+}
+
+/// Composes one stage-1 rule with its receiver's stage-2 block.
+fn compose_rule(r1: &Rule, blocks: &BTreeMap<ParticipantId, Classifier>) -> Vec<Rule> {
+    let Some(receiver) = compose_receiver(r1) else {
+        // Drop rule, or already at a physical location (shouldn't happen
+        // in stage 1, but harmless): emit unchanged.
+        return vec![r1.clone()];
+    };
+    let Some(block) = blocks.get(&receiver) else {
+        // Forwarding to a participant with no stage-2 block: drop.
+        return vec![Rule::drop(r1.matches)];
+    };
+    let a = &r1.actions[0];
     let mut rules = Vec::new();
-    for r1 in stage1 {
-        if r1.is_drop() {
-            rules.push(r1.clone());
-            continue;
-        }
-        // Unicast stage-1 rules by construction (multicast outbound is
-        // rejected earlier; defaults and MAC rules are unicast).
-        let a = &r1.actions[0];
-        let target = a.mods.iter().rev().find_map(|m| match m {
-            Mod::SetLoc(PortId::Virt(p)) => Some(*p),
-            _ => None,
-        });
-        let Some(receiver) = target else {
-            // Already at a physical location (shouldn't happen in stage 1,
-            // but harmless): emit unchanged.
-            rules.push(r1.clone());
-            continue;
-        };
-        let Some(block) = blocks.get(&receiver) else {
-            // Forwarding to a participant with no stage-2 block: drop.
-            rules.push(Rule::drop(r1.matches));
-            continue;
-        };
-        for r2 in block.rules() {
-            if let Some(m) = r1.matches.seq_compose(&a.mods, &r2.matches) {
-                rules.push(Rule {
-                    matches: m,
-                    actions: r2.actions.iter().map(|a2| a.then(a2)).collect(),
-                });
-            }
+    for r2 in block.rules() {
+        if let Some(m) = r1.matches.seq_compose(&a.mods, &r2.matches) {
+            rules.push(Rule {
+                matches: m,
+                actions: r2.actions.iter().map(|a2| a.then(a2)).collect(),
+            });
         }
     }
+    rules
+}
+
+/// [`compose_optimized`] fanned out over `workers` scoped threads, one
+/// work batch per receiver block (all the stage-1 rules forwarding to one
+/// participant compose against the same block, so a worker touches one
+/// block at a time). Each rule's composition results are scattered back by
+/// stage-1 rule index before the final classifier is built, so first-match
+/// order — and hence the output — is byte-identical to the serial path.
+pub fn compose_optimized_parallel(
+    stage1: &[Rule],
+    blocks: &BTreeMap<ParticipantId, Classifier>,
+    workers: usize,
+) -> Classifier {
+    let rules: Vec<Rule> = if workers <= 1 {
+        stage1
+            .iter()
+            .flat_map(|r1| compose_rule(r1, blocks))
+            .collect()
+    } else {
+        let mut by_receiver: BTreeMap<Option<ParticipantId>, Vec<usize>> = BTreeMap::new();
+        for (i, r1) in stage1.iter().enumerate() {
+            by_receiver.entry(compose_receiver(r1)).or_default().push(i);
+        }
+        let batches: Vec<Vec<usize>> = by_receiver.into_values().collect();
+        let composed = crate::par::parallel_map(workers, &batches, |_, batch| {
+            batch
+                .iter()
+                .map(|&i| (i, compose_rule(&stage1[i], blocks)))
+                .collect::<Vec<_>>()
+        });
+        let mut slots: Vec<Vec<Rule>> = vec![Vec::new(); stage1.len()];
+        for (i, composed_rules) in composed.into_iter().flatten() {
+            slots[i] = composed_rules;
+        }
+        slots.into_iter().flatten().collect()
+    };
     let mut c = Classifier::from_rules(rules);
     c.shadow_eliminate();
     c

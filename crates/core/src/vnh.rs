@@ -76,6 +76,61 @@ impl VnhAllocator {
         }
     }
 
+    /// Computes, **without mutating the allocator**, exactly the triples
+    /// the next `count` calls to [`try_allocate`](Self::try_allocate)
+    /// would return, in order — free-list ids first (LIFO), then
+    /// sequential offsets. The parallel compile pipeline reserves the
+    /// whole batch up front, assigns triples to FEC groups in
+    /// deterministic viewer order, and [`commit`](Self::commit)s once the
+    /// assignment is fault-free, so allocation stays byte-identical to
+    /// the serial one-at-a-time path while nothing is consumed on error.
+    pub fn reserve(&self, count: usize) -> Result<VnhReservation, SdxError> {
+        let mut triples = Vec::with_capacity(count);
+        let mut next = self.next_offset;
+        let mut free_remaining = self.free.len();
+        for _ in 0..count {
+            let off = if free_remaining > 0 {
+                free_remaining -= 1;
+                self.free[free_remaining]
+            } else {
+                let off = next;
+                if (off as u64) >= self.pool.size() {
+                    return Err(SdxError::VnhExhausted { pool: self.pool });
+                }
+                next += 1;
+                off
+            };
+            triples.push((
+                FecId(off),
+                self.pool.addr().saturating_add(off),
+                MacAddr::vmac(off),
+            ));
+        }
+        Ok(VnhReservation {
+            triples,
+            base_next_offset: self.next_offset,
+            base_free_len: self.free.len(),
+        })
+    }
+
+    /// Applies a reservation: consumes the reserved ids as if they had
+    /// been handed out by [`try_allocate`](Self::try_allocate) one at a
+    /// time.
+    ///
+    /// # Panics
+    /// Panics if the allocator was mutated since [`reserve`](Self::reserve)
+    /// — committing a stale reservation would double-allocate ids.
+    pub fn commit(&mut self, r: &VnhReservation) {
+        assert_eq!(
+            (r.base_next_offset, r.base_free_len),
+            (self.next_offset, self.free.len()),
+            "commit of a stale VNH reservation"
+        );
+        let from_free = r.triples.len().min(self.free.len());
+        self.free.truncate(self.free.len() - from_free);
+        self.next_offset += (r.triples.len() - from_free) as u32;
+    }
+
     /// Returns an id to the pool for reuse.
     pub fn release(&mut self, id: FecId) {
         self.free.push(id.0);
@@ -95,6 +150,35 @@ impl VnhAllocator {
 impl Default for VnhAllocator {
     fn default() -> Self {
         VnhAllocator::new(Self::default_pool())
+    }
+}
+
+/// A batch of tentatively allocated `(FecId, VNH, VMAC)` triples — the
+/// read-only half of the reservation-then-commit split (see
+/// [`VnhAllocator::reserve`]). Dropping a reservation without committing
+/// leaves the allocator untouched.
+#[derive(Clone, Debug)]
+pub struct VnhReservation {
+    triples: Vec<(FecId, Ipv4Addr, MacAddr)>,
+    base_next_offset: u32,
+    base_free_len: usize,
+}
+
+impl VnhReservation {
+    /// The reserved triples, in the order `try_allocate` would have
+    /// produced them.
+    pub fn triples(&self) -> &[(FecId, Ipv4Addr, MacAddr)] {
+        &self.triples
+    }
+
+    /// Number of reserved triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when nothing was reserved.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
     }
 }
 
@@ -164,6 +248,49 @@ mod tests {
         let mut a = VnhAllocator::new(prefix("10.0.0.0/31")); // 2 addresses
         a.allocate(); // offset 1 — ok
         a.allocate(); // offset 2 ≥ size 2 — panics
+    }
+
+    #[test]
+    fn reserve_matches_try_allocate_sequence() {
+        let mut a = VnhAllocator::default();
+        a.allocate();
+        let (recycled, _, _) = a.allocate();
+        a.allocate();
+        a.release(recycled); // free list non-empty: [recycled]
+        let r = a.reserve(4).expect("pool is large");
+        let mut b = a.clone();
+        let direct: Vec<_> = (0..4).map(|_| b.try_allocate().unwrap()).collect();
+        assert_eq!(r.triples(), direct.as_slice());
+        assert_eq!(r.triples()[0].0, recycled, "free ids are reserved first");
+        a.commit(&r);
+        assert_eq!(a.remaining(), b.remaining());
+        assert_eq!(a.try_allocate().unwrap(), b.try_allocate().unwrap());
+    }
+
+    #[test]
+    fn reserve_does_not_mutate_and_drop_is_free() {
+        let a = VnhAllocator::new(prefix("10.0.0.0/29")); // 7 usable
+        let before = a.remaining();
+        let r = a.reserve(3).expect("3 of 7 fits");
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        drop(r);
+        assert_eq!(
+            a.remaining(),
+            before,
+            "uncommitted reservation costs nothing"
+        );
+        assert!(matches!(a.reserve(8), Err(SdxError::VnhExhausted { .. })));
+        assert_eq!(a.remaining(), before, "failed reservation costs nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn commit_rejects_stale_reservation() {
+        let mut a = VnhAllocator::default();
+        let r = a.reserve(2).unwrap();
+        a.allocate(); // allocator moved on; r is stale
+        a.commit(&r);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Determinism tests for the parallel compile pipeline (DESIGN.md §11):
+//! `Parallelism::Threads(4)` — and the index-acceleration ablation — must
+//! produce a **byte-identical** `CompileReport` to `Parallelism::Serial`:
+//! same classifier rules in the same order, same FEC groups, same VNH map,
+//! same ARP bindings. Checked on the paper's Figure 1 exchange and on a
+//! 50-participant `sdx-ixp` workload.
+
+use std::collections::BTreeMap;
+
+use sdx::bgp::route_server::{ExportPolicy, RouteServer};
+use sdx::core::compiler::{CompileReport, Parallelism, SdxCompiler};
+use sdx::core::participant::ParticipantConfig;
+use sdx::core::vnh::VnhAllocator;
+use sdx::core::vswitch;
+use sdx::ixp::policy_workload::{assign_policies, PolicyWorkloadParams};
+use sdx::ixp::topology::{build, TopologyParams};
+use sdx::net::{prefix, ParticipantId};
+use sdx::policy::parse_policy;
+
+fn pid(n: u32) -> ParticipantId {
+    ParticipantId(n)
+}
+
+fn compile_with(
+    compiler: &mut SdxCompiler,
+    rs: &RouteServer,
+    parallelism: Parallelism,
+    index_acceleration: bool,
+) -> CompileReport {
+    compiler.options.parallelism = parallelism;
+    compiler.options.index_acceleration = index_acceleration;
+    // Cold memo per run so every variant does identical work.
+    compiler.clear_memo();
+    let mut vnh = VnhAllocator::default();
+    compiler.compile_all(rs, &mut vnh).expect("compiles")
+}
+
+/// Full structural equality, field by field. `stats` carries wall-clock
+/// timings and is deliberately excluded.
+fn assert_reports_identical(a: &CompileReport, b: &CompileReport, what: &str) {
+    assert_eq!(
+        a.classifier.rules(),
+        b.classifier.rules(),
+        "{what}: classifier rules differ"
+    );
+    assert_eq!(a.groups, b.groups, "{what}: FEC groups differ");
+    assert_eq!(
+        a.arp_bindings, b.arp_bindings,
+        "{what}: ARP bindings differ"
+    );
+    assert_eq!(a.vnh_of, b.vnh_of, "{what}: VNH map differs");
+    assert_eq!(
+        a.stats.group_count, b.stats.group_count,
+        "{what}: group counts differ"
+    );
+    assert_eq!(
+        a.stats.rule_count, b.stats.rule_count,
+        "{what}: rule counts differ"
+    );
+}
+
+fn check_all_variants(compiler: &mut SdxCompiler, rs: &RouteServer, scale: &str) {
+    let serial = compile_with(compiler, rs, Parallelism::Serial, true);
+    for threads in [2usize, 4, 8] {
+        let parallel = compile_with(compiler, rs, Parallelism::Threads(threads), true);
+        assert_reports_identical(
+            &parallel,
+            &serial,
+            &format!("{scale}: threads({threads}) vs serial"),
+        );
+    }
+    let auto = compile_with(compiler, rs, Parallelism::Auto, true);
+    assert_reports_identical(&auto, &serial, &format!("{scale}: auto vs serial"));
+    // The scan ablation (no inverted index, no decision cache) must also
+    // reproduce the exact same report — it only changes *how* the BGP
+    // joins are answered, never the answers.
+    let scanned = compile_with(compiler, rs, Parallelism::Serial, false);
+    assert_reports_identical(&scanned, &serial, &format!("{scale}: scan vs indexed"));
+    let parallel_scanned = compile_with(compiler, rs, Parallelism::Threads(4), false);
+    assert_reports_identical(
+        &parallel_scanned,
+        &serial,
+        &format!("{scale}: threads(4)+scan vs serial"),
+    );
+}
+
+/// The Figure 1 exchange from the paper: small, but exercises outbound +
+/// inbound policies, hidden exports, and policy-free participants.
+fn figure1() -> (SdxCompiler, RouteServer) {
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 2);
+    let c = ParticipantConfig::new(3, 65003, 1);
+    let d = ParticipantConfig::new(4, 65004, 1);
+
+    let book: BTreeMap<ParticipantId, Vec<u8>> = [
+        (pid(1), vec![1]),
+        (pid(2), vec![1, 2]),
+        (pid(3), vec![1]),
+        (pid(4), vec![1]),
+    ]
+    .into();
+    let a_pol = parse_policy(
+        "(match(dstport = 80) >> fwd(B)) + (match(dstport = 443) >> fwd(C))",
+        &vswitch::resolver_for(pid(1), &book),
+    )
+    .expect("A's policy");
+    let b_pol = parse_policy(
+        "(match(srcip = {0.0.0.0/1}) >> fwd(B1)) + (match(srcip = {128.0.0.0/1}) >> fwd(B2))",
+        &vswitch::resolver_for(pid(2), &book),
+    )
+    .expect("B's policy");
+
+    let mut rs = RouteServer::new();
+    rs.add_peer(a.route_source(), ExportPolicy::allow_all());
+    let mut b_export = ExportPolicy::allow_all();
+    b_export.deny(pid(1), prefix("40.0.0.0/8"));
+    rs.add_peer(b.route_source(), b_export);
+    rs.add_peer(c.route_source(), ExportPolicy::allow_all());
+    rs.add_peer(d.route_source(), ExportPolicy::allow_all());
+    for (pfx, path) in [
+        ("10.0.0.0/8", vec![65002, 100, 200]),
+        ("20.0.0.0/8", vec![65002, 100, 200]),
+        ("30.0.0.0/8", vec![65002, 300]),
+        ("40.0.0.0/8", vec![65002, 400]),
+    ] {
+        rs.process_update(pid(2), &b.announce([prefix(pfx)], &path));
+    }
+    for (pfx, path) in [
+        ("10.0.0.0/8", vec![65003, 200]),
+        ("20.0.0.0/8", vec![65003, 200]),
+        ("40.0.0.0/8", vec![65003, 400]),
+    ] {
+        rs.process_update(pid(3), &c.announce([prefix(pfx)], &path));
+    }
+    rs.process_update(pid(4), &d.announce([prefix("50.0.0.0/8")], &[65004, 500]));
+
+    let mut compiler = SdxCompiler::new();
+    compiler.upsert_participant(a.with_outbound(a_pol));
+    compiler.upsert_participant(b.with_inbound(b_pol));
+    compiler.upsert_participant(c);
+    compiler.upsert_participant(d);
+    (compiler, rs)
+}
+
+#[test]
+fn figure1_parallel_report_is_byte_identical_to_serial() {
+    let (mut compiler, rs) = figure1();
+    check_all_variants(&mut compiler, &rs, "figure1");
+}
+
+#[test]
+fn fifty_participant_workload_parallel_report_is_byte_identical_to_serial() {
+    let mut ixp = build(&TopologyParams {
+        participants: 50,
+        prefixes: 3000,
+        seed: 17,
+        ..Default::default()
+    });
+    assign_policies(
+        &mut ixp,
+        &PolicyWorkloadParams {
+            policy_prefixes: 800,
+            seed: 18,
+            ..Default::default()
+        },
+    );
+    let rs = ixp.route_server();
+    let mut compiler = SdxCompiler::new();
+    for p in &ixp.participants {
+        compiler.upsert_participant(p.clone());
+    }
+    check_all_variants(&mut compiler, &rs, "ixp-50");
+}
