@@ -669,6 +669,38 @@ mod tests {
     }
 
     #[test]
+    fn add_peer_clears_cached_winners_for_new_loop_protection() {
+        // Registering a peer introduces a new ASN, which changes
+        // loop-protection outcomes for *already-cached* decisions: before
+        // participant 3 is registered, a route whose AS path contains
+        // 65003 is exported to viewer 3 (no ASN on file → no loop check),
+        // but the moment `add_peer` runs, serving that cached winner
+        // would forward into a loop. `add_peer` must clear the cache.
+        let mut rs = RouteServer::new();
+        rs.add_peer(src(1), ExportPolicy::allow_all());
+        rs.add_peer(src(2), ExportPolicy::allow_all());
+        rs.process_update(
+            ParticipantId(2),
+            &simple_announce(prefix("70.0.0.0/8"), &[65002, 65003, 9], ip("172.16.0.2")),
+        );
+        // Warm the cache from the not-yet-registered viewer's perspective.
+        assert_eq!(
+            rs.best_for(ParticipantId(3), prefix("70.0.0.0/8"))
+                .map(|r| r.source.participant),
+            Some(ParticipantId(2))
+        );
+        rs.add_peer(src(3), ExportPolicy::allow_all());
+        assert!(
+            rs.best_for(ParticipantId(3), prefix("70.0.0.0/8"))
+                .is_none(),
+            "stale cached winner would be a forwarding loop"
+        );
+        assert!(rs
+            .best_for_scan(ParticipantId(3), prefix("70.0.0.0/8"))
+            .is_none());
+    }
+
+    #[test]
     fn indexed_queries_agree_with_scan_oracles_on_figure1() {
         let rs = figure1_server();
         for viewer in [ParticipantId(1), ParticipantId(2), ParticipantId(3)] {

@@ -110,6 +110,15 @@ pub struct CompileOptions {
     /// used entries are evicted past this (counted in
     /// `compile.memo_evictions.count`).
     pub memo_cap: usize,
+    /// **Deliberate sabotage, tests only**: joins policy clauses against
+    /// every prefix the target *announced* instead of the prefixes it
+    /// *exported to the viewer*, skipping the §4.1 BGP consistency filter.
+    /// This reproduces the Prelude-style SDX compilation bug class
+    /// (forwarding to a neighbor that never offered the route) so the
+    /// differential oracle's acceptance test can prove it catches wrong
+    /// forwarding with a readable per-stage trace. Never enable outside a
+    /// harness.
+    pub break_consistency_filter: bool,
 }
 
 impl Default for CompileOptions {
@@ -121,6 +130,7 @@ impl Default for CompileOptions {
             parallelism: Parallelism::Auto,
             index_acceleration: true,
             memo_cap: DEFAULT_MEMO_CAP,
+            break_consistency_filter: false,
         }
     }
 }
@@ -180,6 +190,31 @@ impl CompileReport {
         r.add("compile.groups.count", self.stats.group_count as u64);
         r.add("compile.memo_hits.count", self.stats.memo_hits as u64);
         r.snapshot()
+    }
+
+    /// The stage-1 FIB decision a border router makes for `viewer` and a
+    /// concrete destination: the most specific prefix in the VNH map
+    /// covering `dst`, with its virtual next hop. `None` means the SDX
+    /// left the destination on its plain BGP path (no policy touches it).
+    ///
+    /// This is the compiled artifact the differential oracle's fabric
+    /// side seeds its evaluation with — it reads only what this report
+    /// says, never the route server's opinion.
+    pub fn vnh_for(&self, viewer: ParticipantId, dst: Ipv4Addr) -> Option<(Prefix, Ipv4Addr)> {
+        self.vnh_of
+            .iter()
+            .filter(|((v, p), _)| *v == viewer && p.contains(dst))
+            .max_by_key(|((_, p), _)| p.len())
+            .map(|((_, p), nh)| (*p, *nh))
+    }
+
+    /// The VMAC the SDX ARP responder answers for `vnh` — the tag a
+    /// border router stamps into `dl_dst` after resolving its FIB entry.
+    pub fn vmac_for(&self, vnh: Ipv4Addr) -> Option<MacAddr> {
+        self.arp_bindings
+            .iter()
+            .find(|(a, _)| *a == vnh)
+            .map(|(_, m)| *m)
     }
 }
 
@@ -393,6 +428,7 @@ impl SdxCompiler {
         let viewer_rules: Vec<(ParticipantId, &[FwdRule])> =
             fwd_rules.iter().map(|(&v, r)| (v, r.as_slice())).collect();
         let fec_grouping = self.options.fec_grouping;
+        let break_consistency = self.options.break_consistency_filter;
         type ViewerFecs = (
             Vec<Vec<Prefix>>,           // prefix partition (the FEC groups)
             Vec<GroupMembership>,       // per group: rule memberships
@@ -416,7 +452,12 @@ impl SdxCompiler {
                     continue; // port steering / no-op: no BGP join
                 };
                 let via = via_cache.entry(nh).or_insert_with(|| {
-                    if use_index {
+                    if break_consistency {
+                        // Sabotage knob (see `CompileOptions`): ignore the
+                        // Adj-RIB-Out filter and join on everything the
+                        // target ever announced.
+                        rs.loc_rib().announced_by(nh).collect()
+                    } else if use_index {
                         rs.prefixes_via(viewer, nh)
                     } else {
                         rs.prefixes_via_scan(viewer, nh)
@@ -995,6 +1036,27 @@ mod tests {
         assert_eq!(stats.memo_hits, 2, "recent entries still cached");
         compiler.compile_raw(&pol(0), &mut stats);
         assert_eq!(stats.memo_hits, 2, "oldest entry was evicted");
+    }
+
+    #[test]
+    fn memo_evictions_count_through_compile_all() {
+        // End-to-end variant of the LRU test: the real pipeline compiles
+        // one raw classifier per installed policy (A's outbound + B's
+        // inbound on Figure 1), so a cap of 1 forces an eviction *during*
+        // `compile_all` and the telemetry counter must say so.
+        let (mut compiler, rs) = figure1();
+        compiler.options.memo_cap = 1;
+        let mut vnh = VnhAllocator::default();
+        compiler.compile_all(&rs, &mut vnh).expect("compiles");
+        assert_eq!(compiler.memo_len(), 1, "cap bounds the cache");
+        assert!(
+            compiler
+                .telemetry()
+                .counter("compile.memo_evictions.count")
+                .get()
+                >= 1,
+            "compile_all past memo_cap must record evictions"
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   (Table 1 discards reset-caused churn; so do we, measurably).
 //! * [`traffic`] — the deterministic discrete-event traffic simulator that
 //!   regenerates the Figure 5 deployment experiments.
+//! * [`testkit`] — the shared fixture builders (Figure 1, the
+//!   three-party isolation exchange, the multistage-FIB sweep, the
+//!   50-participant workload) used by the integration tests and the
+//!   `sdx-oracle` differential harness.
 //!
 //! Everything is seeded: the same parameters and seed reproduce the same
 //! IXP, trace, and traffic, byte for byte.
@@ -27,6 +31,7 @@
 
 pub mod dataset;
 pub mod policy_workload;
+pub mod testkit;
 pub mod topology;
 pub mod traffic;
 pub mod updates;

@@ -132,6 +132,39 @@ impl FlowTable {
         Some(&self.entries[idx])
     }
 
+    /// Single stepping for inspection: the highest-priority matching entry
+    /// and its index, **without** touching the counters. This is the API
+    /// the differential oracle uses to replay a packet through a deployed
+    /// table stage by stage and render which rule fired at each hop —
+    /// a diagnostic walk must not perturb the traffic statistics the
+    /// telemetry layer reports.
+    pub fn classify(&self, lp: &LocatedPacket) -> Option<(usize, &FlowEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.pattern.matches(lp))
+    }
+
+    /// Applies `entry`'s buckets to `lp`: one output packet per bucket,
+    /// mods applied in order to a fresh copy. Raw application — hairpin
+    /// suppression and dedup stay in [`switch
+    /// processing`](crate::switch); a stepping caller decides itself what
+    /// to filter. Pure — pairs with [`classify`](Self::classify) for
+    /// counter-free stepping.
+    pub fn apply_entry(entry: &FlowEntry, lp: &LocatedPacket) -> Vec<LocatedPacket> {
+        entry
+            .buckets
+            .iter()
+            .map(|mods| {
+                let mut copy = *lp;
+                for &m in mods {
+                    m.apply(&mut copy);
+                }
+                copy
+            })
+            .collect()
+    }
+
     /// Installs a compiled classifier wholesale, replacing the table.
     /// Rule `i` of `n` receives priority `base + n - i`, so rule order is
     /// priority order and higher `base` layers shadow lower ones.
@@ -239,6 +272,33 @@ mod tests {
         // First-match equivalence on a sample.
         let hit = t.lookup(&web(port(1))).unwrap();
         assert_eq!(hit.buckets, vec![vec![Mod::SetLoc(port(2))]]);
+    }
+
+    #[test]
+    fn classify_steps_without_touching_counters() {
+        let mut t = FlowTable::new();
+        t.install(FlowEntry::new(
+            1,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(9))]],
+        ));
+        t.install(FlowEntry::new(
+            10,
+            HeaderMatch::of(FieldMatch::TpDst(80)),
+            vec![vec![Mod::SetTpDst(8080), Mod::SetLoc(port(2))]],
+        ));
+        let (idx, entry) = t.classify(&web(port(1))).expect("match");
+        assert_eq!(idx, 0, "highest priority entry sits first");
+        assert_eq!(entry.priority, 10);
+        assert_eq!(entry.packet_count, 0, "classify must not count");
+        let out = FlowTable::apply_entry(entry, &web(port(1)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, port(2));
+        assert_eq!(out[0].pkt.tp_dst, 8080);
+        // lookup on the same packet agrees with classify and does count.
+        let hit = t.lookup(&web(port(1))).expect("match");
+        assert_eq!(hit.priority, 10);
+        assert_eq!(t.entries()[0].packet_count, 1);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Per-stage evaluation traces.
+//!
+//! Every oracle verdict carries a [`Trace`]: one step per decision the
+//! evaluation made (route lookup, ARP resolution, clause application,
+//! classifier rule hit, delivery). When the differential harness finds a
+//! mismatch, the shrunk counterexample renders both sides' traces as a
+//! human-readable stage-by-stage story, and mirrors them into the
+//! `sdx-telemetry` journal as [`Event::Custom`] entries named
+//! `oracle.<side>.<stage>` so the replay tooling sees them too.
+
+use sdx_net::HeaderMatch;
+use sdx_telemetry::{Event, Registry};
+
+/// One decision the evaluation made.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceStep {
+    /// The pipeline stage: `route`, `arp`, `outbound`, `consistency`,
+    /// `default`, `inbound`, `classifier`, or `deliver`.
+    pub stage: &'static str,
+    /// Human-readable detail of what was decided and why.
+    pub detail: String,
+}
+
+/// An ordered stage-by-stage record of one evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    /// Which oracle side produced it: `spec` or `fabric`.
+    pub side: &'static str,
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// An empty trace for `side` (`"spec"` or `"fabric"`).
+    pub fn new(side: &'static str) -> Self {
+        Trace {
+            side,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, stage: &'static str, detail: impl Into<String>) {
+        self.steps.push(TraceStep {
+            stage,
+            detail: detail.into(),
+        });
+    }
+
+    /// The recorded steps, in evaluation order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Renders the trace as indented `[side] stage: detail` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(&format!("  [{}] {:<11} {}\n", self.side, s.stage, s.detail));
+        }
+        out
+    }
+
+    /// Mirrors every step into `reg`'s journal as
+    /// `Event::Custom { name: "oracle.<side>.<stage>", .. }`.
+    pub fn emit(&self, reg: &Registry) {
+        for s in &self.steps {
+            reg.record_event(Event::Custom {
+                name: format!("oracle.{}.{}", self.side, s.stage),
+                detail: s.detail.clone(),
+            });
+        }
+    }
+}
+
+/// Compact rendering of a [`HeaderMatch`] for classifier-step traces:
+/// only the constrained fields, `*` for a full wildcard.
+pub fn fmt_match(m: &HeaderMatch) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(p) = m.in_port {
+        parts.push(format!("in_port={p}"));
+    }
+    if let Some(mac) = m.dl_src {
+        parts.push(format!("dl_src={mac}"));
+    }
+    if let Some(mac) = m.dl_dst {
+        parts.push(format!("dl_dst={mac}"));
+    }
+    if let Some(e) = m.eth_type {
+        parts.push(format!("eth_type={:#06x}", e.value()));
+    }
+    if let Some(p) = m.nw_src {
+        parts.push(format!("srcip={p}"));
+    }
+    if let Some(p) = m.nw_dst {
+        parts.push(format!("dstip={p}"));
+    }
+    if let Some(p) = m.nw_proto {
+        parts.push(format!("proto={}", p.value()));
+    }
+    if let Some(p) = m.tp_src {
+        parts.push(format!("srcport={p}"));
+    }
+    if let Some(p) = m.tp_dst {
+        parts.push(format!("dstport={p}"));
+    }
+    if parts.is_empty() {
+        "*".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{prefix, FieldMatch};
+
+    #[test]
+    fn render_and_emit() {
+        let mut t = Trace::new("spec");
+        t.push("route", "10.0.0.9 matches 10.0.0.0/8");
+        t.push("deliver", "at B1");
+        let r = t.render();
+        assert!(r.contains("[spec] route"));
+        assert!(r.contains("10.0.0.0/8"));
+
+        let reg = Registry::new();
+        t.emit(&reg);
+        let kinds = reg.journal().kinds();
+        assert_eq!(kinds, vec!["custom", "custom"]);
+        let entries = reg.journal().entries();
+        assert!(matches!(
+            &entries[0].event,
+            Event::Custom { name, .. } if name == "oracle.spec.route"
+        ));
+    }
+
+    #[test]
+    fn match_formatting() {
+        assert_eq!(fmt_match(&HeaderMatch::any()), "*");
+        let m = HeaderMatch::of(FieldMatch::TpDst(80)).and(FieldMatch::NwDst(prefix("10.0.0.0/8")));
+        let s = fmt_match(&m);
+        assert!(s.contains("dstport=80"));
+        assert!(s.contains("dstip=10.0.0.0/8"));
+    }
+}

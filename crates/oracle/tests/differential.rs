@@ -1,0 +1,244 @@
+//! The differential suite: spec interpreter vs compiled fabric.
+//!
+//! Three tiers of evidence, cheapest first:
+//!
+//! 1. **Fixtures** — the Figure 1 exchange, probed exhaustively, with the
+//!    paper's headline behaviours spot-asserted on the *agreed* verdicts.
+//! 2. **Deployed cross-check** — the emulated data plane (`Fabric::send`,
+//!    with real border routers and an ARP responder) must agree with the
+//!    agreed oracle verdict, tying the oracle's fabric model to the
+//!    actual packet-pushing machinery.
+//! 3. **Property fuzzing** — random exchanges and packets from seeds,
+//!    shrunk by proptest to a single integer on failure, plus a
+//!    loop-freedom assertion on every fabric walk.
+//!
+//! And one sabotage test: flipping the compiler's
+//! `break_consistency_filter` knob must make the harness fail with a
+//! per-stage trace that names the consistency stage.
+
+use proptest::prelude::*;
+use sdx_bgp::route_server::RouteServer;
+use sdx_core::compiler::CompileReport;
+use sdx_core::vnh::VnhAllocator;
+use sdx_core::SdxCompiler;
+use sdx_ixp::testkit;
+use sdx_net::{Ipv4Addr, Packet, ParticipantId, PortId};
+use sdx_oracle::{synth, Differential, Outcome};
+use sdx_telemetry::{Event, Registry};
+
+fn compiled(
+    mut compiler: SdxCompiler,
+    rs: RouteServer,
+) -> (SdxCompiler, RouteServer, CompileReport) {
+    let mut vnh = VnhAllocator::new(VnhAllocator::default_pool());
+    let report = compiler.compile_all(&rs, &mut vnh).expect("compiles");
+    (compiler, rs, report)
+}
+
+fn a1() -> PortId {
+    PortId::Phys(ParticipantId(1), 1)
+}
+
+#[test]
+fn figure1_grid_agrees_and_matches_the_paper() {
+    let (compiler, rs) = testkit::figure1_compiler();
+    let (compiler, rs, report) = compiled(compiler, rs);
+    let diff = Differential::new(&compiler, &rs, &report);
+
+    // Exhaustive grid: every port x every announced prefix (+ one
+    // unroutable) x low/high sources x the clause ports. Any mismatch
+    // fails here with both traces rendered. Agreement also proves loop
+    // freedom: the spec side never produces NonTerminating, so an agreed
+    // verdict can't be one.
+    let probes = synth::probe_grid(&compiler, &rs);
+    let delivered = diff.check_all(&probes).unwrap_or_else(|m| panic!("{m}"));
+    assert!(delivered > 0, "grid must exercise real deliveries");
+
+    let verdict = |src: Ipv4Addr, dst: Ipv4Addr, dport: u16| {
+        diff.check(a1(), &Packet::tcp(src, dst, 4321, dport))
+            .unwrap_or_else(|m| panic!("{m}"))
+    };
+    let low = Ipv4Addr::new(9, 0, 0, 1);
+    let high = Ipv4Addr::new(200, 0, 0, 1);
+    let p1 = Ipv4Addr::new(10, 0, 0, 9);
+    let b1 = PortId::Phys(ParticipantId(2), 1);
+    let b2 = PortId::Phys(ParticipantId(2), 2);
+    let c1 = PortId::Phys(ParticipantId(3), 1);
+    let d1 = PortId::Phys(ParticipantId(4), 1);
+
+    // A's web traffic goes via B, split by B's inbound TE policy.
+    assert_eq!(
+        verdict(low, p1, 80),
+        Outcome::Deliver {
+            port: b1,
+            nw_dst: p1
+        }
+    );
+    assert_eq!(
+        verdict(high, p1, 80),
+        Outcome::Deliver {
+            port: b2,
+            nw_dst: p1
+        }
+    );
+    // A's HTTPS traffic goes via C.
+    assert_eq!(
+        verdict(low, p1, 443),
+        Outcome::Deliver {
+            port: c1,
+            nw_dst: p1
+        }
+    );
+    // Unpolicied traffic follows BGP best (C's shorter path for p1).
+    assert_eq!(
+        verdict(low, p1, 22),
+        Outcome::Deliver {
+            port: c1,
+            nw_dst: p1
+        }
+    );
+    // B hides 40/8 from A, so A's web clause toward B is *inconsistent*
+    // for p4 and must fall back to the BGP default via C.
+    let p4 = Ipv4Addr::new(40, 0, 0, 9);
+    assert_eq!(
+        verdict(low, p4, 80),
+        Outcome::Deliver {
+            port: c1,
+            nw_dst: p4
+        }
+    );
+    // p5 is announced only by D.
+    let p5 = Ipv4Addr::new(50, 0, 0, 9);
+    assert_eq!(
+        verdict(low, p5, 80),
+        Outcome::Deliver {
+            port: d1,
+            nw_dst: p5
+        }
+    );
+    // Unrouted destinations never enter the fabric.
+    let dark = Ipv4Addr::new(203, 0, 113, 9);
+    assert_eq!(verdict(low, dark, 80), Outcome::Drop);
+}
+
+#[test]
+fn deployed_fabric_agrees_with_the_oracle_verdict() {
+    // Three-way cross-check: spec interpreter == fabric evaluator (the
+    // oracle pair) == the actual emulated data plane with border routers
+    // and ARP. `figure1_compiler` builds the same exchange the controller
+    // deploys.
+    let mut ctl = testkit::figure1_controller();
+    let mut fabric = ctl.deploy().expect("deploys");
+    let report = ctl.report.clone().expect("deploy stores the report");
+    let diff = Differential::new(&ctl.compiler, &ctl.rs, &report);
+
+    let probes = synth::probe_grid(&ctl.compiler, &ctl.rs);
+    let mut delivered = 0;
+    for (from, pkt) in probes {
+        let agreed = diff.check(from, &pkt).unwrap_or_else(|m| panic!("{m}"));
+        let sent = fabric.send(from, pkt);
+        let wire = match sent.len() {
+            0 => Outcome::Drop,
+            1 => Outcome::Deliver {
+                port: sent[0].loc,
+                nw_dst: sent[0].pkt.nw_dst,
+            },
+            _ => Outcome::Multi(sent.iter().map(|d| (d.loc, d.pkt.nw_dst)).collect()),
+        };
+        assert_eq!(
+            agreed, wire,
+            "oracle and deployed fabric disagree for {pkt:?} in at {from}"
+        );
+        if matches!(agreed, Outcome::Deliver { .. }) {
+            delivered += 1;
+        }
+    }
+    assert!(delivered > 0);
+    assert_eq!(fabric.stuck_at_virtual, 0);
+}
+
+#[test]
+fn ixp50_workload_agrees_on_sampled_probes() {
+    let (compiler, rs) = testkit::ixp50();
+    let (compiler, rs, report) = compiled(compiler, rs);
+    let diff = Differential::new(&compiler, &rs, &report);
+    let probes = synth::sample_probes(&compiler, &rs, 50, 400);
+    let delivered = diff.check_all(&probes).unwrap_or_else(|m| panic!("{m}"));
+    assert!(
+        delivered > 0,
+        "sampled probes must exercise real deliveries"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole property: for a random IXP (participants, RIBs,
+    /// export filters, outbound/inbound policies) and random packets, the
+    /// reference interpreter and the compiled fabric agree — and no
+    /// fabric walk loops.
+    #[test]
+    fn random_exchanges_agree(seed in 0u32..u32::MAX) {
+        let mut ex = synth::exchange(seed as u64);
+        let mut vnh = VnhAllocator::new(VnhAllocator::default_pool());
+        let report = ex
+            .compiler
+            .compile_all(&ex.rs, &mut vnh)
+            .expect("generated exchanges stay inside compilable shapes");
+        let diff = Differential::new(&ex.compiler, &ex.rs, &report);
+        for (from, pkt) in synth::packets(&ex, seed as u64, 40) {
+            match diff.check(from, &pkt) {
+                Ok(outcome) => prop_assert!(
+                    outcome != Outcome::NonTerminating,
+                    "agreed on a forwarding loop?!"
+                ),
+                Err(m) => prop_assert!(false, "seed {seed}: {m}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn sabotaged_compiler_is_caught_with_a_readable_trace() {
+    // Flip the intentionally-broken knob: the compiler joins policies
+    // with *announced* routes instead of *exported* routes, silently
+    // honouring A's `fwd(B)` for the prefix B hid from A.
+    let (mut compiler, rs) = testkit::figure1_compiler();
+    compiler.options.break_consistency_filter = true;
+    let (compiler, rs, report) = compiled(compiler, rs);
+    let diff = Differential::new(&compiler, &rs, &report);
+
+    let probes = synth::probe_grid(&compiler, &rs);
+    let mismatch = diff
+        .check_all(&probes)
+        .expect_err("the sabotaged consistency filter must be detected");
+
+    // The counterexample renders a per-stage, side-by-side story...
+    let msg = mismatch.to_string();
+    assert!(msg.contains("oracle mismatch"), "got: {msg}");
+    assert!(msg.contains("spec says:"), "got: {msg}");
+    assert!(msg.contains("fabric says:"), "got: {msg}");
+    assert!(msg.contains("[spec] "), "got: {msg}");
+    assert!(msg.contains("[fabric] "), "got: {msg}");
+    assert!(
+        msg.contains("consistency"),
+        "the spec trace should name the consistency stage: {msg}"
+    );
+
+    // ...and mirrors into the telemetry journal for replay tooling.
+    let reg = Registry::new();
+    mismatch.emit(&reg);
+    let entries = reg.journal().entries();
+    assert!(entries.iter().any(|e| matches!(
+        &e.event,
+        Event::Custom { name, .. } if name == "oracle.mismatch"
+    )));
+    assert!(entries.iter().any(|e| matches!(
+        &e.event,
+        Event::Custom { name, .. } if name.starts_with("oracle.spec.")
+    )));
+    assert!(entries.iter().any(|e| matches!(
+        &e.event,
+        Event::Custom { name, .. } if name.starts_with("oracle.fabric.")
+    )));
+}

@@ -18,6 +18,26 @@ pub fn eval(policy: &Policy, lp: &LocatedPacket) -> Vec<LocatedPacket> {
     out
 }
 
+/// Evaluates `policy` expecting unicast semantics: at most one output
+/// packet, as the SDX demands of participant policies (the compiler
+/// rejects multicast outbound clauses as `MulticastOutbound`).
+///
+/// Returns `Ok(None)` for drop, `Ok(Some(lp))` for the single output, and
+/// `Err` with all outputs when the policy multicasts — the semantic
+/// oracle uses the error arm to flag generator bugs instead of silently
+/// comparing one branch.
+pub fn eval_unicast(
+    policy: &Policy,
+    lp: &LocatedPacket,
+) -> Result<Option<LocatedPacket>, Vec<LocatedPacket>> {
+    let mut out = eval(policy, lp);
+    match out.len() {
+        0 => Ok(None),
+        1 => Ok(Some(out.remove(0))),
+        _ => Err(out),
+    }
+}
+
 fn push_unique(out: &mut Vec<LocatedPacket>, lp: LocatedPacket) {
     if !out.contains(&lp) {
         out.push(lp);
@@ -177,5 +197,19 @@ mod tests {
     fn empty_sequential_short_circuits() {
         let pol = Policy::match_(FieldMatch::TpDst(443)) >> Policy::fwd(port(2));
         assert!(eval(&pol, &web_pkt()).is_empty());
+    }
+
+    #[test]
+    fn eval_unicast_distinguishes_drop_single_and_multicast() {
+        let lp = web_pkt();
+        assert_eq!(eval_unicast(&Policy::drop(), &lp), Ok(None));
+        let single = Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(2));
+        assert_eq!(
+            eval_unicast(&single, &lp).expect("unicast").map(|o| o.loc),
+            Some(port(2))
+        );
+        let multi = Policy::fwd(port(2)) + Policy::fwd(port(3));
+        let err = eval_unicast(&multi, &lp).expect_err("multicast");
+        assert_eq!(err.len(), 2);
     }
 }

@@ -66,6 +66,28 @@ impl Pred {
         }
     }
 
+    /// Collects every atomic field test in the predicate, in left-to-right
+    /// structural order. The differential oracle uses this to render
+    /// *which* header constraints a clause placed on the packet when it
+    /// prints a per-stage counterexample trace; polarity (tests under a
+    /// `Not`) is not tracked — this is a rendering aid, not a solver.
+    pub fn atoms(&self) -> Vec<FieldMatch> {
+        fn walk(p: &Pred, out: &mut Vec<FieldMatch>) {
+            match p {
+                Pred::Any | Pred::None => {}
+                Pred::Test(f) => out.push(*f),
+                Pred::And(a, b) | Pred::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Pred::Not(a) => walk(a, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Structural size (diagnostics and compile-cost accounting).
     pub fn size(&self) -> usize {
         match self {
@@ -175,6 +197,21 @@ mod tests {
         let f = Pred::src_in([prefix("10.0.0.0/8")]);
         assert!(f.eval(&pkt(80)));
         assert_eq!(Pred::src_in([]), Pred::None);
+    }
+
+    #[test]
+    fn atoms_collects_field_tests_in_order() {
+        let p = (Pred::test(FieldMatch::TpDst(80)) | Pred::test(FieldMatch::TpDst(443)))
+            & !Pred::test(FieldMatch::NwSrc(prefix("10.0.0.0/8")));
+        assert_eq!(
+            p.atoms(),
+            vec![
+                FieldMatch::TpDst(80),
+                FieldMatch::TpDst(443),
+                FieldMatch::NwSrc(prefix("10.0.0.0/8")),
+            ]
+        );
+        assert!(Pred::Any.atoms().is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use sdx::bgp::wire;
 use sdx::core::controller::SdxController;
 use sdx::core::participant::ParticipantConfig;
 use sdx::core::vnh::VnhAllocator;
+use sdx::ixp::testkit;
 use sdx::net::{ip, prefix, Asn, FieldMatch, Packet, ParticipantId, PortId, RouterId};
 use sdx::openflow::fabric::Fabric;
 use sdx::policy::Policy as P;
@@ -242,6 +243,44 @@ fn injected_vnh_fault_leaves_fast_path_atomic() {
     // reoptimize reconverges the data plane.
     ctl.reoptimize(&mut fabric).expect("reconverge");
     assert_eq!(probe(&mut fabric, "30.0.0.1")[0].loc.participant(), pid(2));
+}
+
+#[test]
+fn injected_vnh_fault_mid_compile_never_consumes_pool_ids() {
+    // The full pipeline reserves its whole VNH batch up front and commits
+    // only after every per-group fault check passes. An abort between
+    // `reserve` and `commit` — here on the *second* group, so the first
+    // reserved triple was already handed to a FEC group — must leave the
+    // allocator byte-identical: no consumed ids, no leaked free-list
+    // entries.
+    let (mut compiler, rs) = testkit::figure1_compiler();
+    let mut vnh = VnhAllocator::default();
+    let before = vnh.remaining();
+    let mut faults = FaultPlan::seeded(7).fail_nth(InjectionPoint::VnhAlloc, 2);
+    let err = compiler
+        .compile_all_with_faults(&rs, &mut vnh, &mut faults)
+        .unwrap_err();
+    assert_eq!(err, SdxError::Injected(InjectionPoint::VnhAlloc));
+    assert_eq!(
+        vnh.remaining(),
+        before,
+        "aborted compile must not consume VNH ids"
+    );
+    // The spent one-shot fault lets the retry through — and because the
+    // abort consumed nothing, the retry allocates exactly what a clean
+    // compile from a fresh allocator would.
+    let report = compiler
+        .compile_all_with_faults(&rs, &mut vnh, &mut faults)
+        .expect("retry succeeds once the fault is spent");
+    let (mut clean_compiler, clean_rs) = testkit::figure1_compiler();
+    let clean = clean_compiler
+        .compile_all(&clean_rs, &mut VnhAllocator::default())
+        .expect("clean compile");
+    assert_eq!(
+        report.vnh_of, clean.vnh_of,
+        "retry must reuse exactly the ids the abort returned"
+    );
+    assert_eq!(report.arp_bindings, clean.arp_bindings);
 }
 
 #[test]

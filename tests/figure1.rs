@@ -2,76 +2,20 @@
 //! public API only (controller + DSL + fabric), cross-checking every claim
 //! §3 and §4.1 make about it.
 
-use std::collections::BTreeMap;
-
-use sdx::bgp::route_server::ExportPolicy;
 use sdx::core::controller::SdxController;
-use sdx::core::participant::ParticipantConfig;
-use sdx::core::vswitch;
+use sdx::ixp::testkit;
 use sdx::net::{ip, prefix, Packet, ParticipantId, PortId};
-use sdx::policy::parse_policy;
 
 fn pid(n: u32) -> ParticipantId {
     ParticipantId(n)
 }
 
-/// Builds the Figure 1 exchange: A (policy), B (2 ports, inbound TE,
-/// doesn't export p4 to A), C, D (announces p5, untouched by policies).
+/// The Figure 1 exchange (A's policy, B's two ports + inbound TE + hidden
+/// p4, the Figure 1b RIB), deployed. The exchange itself lives in
+/// [`testkit::figure1_controller`], shared with the isolation, FIB, and
+/// oracle suites.
 fn figure1() -> (SdxController, sdx::openflow::fabric::Fabric) {
-    let a = ParticipantConfig::new(1, 65001, 1);
-    let b = ParticipantConfig::new(2, 65002, 2);
-    let c = ParticipantConfig::new(3, 65003, 1);
-    let d = ParticipantConfig::new(4, 65004, 1);
-
-    let book: BTreeMap<ParticipantId, Vec<u8>> = [
-        (pid(1), vec![1]),
-        (pid(2), vec![1, 2]),
-        (pid(3), vec![1]),
-        (pid(4), vec![1]),
-    ]
-    .into();
-
-    let a_pol = parse_policy(
-        "(match(dstport = 80) >> fwd(B)) + (match(dstport = 443) >> fwd(C))",
-        &vswitch::resolver_for(pid(1), &book),
-    )
-    .expect("A's policy");
-    let b_pol = parse_policy(
-        "(match(srcip = {0.0.0.0/1}) >> fwd(B1)) + (match(srcip = {128.0.0.0/1}) >> fwd(B2))",
-        &vswitch::resolver_for(pid(2), &book),
-    )
-    .expect("B's policy");
-
-    let mut ctl = SdxController::new();
-    ctl.add_participant(a.clone().with_outbound(a_pol), ExportPolicy::allow_all());
-    let mut b_export = ExportPolicy::allow_all();
-    b_export.deny(pid(1), prefix("40.0.0.0/8")); // B hides p4 from A
-    ctl.add_participant(b.clone().with_inbound(b_pol), b_export);
-    ctl.add_participant(c.clone(), ExportPolicy::allow_all());
-    ctl.add_participant(d.clone(), ExportPolicy::allow_all());
-
-    // Figure 1b's RIB: p1,p2 via B (long) and C (short); p3 only via B;
-    // p4 via B (hidden from A) and C; p5 only via D.
-    for (pfx, path) in [
-        ("10.0.0.0/8", vec![65002, 100, 200]),
-        ("20.0.0.0/8", vec![65002, 100, 200]),
-        ("30.0.0.0/8", vec![65002, 300]),
-        ("40.0.0.0/8", vec![65002, 400]),
-    ] {
-        ctl.rs
-            .process_update(pid(2), &b.announce([prefix(pfx)], &path));
-    }
-    for (pfx, path) in [
-        ("10.0.0.0/8", vec![65003, 200]),
-        ("20.0.0.0/8", vec![65003, 200]),
-        ("40.0.0.0/8", vec![65003, 400]),
-    ] {
-        ctl.rs
-            .process_update(pid(3), &c.announce([prefix(pfx)], &path));
-    }
-    ctl.rs
-        .process_update(pid(4), &d.announce([prefix("50.0.0.0/8")], &[65004, 500]));
-
+    let mut ctl = testkit::figure1_controller();
     let fabric = ctl.deploy().expect("deploy");
     (ctl, fabric)
 }

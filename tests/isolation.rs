@@ -3,10 +3,9 @@
 //! virtual switches", plus the two BGP invariants of §4.1 that prevent
 //! forwarding loops between edge routers.
 
-use sdx::bgp::route_server::ExportPolicy;
 use sdx::core::controller::SdxController;
-use sdx::core::participant::ParticipantConfig;
 use sdx::core::transform::TransformError;
+use sdx::ixp::testkit;
 use sdx::net::{ip, prefix, FieldMatch, Packet, ParticipantId, PortId};
 use sdx::policy::{Policy as P, Pred};
 use sdx::SdxError;
@@ -15,21 +14,10 @@ fn pid(n: u32) -> ParticipantId {
     ParticipantId(n)
 }
 
+/// The shared A/B/C exchange (11/8, 22/8, 33/8 — one port each, exports
+/// open); each test installs its own adversarial policies on top.
 fn base_exchange() -> SdxController {
-    let mut ctl = SdxController::new();
-    let a = ParticipantConfig::new(1, 65001, 1);
-    let b = ParticipantConfig::new(2, 65002, 1);
-    let c = ParticipantConfig::new(3, 65003, 1);
-    ctl.add_participant(a.clone(), ExportPolicy::allow_all());
-    ctl.add_participant(b.clone(), ExportPolicy::allow_all());
-    ctl.add_participant(c.clone(), ExportPolicy::allow_all());
-    ctl.rs
-        .process_update(pid(1), &a.announce([prefix("11.0.0.0/8")], &[65001]));
-    ctl.rs
-        .process_update(pid(2), &b.announce([prefix("22.0.0.0/8")], &[65002]));
-    ctl.rs
-        .process_update(pid(3), &c.announce([prefix("33.0.0.0/8")], &[65003]));
-    ctl
+    testkit::three_party_exchange()
 }
 
 #[test]

@@ -7,42 +7,22 @@
 //! action) is the fabric flow table. These tests pin the division of
 //! labour and the table-size claims.
 
-use sdx::bgp::route_server::ExportPolicy;
 use sdx::core::controller::SdxController;
-use sdx::core::participant::ParticipantConfig;
-use sdx::net::{ip, prefix, FieldMatch, Packet, ParticipantId, PortId};
-use sdx::policy::Policy as P;
+use sdx::ixp::testkit;
+use sdx::net::{ip, Packet, ParticipantId, PortId};
 
 fn pid(n: u32) -> ParticipantId {
     ParticipantId(n)
 }
 
 /// A viewer with a port-80 policy toward B; B and C announce 64 prefixes
-/// each with identical behaviour.
+/// each with identical behaviour (see [`testkit::multistage_exchange`]).
 fn setup() -> (
     SdxController,
     sdx::openflow::fabric::Fabric,
     Vec<sdx::net::Prefix>,
 ) {
-    let a = ParticipantConfig::new(1, 65001, 1)
-        .with_outbound(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2))));
-    let b = ParticipantConfig::new(2, 65002, 1);
-    let c = ParticipantConfig::new(3, 65003, 1);
-    let mut ctl = SdxController::new();
-    ctl.add_participant(a, ExportPolicy::allow_all());
-    ctl.add_participant(b.clone(), ExportPolicy::allow_all());
-    ctl.add_participant(c.clone(), ExportPolicy::allow_all());
-
-    let prefixes: Vec<sdx::net::Prefix> = (0..64u32)
-        .map(|i| prefix(&format!("10.{i}.0.0/16")))
-        .collect();
-    // Both announce everything; C has the shorter path (best).
-    ctl.rs.process_update(
-        pid(2),
-        &b.announce(prefixes.iter().copied(), &[65002, 7, 9]),
-    );
-    ctl.rs
-        .process_update(pid(3), &c.announce(prefixes.iter().copied(), &[65003, 9]));
+    let (mut ctl, prefixes) = testkit::multistage_exchange();
     let fabric = ctl.deploy().expect("deploy");
     (ctl, fabric, prefixes)
 }

@@ -5,21 +5,10 @@
 //! same ARP bindings. Checked on the paper's Figure 1 exchange and on a
 //! 50-participant `sdx-ixp` workload.
 
-use std::collections::BTreeMap;
-
-use sdx::bgp::route_server::{ExportPolicy, RouteServer};
+use sdx::bgp::route_server::RouteServer;
 use sdx::core::compiler::{CompileReport, Parallelism, SdxCompiler};
-use sdx::core::participant::ParticipantConfig;
 use sdx::core::vnh::VnhAllocator;
-use sdx::core::vswitch;
-use sdx::ixp::policy_workload::{assign_policies, PolicyWorkloadParams};
-use sdx::ixp::topology::{build, TopologyParams};
-use sdx::net::{prefix, ParticipantId};
-use sdx::policy::parse_policy;
-
-fn pid(n: u32) -> ParticipantId {
-    ParticipantId(n)
-}
+use sdx::ixp::testkit;
 
 fn compile_with(
     compiler: &mut SdxCompiler,
@@ -84,90 +73,16 @@ fn check_all_variants(compiler: &mut SdxCompiler, rs: &RouteServer, scale: &str)
     );
 }
 
-/// The Figure 1 exchange from the paper: small, but exercises outbound +
-/// inbound policies, hidden exports, and policy-free participants.
-fn figure1() -> (SdxCompiler, RouteServer) {
-    let a = ParticipantConfig::new(1, 65001, 1);
-    let b = ParticipantConfig::new(2, 65002, 2);
-    let c = ParticipantConfig::new(3, 65003, 1);
-    let d = ParticipantConfig::new(4, 65004, 1);
-
-    let book: BTreeMap<ParticipantId, Vec<u8>> = [
-        (pid(1), vec![1]),
-        (pid(2), vec![1, 2]),
-        (pid(3), vec![1]),
-        (pid(4), vec![1]),
-    ]
-    .into();
-    let a_pol = parse_policy(
-        "(match(dstport = 80) >> fwd(B)) + (match(dstport = 443) >> fwd(C))",
-        &vswitch::resolver_for(pid(1), &book),
-    )
-    .expect("A's policy");
-    let b_pol = parse_policy(
-        "(match(srcip = {0.0.0.0/1}) >> fwd(B1)) + (match(srcip = {128.0.0.0/1}) >> fwd(B2))",
-        &vswitch::resolver_for(pid(2), &book),
-    )
-    .expect("B's policy");
-
-    let mut rs = RouteServer::new();
-    rs.add_peer(a.route_source(), ExportPolicy::allow_all());
-    let mut b_export = ExportPolicy::allow_all();
-    b_export.deny(pid(1), prefix("40.0.0.0/8"));
-    rs.add_peer(b.route_source(), b_export);
-    rs.add_peer(c.route_source(), ExportPolicy::allow_all());
-    rs.add_peer(d.route_source(), ExportPolicy::allow_all());
-    for (pfx, path) in [
-        ("10.0.0.0/8", vec![65002, 100, 200]),
-        ("20.0.0.0/8", vec![65002, 100, 200]),
-        ("30.0.0.0/8", vec![65002, 300]),
-        ("40.0.0.0/8", vec![65002, 400]),
-    ] {
-        rs.process_update(pid(2), &b.announce([prefix(pfx)], &path));
-    }
-    for (pfx, path) in [
-        ("10.0.0.0/8", vec![65003, 200]),
-        ("20.0.0.0/8", vec![65003, 200]),
-        ("40.0.0.0/8", vec![65003, 400]),
-    ] {
-        rs.process_update(pid(3), &c.announce([prefix(pfx)], &path));
-    }
-    rs.process_update(pid(4), &d.announce([prefix("50.0.0.0/8")], &[65004, 500]));
-
-    let mut compiler = SdxCompiler::new();
-    compiler.upsert_participant(a.with_outbound(a_pol));
-    compiler.upsert_participant(b.with_inbound(b_pol));
-    compiler.upsert_participant(c);
-    compiler.upsert_participant(d);
-    (compiler, rs)
-}
-
 #[test]
 fn figure1_parallel_report_is_byte_identical_to_serial() {
-    let (mut compiler, rs) = figure1();
+    // The Figure 1 exchange from the paper: small, but exercises outbound
+    // + inbound policies, hidden exports, and policy-free participants.
+    let (mut compiler, rs) = testkit::figure1_compiler();
     check_all_variants(&mut compiler, &rs, "figure1");
 }
 
 #[test]
 fn fifty_participant_workload_parallel_report_is_byte_identical_to_serial() {
-    let mut ixp = build(&TopologyParams {
-        participants: 50,
-        prefixes: 3000,
-        seed: 17,
-        ..Default::default()
-    });
-    assign_policies(
-        &mut ixp,
-        &PolicyWorkloadParams {
-            policy_prefixes: 800,
-            seed: 18,
-            ..Default::default()
-        },
-    );
-    let rs = ixp.route_server();
-    let mut compiler = SdxCompiler::new();
-    for p in &ixp.participants {
-        compiler.upsert_participant(p.clone());
-    }
+    let (mut compiler, rs) = testkit::ixp50();
     check_all_variants(&mut compiler, &rs, "ixp-50");
 }

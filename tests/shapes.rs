@@ -3,7 +3,6 @@
 //! breaks linearity of Figure 7 or sub-linearity of Figure 6, these fail
 //! long before anyone re-reads the experiment output.
 
-use sdx::core::fec::minimum_disjoint_subsets;
 use sdx::core::vnh::VnhAllocator;
 use sdx::ixp::policy_workload::{assign_policies, PolicyWorkloadParams};
 use sdx::ixp::topology::{build, TopologyParams};
@@ -41,28 +40,19 @@ fn compile_at(participants: usize, policy_prefixes: usize) -> (usize, usize, f64
 
 #[test]
 fn fig6_shape_groups_sublinear_in_prefixes() {
-    // The MDS group count grows sub-linearly with the number of policy
-    // prefixes (the paper's Figure 6).
-    let ixp = build(&TopologyParams {
-        participants: 60,
-        prefixes: 6000,
-        seed: 66,
-        ..Default::default()
-    });
-    let sets = ixp.announcement_sets();
+    // Figure 6's y-axis is the number of FEC groups the *compiler*
+    // creates — next-hop partitions of the policy-affected prefixes —
+    // not a raw minimum-disjoint-subsets decomposition of the full
+    // announcement sets (that quantity tracks announcement diversity,
+    // grows near-linearly by construction of the synthetic workload, and
+    // is not what the paper plots; the differential oracle's Figure 6
+    // re-derivation in EXPERIMENTS.md has the numbers). So: sweep the
+    // policy-prefix count and read `stats.group_count` off the compile
+    // report, exactly as the figure's pipeline does.
     let mut counts = Vec::new();
-    for frac in [4usize, 2, 1] {
-        let take = 6000 / frac;
-        let px: std::collections::BTreeSet<Prefix> = sets
-            .iter()
-            .flat_map(|(_, ps)| ps.iter().copied())
-            .take(take)
-            .collect();
-        let restricted: Vec<Vec<Prefix>> = sets
-            .iter()
-            .map(|(_, ps)| ps.iter().copied().filter(|p| px.contains(p)).collect())
-            .collect();
-        counts.push((take, minimum_disjoint_subsets(&restricted).len()));
+    for px in [800usize, 1600, 3200] {
+        let (groups, _, _) = compile_at(60, px);
+        counts.push((px, groups));
     }
     // Monotone non-decreasing…
     assert!(counts.windows(2).all(|w| w[0].1 <= w[1].1), "{counts:?}");
@@ -73,10 +63,10 @@ fn fig6_shape_groups_sublinear_in_prefixes() {
     let group_ratio = g1 as f64 / g0.max(1) as f64;
     assert!(
         group_ratio < prefix_ratio * 0.8,
-        "groups grew {group_ratio:.2}x for {prefix_ratio:.2}x prefixes"
+        "groups grew {group_ratio:.2}x for {prefix_ratio:.2}x prefixes: {counts:?}"
     );
-    // Groups ≪ prefixes at the top end.
-    assert!(counts[2].1 * 2 < counts[2].0);
+    // Groups ≪ policy prefixes at the top end.
+    assert!(counts[2].1 * 2 < counts[2].0, "{counts:?}");
 }
 
 #[test]
