@@ -169,6 +169,13 @@ pub struct RouteServer {
     /// Per-(prefix, viewer) decision winners; invalidated per changed
     /// prefix, cleared on peer/export-policy changes.
     best_cache: BestRouteCache,
+    /// Prefixes whose candidate set changed since the last drain
+    /// ([`take_dirty_prefixes`](Self::take_dirty_prefixes)) — the
+    /// controller's minimal-sync working set. Populated at the same spots
+    /// that emit [`RouteServerEvent::PrefixChanged`], so callers that
+    /// mutate the route server directly (session supervision, harnesses)
+    /// are tracked too.
+    dirty: std::collections::BTreeSet<Prefix>,
     /// Decision/export stage timers land here.
     telemetry: SharedRegistry,
 }
@@ -195,8 +202,11 @@ impl RouteServer {
         self.asns.insert(source.participant, source.asn);
         self.peers.insert(source.participant, AdjRibIn::new(source));
         self.export.insert(source.participant, export);
-        // A new ASN changes loop-protection outcomes for existing routes.
+        // A new ASN changes loop-protection outcomes for existing routes,
+        // so every known prefix must be re-examined at the next sync.
         self.best_cache.clear();
+        let all: Vec<Prefix> = self.loc_rib.prefixes().collect();
+        self.dirty.extend(all);
     }
 
     /// The registered participants, in id order.
@@ -214,6 +224,8 @@ impl RouteServer {
         self.export.insert(p, export);
         // Export filtering feeds the candidate sets the decision ran over.
         self.best_cache.clear();
+        let all: Vec<Prefix> = self.loc_rib.prefixes().collect();
+        self.dirty.extend(all);
     }
 
     /// Processes one UPDATE from `from`, returning the prefixes whose
@@ -243,10 +255,25 @@ impl RouteServer {
                     None => self.loc_rib.remove(p, from),
                 }
                 self.best_cache.invalidate(p);
+                self.dirty.insert(p);
                 events.push(RouteServerEvent::PrefixChanged(p));
             }
             events
         })
+    }
+
+    /// Drains the set of prefixes whose candidate set changed since the
+    /// last drain. The controller's re-optimization sync uses this to
+    /// re-examine only (viewer, prefix) pairs that could have moved —
+    /// everything else provably advertises the same VNH as before under
+    /// churn-stable FEC identity.
+    pub fn take_dirty_prefixes(&mut self) -> std::collections::BTreeSet<Prefix> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// The number of un-drained changed prefixes (diagnostics).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
     }
 
     /// Handles a session reset: drops every route from `from` (Table 1's
@@ -261,6 +288,7 @@ impl RouteServer {
         for p in cleared {
             self.loc_rib.remove(p, from);
             self.best_cache.invalidate(p);
+            self.dirty.insert(p);
             events.push(RouteServerEvent::PrefixChanged(p));
         }
         events

@@ -41,7 +41,7 @@ use sdx_telemetry::{MetricsSnapshot, Registry, SharedRegistry};
 
 use crate::error::SdxError;
 use crate::faults::{FaultPlan, InjectionPoint};
-use crate::fec::{partition_by_signature, FecGroup};
+use crate::fec::{partition_by_signature, FecGroup, FecKey};
 use crate::par::parallel_map;
 use crate::participant::ParticipantConfig;
 use crate::transform::{
@@ -512,14 +512,34 @@ impl SdxCompiler {
         });
 
         // ---- Phase B (serial, viewer order): VNH assignment. The whole
-        // batch is reserved up front and committed only after every fault
-        // check passes — an injected fault or exhaustion leaves the
-        // allocator untouched, and id order matches what one-at-a-time
-        // serial allocation produced.
+        // batch is reserved up front *by content-addressed key* and
+        // committed only after every fault check passes — an injected
+        // fault or exhaustion leaves the allocator (key maps included)
+        // untouched. Keyed reservation means a group whose identity
+        // (viewer, member prefixes, best next hop) survived from the
+        // previous compilation keeps its exact id/VNH/VMAC, so
+        // re-optimization only relabels what actually changed; on a fresh
+        // allocator no key is mapped and id order matches what
+        // one-at-a-time serial allocation produced.
         let mut groups: BTreeMap<ParticipantId, Vec<FecGroup>> = BTreeMap::new();
         let mut rule_membership: BTreeMap<ParticipantId, Vec<GroupMembership>> = BTreeMap::new();
-        let total_groups: usize = fecs.iter().map(|(parts, _, _)| parts.len()).sum();
-        let reservation = vnh.reserve(total_groups)?;
+        let wanted: Vec<FecKey> = viewer_rules
+            .iter()
+            .zip(&fecs)
+            .flat_map(|(&(viewer, _), (parts, _, defaults))| {
+                parts
+                    .iter()
+                    .zip(defaults)
+                    .map(move |(prefixes, &nh)| FecKey {
+                        viewer,
+                        prefixes: prefixes.clone(),
+                        default_next_hop: nh,
+                    })
+            })
+            .collect();
+        let reservation = vnh.reserve_keyed(&wanted)?;
+        reg.add("vnh.reused.count", reservation.reused_len() as u64);
+        reg.add("vnh.fresh.count", reservation.fresh_len() as u64);
         let mut triples = reservation.triples().iter();
         for (&(viewer, _), (parts, memberships, defaults)) in viewer_rules.iter().zip(fecs) {
             let mut viewer_groups = Vec::with_capacity(parts.len());

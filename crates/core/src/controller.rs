@@ -32,12 +32,13 @@ use crate::transform::TransformError;
 use crate::txn::{DeltaTxn, FabricTxn};
 use crate::vnh::VnhAllocator;
 
-/// Priority floor for delta overlays; the base table compiles into
-/// priorities far below this. Successive overlays stack monotonically
-/// above it (delta rules are mutually disjoint — each carries a fresh
-/// VMAC — so only "above the base table" matters for correctness; the
-/// monotonic cursor just keeps the bands tidy at any overlay size).
-const DELTA_BASE: u32 = 1_000_000;
+/// Priority floor for delta overlays; the reconciled base table lives in
+/// the band below this (see [`crate::reconcile`]). Successive overlays
+/// stack monotonically above it (delta rules are mutually disjoint — each
+/// carries a fresh VMAC — so only "above the base table" matters for
+/// correctness; the monotonic cursor just keeps the bands tidy at any
+/// overlay size).
+pub(crate) use crate::reconcile::DELTA_BASE;
 
 /// A duration as journal-friendly nanoseconds (saturating).
 fn nanos(d: Duration) -> u64 {
@@ -62,6 +63,12 @@ pub struct SdxController {
     /// and the lifecycle event journal. The compiler and the deployed
     /// fabric emit into the same registry.
     pub telemetry: SharedRegistry,
+    /// Monotone commit epoch: every flow-mod batch this controller emits
+    /// (fast-path overlay or reconciliation patch) is stamped with a
+    /// fresh epoch, so the journal orders data-plane generations. Never
+    /// rolled back — an aborted commit leaves a gap, which is exactly the
+    /// audit trail wanted.
+    pub(crate) epoch: u64,
     /// Monotone counter of delta overlays currently installed.
     pub(crate) delta_layers: u32,
     /// Next free priority for an overlay (monotonic; reset on reoptimize).
@@ -105,6 +112,7 @@ impl SdxController {
             report: None,
             faults: FaultPlan::disabled(),
             telemetry,
+            epoch: 0,
             delta_layers: 0,
             next_delta_priority: DELTA_BASE,
             pending_fib: Vec::new(),
@@ -306,23 +314,36 @@ impl SdxController {
             self.delta_layers += 1;
             let overlay = crate::incremental::delta_classifier(delta.rules.clone());
             // Install only the real rules; the overlay's synthetic
-            // catch-all would blackhole the base table.
+            // catch-all would blackhole the base table. The installs go
+            // through the typed flow-mod protocol as one atomic,
+            // epoch-tagged, cookie-stamped batch.
             let n = overlay.rules().len() as u32;
             let base = self.next_delta_priority;
             self.next_delta_priority = base.saturating_add(n + 1);
+            self.epoch += 1;
+            let mut batch = sdx_openflow::FlowModBatch::new(self.epoch);
             for (i, r) in overlay.rules().iter().enumerate() {
                 if r.matches.is_wildcard() && r.is_drop() {
                     continue;
                 }
-                fabric
-                    .switch
-                    .table_mut()
-                    .install(sdx_openflow::table::FlowEntry::new(
+                batch.push(sdx_openflow::FlowMod::Add(
+                    sdx_openflow::table::FlowEntry::new(
                         base + n - i as u32,
                         r.matches,
                         r.actions.iter().map(|a| a.mods.clone()).collect(),
-                    ));
+                    )
+                    .with_cookie(crate::reconcile::cookie_of(&r.matches)),
+                ));
             }
+            let stats = fabric.apply_flowmods(&batch).map_err(|e| {
+                SdxError::InvalidCommit(format!("fast-path flow-mod batch rejected: {e}"))
+            })?;
+            self.telemetry.record_event(Event::FlowModBatchApplied {
+                epoch: self.epoch,
+                adds: stats.adds,
+                modifies: stats.modifies,
+                deletes: stats.deletes,
+            });
         }
         // Mid-commit fault point: overlay rules are staged on the switch
         // but ARP/FIB synchronization has not run — a firing here leaves
@@ -395,34 +416,54 @@ impl SdxController {
     /// The staged (compile, validate, then mutate) portion of reoptimize;
     /// runs inside a [`FabricTxn`].
     fn reoptimize_in_txn(&mut self, fabric: &mut Fabric) -> Result<(), SdxError> {
-        let mut retired: Vec<crate::fec::FecId> = std::mem::take(&mut self.live_delta_ids);
-        let mut retired_addrs: Vec<Ipv4Addr> = Vec::new();
-        if let Some(old) = &self.report {
-            for groups in old.groups.values() {
-                for g in groups {
-                    retired.push(g.id);
-                    retired_addrs.push(g.vnh);
-                }
-            }
-        }
-        // Release the retiring generation *before* compiling, so a pool
-        // exhausted by fast-path churn can recover here. Safe under the
-        // transaction: the snapshot restores the allocator on failure, and
-        // on success the whole fabric generation is swapped in this same
-        // commit, so a recycled id can never alias a live binding.
-        for &id in &retired {
+        let reg = self.telemetry.clone();
+        // Fast-path delta ids are keyless allocations: release them
+        // *before* compiling so a pool exhausted by fast-path churn can
+        // recover here. Safe under the transaction: the snapshot restores
+        // the allocator on failure, and the overlay rules referencing them
+        // are removed in this same commit.
+        let delta_ids: Vec<crate::fec::FecId> = std::mem::take(&mut self.live_delta_ids);
+        let mut retired_addrs: Vec<Ipv4Addr> =
+            delta_ids.iter().map(|&id| self.vnh.vnh_of(id)).collect();
+        for &id in &delta_ids {
             self.vnh.release(id);
         }
+        // Take the old report: [`FabricTxn::begin`] already cloned it for
+        // rollback, and the reconciliation below wants the old VNH map
+        // without another deep copy. Keyed ids stay mapped through the
+        // compile — that is exactly what keeps unchanged FEC groups on
+        // their previous VNH/VMAC.
+        let old_report = self.report.take();
         let report =
             self.compiler
                 .compile_all_with_faults(&self.rs, &mut self.vnh, &mut self.faults)?;
-        self.telemetry
-            .clone()
-            .time("txn.validate", || crate::txn::validate_report(&report))?;
-        fabric.switch.load_classifier(&report.classifier);
+        reg.time("txn.validate", || crate::txn::validate_report(&report))?;
+        // Retire the fast-path overlay layers, then *patch* the base
+        // table: the diff against the keyed-identity recompile touches
+        // only the rules whose pattern, buckets, or cookie changed.
+        fabric.switch.table_mut().remove_at_or_above(DELTA_BASE);
+        self.epoch += 1;
+        let diff = crate::reconcile::diff_base_table(
+            fabric.switch.table(),
+            &report.classifier,
+            self.epoch,
+        );
+        let stats = fabric.apply_flowmods(&diff.batch).map_err(|e| {
+            SdxError::InvalidCommit(format!("reoptimize flow-mod batch rejected: {e}"))
+        })?;
+        reg.add("reconcile.unchanged.count", diff.unchanged as u64);
+        if diff.rebased {
+            reg.inc("reconcile.rebase.count");
+        }
+        reg.record_event(Event::FlowModBatchApplied {
+            epoch: self.epoch,
+            adds: stats.adds,
+            modifies: stats.modifies,
+            deletes: stats.deletes,
+        });
         self.delta_layers = 0;
         self.next_delta_priority = DELTA_BASE;
-        // Mid-commit fault point: the base table is already swapped but
+        // Mid-commit fault point: the base table is already patched but
         // ARP and FIBs are not yet synchronized — the torn state a firing
         // here produces must be rolled back by the enclosing transaction.
         self.faults.check(InjectionPoint::FabricCommit)?;
@@ -430,25 +471,52 @@ impl SdxController {
         for &(vnh, vmac) in &report.arp_bindings {
             fabric.arp.bind(vnh, vmac);
         }
-        // Retire the old generation's responder bindings (addresses reused
-        // by the new compilation were just re-bound above) and flush every
-        // router's ARP cache so recycled VNH addresses cannot resolve to a
-        // stale VMAC.
+        // Keyed identity keeps surviving groups on their exact VNH, so
+        // only ids whose key vanished actually retire. Unbind those
+        // addresses from the responder and invalidate them from router
+        // ARP caches — selectively: an address was only ever cached by
+        // the routers of the viewer that owned it, and every other cached
+        // entry stays warm (the fixed vnh→vmac mapping means a surviving
+        // entry can never be stale).
+        let new_ids: std::collections::BTreeSet<u32> = report
+            .groups
+            .values()
+            .flat_map(|gs| gs.iter().map(|g| g.id.0))
+            .collect();
+        let mut stale_ids: Vec<crate::fec::FecId> = Vec::new();
+        if let Some(old) = &old_report {
+            for g in old.groups.values().flatten() {
+                if !new_ids.contains(&g.id.0) {
+                    stale_ids.push(g.id);
+                    retired_addrs.push(g.vnh);
+                }
+            }
+        }
         let live: std::collections::BTreeSet<Ipv4Addr> =
             report.arp_bindings.iter().map(|(a, _)| *a).collect();
+        let ports: Vec<_> = fabric.ports().collect();
+        let mut invalidated = 0u64;
         for addr in retired_addrs {
-            if !live.contains(&addr) {
-                fabric.arp.unbind(addr);
+            if live.contains(&addr) {
+                continue;
+            }
+            fabric.arp.unbind(addr);
+            for &port in &ports {
+                if let Some(r) = fabric.router_mut(port) {
+                    if r.invalidate_arp(addr) {
+                        invalidated += 1;
+                    }
+                }
             }
         }
-        let ports: Vec<_> = fabric.ports().collect();
-        for port in ports {
-            if let Some(r) = fabric.router_mut(port) {
-                r.flush_arp();
-            }
+        reg.add("arp.invalidated.count", invalidated);
+        // Stale keyed ids release only now: through the compile they were
+        // still mapped, which is what kept live keys off their slots.
+        for id in stale_ids {
+            self.vnh.release(id);
         }
         self.report = Some(report);
-        self.full_fib_sync(fabric);
+        self.full_fib_sync(fabric, old_report.as_ref().map(|r| &r.vnh_of));
         Ok(())
     }
 
@@ -481,41 +549,92 @@ impl SdxController {
         }
     }
 
-    /// Re-advertises every (viewer, prefix) best route with the current
-    /// VNH map — the initial convergence / post-reoptimization sync. The
-    /// per-viewer Adj-RIB-Out reduces the sync to the minimal BGP diff
-    /// (including withdrawals of prefixes that vanished from the Loc-RIB),
-    /// exactly like a real route-server session.
-    fn full_fib_sync(&mut self, fabric: &mut Fabric) {
-        let vnh_of: BTreeMap<(ParticipantId, Prefix), Ipv4Addr> = self
-            .report
-            .as_ref()
-            .map(|r| r.vnh_of.clone())
-            .unwrap_or_default();
+    /// Advertises (viewer, prefix) best routes with the current VNH map —
+    /// the initial convergence / post-reoptimization sync. The per-viewer
+    /// Adj-RIB-Out reduces the sync to the minimal BGP diff (including
+    /// withdrawals of prefixes that vanished from the Loc-RIB), exactly
+    /// like a real route-server session.
+    ///
+    /// When `old_vnh_of` (the previous compilation's VNH map) is given and
+    /// the viewer already converged once, the sync is *incremental*: only
+    /// prefixes whose best route changed since the last sync (the route
+    /// server's dirty set) or whose VNH moved are even reconciled — under
+    /// keyed VNH identity a quiet prefix costs nothing. Viewers with no
+    /// Adj-RIB-Out yet, or a `None` map, take the full reconcile path.
+    fn full_fib_sync(
+        &mut self,
+        fabric: &mut Fabric,
+        old_vnh_of: Option<&BTreeMap<(ParticipantId, Prefix), Ipv4Addr>>,
+    ) {
+        let reg = self.telemetry.clone();
+        let dirty = self.rs.take_dirty_prefixes();
+        let empty = BTreeMap::new();
+        let vnh_of: &BTreeMap<(ParticipantId, Prefix), Ipv4Addr> =
+            self.report.as_ref().map(|r| &r.vnh_of).unwrap_or(&empty);
         let viewers: Vec<ParticipantId> = self.rs.participants().collect();
         let prefixes = self.rs.all_prefixes();
+        let mut skipped = 0u64;
+        let mut sent = 0u64;
         for viewer in viewers {
-            let desired: Vec<(Prefix, sdx_bgp::attrs::PathAttributes)> = prefixes
-                .iter()
-                .filter_map(|&prefix| {
-                    let best = self.rs.best_for(viewer, prefix)?;
-                    let nh = vnh_of
-                        .get(&(viewer, prefix))
-                        .copied()
-                        .unwrap_or(best.attrs.next_hop);
-                    Some((prefix, best.attrs.clone().with_next_hop(nh)))
-                })
-                .collect();
-            let out = self.rib_out.entry(viewer).or_default();
-            let updates = out.reconcile_full(desired);
-            for update in updates {
-                for port in fabric.ports_of(viewer) {
-                    if let Some(r) = fabric.router_mut(port) {
-                        r.apply_update(&update);
+            let incremental = old_vnh_of.is_some() && self.rib_out.contains_key(&viewer);
+            if let (true, Some(old)) = (incremental, old_vnh_of) {
+                // Dirty prefixes may have vanished from the Loc-RIB
+                // entirely (withdrawals) — fold them in so they still
+                // reconcile down to a withdrawal.
+                let mut work: Vec<Prefix> = prefixes.clone();
+                work.extend(dirty.iter().copied());
+                work.sort_unstable();
+                work.dedup();
+                for prefix in work {
+                    if !dirty.contains(&prefix)
+                        && old.get(&(viewer, prefix)) == vnh_of.get(&(viewer, prefix))
+                    {
+                        skipped += 1;
+                        continue;
+                    }
+                    let desired = self.rs.best_for(viewer, prefix).map(|best| {
+                        let nh = vnh_of
+                            .get(&(viewer, prefix))
+                            .copied()
+                            .unwrap_or(best.attrs.next_hop);
+                        best.attrs.clone().with_next_hop(nh)
+                    });
+                    let out = self.rib_out.entry(viewer).or_default();
+                    if let Some(update) = out.reconcile(prefix, desired) {
+                        sent += 1;
+                        for port in fabric.ports_of(viewer) {
+                            if let Some(r) = fabric.router_mut(port) {
+                                r.apply_update(&update);
+                            }
+                        }
+                    }
+                }
+            } else {
+                let desired: Vec<(Prefix, sdx_bgp::attrs::PathAttributes)> = prefixes
+                    .iter()
+                    .filter_map(|&prefix| {
+                        let best = self.rs.best_for(viewer, prefix)?;
+                        let nh = vnh_of
+                            .get(&(viewer, prefix))
+                            .copied()
+                            .unwrap_or(best.attrs.next_hop);
+                        Some((prefix, best.attrs.clone().with_next_hop(nh)))
+                    })
+                    .collect();
+                let out = self.rib_out.entry(viewer).or_default();
+                let updates = out.reconcile_full(desired);
+                sent += updates.len() as u64;
+                for update in updates {
+                    for port in fabric.ports_of(viewer) {
+                        if let Some(r) = fabric.router_mut(port) {
+                            r.apply_update(&update);
+                        }
                     }
                 }
             }
         }
+        reg.add("fibsync.skipped.count", skipped);
+        reg.add("fibsync.sent.count", sent);
     }
 
     /// Builds a fabric with one border router per participant port,

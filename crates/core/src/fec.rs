@@ -46,6 +46,37 @@ pub struct FecGroup {
     pub default_next_hop: Option<ParticipantId>,
 }
 
+/// The content-addressed identity of a FEC group: the viewer it belongs
+/// to, its exact (sorted) member prefix set, and the viewer's best-route
+/// next hop for those members.
+///
+/// Two compilations that produce a group with the same key mean the same
+/// forwarding equivalence class — so the VNH allocator can hand back the
+/// *same* `(FecId, VNH, VMAC)` across recompilations
+/// ([`crate::vnh::VnhAllocator::reserve_keyed`]), and a BGP event only
+/// churns the identities whose keys actually changed. The exact structure
+/// is used as the map key (not a hash), so identity can never alias.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FecKey {
+    /// The viewer whose forwarding behaviour the group captures.
+    pub viewer: ParticipantId,
+    /// The member prefixes, sorted (the partition order is canonical).
+    pub prefixes: Vec<Prefix>,
+    /// The viewer's best-route next hop for every member prefix.
+    pub default_next_hop: Option<ParticipantId>,
+}
+
+impl FecKey {
+    /// The key describing an already-built group.
+    pub fn of_group(g: &FecGroup) -> FecKey {
+        FecKey {
+            viewer: g.viewer,
+            prefixes: g.prefixes.clone(),
+            default_next_hop: g.default_next_hop,
+        }
+    }
+}
+
 /// Computes the Minimum Disjoint Subset of a collection of prefix sets:
 /// the coarsest partition of the union such that every input set is a
 /// union of output parts. Output parts are sorted internally and ordered

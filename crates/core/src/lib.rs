@@ -46,6 +46,7 @@ pub mod fec;
 pub mod incremental;
 pub mod par;
 pub mod participant;
+pub mod reconcile;
 pub mod service_chain;
 pub mod transform;
 pub mod txn;
@@ -56,8 +57,9 @@ pub use compiler::{CompileOptions, CompileReport, Parallelism, SdxCompiler};
 pub use controller::SdxController;
 pub use error::SdxError;
 pub use faults::{FaultPlan, InjectionPoint};
-pub use fec::{minimum_disjoint_subsets, FecGroup, FecId};
+pub use fec::{minimum_disjoint_subsets, FecGroup, FecId, FecKey};
 pub use participant::{ParticipantConfig, PhysicalPort};
+pub use reconcile::{diff_base_table, TableDiff};
 pub use service_chain::ServiceChain;
 pub use txn::{DeltaTxn, FabricTxn};
 pub use vnh::VnhAllocator;

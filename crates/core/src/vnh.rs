@@ -9,11 +9,21 @@
 //! The allocator hands out addresses from a dedicated pool (default
 //! `172.16.128.0/17`, ~32k VNHs — comfortably above the ~1,500 prefix
 //! groups the paper's experiments reach) and recycles retired ids.
+//!
+//! For churn stability the allocator additionally remembers the
+//! [`FecKey`] each id was last assigned to: a *keyed* reservation
+//! ([`VnhAllocator::reserve_keyed`]) hands the **same** id — hence the
+//! same VNH and VMAC — back to any group whose content-addressed key is
+//! unchanged since the previous compilation, so a recompile only re-labels
+//! the equivalence classes that actually changed (§4.3.2's minimal-update
+//! goal applied to the VNH layer).
+
+use std::collections::BTreeMap;
 
 use sdx_net::{Ipv4Addr, MacAddr, Prefix};
 
 use crate::error::SdxError;
-use crate::fec::FecId;
+use crate::fec::{FecId, FecKey};
 
 /// Allocates `(FecId, VNH, VMAC)` triples from a configurable pool.
 #[derive(Clone, Debug)]
@@ -21,6 +31,11 @@ pub struct VnhAllocator {
     pool: Prefix,
     next_offset: u32,
     free: Vec<u32>,
+    /// Stable-identity map: the key each live id was assigned under.
+    /// Ids allocated through the un-keyed paths never appear here.
+    keys: BTreeMap<FecKey, u32>,
+    /// Reverse of `keys`, so [`release`](Self::release) can unmap.
+    ids: BTreeMap<u32, FecKey>,
 }
 
 impl VnhAllocator {
@@ -36,6 +51,8 @@ impl VnhAllocator {
             pool,
             next_offset: 1,
             free: Vec::new(),
+            keys: BTreeMap::new(),
+            ids: BTreeMap::new(),
         }
     }
 
@@ -107,18 +124,76 @@ impl VnhAllocator {
             ));
         }
         Ok(VnhReservation {
+            drawn_from_free: self.free.len() - free_remaining,
+            drawn_sequential: next - self.next_offset,
             triples,
+            new_keys: Vec::new(),
             base_next_offset: self.next_offset,
             base_free_len: self.free.len(),
         })
     }
 
-    /// Applies a reservation: consumes the reserved ids as if they had
-    /// been handed out by [`try_allocate`](Self::try_allocate) one at a
-    /// time.
+    /// Computes, **without mutating the allocator**, one triple per key —
+    /// reusing the id a key is already mapped to, and drawing fresh ids
+    /// (free-list LIFO, then sequential, exactly like
+    /// [`reserve`](Self::reserve)) only for keys never seen before. On
+    /// [`commit`](Self::commit) the fresh keys become mapped; until then
+    /// nothing is consumed, so an aborted compile leaves the allocator —
+    /// key maps included — byte-identical.
+    ///
+    /// This is what makes re-optimization churn-stable: an unchanged FEC
+    /// group (same viewer, same member prefixes, same best next hop) keeps
+    /// its exact VNH and VMAC across recompilations, so neither its flow
+    /// rules, its ARP binding, nor its FIB advertisements need to move.
+    pub fn reserve_keyed(&self, wanted: &[FecKey]) -> Result<VnhReservation, SdxError> {
+        let mut triples = Vec::with_capacity(wanted.len());
+        let mut new_keys = Vec::new();
+        let mut next = self.next_offset;
+        let mut free_remaining = self.free.len();
+        // Keys drawn earlier in this same batch (defensive: the compiler
+        // never emits duplicates, but aliasing an id would corrupt state).
+        let mut batch: BTreeMap<&FecKey, u32> = BTreeMap::new();
+        for key in wanted {
+            let off = if let Some(&off) = self.keys.get(key).or_else(|| batch.get(key)) {
+                off
+            } else {
+                let off = if free_remaining > 0 {
+                    free_remaining -= 1;
+                    self.free[free_remaining]
+                } else {
+                    let off = next;
+                    if (off as u64) >= self.pool.size() {
+                        return Err(SdxError::VnhExhausted { pool: self.pool });
+                    }
+                    next += 1;
+                    off
+                };
+                batch.insert(key, off);
+                new_keys.push((key.clone(), off));
+                off
+            };
+            triples.push((
+                FecId(off),
+                self.pool.addr().saturating_add(off),
+                MacAddr::vmac(off),
+            ));
+        }
+        Ok(VnhReservation {
+            drawn_from_free: self.free.len() - free_remaining,
+            drawn_sequential: next - self.next_offset,
+            triples,
+            new_keys,
+            base_next_offset: self.next_offset,
+            base_free_len: self.free.len(),
+        })
+    }
+
+    /// Applies a reservation: consumes the freshly drawn ids as if they
+    /// had been handed out by [`try_allocate`](Self::try_allocate) one at
+    /// a time, and installs the key mappings of a keyed reservation.
     ///
     /// # Panics
-    /// Panics if the allocator was mutated since [`reserve`](Self::reserve)
+    /// Panics if the allocator was mutated since the reservation was taken
     /// — committing a stale reservation would double-allocate ids.
     pub fn commit(&mut self, r: &VnhReservation) {
         assert_eq!(
@@ -126,14 +201,38 @@ impl VnhAllocator {
             (self.next_offset, self.free.len()),
             "commit of a stale VNH reservation"
         );
-        let from_free = r.triples.len().min(self.free.len());
-        self.free.truncate(self.free.len() - from_free);
-        self.next_offset += (r.triples.len() - from_free) as u32;
+        self.free.truncate(self.free.len() - r.drawn_from_free);
+        self.next_offset += r.drawn_sequential;
+        for (key, off) in &r.new_keys {
+            let prev = self.keys.insert(key.clone(), *off);
+            debug_assert!(prev.is_none(), "keyed commit over a live key");
+            self.ids.insert(*off, key.clone());
+        }
     }
 
-    /// Returns an id to the pool for reuse.
+    /// Returns an id to the pool for reuse, forgetting any key it was
+    /// mapped under (so the key allocates fresh if it ever reappears).
     pub fn release(&mut self, id: FecId) {
+        if let Some(key) = self.ids.remove(&id.0) {
+            self.keys.remove(&key);
+        }
         self.free.push(id.0);
+    }
+
+    /// The id currently mapped to `key`, if any — lets the controller
+    /// compute which previously live keys a recompilation retired.
+    pub fn id_of_key(&self, key: &FecKey) -> Option<FecId> {
+        self.keys.get(key).copied().map(FecId)
+    }
+
+    /// The key an id is currently mapped under, if any.
+    pub fn key_of_id(&self, id: FecId) -> Option<&FecKey> {
+        self.ids.get(&id.0)
+    }
+
+    /// Number of live key↦id mappings.
+    pub fn keyed_len(&self) -> usize {
+        self.keys.len()
     }
 
     /// The VNH address for an id (deterministic; no allocation).
@@ -160,6 +259,15 @@ impl Default for VnhAllocator {
 #[derive(Clone, Debug)]
 pub struct VnhReservation {
     triples: Vec<(FecId, Ipv4Addr, MacAddr)>,
+    /// Keys not previously mapped, paired with the fresh id each drew.
+    /// Empty for un-keyed reservations. Installed on commit.
+    new_keys: Vec<(FecKey, u32)>,
+    /// How many of the fresh ids came off the free list. Explicit (rather
+    /// than recomputed at commit) because a keyed reservation's reused ids
+    /// consume nothing at all.
+    drawn_from_free: usize,
+    /// How many fresh ids advanced the sequential frontier.
+    drawn_sequential: u32,
     base_next_offset: u32,
     base_free_len: usize,
 }
@@ -179,6 +287,17 @@ impl VnhReservation {
     /// True when nothing was reserved.
     pub fn is_empty(&self) -> bool {
         self.triples.is_empty()
+    }
+
+    /// Number of triples that are *fresh* draws (not key reuse).
+    pub fn fresh_len(&self) -> usize {
+        self.drawn_from_free + self.drawn_sequential as usize
+    }
+
+    /// Number of triples reusing an id their key already held — the
+    /// churn-stability figure of merit.
+    pub fn reused_len(&self) -> usize {
+        self.triples.len() - self.fresh_len()
     }
 }
 
@@ -291,6 +410,121 @@ mod tests {
         let r = a.reserve(2).unwrap();
         a.allocate(); // allocator moved on; r is stale
         a.commit(&r);
+    }
+
+    fn key(viewer: u32, pfx: &str, nh: u32) -> FecKey {
+        FecKey {
+            viewer: sdx_net::ParticipantId(viewer),
+            prefixes: vec![prefix(pfx)],
+            default_next_hop: Some(sdx_net::ParticipantId(nh)),
+        }
+    }
+
+    #[test]
+    fn keyed_reuse_is_stable_across_recompiles() {
+        let mut a = VnhAllocator::default();
+        let ks = vec![key(1, "10.0.0.0/8", 2), key(1, "20.0.0.0/8", 3)];
+        let r1 = a.reserve_keyed(&ks).unwrap();
+        assert_eq!(r1.fresh_len(), 2);
+        assert_eq!(r1.reused_len(), 0);
+        let first: Vec<_> = r1.triples().to_vec();
+        a.commit(&r1);
+        assert_eq!(a.keyed_len(), 2);
+        // Recompile with the same keys, plus one new group in the middle.
+        let ks2 = vec![
+            key(1, "10.0.0.0/8", 2),
+            key(2, "10.0.0.0/8", 3),
+            key(1, "20.0.0.0/8", 3),
+        ];
+        let r2 = a.reserve_keyed(&ks2).unwrap();
+        assert_eq!(r2.reused_len(), 2);
+        assert_eq!(r2.fresh_len(), 1);
+        assert_eq!(r2.triples()[0], first[0], "unchanged key keeps VNH+VMAC");
+        assert_eq!(r2.triples()[2], first[1]);
+        a.commit(&r2);
+        assert_eq!(a.keyed_len(), 3);
+        assert_eq!(a.id_of_key(&ks[0]), Some(first[0].0));
+    }
+
+    #[test]
+    fn keyed_reservation_abort_leaves_allocator_identical() {
+        let mut a = VnhAllocator::default();
+        a.commit(&a.reserve_keyed(&[key(1, "10.0.0.0/8", 2)]).unwrap());
+        let before = format!("{a:?}");
+        let r = a
+            .reserve_keyed(&[key(1, "10.0.0.0/8", 2), key(9, "90.0.0.0/8", 1)])
+            .unwrap();
+        drop(r); // compile aborted — e.g. an injected VnhAlloc fault
+        assert_eq!(
+            format!("{a:?}"),
+            before,
+            "abort costs nothing, maps included"
+        );
+    }
+
+    #[test]
+    fn release_unmaps_key_so_reappearance_allocates_fresh_mapping() {
+        let mut a = VnhAllocator::default();
+        let k = key(1, "10.0.0.0/8", 2);
+        let r = a.reserve_keyed(std::slice::from_ref(&k)).unwrap();
+        let id = r.triples()[0].0;
+        a.commit(&r);
+        assert_eq!(a.key_of_id(id), Some(&k));
+        a.release(id);
+        assert_eq!(a.keyed_len(), 0);
+        assert_eq!(a.id_of_key(&k), None);
+        // The key coming back draws from the free list — which happens to
+        // hand the same id back (LIFO), but through a fresh mapping.
+        let r2 = a.reserve_keyed(std::slice::from_ref(&k)).unwrap();
+        assert_eq!(r2.fresh_len(), 1);
+        assert_eq!(r2.triples()[0].0, id);
+    }
+
+    #[test]
+    fn keyed_pure_reuse_consumes_nothing() {
+        let mut a = VnhAllocator::new(prefix("10.0.0.0/29")); // 7 usable
+        let ks = vec![key(1, "10.0.0.0/8", 2)];
+        a.commit(&a.reserve_keyed(&ks).unwrap());
+        let remaining = a.remaining();
+        // Recompiling the identical workload forever never drains the pool.
+        for _ in 0..20 {
+            let r = a.reserve_keyed(&ks).unwrap();
+            assert_eq!(r.fresh_len(), 0);
+            a.commit(&r);
+        }
+        assert_eq!(a.remaining(), remaining);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_share_one_id() {
+        let a = VnhAllocator::default();
+        let k = key(1, "10.0.0.0/8", 2);
+        let r = a.reserve_keyed(&[k.clone(), k]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.fresh_len(), 1);
+        assert_eq!(r.triples()[0], r.triples()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn keyed_commit_rejects_stale_reservation() {
+        let mut a = VnhAllocator::default();
+        let r = a.reserve_keyed(&[key(1, "10.0.0.0/8", 2)]).unwrap();
+        a.allocate();
+        a.commit(&r);
+    }
+
+    #[test]
+    fn keyed_exhaustion_is_typed_and_pure() {
+        let mut a = VnhAllocator::new(prefix("10.0.0.0/31")); // 1 usable
+        a.commit(&a.reserve_keyed(&[key(1, "10.0.0.0/8", 2)]).unwrap());
+        // Reusing the live key still fits; adding a second group does not.
+        assert!(a.reserve_keyed(&[key(1, "10.0.0.0/8", 2)]).is_ok());
+        assert!(matches!(
+            a.reserve_keyed(&[key(1, "10.0.0.0/8", 2), key(2, "20.0.0.0/8", 1)]),
+            Err(SdxError::VnhExhausted { .. })
+        ));
+        assert_eq!(a.keyed_len(), 1, "failed reservation mutated nothing");
     }
 
     #[test]

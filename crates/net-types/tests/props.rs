@@ -111,7 +111,7 @@ proptest! {
                 .filter(|(p, _)| p.contains(a))
                 .max_by_key(|(p, _)| p.len())
                 .map(|(p, v)| (*p, v));
-            let got = trie.lookup(a).map(|(p, v)| (p, v));
+            let got = trie.lookup(a);
             prop_assert_eq!(got.map(|(p, v)| (p, *v)), expect.map(|(p, v)| (p, *v)));
         }
     }

@@ -97,6 +97,25 @@ impl BorderRouter {
         self.arp_cache.clear();
     }
 
+    /// Invalidates one cached VNH→VMAC mapping (the per-address gratuitous
+    /// ARP a delta-first reoptimize sends: only retired bindings are
+    /// flushed, the rest of the cache survives). Returns whether an entry
+    /// was present.
+    pub fn invalidate_arp(&mut self, addr: Ipv4Addr) -> bool {
+        self.arp_cache.remove(&addr).is_some()
+    }
+
+    /// The cached VMAC for `addr`, if resolved earlier — lets tests assert
+    /// which cache entries survived a selective flush.
+    pub fn cached_arp(&self, addr: Ipv4Addr) -> Option<MacAddr> {
+        self.arp_cache.get(&addr).copied()
+    }
+
+    /// Number of live ARP-cache entries.
+    pub fn arp_cache_len(&self) -> usize {
+        self.arp_cache.len()
+    }
+
     /// Drops every FIB entry — the effect of bouncing the BGP session to
     /// the route server (full state is re-learned from re-advertisements).
     pub fn clear_fib(&mut self) {

@@ -14,6 +14,7 @@ use sdx_telemetry::SharedRegistry;
 
 use crate::arp::ArpResponder;
 use crate::border_router::BorderRouter;
+use crate::flowmod::{BatchStats, FlowModBatch, FlowModError};
 use crate::switch::Switch;
 
 /// A delivery out of the fabric: the physical port it left on.
@@ -112,6 +113,32 @@ impl Fabric {
         self.telemetry
             .add("fabric.delivered.count", out.len() as u64);
         out
+    }
+
+    /// Applies one atomic flow-mod batch to the SDX switch table,
+    /// accounting it: per-op counters (`fabric.flowmod.{add,modify,
+    /// delete}.count`), the batch counter, and the per-batch size
+    /// histogram. A rejected batch leaves the table untouched and counts
+    /// against `fabric.flowmod.rejected.count`.
+    pub fn apply_flowmods(&mut self, batch: &FlowModBatch) -> Result<BatchStats, FlowModError> {
+        match self.switch.table_mut().apply_batch(batch) {
+            Ok(stats) => {
+                self.telemetry.inc("fabric.flowmod.batch.count");
+                self.telemetry
+                    .add("fabric.flowmod.add.count", stats.adds as u64);
+                self.telemetry
+                    .add("fabric.flowmod.modify.count", stats.modifies as u64);
+                self.telemetry
+                    .add("fabric.flowmod.delete.count", stats.deletes as u64);
+                self.telemetry
+                    .observe("fabric.flowmod.batch_size", stats.total() as u64);
+                Ok(stats)
+            }
+            Err(e) => {
+                self.telemetry.inc("fabric.flowmod.rejected.count");
+                Err(e)
+            }
+        }
     }
 
     /// Captures the complete fabric state — flow table, ARP responder,

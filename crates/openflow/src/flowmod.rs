@@ -1,0 +1,375 @@
+//! The typed flow-mod protocol: the controller→fabric boundary.
+//!
+//! Instead of swapping whole rule tables, the SDX controller describes
+//! every data-plane change as a batch of typed modifications — the
+//! OpenFlow `FLOW_MOD` triple of `ADD` / `MODIFY` / `DELETE` — stamped
+//! with the commit epoch that produced it. Batches are applied
+//! **atomically**: every mod is validated against the staged table state
+//! before any of them lands, so a rejected batch leaves the table
+//! untouched (the transactional guarantee `core::txn` builds on).
+//!
+//! This is what makes re-optimization churn proportional to *change*
+//! rather than to table size: a one-prefix BGP event becomes a handful
+//! of mods, not a table rewrite, and the per-batch [`BatchStats`] are
+//! the churn currency the telemetry layer and `repro_rule_churn` report.
+
+use core::fmt;
+
+use sdx_net::{HeaderMatch, Mod};
+
+use crate::table::{FlowEntry, FlowTable};
+
+/// One typed table modification.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FlowMod {
+    /// Install a new entry. Rejected if an entry with the same
+    /// (priority, pattern) already exists — a delta protocol never
+    /// silently overwrites; it says `Modify` when it means modify.
+    Add(FlowEntry),
+    /// Replace the buckets (and cookie) of the entry at (priority,
+    /// pattern), preserving its traffic counters. Rejected if absent.
+    Modify {
+        /// Priority of the target entry.
+        priority: u32,
+        /// Pattern of the target entry.
+        pattern: HeaderMatch,
+        /// The new action buckets.
+        buckets: Vec<Vec<Mod>>,
+        /// The new cookie.
+        cookie: u64,
+    },
+    /// Remove the entry at exactly (priority, pattern). Rejected if
+    /// absent — retired rules must be *deleted*, never assumed gone.
+    Delete {
+        /// Priority of the target entry.
+        priority: u32,
+        /// Pattern of the target entry.
+        pattern: HeaderMatch,
+    },
+}
+
+/// An atomic batch of flow mods, tagged with the controller commit epoch
+/// that produced it.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FlowModBatch {
+    /// The controller's reconciliation epoch (monotonic per commit).
+    pub epoch: u64,
+    /// The modifications, applied in order.
+    pub mods: Vec<FlowMod>,
+}
+
+impl FlowModBatch {
+    /// An empty batch for `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        FlowModBatch {
+            epoch,
+            mods: Vec::new(),
+        }
+    }
+
+    /// Appends one mod.
+    pub fn push(&mut self, m: FlowMod) {
+        self.mods.push(m);
+    }
+
+    /// Number of mods in the batch.
+    pub fn len(&self) -> usize {
+        self.mods.len()
+    }
+
+    /// True if the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.mods.is_empty()
+    }
+
+    /// The add/modify/delete breakdown, without applying anything.
+    pub fn stats(&self) -> BatchStats {
+        let mut s = BatchStats::default();
+        for m in &self.mods {
+            match m {
+                FlowMod::Add(_) => s.adds += 1,
+                FlowMod::Modify { .. } => s.modifies += 1,
+                FlowMod::Delete { .. } => s.deletes += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Per-batch application counts — the unit of churn accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchStats {
+    /// Entries installed.
+    pub adds: usize,
+    /// Entries whose buckets were replaced in place.
+    pub modifies: usize,
+    /// Entries removed.
+    pub deletes: usize,
+}
+
+impl BatchStats {
+    /// Total mods applied.
+    pub fn total(&self) -> usize {
+        self.adds + self.modifies + self.deletes
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{} ~{} -{}", self.adds, self.modifies, self.deletes)
+    }
+}
+
+/// Why a batch was rejected. The whole batch is discarded; the table is
+/// exactly as it was before [`FlowTable::apply_batch`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum FlowModError {
+    /// An `Add` targeted a (priority, pattern) slot already occupied.
+    DuplicateAdd {
+        /// Priority of the colliding slot.
+        priority: u32,
+        /// Pattern of the colliding slot.
+        pattern: HeaderMatch,
+    },
+    /// A `Modify` or `Delete` targeted a (priority, pattern) slot with no
+    /// entry in it.
+    MissingTarget {
+        /// `"modify"` or `"delete"`.
+        op: &'static str,
+        /// Priority of the empty slot.
+        priority: u32,
+        /// Pattern of the empty slot.
+        pattern: HeaderMatch,
+    },
+}
+
+impl fmt::Display for FlowModError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowModError::DuplicateAdd { priority, pattern } => write!(
+                f,
+                "flow-mod add collides with live entry at priority {priority} ({pattern:?})"
+            ),
+            FlowModError::MissingTarget {
+                op,
+                priority,
+                pattern,
+            } => write!(
+                f,
+                "flow-mod {op} targets no entry at priority {priority} ({pattern:?})"
+            ),
+        }
+    }
+}
+
+impl FlowTable {
+    /// Applies a batch atomically: every mod is staged against a working
+    /// copy, and the table is replaced only if all of them validate. On
+    /// error the table is untouched. `Modify` preserves the target's
+    /// traffic counters; the cookie index is maintained throughout.
+    pub fn apply_batch(&mut self, batch: &FlowModBatch) -> Result<BatchStats, FlowModError> {
+        let mut staged = self.clone();
+        let mut stats = BatchStats::default();
+        for m in &batch.mods {
+            match m {
+                FlowMod::Add(entry) => {
+                    if staged
+                        .entries()
+                        .iter()
+                        .any(|e| e.priority == entry.priority && e.pattern == entry.pattern)
+                    {
+                        return Err(FlowModError::DuplicateAdd {
+                            priority: entry.priority,
+                            pattern: entry.pattern,
+                        });
+                    }
+                    staged.install(entry.clone());
+                    stats.adds += 1;
+                }
+                FlowMod::Modify {
+                    priority,
+                    pattern,
+                    buckets,
+                    cookie,
+                } => {
+                    if !staged.modify_in_place(*priority, pattern, buckets, *cookie) {
+                        return Err(FlowModError::MissingTarget {
+                            op: "modify",
+                            priority: *priority,
+                            pattern: *pattern,
+                        });
+                    }
+                    stats.modifies += 1;
+                }
+                FlowMod::Delete { priority, pattern } => {
+                    if !staged.delete_exact(*priority, pattern) {
+                        return Err(FlowModError::MissingTarget {
+                            op: "delete",
+                            priority: *priority,
+                            pattern: *pattern,
+                        });
+                    }
+                    stats.deletes += 1;
+                }
+            }
+        }
+        *self = staged;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{FieldMatch, ParticipantId, PortId};
+
+    fn out(n: u32) -> Vec<Vec<Mod>> {
+        vec![vec![Mod::SetLoc(PortId::Phys(ParticipantId(n), 1))]]
+    }
+
+    fn seeded() -> FlowTable {
+        let mut t = FlowTable::new();
+        t.install(
+            FlowEntry::new(10, HeaderMatch::of(FieldMatch::TpDst(80)), out(2)).with_cookie(1),
+        );
+        t.install(FlowEntry::new(5, HeaderMatch::any(), vec![]).with_cookie(0));
+        t
+    }
+
+    #[test]
+    fn batch_applies_in_order_and_counts() {
+        let mut t = seeded();
+        let m443 = HeaderMatch::of(FieldMatch::TpDst(443));
+        let batch = FlowModBatch {
+            epoch: 3,
+            mods: vec![
+                FlowMod::Add(FlowEntry::new(7, m443, out(3)).with_cookie(2)),
+                FlowMod::Modify {
+                    priority: 10,
+                    pattern: HeaderMatch::of(FieldMatch::TpDst(80)),
+                    buckets: out(4),
+                    cookie: 9,
+                },
+                FlowMod::Delete {
+                    priority: 5,
+                    pattern: HeaderMatch::any(),
+                },
+            ],
+        };
+        assert_eq!(batch.stats(), batch.clone().stats());
+        let stats = t.apply_batch(&batch).expect("valid batch");
+        assert_eq!(
+            stats,
+            BatchStats {
+                adds: 1,
+                modifies: 1,
+                deletes: 1
+            }
+        );
+        assert_eq!(stats.total(), 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cookie_count(9), 1);
+        assert_eq!(t.cookie_count(1), 0);
+        assert_eq!(t.entries()[0].buckets, out(4));
+    }
+
+    #[test]
+    fn modify_preserves_counters() {
+        let mut t = seeded();
+        // Put traffic on the port-80 entry first.
+        use sdx_net::{ip, LocatedPacket, Packet};
+        let lp = LocatedPacket::at(
+            PortId::Phys(ParticipantId(1), 1),
+            Packet::tcp(ip("1.1.1.1"), ip("2.2.2.2"), 5, 80).with_len(64),
+        );
+        t.lookup(&lp);
+        assert_eq!(t.entries()[0].packet_count, 1);
+        t.apply_batch(&FlowModBatch {
+            epoch: 1,
+            mods: vec![FlowMod::Modify {
+                priority: 10,
+                pattern: HeaderMatch::of(FieldMatch::TpDst(80)),
+                buckets: out(7),
+                cookie: 1,
+            }],
+        })
+        .expect("modify");
+        assert_eq!(t.entries()[0].packet_count, 1, "counters survive modify");
+        assert_eq!(t.entries()[0].byte_count, 64);
+        assert_eq!(t.entries()[0].buckets, out(7));
+    }
+
+    #[test]
+    fn rejected_batch_leaves_table_untouched() {
+        let mut t = seeded();
+        let before = t.clone();
+        // Second mod is invalid: the whole batch must be discarded even
+        // though the first add is fine.
+        let err = t
+            .apply_batch(&FlowModBatch {
+                epoch: 2,
+                mods: vec![
+                    FlowMod::Add(FlowEntry::new(
+                        99,
+                        HeaderMatch::of(FieldMatch::TpDst(22)),
+                        out(5),
+                    )),
+                    FlowMod::Delete {
+                        priority: 1234,
+                        pattern: HeaderMatch::any(),
+                    },
+                ],
+            })
+            .expect_err("missing delete target");
+        assert!(matches!(
+            err,
+            FlowModError::MissingTarget { op: "delete", .. }
+        ));
+        assert_eq!(t, before, "atomicity: nothing from the batch landed");
+    }
+
+    #[test]
+    fn duplicate_add_is_rejected() {
+        let mut t = seeded();
+        let err = t
+            .apply_batch(&FlowModBatch {
+                epoch: 2,
+                mods: vec![FlowMod::Add(FlowEntry::new(
+                    10,
+                    HeaderMatch::of(FieldMatch::TpDst(80)),
+                    out(9),
+                ))],
+            })
+            .expect_err("slot occupied");
+        assert!(matches!(
+            err,
+            FlowModError::DuplicateAdd { priority: 10, .. }
+        ));
+        // Errors render readably.
+        assert!(err.to_string().contains("priority 10"));
+    }
+
+    #[test]
+    fn batch_within_itself_can_delete_then_readd() {
+        // Validation is sequential against the staged state, so a batch
+        // may free a slot and refill it.
+        let mut t = seeded();
+        t.apply_batch(&FlowModBatch {
+            epoch: 4,
+            mods: vec![
+                FlowMod::Delete {
+                    priority: 10,
+                    pattern: HeaderMatch::of(FieldMatch::TpDst(80)),
+                },
+                FlowMod::Add(FlowEntry::new(
+                    10,
+                    HeaderMatch::of(FieldMatch::TpDst(80)),
+                    out(6),
+                )),
+            ],
+        })
+        .expect("delete-then-add");
+        assert_eq!(t.entries()[0].buckets, out(6));
+        assert_eq!(t.entries()[0].packet_count, 0, "re-add resets counters");
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`table`] — a priority flow table with match patterns, action buckets
 //!   and per-entry counters. Rule counts read from here are the metric of
 //!   Figures 7 and 9.
+//! * [`flowmod`] — the typed `Add`/`Modify`/`Delete` delta protocol the
+//!   controller patches tables with: atomic per batch, epoch-tagged,
+//!   cookie-indexed (§4.3.2's incremental updates made explicit).
 //! * [`switch`] — the packet-processing pipeline: classify against the
 //!   table, execute buckets, emit `(port, packet)` outputs.
 //! * [`arp`] — the SDX ARP responder that answers queries for virtual next
@@ -31,6 +34,7 @@
 pub mod arp;
 pub mod border_router;
 pub mod fabric;
+pub mod flowmod;
 pub mod middlebox;
 pub mod multiswitch;
 pub mod switch;
@@ -39,6 +43,7 @@ pub mod table;
 pub use arp::ArpResponder;
 pub use border_router::BorderRouter;
 pub use fabric::Fabric;
+pub use flowmod::{BatchStats, FlowMod, FlowModBatch, FlowModError};
 pub use middlebox::Middlebox;
 pub use multiswitch::MultiFabric;
 pub use switch::Switch;

@@ -9,6 +9,8 @@
 //! A compiled [`sdx_policy::Classifier`] converts directly: rule `i` of `n`
 //! gets priority `n - i`, preserving first-match order.
 
+use std::collections::BTreeMap;
+
 use sdx_net::{HeaderMatch, LocatedPacket, Mod};
 use sdx_policy::Classifier;
 
@@ -23,6 +25,10 @@ pub struct FlowEntry {
     /// Action buckets; each is a modification list applied to a fresh copy
     /// of the packet (the final `SetLoc` is the output port). Empty = drop.
     pub buckets: Vec<Vec<Mod>>,
+    /// Opaque controller tag, as in OpenFlow: the SDX stamps the owning
+    /// FEC-group identity here so rules can be counted and retired by
+    /// group without pattern inspection. `0` = infrastructure rule.
+    pub cookie: u64,
     /// Packets that hit this entry.
     pub packet_count: u64,
     /// Bytes that hit this entry.
@@ -30,15 +36,22 @@ pub struct FlowEntry {
 }
 
 impl FlowEntry {
-    /// A new entry with zeroed counters.
+    /// A new entry with zeroed counters and no cookie.
     pub fn new(priority: u32, pattern: HeaderMatch, buckets: Vec<Vec<Mod>>) -> Self {
         FlowEntry {
             priority,
             pattern,
             buckets,
+            cookie: 0,
             packet_count: 0,
             byte_count: 0,
         }
+    }
+
+    /// The same entry stamped with `cookie`.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
     }
 
     /// True if the entry drops matching packets.
@@ -52,6 +65,9 @@ impl FlowEntry {
 pub struct FlowTable {
     /// Entries sorted by descending priority (stable for equal priorities).
     entries: Vec<FlowEntry>,
+    /// Live entry count per cookie — the controller's per-FEC-group rule
+    /// index, maintained on every mutation.
+    cookie_index: BTreeMap<u64, usize>,
 }
 
 impl FlowTable {
@@ -60,15 +76,31 @@ impl FlowTable {
         FlowTable::default()
     }
 
+    fn index_add(&mut self, cookie: u64) {
+        *self.cookie_index.entry(cookie).or_insert(0) += 1;
+    }
+
+    fn index_remove(&mut self, cookie: u64) {
+        if let Some(n) = self.cookie_index.get_mut(&cookie) {
+            *n -= 1;
+            if *n == 0 {
+                self.cookie_index.remove(&cookie);
+            }
+        }
+    }
+
     /// Installs an entry. An existing entry with identical (priority,
     /// pattern) is replaced in place, as OpenFlow `ADD` does.
     pub fn install(&mut self, entry: FlowEntry) {
-        if let Some(e) = self
+        if let Some(pos) = self
             .entries
-            .iter_mut()
-            .find(|e| e.priority == entry.priority && e.pattern == entry.pattern)
+            .iter()
+            .position(|e| e.priority == entry.priority && e.pattern == entry.pattern)
         {
-            *e = entry;
+            let old_cookie = self.entries[pos].cookie;
+            self.index_remove(old_cookie);
+            self.index_add(entry.cookie);
+            self.entries[pos] = entry;
             return;
         }
         // Insert before the first strictly-lower priority (stable order).
@@ -77,29 +109,110 @@ impl FlowTable {
             .iter()
             .position(|e| e.priority < entry.priority)
             .unwrap_or(self.entries.len());
+        self.index_add(entry.cookie);
         self.entries.insert(idx, entry);
+    }
+
+    /// Replaces the buckets and cookie of the entry at exactly
+    /// (priority, pattern), preserving its traffic counters (OpenFlow
+    /// `MODIFY` semantics). Returns `false` if no such entry exists.
+    pub fn modify_in_place(
+        &mut self,
+        priority: u32,
+        pattern: &HeaderMatch,
+        buckets: &[Vec<Mod>],
+        cookie: u64,
+    ) -> bool {
+        let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.priority == priority && &e.pattern == pattern)
+        else {
+            return false;
+        };
+        let old_cookie = self.entries[pos].cookie;
+        self.index_remove(old_cookie);
+        self.index_add(cookie);
+        let e = &mut self.entries[pos];
+        e.buckets = buckets.to_vec();
+        e.cookie = cookie;
+        true
+    }
+
+    /// Removes the entry at exactly (priority, pattern). Returns `false`
+    /// if no such entry exists.
+    pub fn delete_exact(&mut self, priority: u32, pattern: &HeaderMatch) -> bool {
+        let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.priority == priority && &e.pattern == pattern)
+        else {
+            return false;
+        };
+        let cookie = self.entries[pos].cookie;
+        self.entries.remove(pos);
+        self.index_remove(cookie);
+        true
     }
 
     /// Removes entries whose pattern equals `pattern` (any priority),
     /// returning how many were removed.
     pub fn remove(&mut self, pattern: &HeaderMatch) -> usize {
-        let before = self.entries.len();
+        let removed: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|e| &e.pattern == pattern)
+            .map(|e| e.cookie)
+            .collect();
         self.entries.retain(|e| &e.pattern != pattern);
-        before - self.entries.len()
+        for c in &removed {
+            self.index_remove(*c);
+        }
+        removed.len()
     }
 
     /// Removes every entry with priority `>= min_priority` — how the SDX
     /// retires the fast-path delta rules once background re-optimization
     /// lands (§4.3.2).
     pub fn remove_at_or_above(&mut self, min_priority: u32) -> usize {
-        let before = self.entries.len();
+        let removed: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|e| e.priority >= min_priority)
+            .map(|e| e.cookie)
+            .collect();
         self.entries.retain(|e| e.priority < min_priority);
-        before - self.entries.len()
+        for c in &removed {
+            self.index_remove(*c);
+        }
+        removed.len()
+    }
+
+    /// Removes every entry stamped with `cookie` (how the controller
+    /// retires all rules of one FEC group), returning how many went.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.cookie != cookie);
+        let removed = before - self.entries.len();
+        self.cookie_index.remove(&cookie);
+        removed
+    }
+
+    /// Live entries stamped with `cookie`, via the maintained index —
+    /// O(log c) for the count, no table scan.
+    pub fn cookie_count(&self, cookie: u64) -> usize {
+        self.cookie_index.get(&cookie).copied().unwrap_or(0)
+    }
+
+    /// The entries stamped with `cookie`, in priority order.
+    pub fn entries_with_cookie(&self, cookie: u64) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter().filter(move |e| e.cookie == cookie)
     }
 
     /// Drops all entries.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.cookie_index.clear();
     }
 
     /// Number of installed entries.
@@ -299,6 +412,30 @@ mod tests {
         let hit = t.lookup(&web(port(1))).expect("match");
         assert_eq!(hit.priority, 10);
         assert_eq!(t.entries()[0].packet_count, 1);
+    }
+
+    #[test]
+    fn cookie_index_tracks_every_mutation() {
+        let mut t = FlowTable::new();
+        let m80 = HeaderMatch::of(FieldMatch::TpDst(80));
+        let m443 = HeaderMatch::of(FieldMatch::TpDst(443));
+        t.install(FlowEntry::new(5, m80, vec![]).with_cookie(7));
+        t.install(FlowEntry::new(6, m443, vec![]).with_cookie(7));
+        t.install(FlowEntry::new(9, HeaderMatch::any(), vec![]).with_cookie(8));
+        assert_eq!(t.cookie_count(7), 2);
+        assert_eq!(t.cookie_count(8), 1);
+        assert_eq!(t.entries_with_cookie(7).count(), 2);
+        // Replacing an entry moves its count between cookies.
+        t.install(FlowEntry::new(5, m80, vec![]).with_cookie(8));
+        assert_eq!(t.cookie_count(7), 1);
+        assert_eq!(t.cookie_count(8), 2);
+        // Removal by pattern, by priority band, and by cookie all maintain
+        // the index.
+        assert_eq!(t.remove(&m443), 1);
+        assert_eq!(t.cookie_count(7), 0);
+        assert_eq!(t.remove_by_cookie(8), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.cookie_count(8), 0);
     }
 
     #[test]

@@ -81,6 +81,22 @@ impl<'a> Differential<'a> {
         }
     }
 
+    /// A harness whose fabric side walks the *deployed* flow table
+    /// (patch history and all) instead of the report's classifier — the
+    /// check that delta reconciliation left the data plane
+    /// packet-equivalent to what a from-scratch compile would install.
+    pub fn over_table(
+        compiler: &'a SdxCompiler,
+        rs: &'a RouteServer,
+        report: &'a CompileReport,
+        table: &'a sdx_openflow::table::FlowTable,
+    ) -> Self {
+        Differential {
+            spec: SpecInterpreter::new(compiler, rs),
+            fabric: FabricEvaluator::over_table(compiler, rs, report, table),
+        }
+    }
+
     /// Evaluates one packet both ways. `Ok` is the agreed outcome; `Err`
     /// carries the full mismatch (boxed — it holds both traces).
     pub fn check(&self, from: PortId, pkt: &Packet) -> Result<Outcome, Box<Mismatch>> {

@@ -28,6 +28,7 @@
 use sdx_bgp::route_server::RouteServer;
 use sdx_core::compiler::{CompileReport, SdxCompiler};
 use sdx_net::{Ipv4Addr, LocatedPacket, MacAddr, Packet, PortId, Prefix};
+use sdx_openflow::table::FlowTable;
 
 use crate::trace::{fmt_match, Trace};
 use crate::{routed_lpm, Outcome};
@@ -42,6 +43,12 @@ pub struct FabricEvaluator<'a> {
     compiler: &'a SdxCompiler,
     rs: &'a RouteServer,
     report: &'a CompileReport,
+    /// When set, classifier steps walk this *deployed* flow table —
+    /// priorities, patch history and all — instead of the report's
+    /// pristine classifier. This is how the harness checks that a
+    /// delta-patched table is packet-equivalent to a from-scratch
+    /// compilation.
+    table: Option<&'a FlowTable>,
     announced: Vec<Prefix>,
 }
 
@@ -54,6 +61,28 @@ impl<'a> FabricEvaluator<'a> {
             compiler,
             rs,
             report,
+            table: None,
+            announced: rs.all_prefixes(),
+        }
+    }
+
+    /// An evaluator whose classifier stage reads the deployed `table`
+    /// (highest-priority first match over live [`FlowEntry`] buckets)
+    /// rather than `report.classifier`. The FIB and ARP stages still come
+    /// from `report` — pass the report the controller actually committed.
+    ///
+    /// [`FlowEntry`]: sdx_openflow::table::FlowEntry
+    pub fn over_table(
+        compiler: &'a SdxCompiler,
+        rs: &'a RouteServer,
+        report: &'a CompileReport,
+        table: &'a FlowTable,
+    ) -> Self {
+        FabricEvaluator {
+            compiler,
+            rs,
+            report,
+            table: Some(table),
             announced: rs.all_prefixes(),
         }
     }
@@ -158,34 +187,68 @@ impl<'a> FabricEvaluator<'a> {
                 return Outcome::NonTerminating;
             }
 
-            let rules = self.report.classifier.rules();
-            let Some((idx, rule)) = rules
-                .iter()
-                .enumerate()
-                .find(|(_, r)| r.matches.matches(&lp))
-            else {
-                // from_rules guarantees totality; a miss means the table
-                // was built some other way. Report, don't panic.
-                t.push("classifier", format!("table miss at {}", lp.loc));
-                continue;
+            let outs: Vec<LocatedPacket> = match self.table {
+                Some(table) => {
+                    // Deployed-table mode: highest-priority first match
+                    // over the live entries, buckets applied as installed.
+                    let Some((idx, entry)) = table.classify(&lp) else {
+                        t.push("classifier", format!("table miss at {}", lp.loc));
+                        continue;
+                    };
+                    if entry.is_drop() {
+                        t.push(
+                            "classifier",
+                            format!(
+                                "entry #{idx} prio {} [{}] -> drop",
+                                entry.priority,
+                                fmt_match(&entry.pattern)
+                            ),
+                        );
+                        continue;
+                    }
+                    t.push(
+                        "classifier",
+                        format!(
+                            "entry #{idx} prio {} [{}] -> {} bucket(s)",
+                            entry.priority,
+                            fmt_match(&entry.pattern),
+                            entry.buckets.len()
+                        ),
+                    );
+                    FlowTable::apply_entry(entry, &lp)
+                }
+                None => {
+                    let rules = self.report.classifier.rules();
+                    let Some((idx, rule)) = rules
+                        .iter()
+                        .enumerate()
+                        .find(|(_, r)| r.matches.matches(&lp))
+                    else {
+                        // from_rules guarantees totality; a miss means the
+                        // table was built some other way. Report, don't
+                        // panic.
+                        t.push("classifier", format!("table miss at {}", lp.loc));
+                        continue;
+                    };
+                    if rule.is_drop() {
+                        t.push(
+                            "classifier",
+                            format!("rule #{idx} [{}] -> drop", fmt_match(&rule.matches)),
+                        );
+                        continue;
+                    }
+                    t.push(
+                        "classifier",
+                        format!(
+                            "rule #{idx} [{}] -> {} action(s)",
+                            fmt_match(&rule.matches),
+                            rule.actions.len()
+                        ),
+                    );
+                    rule.actions.iter().map(|a| a.apply(&lp)).collect()
+                }
             };
-            if rule.is_drop() {
-                t.push(
-                    "classifier",
-                    format!("rule #{idx} [{}] -> drop", fmt_match(&rule.matches)),
-                );
-                continue;
-            }
-            t.push(
-                "classifier",
-                format!(
-                    "rule #{idx} [{}] -> {} action(s)",
-                    fmt_match(&rule.matches),
-                    rule.actions.len()
-                ),
-            );
-            for action in &rule.actions {
-                let out = action.apply(&lp);
+            for out in outs {
                 match out.loc {
                     PortId::Phys(..) => {
                         if out.loc == from {

@@ -41,6 +41,18 @@ pub enum Event {
         /// Overlay layers removed.
         layers: u32,
     },
+    /// An atomic flow-mod batch landed on the fabric: the rule-level diff
+    /// a delta-first reconciliation emitted instead of a table swap.
+    FlowModBatchApplied {
+        /// The controller commit epoch stamped on the batch.
+        epoch: u64,
+        /// Entries installed.
+        adds: usize,
+        /// Entries whose buckets were replaced in place.
+        modifies: usize,
+        /// Entries removed.
+        deletes: usize,
+    },
     /// A full pipeline run completed and was committed to the fabric.
     ReoptimizeCompleted {
         /// Switch rules installed.
@@ -108,6 +120,7 @@ impl Event {
             Event::UpdateReceived { .. } => "update_received",
             Event::DeltaApplied { .. } => "delta_applied",
             Event::OverlaysRetired { .. } => "overlays_retired",
+            Event::FlowModBatchApplied { .. } => "flowmod_batch_applied",
             Event::ReoptimizeCompleted { .. } => "reoptimize_completed",
             Event::TxnRolledBack { .. } => "txn_rolled_back",
             Event::FaultInjected { .. } => "fault_injected",
@@ -134,6 +147,17 @@ impl Event {
             }
             Event::OverlaysRetired { layers } => {
                 pairs.push(("layers".to_string(), Json::from(*layers)));
+            }
+            Event::FlowModBatchApplied {
+                epoch,
+                adds,
+                modifies,
+                deletes,
+            } => {
+                pairs.push(("epoch".to_string(), Json::from(*epoch)));
+                pairs.push(("adds".to_string(), Json::from(*adds)));
+                pairs.push(("modifies".to_string(), Json::from(*modifies)));
+                pairs.push(("deletes".to_string(), Json::from(*deletes)));
             }
             Event::ReoptimizeCompleted {
                 rules,
