@@ -1,0 +1,318 @@
+//! Update-safety reproduction — the scheduled-waves experiment.
+//!
+//! The claim under test: `core::schedule` turns a reconciliation batch
+//! into dependency-ordered waves whose every intermediate table is
+//! per-packet consistent (each probe sees its pre- or post-update
+//! outcome, never a loop, never a stranded transient), while an
+//! *unordered* switch agent — same mods, applied one at a time in an
+//! adversarial interleaving — exposes transient violations the oracle
+//! catches. The robustness half: a seeded `FlowModApply` fault on every
+//! episode must be absorbed by bounded-backoff retries, and a forced
+//! retry-exhaustion abort must park the fabric in the last verified-safe
+//! intermediate state from which a plain re-optimization (the full-rebase
+//! recovery path) converges.
+//!
+//! Per episode (seeded synthetic exchange + a policy restructuring):
+//!
+//! * plan the update (`prepare_scheduled`), freeze an [`UpdateVerifier`]
+//!   over the full probe grid;
+//! * **scheduled**: apply the waves in order to a table copy, counting
+//!   oracle violations after every wave (must be 0);
+//! * **unordered ablation**: apply the same mods one at a time in
+//!   reverse dependency order, counting violations after every single
+//!   mod (peak reported; the run must expose ≥1 somewhere);
+//! * **fault drive**: commit the real fabric with every wave's first
+//!   apply attempt failing and assert the retry/backoff accounting
+//!   recovered all of them.
+//!
+//! One final episode forces retry exhaustion mid-plan and measures the
+//! abort → parked → plain-reoptimize recovery.
+//!
+//! Run: `cargo run --release -p sdx-bench --bin repro_update_safety
+//! [--quick] [--seed N] [--json out.json]`
+
+use std::time::Instant;
+
+use sdx_bench::{print_table, row};
+use sdx_core::controller::SdxController;
+use sdx_core::faults::{FaultPlan, InjectionPoint, ANY_WAVE};
+use sdx_core::schedule::ScheduleOpts;
+use sdx_core::SdxError;
+use sdx_net::ParticipantId;
+use sdx_openflow::fabric::Fabric;
+use sdx_oracle::{synth, FabricEvaluator, UpdateVerifier};
+use sdx_policy::Policy as P;
+use sdx_telemetry::{Json, SharedRegistry};
+
+/// A deployed synthetic exchange wired to the shared bench registry.
+fn deployed(seed: u64, reg: &SharedRegistry) -> (SdxController, Fabric) {
+    let ex = synth::exchange(seed);
+    let mut ctl = SdxController::new();
+    ctl.compiler = ex.compiler;
+    ctl.rs = ex.rs;
+    ctl.telemetry = reg.clone();
+    let fabric = ctl.deploy().expect("synthetic exchange deploys");
+    (ctl, fabric)
+}
+
+/// Restructure policies so the re-optimization has real dependency
+/// structure: drop one participant's outbound program and (on odd seeds)
+/// hand another a fresh two-clause program, so the diff mixes handler
+/// retirements with new emitter/handler chains.
+fn perturb(ctl: &mut SdxController, seed: u64) {
+    let ids: Vec<ParticipantId> = ctl.compiler.participants().keys().copied().collect();
+    ctl.set_outbound(ids[0], None);
+    if seed % 2 == 1 && ids.len() > 1 {
+        let policy = (P::match_(sdx_net::FieldMatch::TpDst(80))
+            >> P::fwd(sdx_net::PortId::Virt(ids[0])))
+            + (P::match_(sdx_net::FieldMatch::TpDst(443)) >> P::fwd(sdx_net::PortId::Virt(ids[0])));
+        ctl.set_outbound(ids[1], Some(policy));
+    }
+}
+
+/// Asserts the deployed table is packet-equivalent to a from-scratch
+/// compile — the post-recovery sanity check.
+fn assert_converged(ctl: &SdxController, fabric: &Fabric, what: &str) {
+    let report = ctl.report.as_ref().expect("report");
+    let deployed =
+        FabricEvaluator::over_table(&ctl.compiler, &ctl.rs, report, fabric.switch.table());
+    let pristine = FabricEvaluator::new(&ctl.compiler, &ctl.rs, report);
+    for (from, pkt) in synth::probe_grid(&ctl.compiler, &ctl.rs) {
+        assert_eq!(
+            deployed.verdict(from, &pkt).0,
+            pristine.verdict(from, &pkt).0,
+            "{what}: deployed table diverged from scratch compile for probe from {from}"
+        );
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let base_seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(1);
+    let episodes = if quick { 4u64 } else { 10 };
+    let opts = ScheduleOpts {
+        max_attempts: 4,
+        backoff_base_ms: 8,
+    };
+
+    let reg = SharedRegistry::new();
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut total_unordered = 0usize;
+
+    for seed in base_seed..base_seed + episodes {
+        let (mut ctl, mut fabric) = deployed(seed, &reg);
+        perturb(&mut ctl, seed);
+
+        let prepared = ctl.prepare_scheduled(&mut fabric).expect("prepare");
+        if prepared.plan.is_empty() {
+            // Nothing to schedule for this seed: finish the (empty)
+            // update so the controller state stays coherent, and move on.
+            ctl.commit_scheduled(&mut fabric, prepared, &opts, None)
+                .expect("empty commit");
+            continue;
+        }
+        let report = ctl.report.as_ref().expect("new report");
+        let probes = synth::probe_grid(&ctl.compiler, &ctl.rs);
+        let verifier = UpdateVerifier::new(
+            &ctl.compiler,
+            &ctl.rs,
+            report,
+            fabric.switch.table(),
+            &prepared.plan,
+            probes,
+        )
+        .expect("planned waves apply to the pre-update table");
+
+        // Scheduled mode: violations counted after every wave barrier.
+        let mut scheduled_violations = 0usize;
+        let mut staged = fabric.switch.table().clone();
+        for wave in &prepared.plan.waves {
+            staged.apply_batch(wave).expect("wave applies");
+            scheduled_violations +=
+                verifier.count_violations(&ctl.compiler, &ctl.rs, report, &staged);
+        }
+        assert_eq!(
+            scheduled_violations, 0,
+            "seed {seed}: scheduled waves exposed a transient violation"
+        );
+
+        // Unordered ablation: the same mods, one flow-mod at a time, in
+        // *reverse* dependency order — the adversarial interleaving a
+        // scheduler-less switch agent could produce. Mods whose
+        // single-mod batch no longer applies (e.g. a re-add racing its
+        // own delete) are skipped, as a real switch would reject them.
+        let mut unordered_peak = 0usize;
+        let mut unordered_bad_steps = 0usize;
+        let mut chaos = fabric.switch.table().clone();
+        let reversed: Vec<_> = prepared
+            .plan
+            .waves
+            .iter()
+            .flat_map(|w| w.mods.iter().cloned())
+            .rev()
+            .collect();
+        for m in reversed {
+            let single = sdx_openflow::flowmod::FlowModBatch {
+                epoch: prepared.plan.epoch,
+                mods: vec![m],
+            };
+            if chaos.apply_batch(&single).is_err() {
+                continue;
+            }
+            let v = verifier.count_violations(&ctl.compiler, &ctl.rs, report, &chaos);
+            unordered_peak = unordered_peak.max(v);
+            unordered_bad_steps += usize::from(v > 0);
+        }
+        total_unordered += unordered_peak;
+
+        // Fault drive: the real commit, with every wave's *first* apply
+        // attempt forced to fail (fault crossings are counted per
+        // concrete wave) — bounded backoff must absorb all of them.
+        ctl.faults =
+            FaultPlan::seeded(seed).fail_nth(InjectionPoint::FlowModApply { wave: ANY_WAVE }, 1);
+        let t = Instant::now();
+        let sched = ctl
+            .commit_scheduled(&mut fabric, prepared, &opts, None)
+            .expect("seeded single fault must be retried, not aborted");
+        let commit = t.elapsed();
+        assert_eq!(sched.applied.len(), sched.total_waves, "all waves land");
+        assert!(sched.retries >= 1, "the seeded fault must have fired");
+        assert!(
+            sched.backoff_ms >= opts.backoff_base_ms,
+            "retry must account backoff"
+        );
+        assert_converged(&ctl, &fabric, &format!("seed {seed}"));
+
+        rows.push(vec![
+            seed.to_string(),
+            sched.total_waves.to_string(),
+            prepared_width(&sched).to_string(),
+            sched
+                .applied
+                .iter()
+                .map(|w| w.mods)
+                .sum::<usize>()
+                .to_string(),
+            verifier.probe_count().to_string(),
+            scheduled_violations.to_string(),
+            unordered_peak.to_string(),
+            sched.retries.to_string(),
+            format!("{}ms", sched.backoff_ms),
+            sdx_bench::fmt_duration(commit),
+        ]);
+        json_rows.push(row([
+            ("kind", "episode".into()),
+            ("seed", seed.into()),
+            ("waves", sched.total_waves.into()),
+            ("max_wave_width", prepared_width(&sched).into()),
+            (
+                "mods",
+                sched.applied.iter().map(|w| w.mods).sum::<usize>().into(),
+            ),
+            ("probes", verifier.probe_count().into()),
+            ("scheduled_violations", scheduled_violations.into()),
+            ("unordered_violations", unordered_peak.into()),
+            ("unordered_bad_steps", unordered_bad_steps.into()),
+            ("retries", sched.retries.into()),
+            ("backoff_ms", sched.backoff_ms.into()),
+            ("commit_ms", (commit.as_secs_f64() * 1e3).into()),
+        ]));
+    }
+    assert!(
+        !json_rows.is_empty(),
+        "every seed planned an empty update — perturbation is broken"
+    );
+    assert!(
+        total_unordered >= 1,
+        "the unordered ablation never exposed a transient violation"
+    );
+
+    // Abort episode: find a seed whose plan has at least two waves, make
+    // the second wave fail every attempt, and verify the abort parks the
+    // fabric mid-plan from where a plain reoptimize (full-rebase
+    // recovery) converges.
+    let mut abort_row = None;
+    for seed in base_seed..base_seed + 32 {
+        let (mut ctl, mut fabric) = deployed(seed, &reg);
+        perturb(&mut ctl, seed);
+        let prepared = ctl.prepare_scheduled(&mut fabric).expect("prepare");
+        if prepared.plan.wave_count() < 2 {
+            ctl.commit_scheduled(&mut fabric, prepared, &opts, None)
+                .expect("commit");
+            continue;
+        }
+        let total = prepared.plan.wave_count();
+        ctl.faults = FaultPlan::seeded(seed)
+            .fail_with_probability(InjectionPoint::FlowModApply { wave: 1 }, 1.0);
+        let t = Instant::now();
+        let err = ctl
+            .commit_scheduled(&mut fabric, prepared, &opts, None)
+            .expect_err("a permanently failing wave must abort");
+        let SdxError::UpdateAborted {
+            wave,
+            applied,
+            attempts,
+            ..
+        } = err
+        else {
+            panic!("expected UpdateAborted, got {err}");
+        };
+        assert_eq!(wave, 1, "the seeded wave is the one that aborts");
+        assert_eq!(applied, 1, "wave 0 landed before the park");
+        assert_eq!(attempts, opts.max_attempts, "retries were exhausted");
+        // Recovery: clear the fault and fall back to the plain
+        // re-optimization path, which re-diffs the parked table.
+        ctl.faults = FaultPlan::disabled();
+        ctl.reoptimize(&mut fabric).expect("recovery reoptimize");
+        let recovery = t.elapsed();
+        assert_converged(&ctl, &fabric, &format!("abort recovery (seed {seed})"));
+        println!(
+            "\n  abort drill (seed {seed}): parked after wave {applied}/{total} with \
+             {attempts} attempts,\n  plain reoptimize recovered in {} — deployed table \
+             verified ≡ scratch compile.",
+            sdx_bench::fmt_duration(recovery)
+        );
+        abort_row = Some(row([
+            ("kind", "abort_recovery".into()),
+            ("seed", seed.into()),
+            ("abort_wave", wave.into()),
+            ("waves_applied", applied.into()),
+            ("waves_planned", total.into()),
+            ("attempts", attempts.into()),
+            ("recovered", true.into()),
+            ("recovery_ms", (recovery.as_secs_f64() * 1e3).into()),
+        ]));
+        break;
+    }
+    let abort_row = abort_row.expect("no seed in range produced a multi-wave plan");
+    json_rows.push(abort_row);
+
+    print_table(
+        &format!("Scheduled vs unordered update safety (seeds {base_seed}..)"),
+        &[
+            "seed", "waves", "width", "mods", "probes", "sched", "unord", "retries", "backoff",
+            "commit",
+        ],
+        &rows,
+    );
+    println!(
+        "\n  scheduled mode: 0 transient violations across every wave barrier;\n  \
+         unordered ablation peaked at {total_unordered} violation(s) summed over episodes —\n  \
+         the same flow mods, minus the dependency waves."
+    );
+
+    sdx_bench::report("update_safety", &json_rows, &reg.snapshot());
+}
+
+/// Widest wave of a finished schedule.
+fn prepared_width(r: &sdx_core::schedule::ScheduleReport) -> usize {
+    r.applied.iter().map(|w| w.mods).max().unwrap_or(0)
+}

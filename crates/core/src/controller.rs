@@ -520,6 +520,230 @@ impl SdxController {
         Ok(())
     }
 
+    /// Stages a *scheduled* re-optimization: compiles, validates, flips
+    /// the control plane to the new configuration, and plans — but does
+    /// not yet apply — the data-plane patch as dependency-ordered waves.
+    ///
+    /// Ordering is add-before-reference at the system level: ARP
+    /// bindings for the new report are installed *alongside* the old
+    /// ones (nothing is unbound yet) and the FIBs are synchronized to
+    /// the new VNH map *before* any flow-mod lands, so every
+    /// intermediate table produced by the subsequent waves is evaluated
+    /// under one coherent control plane. The stale ARP/VNH state is
+    /// retired only after [`commit_scheduled`](Self::commit_scheduled)
+    /// lands the final wave.
+    ///
+    /// Failures here (compile, validation, an injected
+    /// [`InjectionPoint::FabricCommit`]) roll the controller and fabric
+    /// back to their pre-call state. After this returns `Ok`, failures
+    /// *park* instead — see `commit_scheduled`.
+    pub fn prepare_scheduled(&mut self, fabric: &mut Fabric) -> Result<PreparedUpdate, SdxError> {
+        let txn = FabricTxn::begin(self, fabric);
+        match self.prepare_scheduled_in_txn(fabric) {
+            Ok(p) => Ok(p),
+            Err(e) => {
+                self.note_failure("prepare_scheduled", &e);
+                let reg = self.telemetry.clone();
+                reg.time("txn.rollback", || txn.rollback(self, fabric));
+                Err(e)
+            }
+        }
+    }
+
+    fn prepare_scheduled_in_txn(
+        &mut self,
+        fabric: &mut Fabric,
+    ) -> Result<PreparedUpdate, SdxError> {
+        let reg = self.telemetry.clone();
+        let overlays = self.delta_layers;
+        let delta_ids: Vec<crate::fec::FecId> = std::mem::take(&mut self.live_delta_ids);
+        let mut retired_addrs: Vec<Ipv4Addr> =
+            delta_ids.iter().map(|&id| self.vnh.vnh_of(id)).collect();
+        for &id in &delta_ids {
+            self.vnh.release(id);
+        }
+        let old_report = self.report.take();
+        let report =
+            self.compiler
+                .compile_all_with_faults(&self.rs, &mut self.vnh, &mut self.faults)?;
+        reg.time("txn.validate", || crate::txn::validate_report(&report))?;
+        // The overlay retirement is the one un-scheduled table mutation:
+        // it happens before the diff, so the waves are planned against
+        // (and verified from) the overlay-free base table.
+        fabric.switch.table_mut().remove_at_or_above(DELTA_BASE);
+        self.epoch += 1;
+        let diff = crate::reconcile::diff_base_table(
+            fabric.switch.table(),
+            &report.classifier,
+            self.epoch,
+        );
+        let plan = crate::schedule::plan(fabric.switch.table(), &diff.batch);
+        reg.add("reconcile.unchanged.count", diff.unchanged as u64);
+        if diff.rebased {
+            reg.inc("reconcile.rebase.count");
+        }
+        self.delta_layers = 0;
+        self.next_delta_priority = DELTA_BASE;
+        self.faults.check(InjectionPoint::FabricCommit)?;
+        // Control-plane flip, new bindings first: the old VMACs stay
+        // resolvable until the last wave retires their rules.
+        self.install_static_arp(fabric);
+        for &(vnh, vmac) in &report.arp_bindings {
+            fabric.arp.bind(vnh, vmac);
+        }
+        let new_ids: std::collections::BTreeSet<u32> = report
+            .groups
+            .values()
+            .flat_map(|gs| gs.iter().map(|g| g.id.0))
+            .collect();
+        let mut stale_ids: Vec<crate::fec::FecId> = Vec::new();
+        if let Some(old) = &old_report {
+            for g in old.groups.values().flatten() {
+                if !new_ids.contains(&g.id.0) {
+                    stale_ids.push(g.id);
+                    retired_addrs.push(g.vnh);
+                }
+            }
+        }
+        self.report = Some(report);
+        self.full_fib_sync(fabric, old_report.as_ref().map(|r| &r.vnh_of));
+        Ok(PreparedUpdate {
+            plan,
+            unchanged: diff.unchanged,
+            rebased: diff.rebased,
+            overlays,
+            stale_ids,
+            retired_addrs,
+        })
+    }
+
+    /// Drives a prepared update's waves through the fabric, verifying
+    /// each intermediate state with `checker` (built by the oracle crate
+    /// from the *new* report; pass `None` to skip verification), then
+    /// retires the stale ARP/VNH state.
+    ///
+    /// Failure semantics differ from [`reoptimize`](Self::reoptimize):
+    /// there is no rollback. A wave that exhausts its retry budget
+    /// ([`SdxError::UpdateAborted`]) or fails verification
+    /// ([`SdxError::UnsafeSchedule`]) leaves the fabric **parked** in
+    /// the last verified-safe intermediate state, with the control plane
+    /// already on the new configuration — recovery is a later plain
+    /// [`reoptimize`](Self::reoptimize) (or another scheduled one),
+    /// which recompiles under keyed identity and re-diffs from wherever
+    /// the update stalled.
+    pub fn commit_scheduled(
+        &mut self,
+        fabric: &mut Fabric,
+        prepared: PreparedUpdate,
+        opts: &crate::schedule::ScheduleOpts,
+        checker: Option<&mut crate::schedule::WaveChecker<'_>>,
+    ) -> Result<crate::schedule::ScheduleReport, SdxError> {
+        let reg = self.telemetry.clone();
+        let t0 = Instant::now();
+        let outcome = crate::schedule::drive(
+            &prepared.plan,
+            fabric,
+            &mut self.faults,
+            &reg,
+            opts,
+            checker,
+        );
+        reg.observe_duration("reoptimize.scheduled.total", t0.elapsed());
+        let schedule_report = match outcome {
+            Ok(r) => r,
+            Err(e) => {
+                self.note_failure("commit_scheduled", &e);
+                return Err(e);
+            }
+        };
+        self.finish_scheduled(fabric, prepared, t0.elapsed());
+        Ok(schedule_report)
+    }
+
+    /// The post-wave half of a scheduled commit: retires the stale
+    /// ARP/VNH state the update replaced and journals the completion
+    /// events. Called by [`commit_scheduled`](Self::commit_scheduled)
+    /// after a successful drive; exposed so external harnesses that run
+    /// [`crate::schedule::drive`] themselves (borrowing this controller's
+    /// report for verification) can finish the update identically.
+    pub fn finish_scheduled(
+        &mut self,
+        fabric: &mut Fabric,
+        prepared: PreparedUpdate,
+        latency: Duration,
+    ) {
+        let reg = self.telemetry.clone();
+        let stats = prepared.plan.waves.iter().fold(
+            sdx_openflow::flowmod::BatchStats::default(),
+            |mut acc, w| {
+                let s = w.stats();
+                acc.adds += s.adds;
+                acc.modifies += s.modifies;
+                acc.deletes += s.deletes;
+                acc
+            },
+        );
+        reg.record_event(Event::FlowModBatchApplied {
+            epoch: self.epoch,
+            adds: stats.adds,
+            modifies: stats.modifies,
+            deletes: stats.deletes,
+        });
+        // The data plane is fully on the new rules: retire what nothing
+        // references any more.
+        let live: std::collections::BTreeSet<Ipv4Addr> = self
+            .report
+            .as_ref()
+            .map(|r| r.arp_bindings.iter().map(|(a, _)| *a).collect())
+            .unwrap_or_default();
+        let ports: Vec<_> = fabric.ports().collect();
+        let mut invalidated = 0u64;
+        for addr in &prepared.retired_addrs {
+            if live.contains(addr) {
+                continue;
+            }
+            fabric.arp.unbind(*addr);
+            for &port in &ports {
+                if let Some(r) = fabric.router_mut(port) {
+                    if r.invalidate_arp(*addr) {
+                        invalidated += 1;
+                    }
+                }
+            }
+        }
+        reg.add("arp.invalidated.count", invalidated);
+        for id in prepared.stale_ids {
+            self.vnh.release(id);
+        }
+        if prepared.overlays > 0 {
+            reg.record_event(Event::OverlaysRetired {
+                layers: prepared.overlays,
+            });
+        }
+        reg.set_gauge("controller.delta_layers", 0);
+        if let Some(r) = self.report.as_ref() {
+            reg.record_event(Event::ReoptimizeCompleted {
+                rules: r.stats.rule_count,
+                groups: r.stats.group_count,
+                latency_ns: nanos(latency),
+            });
+            reg.set_gauge("fabric.rules", r.stats.rule_count as i64);
+        }
+    }
+
+    /// [`prepare_scheduled`](Self::prepare_scheduled) +
+    /// [`commit_scheduled`](Self::commit_scheduled) in one call, without
+    /// per-wave verification (the oracle crate's `reoptimize_verified`
+    /// wires a checker in).
+    pub fn reoptimize_scheduled(
+        &mut self,
+        fabric: &mut Fabric,
+        opts: &crate::schedule::ScheduleOpts,
+    ) -> Result<crate::schedule::ScheduleReport, SdxError> {
+        let prepared = self.prepare_scheduled(fabric)?;
+        self.commit_scheduled(fabric, prepared, opts, None)
+    }
+
     /// Binds every participant port's physical address → MAC.
     fn install_static_arp(&self, fabric: &mut Fabric) {
         for cfg in self.compiler.participants().values() {
@@ -709,6 +933,25 @@ impl SdxController {
         self.reoptimize(fabric).map_err(LbError::Compile)?;
         Ok(())
     }
+}
+
+/// The staged half of a scheduled re-optimization: the control plane
+/// (report, ARP, FIB) already points at the new configuration, and
+/// [`plan`](Self::plan) holds the dependency-ordered waves that will
+/// patch the data plane. Produced by
+/// [`SdxController::prepare_scheduled`], consumed by
+/// [`SdxController::commit_scheduled`].
+#[derive(Clone, Debug)]
+pub struct PreparedUpdate {
+    /// The dependency-ordered wave plan for the data-plane patch.
+    pub plan: crate::schedule::UpdatePlan,
+    /// Rules the reconciliation diff left untouched.
+    pub unchanged: usize,
+    /// Whether the diff fell back to a full priority rebase.
+    pub rebased: bool,
+    overlays: u32,
+    stale_ids: Vec<crate::fec::FecId>,
+    retired_addrs: Vec<Ipv4Addr>,
 }
 
 /// Advisory diagnostics from [`SdxController::validate_outbound`].

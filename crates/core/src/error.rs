@@ -32,6 +32,33 @@ pub enum SdxError {
     /// A deterministic fault-injection point fired (test harnesses only;
     /// see [`crate::faults::FaultPlan`]).
     Injected(InjectionPoint),
+    /// A scheduled fabric update was abandoned mid-flight: some wave kept
+    /// failing past its retry budget, the remaining waves were skipped,
+    /// and the fabric is parked in the last verified-safe intermediate
+    /// state. Recovery is a fresh
+    /// [`reoptimize`](crate::controller::SdxController::reoptimize), which
+    /// re-diffs from the parked table.
+    UpdateAborted {
+        /// Zero-based index of the wave that exhausted its retries.
+        wave: usize,
+        /// Waves already committed (and verified) before the abort.
+        applied: usize,
+        /// Total waves the schedule had.
+        total: usize,
+        /// Attempts spent on the failing wave, including the first.
+        attempts: u32,
+    },
+    /// Per-wave verification found an intermediate table that loops or
+    /// routes a packet somewhere neither the old nor the new table would —
+    /// the schedule itself is unsafe, so nothing past the offending wave
+    /// was applied.
+    UnsafeSchedule {
+        /// Zero-based index of the wave whose post-state failed.
+        wave: usize,
+        /// Human-readable counterexample from the verifier (packet, port,
+        /// and the outcome disagreement or loop trace).
+        counterexample: String,
+    },
 }
 
 impl core::fmt::Display for SdxError {
@@ -47,6 +74,25 @@ impl core::fmt::Display for SdxError {
             SdxError::Injected(point) => {
                 write!(f, "injected fault at {point}")
             }
+            SdxError::UpdateAborted {
+                wave,
+                applied,
+                total,
+                attempts,
+            } => write!(
+                f,
+                "scheduled update aborted: wave {wave} failed after {attempts} \
+                 attempts; {applied}/{total} waves applied, fabric parked in \
+                 last verified-safe state"
+            ),
+            SdxError::UnsafeSchedule {
+                wave,
+                counterexample,
+            } => write!(
+                f,
+                "unsafe update schedule: wave {wave} produced an invalid \
+                 intermediate table: {counterexample}"
+            ),
         }
     }
 }
@@ -81,6 +127,19 @@ mod tests {
         assert!(e.to_string().contains("exhausted"));
         let e = SdxError::Injected(InjectionPoint::FabricCommit);
         assert!(e.to_string().contains("fabric-commit"));
+        let e = SdxError::UpdateAborted {
+            wave: 2,
+            applied: 2,
+            total: 5,
+            attempts: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("wave 2") && s.contains("2/5") && s.contains("parked"));
+        let e = SdxError::UnsafeSchedule {
+            wave: 1,
+            counterexample: "packet loops via port 3".into(),
+        };
+        assert!(e.to_string().contains("loops via port 3"));
     }
 
     #[test]

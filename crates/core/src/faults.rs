@@ -26,7 +26,24 @@ pub enum InjectionPoint {
     /// flow rules are staged but before ARP/FIB synchronization, so a
     /// firing here exercises rollback of a half-mutated fabric.
     FabricCommit,
+    /// Application of one scheduled flow-mod wave to the fabric (see
+    /// [`crate::schedule`]). The payload selects which wave fails:
+    /// crossings are counted per wave index, so `fail_nth(FlowModApply {
+    /// wave: 2 }, 1)` fails the first attempt of wave 2 and nothing
+    /// else. Arm with [`ANY_WAVE`] to target every wave.
+    FlowModApply {
+        /// Zero-based wave index, or [`ANY_WAVE`] when arming to match
+        /// all waves.
+        wave: u32,
+    },
 }
+
+/// Wildcard wave index for arming [`InjectionPoint::FlowModApply`]: an
+/// armed trigger carrying this value matches a crossing of any wave.
+/// Crossing counts stay per concrete wave, so `Nth` triggers armed with
+/// `ANY_WAVE` fire on the n-th *attempt of each wave*, which is what
+/// retry tests want.
+pub const ANY_WAVE: u32 = u32::MAX;
 
 impl core::fmt::Display for InjectionPoint {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -34,6 +51,23 @@ impl core::fmt::Display for InjectionPoint {
             InjectionPoint::Compile => write!(f, "compile"),
             InjectionPoint::VnhAlloc => write!(f, "vnh-alloc"),
             InjectionPoint::FabricCommit => write!(f, "fabric-commit"),
+            InjectionPoint::FlowModApply { wave: ANY_WAVE } => write!(f, "flowmod-apply[*]"),
+            InjectionPoint::FlowModApply { wave } => write!(f, "flowmod-apply[{wave}]"),
+        }
+    }
+}
+
+impl InjectionPoint {
+    /// Whether an armed point (`self`) matches a crossed point. Exact
+    /// equality, except that a [`FlowModApply`](Self::FlowModApply)
+    /// armed with [`ANY_WAVE`] matches a crossing of any wave.
+    fn matches(self, crossed: InjectionPoint) -> bool {
+        match (self, crossed) {
+            (
+                InjectionPoint::FlowModApply { wave: ANY_WAVE },
+                InjectionPoint::FlowModApply { .. },
+            ) => true,
+            (a, b) => a == b,
         }
     }
 }
@@ -124,7 +158,7 @@ impl FaultPlan {
         let count = *count;
         let mut fire = false;
         for (p, trigger) in &self.armed {
-            if *p != point {
+            if !p.matches(point) {
                 continue;
             }
             match trigger {
@@ -211,6 +245,48 @@ mod tests {
             fired > 10 && fired < 54,
             "p=0.5 fires roughly half: {fired}"
         );
+    }
+
+    #[test]
+    fn flowmod_apply_waves_are_distinct_points() {
+        let w = |wave| InjectionPoint::FlowModApply { wave };
+        let mut plan = FaultPlan::seeded(3).fail_nth(w(1), 1);
+        assert!(plan.check(w(0)).is_ok(), "wave 0 is a different point");
+        assert!(plan.check(w(1)).is_err(), "wave 1 fires on first crossing");
+        assert!(plan.check(w(1)).is_ok(), "nth fires once");
+        assert_eq!(plan.crossings(w(0)), 1);
+        assert_eq!(plan.crossings(w(1)), 2);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn any_wave_matches_every_wave_with_per_wave_counts() {
+        let w = |wave| InjectionPoint::FlowModApply { wave };
+        let mut plan = FaultPlan::seeded(3).fail_nth(w(ANY_WAVE), 2);
+        // First attempt of each wave passes; the second (the retry) fails,
+        // because crossings are counted per concrete wave.
+        for wave in 0..3 {
+            assert!(plan.check(w(wave)).is_ok());
+            assert_eq!(
+                plan.check(w(wave)),
+                Err(SdxError::Injected(w(wave))),
+                "retry of wave {wave} fails"
+            );
+        }
+        assert_eq!(plan.fired(), 3);
+        // The wildcard itself is never crossed, only matched against.
+        assert_eq!(plan.crossings(w(ANY_WAVE)), 0);
+    }
+
+    #[test]
+    fn flowmod_apply_probability_is_seed_deterministic() {
+        let w = |wave| InjectionPoint::FlowModApply { wave };
+        let run = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(seed).fail_with_probability(w(ANY_WAVE), 0.4);
+            (0..48).map(|i| plan.check(w(i % 4)).is_err()).collect()
+        };
+        assert_eq!(run(9), run(9), "same seed, same wave-fault schedule");
+        assert_ne!(run(9), run(10), "different seeds diverge");
     }
 
     #[test]

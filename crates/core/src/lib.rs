@@ -34,6 +34,9 @@
 //!   atomically, roll back to last-known-good on failure.
 //! * [`faults`] — seeded, deterministic fault injection for exercising the
 //!   recovery paths.
+//! * [`schedule`] — provably safe update scheduling: the reconciliation
+//!   diff partitioned into dependency-ordered flow-mod waves, driven with
+//!   per-wave verification and mid-update failure recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +50,7 @@ pub mod incremental;
 pub mod par;
 pub mod participant;
 pub mod reconcile;
+pub mod schedule;
 pub mod service_chain;
 pub mod transform;
 pub mod txn;
@@ -54,12 +58,13 @@ pub mod vnh;
 pub mod vswitch;
 
 pub use compiler::{CompileOptions, CompileReport, Parallelism, SdxCompiler};
-pub use controller::SdxController;
+pub use controller::{PreparedUpdate, SdxController};
 pub use error::SdxError;
 pub use faults::{FaultPlan, InjectionPoint};
 pub use fec::{minimum_disjoint_subsets, FecGroup, FecId, FecKey};
 pub use participant::{ParticipantConfig, PhysicalPort};
 pub use reconcile::{diff_base_table, TableDiff};
+pub use schedule::{ScheduleOpts, ScheduleReport, UpdatePlan, WaveReport};
 pub use service_chain::ServiceChain;
 pub use txn::{DeltaTxn, FabricTxn};
 pub use vnh::VnhAllocator;

@@ -15,7 +15,7 @@
 
 use core::fmt;
 
-use sdx_net::{HeaderMatch, Mod};
+use sdx_net::{HeaderMatch, MacAddr, Mod};
 
 use crate::table::{FlowEntry, FlowTable};
 
@@ -141,6 +141,16 @@ pub enum FlowModError {
         /// Pattern of the empty slot.
         pattern: HeaderMatch,
     },
+    /// The batch deletes the rule handling a VMAC tag (the entry whose
+    /// pattern matches that `dl_dst`) while other mods in the *same*
+    /// batch still install buckets that rewrite packets to the tag and
+    /// re-enter the fabric: the moment the batch commits, those packets
+    /// would hit a table with no next-stage rule for them.
+    DanglingTarget {
+        /// The VMAC whose handler the batch removes while still
+        /// referencing it as a next-stage target.
+        vmac: MacAddr,
+    },
 }
 
 impl fmt::Display for FlowModError {
@@ -158,6 +168,33 @@ impl fmt::Display for FlowModError {
                 f,
                 "flow-mod {op} targets no entry at priority {priority} ({pattern:?})"
             ),
+            FlowModError::DanglingTarget { vmac } => write!(
+                f,
+                "flow-mod batch deletes the handler for {vmac} while other \
+                 mods in the batch still reference it as a next-stage target"
+            ),
+        }
+    }
+}
+
+/// Collects the VMAC tags (FEC ids) `buckets` writes into `dl_dst` on
+/// packets that do not leave at a physical port — such packets re-enter
+/// the classifier and *reference* the tag's handler rule.
+fn referenced_tags(buckets: &[Vec<Mod>], out: &mut Vec<u32>) {
+    for bucket in buckets {
+        let mut tag = None;
+        let mut physical_exit = false;
+        for m in bucket {
+            match m {
+                Mod::SetDlDst(mac) => tag = mac.fec_id(),
+                Mod::SetLoc(p) => physical_exit = p.is_physical(),
+                _ => {}
+            }
+        }
+        if let Some(v) = tag {
+            if !physical_exit && !out.contains(&v) {
+                out.push(v);
+            }
         }
     }
 }
@@ -170,6 +207,10 @@ impl FlowTable {
     pub fn apply_batch(&mut self, batch: &FlowModBatch) -> Result<BatchStats, FlowModError> {
         let mut staged = self.clone();
         let mut stats = BatchStats::default();
+        // Tag bookkeeping for the dangling-target check: handlers the
+        // batch deletes, and tags the batch's new buckets reference.
+        let mut removed_handlers: Vec<u32> = Vec::new();
+        let mut batch_refs: Vec<u32> = Vec::new();
         for m in &batch.mods {
             match m {
                 FlowMod::Add(entry) => {
@@ -184,6 +225,7 @@ impl FlowTable {
                         });
                     }
                     staged.install(entry.clone());
+                    referenced_tags(&entry.buckets, &mut batch_refs);
                     stats.adds += 1;
                 }
                 FlowMod::Modify {
@@ -199,6 +241,7 @@ impl FlowTable {
                             pattern: *pattern,
                         });
                     }
+                    referenced_tags(buckets, &mut batch_refs);
                     stats.modifies += 1;
                 }
                 FlowMod::Delete { priority, pattern } => {
@@ -209,8 +252,37 @@ impl FlowTable {
                             pattern: *pattern,
                         });
                     }
+                    if let Some(v) = pattern.dl_dst.and_then(|m| m.fec_id()) {
+                        if !removed_handlers.contains(&v) {
+                            removed_handlers.push(v);
+                        }
+                    }
                     stats.deletes += 1;
                 }
+            }
+        }
+        // Dangling-target check: if the batch deleted the handler for a
+        // tag its own new buckets still reference, and the staged result
+        // keeps a referencing rule but no replacement handler, commit
+        // would leave re-entering packets unmatchable — reject the batch.
+        for &v in &removed_handlers {
+            if !batch_refs.contains(&v) {
+                continue;
+            }
+            let vmac = MacAddr::vmac(v);
+            let handled = staged
+                .entries()
+                .iter()
+                .any(|e| e.pattern.dl_dst == Some(vmac));
+            if handled {
+                continue;
+            }
+            let mut surviving_refs = Vec::new();
+            for e in staged.entries() {
+                referenced_tags(&e.buckets, &mut surviving_refs);
+            }
+            if surviving_refs.contains(&v) {
+                return Err(FlowModError::DanglingTarget { vmac });
             }
         }
         *self = staged;
@@ -347,6 +419,94 @@ mod tests {
         ));
         // Errors render readably.
         assert!(err.to_string().contains("priority 10"));
+    }
+
+    #[test]
+    fn deleting_a_handler_the_batch_still_references_is_rejected() {
+        let vmac7 = HeaderMatch::of(FieldMatch::DlDst(MacAddr::vmac(7)));
+        let mut t = FlowTable::new();
+        t.install(FlowEntry::new(10, vmac7, out(2)));
+        // The add rewrites traffic to vmac 7 and re-enters the fabric, so
+        // it references the very handler the delete removes.
+        let emit = vec![vec![
+            Mod::SetDlDst(MacAddr::vmac(7)),
+            Mod::SetLoc(PortId::Virt(ParticipantId(3))),
+        ]];
+        let before = t.clone();
+        let err = t
+            .apply_batch(&FlowModBatch {
+                epoch: 1,
+                mods: vec![
+                    FlowMod::Add(FlowEntry::new(
+                        20,
+                        HeaderMatch::of(FieldMatch::TpDst(80)),
+                        emit.clone(),
+                    )),
+                    FlowMod::Delete {
+                        priority: 10,
+                        pattern: vmac7,
+                    },
+                ],
+            })
+            .expect_err("dangling next-stage target");
+        assert!(matches!(err, FlowModError::DanglingTarget { .. }));
+        assert!(err.to_string().contains("next-stage"));
+        assert_eq!(t, before, "rejected batch leaves the table untouched");
+
+        // Installing a replacement handler in the same batch heals the
+        // reference, so the batch is accepted.
+        t.apply_batch(&FlowModBatch {
+            epoch: 1,
+            mods: vec![
+                FlowMod::Add(FlowEntry::new(
+                    20,
+                    HeaderMatch::of(FieldMatch::TpDst(80)),
+                    emit,
+                )),
+                FlowMod::Delete {
+                    priority: 10,
+                    pattern: vmac7,
+                },
+                FlowMod::Add(FlowEntry::new(11, vmac7, out(4))),
+            ],
+        })
+        .expect("replacement handler heals the reference");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn deleting_handler_and_every_referencing_rule_together_is_fine() {
+        let vmac7 = HeaderMatch::of(FieldMatch::DlDst(MacAddr::vmac(7)));
+        let emit = vec![vec![
+            Mod::SetDlDst(MacAddr::vmac(7)),
+            Mod::SetLoc(PortId::Virt(ParticipantId(3))),
+        ]];
+        let mut t = FlowTable::new();
+        t.install(FlowEntry::new(10, vmac7, out(2)));
+        t.install(FlowEntry::new(
+            20,
+            HeaderMatch::of(FieldMatch::TpDst(80)),
+            emit.clone(),
+        ));
+        // Retiring the whole chain in one atomic batch leaves nothing
+        // dangling — but the emitter's buckets ARE batch-referenced via a
+        // Modify that itself drops the tag, so only surviving references
+        // count.
+        t.apply_batch(&FlowModBatch {
+            epoch: 2,
+            mods: vec![
+                FlowMod::Delete {
+                    priority: 20,
+                    pattern: HeaderMatch::of(FieldMatch::TpDst(80)),
+                },
+                FlowMod::Delete {
+                    priority: 10,
+                    pattern: vmac7,
+                },
+            ],
+        })
+        .expect("whole chain retired atomically");
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod diff;
 pub mod fabric;
+pub mod schedule;
 pub mod spec;
 pub mod synth;
 pub mod trace;
@@ -40,6 +41,7 @@ use sdx_net::{Ipv4Addr, ParticipantId, PortId, Prefix};
 
 pub use diff::{Differential, Mismatch, SmokeStats};
 pub use fabric::FabricEvaluator;
+pub use schedule::{reoptimize_verified, UpdateVerifier};
 pub use spec::SpecInterpreter;
 pub use trace::{Trace, TraceStep};
 

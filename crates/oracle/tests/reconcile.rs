@@ -1,0 +1,83 @@
+//! Oracle coverage for the reconciliation fallback: when midpoint
+//! insertion exhausts a priority gap and `diff_base_table` falls back to
+//! a full rebase (`reconcile.rebase.count`), the patched table must stay
+//! packet-equivalent to a from-scratch install of the same classifier.
+
+use sdx_bgp::route_server::ExportPolicy;
+use sdx_core::controller::SdxController;
+use sdx_core::participant::ParticipantConfig;
+use sdx_net::{prefix, FieldMatch, ParticipantId, PortId};
+use sdx_oracle::{synth, FabricEvaluator};
+use sdx_policy::Policy as P;
+
+fn pid(n: u32) -> ParticipantId {
+    ParticipantId(n)
+}
+
+#[test]
+fn gap_exhaustion_rebase_is_oracle_equivalent() {
+    // Figure-4a-shaped fixture: A and B announce the same prefix, C
+    // steers selected ports via B.
+    let mut ctl = SdxController::new();
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 1);
+    let c = ParticipantConfig::new(3, 65003, 1);
+    ctl.add_participant(a.clone(), ExportPolicy::allow_all());
+    ctl.add_participant(b.clone(), ExportPolicy::allow_all());
+    ctl.add_participant(c, ExportPolicy::allow_all());
+    ctl.rs
+        .process_update(pid(1), &a.announce([prefix("54.0.0.0/8")], &[65001, 7]));
+    ctl.rs
+        .process_update(pid(2), &b.announce([prefix("54.0.0.0/8")], &[65002, 9, 7]));
+    let mut fabric = ctl.deploy().expect("deploy");
+
+    let rebases_before = ctl.telemetry.counter("reconcile.rebase.count").get();
+    let mut exhausted_at = None;
+    // Each round appends one port clause to C's outbound policy. The new
+    // clause's rules always insert into the gap below the previous
+    // clause's rules, so successive reoptimizations halve the same gap —
+    // the crafted priority band that forces midpoint exhaustion.
+    for round in 0..40u16 {
+        let mut policy = P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(2)));
+        for i in 0..=round {
+            policy =
+                policy + (P::match_(FieldMatch::TpDst(5000 + i)) >> P::fwd(PortId::Virt(pid(2))));
+        }
+        ctl.set_outbound(pid(3), Some(policy));
+        ctl.reoptimize(&mut fabric).expect("reoptimize");
+
+        // Patched ≡ scratch, via the oracle's two classifier stages: the
+        // deployed-table walk against the pristine-classifier walk, over
+        // the full probe grid.
+        let report = ctl.report.as_ref().expect("report");
+        let deployed =
+            FabricEvaluator::over_table(&ctl.compiler, &ctl.rs, report, fabric.switch.table());
+        let pristine = FabricEvaluator::new(&ctl.compiler, &ctl.rs, report);
+        for (from, pkt) in synth::probe_grid(&ctl.compiler, &ctl.rs) {
+            let (got, trace) = deployed.verdict(from, &pkt);
+            let (want, _) = pristine.verdict(from, &pkt);
+            assert_eq!(
+                got,
+                want,
+                "round {round}: patched table diverged from scratch compile \
+                 for probe from {from} (dst {}, dport {})\n{}",
+                pkt.nw_dst,
+                pkt.tp_dst,
+                trace.render()
+            );
+        }
+
+        let rebases = ctl.telemetry.counter("reconcile.rebase.count").get();
+        if rebases > rebases_before {
+            exhausted_at = Some((round, rebases - rebases_before));
+            break;
+        }
+    }
+    let (round, rebases) =
+        exhausted_at.expect("40 rounds of same-gap policy growth must exhaust a midpoint gap");
+    assert!(rebases >= 1, "the fallback must be counted");
+    assert!(
+        round >= 5,
+        "rebase at round {round}: midpoint insertion should absorb early rounds minimally"
+    );
+}

@@ -53,6 +53,33 @@ pub enum Event {
         /// Entries removed.
         deletes: usize,
     },
+    /// One wave of a scheduled fabric update landed and passed its
+    /// post-wave safety verification.
+    UpdateWaveApplied {
+        /// The controller commit epoch of the update.
+        epoch: u64,
+        /// Zero-based wave index.
+        wave: usize,
+        /// Total waves in the schedule.
+        total: usize,
+        /// Flow-mods in this wave.
+        mods: usize,
+        /// Attempts spent on the wave (1 = no retries).
+        attempts: u32,
+    },
+    /// A scheduled fabric update was abandoned mid-flight: a wave
+    /// exhausted its retry budget and the remaining waves were skipped,
+    /// leaving the fabric parked in the last verified-safe state.
+    UpdateAborted {
+        /// The controller commit epoch of the update.
+        epoch: u64,
+        /// Zero-based index of the wave that kept failing.
+        wave: usize,
+        /// Waves committed before the abort.
+        applied: usize,
+        /// Total waves the schedule had.
+        total: usize,
+    },
     /// A full pipeline run completed and was committed to the fabric.
     ReoptimizeCompleted {
         /// Switch rules installed.
@@ -121,6 +148,8 @@ impl Event {
             Event::DeltaApplied { .. } => "delta_applied",
             Event::OverlaysRetired { .. } => "overlays_retired",
             Event::FlowModBatchApplied { .. } => "flowmod_batch_applied",
+            Event::UpdateWaveApplied { .. } => "update_wave_applied",
+            Event::UpdateAborted { .. } => "update_aborted",
             Event::ReoptimizeCompleted { .. } => "reoptimize_completed",
             Event::TxnRolledBack { .. } => "txn_rolled_back",
             Event::FaultInjected { .. } => "fault_injected",
@@ -158,6 +187,30 @@ impl Event {
                 pairs.push(("adds".to_string(), Json::from(*adds)));
                 pairs.push(("modifies".to_string(), Json::from(*modifies)));
                 pairs.push(("deletes".to_string(), Json::from(*deletes)));
+            }
+            Event::UpdateWaveApplied {
+                epoch,
+                wave,
+                total,
+                mods,
+                attempts,
+            } => {
+                pairs.push(("epoch".to_string(), Json::from(*epoch)));
+                pairs.push(("wave".to_string(), Json::from(*wave)));
+                pairs.push(("total".to_string(), Json::from(*total)));
+                pairs.push(("mods".to_string(), Json::from(*mods)));
+                pairs.push(("attempts".to_string(), Json::from(u64::from(*attempts))));
+            }
+            Event::UpdateAborted {
+                epoch,
+                wave,
+                applied,
+                total,
+            } => {
+                pairs.push(("epoch".to_string(), Json::from(*epoch)));
+                pairs.push(("wave".to_string(), Json::from(*wave)));
+                pairs.push(("applied".to_string(), Json::from(*applied)));
+                pairs.push(("total".to_string(), Json::from(*total)));
             }
             Event::ReoptimizeCompleted {
                 rules,

@@ -1,0 +1,298 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses (the BGP wire codec and its tests).
+//!
+//! [`Bytes`] here is a plain owned buffer with a read cursor rather than a
+//! refcounted slice — the codec only ever walks a buffer front to back, so
+//! cheap cloning of views is not worth the machinery. Big-endian (network
+//! order) integer accessors match upstream.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor operations over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread portion.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Copies `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write-side operations over a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.put_slice(&vec![val; cnt]);
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Unread length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new buffer holding `range` of the unread bytes (by copy).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        let chunk = self.chunk();
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&s) => s,
+            std::ops::Bound::Excluded(&s) => s + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&e) => e + 1,
+            std::ops::Bound::Excluded(&e) => e,
+            std::ops::Bound::Unbounded => chunk.len(),
+        };
+        Bytes {
+            data: chunk[start..end].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Splits off and returns the first `at` unread bytes, advancing self
+    /// past them.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(0..at);
+        self.advance(at);
+        head
+    }
+
+    /// The unread bytes as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(7);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_bytes(0xFF, 3);
+        w.extend_from_slice(&[1, 2]);
+        assert_eq!(w.len(), 12);
+
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(&r[..3], &[0xFF, 0xFF, 0xFF]);
+        let head = r.split_to(3);
+        assert_eq!(head.to_vec(), vec![0xFF, 0xFF, 0xFF]);
+        let mut tail = [0u8; 2];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2]);
+        assert!(r.is_empty() && !r.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_advance() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        b.advance(2);
+        assert_eq!(b.slice(1..3).to_vec(), vec![3, 4]);
+        assert_eq!(b[0], 2);
+        assert_eq!(b.remaining(), 4);
+    }
+}

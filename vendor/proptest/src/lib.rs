@@ -1,0 +1,804 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no crates.io access, so the property-test
+//! suites run against this vendored shim instead of upstream proptest.
+//! What is preserved:
+//!
+//! * the `proptest!` macro shape (config attribute, `ident in strategy`
+//!   arguments, `prop_assert*` in bodies),
+//! * the [`Strategy`] combinators the suites call (`prop_map`,
+//!   `prop_recursive`, `prop_oneof!`, `Just`, `any`, ranges, tuples,
+//!   `collection::{vec, btree_set, btree_map}`, `option::of`),
+//! * **regression-seed files**: `cc <hex>` lines are replayed before any
+//!   novel cases, and new failures append a seed line, so committed
+//!   `proptest-regressions` files keep working as pinned counterexamples.
+//!
+//! What is dropped: shrinking. A failing case reports the seed that
+//! produced it (enough to replay deterministically) instead of a
+//! minimized value. Case generation is a pure function of
+//! `(source file, test name, case index)`, so runs are reproducible
+//! without any persisted state.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The generator handed to strategies; deterministic per test case.
+pub type TestRng = StdRng;
+
+/// Core strategy abstraction: a recipe for generating values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `recurse`
+    /// produces one more level of structure from the strategy so far.
+    /// `depth` bounds nesting; the size/branch hints are accepted for
+    /// API compatibility but unused (each level mixes leaves back in,
+    /// which bounds expected size on its own).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(level).boxed();
+            level = Union {
+                arms: vec![leaf.clone(), deeper],
+            }
+            .boxed();
+        }
+        level
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// The constant strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, bool, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Per-type `ANY` constants (`proptest::num::u16::ANY` style).
+pub mod num {
+    /// `u16` strategies.
+    pub mod u16 {
+        /// Any `u16`.
+        pub const ANY: super::super::Any<u16> = super::super::Any(std::marker::PhantomData);
+    }
+    /// `u32` strategies.
+    pub mod u32 {
+        /// Any `u32`.
+        pub const ANY: super::super::Any<u32> = super::super::Any(std::marker::PhantomData);
+    }
+}
+
+// Integer and float ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+// Tuples of strategies are strategies over tuples.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Collection size specification accepted by [`collection`] strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`, `btree_map`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered sets; duplicates are retried a bounded
+    /// number of times, so the result can be smaller than requested
+    /// when the element domain is nearly exhausted.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` of values from `element`, sized within `size`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut tries = 0;
+            while out.len() < n && tries < n * 8 + 16 {
+                out.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for ordered maps, with the same bounded-retry caveat as
+    /// [`BTreeSetStrategy`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A `BTreeMap` from `key`/`value` strategies, sized within `size`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            let mut tries = 0;
+            while out.len() < n && tries < n * 8 + 16 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`, `None` about a quarter of the
+    /// time (matching upstream's default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` from `inner` three times out of four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Test-runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// Runner knobs; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of novel cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` novel cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Support machinery used by the expansion of [`proptest!`]; not part of
+/// the public proptest API but necessarily `pub`.
+pub mod runtime {
+    use std::fs;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    use rand::SeedableRng;
+
+    /// Builds the deterministic per-case generator. Lives here so the
+    /// `proptest!` expansion does not require the consuming crate to
+    /// depend on `rand` itself.
+    pub fn rng_from_seed(seed: u64) -> crate::TestRng {
+        crate::TestRng::seed_from_u64(seed)
+    }
+
+    /// Deterministic per-test base seed from source location + name.
+    pub fn base_seed(file: &str, name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain([0u8]).chain(name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Candidate regression-file locations for a `file!()` path, in
+    /// upstream's two layouts: a sibling `<stem>.proptest-regressions`
+    /// file and `proptest-regressions/<stem>.txt` under the crate root.
+    /// Paths are tried both as given and stripped of leading directories,
+    /// because `file!()` is workspace-relative while tests run from the
+    /// package root.
+    fn candidates(file: &str) -> Vec<PathBuf> {
+        let stem = file.strip_suffix(".rs").unwrap_or(file);
+        let base = PathBuf::from(stem);
+        let mut out = vec![base.with_extension("proptest-regressions")];
+        if let Some(name) = base.file_name().map(|s| s.to_string_lossy().into_owned()) {
+            out.push(PathBuf::from("proptest-regressions").join(format!("{name}.txt")));
+            // file!() may carry workspace-relative prefixes; retry on the
+            // bare file name next to a local tests/ dir.
+            out.push(PathBuf::from("tests").join(format!("{name}.proptest-regressions")));
+        }
+        out.dedup();
+        out
+    }
+
+    /// Parses `cc <hex>` lines into replay seeds (first 16 hex chars).
+    pub fn regression_seeds(file: &str) -> Vec<u64> {
+        for path in candidates(file) {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let seeds: Vec<u64> = text
+                .lines()
+                .filter_map(|l| l.trim().strip_prefix("cc "))
+                .filter_map(|rest| {
+                    let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+                    u64::from_str_radix(hex.get(..16)?, 16).ok()
+                })
+                .collect();
+            if !seeds.is_empty() {
+                return seeds;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Appends a failing seed to the regression file (best effort): the
+    /// first existing candidate, else a fresh `proptest-regressions/`
+    /// entry under the current directory.
+    pub fn record_failure(file: &str, seed: u64, detail: &str) {
+        let cands = candidates(file);
+        let path = cands
+            .iter()
+            .find(|p| p.exists())
+            .cloned()
+            .or_else(|| cands.last().cloned());
+        let Some(path) = path else { return };
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let fresh = !path.exists();
+        let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&path) else {
+            return;
+        };
+        if fresh {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated."
+            );
+        }
+        let one_line = detail.replace('\n', " ");
+        let _ = writeln!(f, "cc {seed:016x}{:048} # shrinks to {one_line}", 0);
+    }
+}
+
+/// Strategy re-export path compatibility (`proptest::strategy::Strategy`).
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategy arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property assertion: fails the current case without panicking the
+/// runner, so the seed gets reported and recorded.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{}` == `{}`: {:?} vs {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(
+                format!($($fmt)*) + &format!(" ({a:?} vs {b:?})"),
+            );
+        }
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{}` != `{}`: both {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::std::result::Result::Err(
+                format!($($fmt)*) + &format!(" (both {a:?})"),
+            );
+        }
+    }};
+}
+
+/// The property-test declaration macro. Accepts an optional
+/// `#![proptest_config(...)]` header and `fn name(arg in strategy, ...)`
+/// items, exactly like upstream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __file = file!();
+            let __name = stringify!($name);
+            let __base = $crate::runtime::base_seed(__file, __name);
+            let __replay = $crate::runtime::regression_seeds(__file);
+            let __total = __replay.len() + __cfg.cases as usize;
+            let __seeds = __replay
+                .into_iter()
+                .chain((0..__cfg.cases as u64).map(|i| __base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))));
+            for (__case, __seed) in __seeds.enumerate() {
+                let mut __rng: $crate::TestRng = $crate::runtime::rng_from_seed(__seed);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                let __run = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __run {
+                    Ok(Ok(())) => {}
+                    Ok(Err(__msg)) => {
+                        $crate::runtime::record_failure(__file, __seed, &__msg);
+                        panic!(
+                            "proptest case {}/{} failed (replay seed {:#018x}): {}",
+                            __case + 1, __total, __seed, __msg
+                        );
+                    }
+                    Err(__payload) => {
+                        $crate::runtime::record_failure(__file, __seed, "panic in case body");
+                        eprintln!(
+                            "proptest case {}/{} panicked (replay seed {:#018x})",
+                            __case + 1, __total, __seed
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    fn rng() -> crate::TestRng {
+        crate::TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut r = rng();
+        let s = (0u32..8, 1u8..=3).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut r);
+            assert!(a < 8 && (1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut r = rng();
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut r = rng();
+        let v = crate::collection::vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let got = v.generate(&mut r);
+            assert!((2..5).contains(&got.len()));
+        }
+        let s = crate::collection::btree_set(0u32..64, 1..32);
+        for _ in 0..50 {
+            assert!(!s.generate(&mut r).is_empty());
+        }
+        let m = crate::collection::btree_map(0u32..32, 0u8..4, 0..32);
+        for _ in 0..50 {
+            assert!(m.generate(&mut r).len() < 32);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum T {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0u8..16)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 12, 2, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(T::Node)
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut r)) <= 4);
+        }
+    }
+
+    #[test]
+    fn seed_parsing_takes_leading_hex() {
+        // base_seed is deterministic and distinct across names.
+        let a = crate::runtime::base_seed("tests/x.rs", "p1");
+        let b = crate::runtime::base_seed("tests/x.rs", "p2");
+        assert_ne!(a, b);
+        assert_eq!(a, crate::runtime::base_seed("tests/x.rs", "p1"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_smoke(x in 0u32..100, v in crate::collection::vec(0u8..4, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 4, "len was {}", v.len());
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}
