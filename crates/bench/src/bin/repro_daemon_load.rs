@@ -1,0 +1,178 @@
+//! Daemon load reproduction — `sdxd` under loopback BGP fire.
+//!
+//! The claim under test: the runtime's event loop sustains realistic
+//! exchange-point churn *end to end over real sockets* — TCP BGP
+//! sessions in, coalesced recompiles in the middle, flow-mod batches
+//! streamed to a switch agent out — without falling behind. Two peer
+//! threads (the B and C of the Figure 1 topology, policies intact so
+//! every announcement is policy-affected and lands delta rules) blast
+//! distinct-prefix announcements over their sessions as fast as TCP
+//! will carry them; the daemon coalesces the backlog into burst
+//! compiles and holds the agent at the ack barrier for each batch.
+//!
+//! Reported per run:
+//!
+//! * `updates_per_sec` — wire-to-compiled throughput (target ≥ 1000);
+//! * `coalescing_ratio` — updates absorbed per compile (> 1 means the
+//!   burst machinery is actually earning its keep);
+//! * `queue_depth_max` / `p99` — switch-channel send-queue occupancy;
+//! * `latency_us_*` — update→flow-mod latency percentiles, BGP message
+//!   arrival to delta batch applied.
+//!
+//! The run ends with a scheduled re-optimization folding every delta
+//! into the base table, and asserts the agent's table is equal to the
+//! daemon's — the load test doubles as an end-to-end consistency check.
+//!
+//! Run: `cargo run --release -p sdx-bench --bin repro_daemon_load
+//! [--quick] [--json out.json]`
+
+use std::time::Instant;
+
+use sdx_bench::{print_table, report, row};
+use sdx_bgp::{BgpMessage, ExportPolicy};
+use sdx_core::{ParticipantConfig, SdxController};
+use sdx_ixp::testkit::{figure1_inbound_b, figure1_outbound_a};
+use sdx_net::{prefix, ParticipantId, Prefix};
+use sdx_runtime::{daemon, spawn_agent, DaemonConfig, TestPeer};
+use sdx_telemetry::Json;
+
+/// The Figure 1 exchange, empty-RIB: routes arrive over the wire.
+fn exchange() -> SdxController {
+    let mut ctl = SdxController::new();
+    ctl.add_participant(
+        ParticipantConfig::new(1, 65001, 1).with_outbound(figure1_outbound_a()),
+        ExportPolicy::allow_all(),
+    );
+    let mut b_export = ExportPolicy::allow_all();
+    b_export.deny(ParticipantId(1), prefix("40.0.0.0/8"));
+    ctl.add_participant(
+        ParticipantConfig::new(2, 65002, 2).with_inbound(figure1_inbound_b()),
+        b_export,
+    );
+    ctl.add_participant(ParticipantConfig::new(3, 65003, 1), ExportPolicy::allow_all());
+    ctl.add_participant(ParticipantConfig::new(4, 65004, 1), ExportPolicy::allow_all());
+    ctl
+}
+
+/// Distinct /16 for (peer p, update i): first octet partitions peers,
+/// second walks the update index. Disjoint from every Figure 1 prefix.
+fn load_prefix(p: usize, i: usize) -> Prefix {
+    prefix(&format!("{}.{}.0.0/16", 64 + p * 32 + i / 256, i % 256))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_peer = if quick { 600 } else { 2000 };
+    let peers: &[(usize, u32)] = &[(0, 65002), (1, 65003)];
+    let total_updates = per_peer * peers.len();
+
+    let handle = daemon::start(exchange(), DaemonConfig::default()).expect("daemon start");
+    let reg = handle.telemetry().clone();
+    let agent = spawn_agent(handle.openflow_addr).expect("agent");
+    let t0 = Instant::now();
+
+    let senders: Vec<_> = peers
+        .iter()
+        .map(|&(p, asn)| {
+            let addr = handle.bgp_addr;
+            std::thread::spawn(move || {
+                let cfg = ParticipantConfig::new(p as u32 + 2, asn, if p == 0 { 2 } else { 1 });
+                let mut peer = TestPeer::establish(addr, asn, 90).expect("establish");
+                for i in 0..per_peer {
+                    let update = cfg.announce([load_prefix(p, i)], &[asn, 300]);
+                    peer.send(&BgpMessage::Update(update)).expect("send");
+                }
+                peer
+            })
+        })
+        .collect();
+    // Keep the sessions open until the backlog is fully absorbed.
+    let peers_alive: Vec<TestPeer> = senders.into_iter().map(|h| h.join().expect("sender")).collect();
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let done = reg
+            .snapshot()
+            .counters
+            .get("daemon.updates.count")
+            .copied()
+            .unwrap_or(0);
+        if done >= total_updates as u64 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon fell behind: {done}/{total_updates}");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let elapsed = t0.elapsed();
+
+    // Fold every fast-path delta into the base table over the same
+    // channel, then stop and compare tables.
+    handle.reoptimize();
+    let daemon_report = handle.stop();
+    drop(peers_alive);
+    let agent_fabric = agent.join();
+
+    let snap = reg.snapshot();
+    let updates_per_sec = total_updates as f64 / elapsed.as_secs_f64();
+    let coalescing_ratio = daemon_report.updates as f64 / daemon_report.compiles.max(1) as f64;
+    let depth = snap
+        .histograms
+        .get("daemon.channel.depth_samples")
+        .copied()
+        .unwrap_or_default();
+    let latency = snap
+        .histograms
+        .get("daemon.update_to_flowmod_us")
+        .copied()
+        .unwrap_or_default();
+
+    let rows = vec![row([
+        ("peers", Json::from(peers.len() as u64)),
+        ("updates", Json::from(total_updates as u64)),
+        ("elapsed_ms", Json::from(elapsed.as_millis() as u64)),
+        ("updates_per_sec", Json::from(updates_per_sec)),
+        ("compiles", Json::from(daemon_report.compiles)),
+        ("coalescing_ratio", Json::from(coalescing_ratio)),
+        ("coalesced_bursts", Json::from(daemon_report.coalesced_bursts)),
+        ("batches_streamed", Json::from(daemon_report.batches_streamed)),
+        ("queue_depth_max", Json::from(depth.max)),
+        ("queue_depth_p99", Json::from(depth.p99)),
+        ("latency_us_p50", Json::from(latency.p50)),
+        ("latency_us_p90", Json::from(latency.p90)),
+        ("latency_us_p99", Json::from(latency.p99)),
+    ])];
+
+    print_table(
+        "Daemon load (loopback BGP -> coalesced compiles -> switch agent)",
+        &["updates", "upd/s", "compiles", "coalesce", "q-depth max", "lat p50 us", "lat p99 us"],
+        &[vec![
+            total_updates.to_string(),
+            format!("{updates_per_sec:.0}"),
+            daemon_report.compiles.to_string(),
+            format!("{coalescing_ratio:.1}x"),
+            depth.max.to_string(),
+            latency.p50.to_string(),
+            latency.p99.to_string(),
+        ]],
+    );
+    report("daemon_load", &rows, &snap);
+
+    assert_eq!(
+        snap.counters.get("daemon.channel_lost.count").copied().unwrap_or(0),
+        0,
+        "a switch channel was dropped mid-run"
+    );
+    assert!(
+        agent_fabric.switch.table() == daemon_report.fabric.switch.table(),
+        "agent table diverged from the daemon's after {total_updates} updates"
+    );
+    // Quick mode runs on shared CI hardware; the full run owns the box.
+    let floor = if quick { 500.0 } else { 1000.0 };
+    assert!(
+        updates_per_sec >= floor,
+        "throughput floor: {updates_per_sec:.0} upd/s < {floor}"
+    );
+    assert!(
+        coalescing_ratio >= 1.0,
+        "coalescing ratio degenerate: {coalescing_ratio}"
+    );
+}

@@ -20,6 +20,10 @@
 //! * [`session`] — a simplified BGP finite-state machine over an in-memory
 //!   transport, used for session-reset failure injection (Table 1 discards
 //!   updates caused by session resets).
+//! * [`clock`] — a monotonic millisecond [`Clock`](clock::Clock) trait with
+//!   real ([`SystemClock`](clock::SystemClock)) and virtual
+//!   ([`MockClock`](clock::MockClock)) implementations, so the supervisor
+//!   and the `sdx-runtime` daemon share one testable notion of time.
 //! * [`supervisor`] — the operational layer over the session FSMs:
 //!   hold-timer bookkeeping, reconnect with exponential backoff, and
 //!   route-flap damping so a flapping peer costs O(1) recompilations.
@@ -29,6 +33,7 @@
 
 pub mod aspath_re;
 pub mod attrs;
+pub mod clock;
 pub mod decision;
 pub mod msg;
 pub mod rib;
@@ -38,6 +43,7 @@ pub mod supervisor;
 pub mod wire;
 
 pub use attrs::{AsPath, Origin, PathAttributes};
+pub use clock::{Clock, MockClock, SystemClock};
 pub use decision::best_route;
 pub use msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib, Route, RouteSource};

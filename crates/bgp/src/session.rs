@@ -96,6 +96,12 @@ impl Session {
         self.peer_open.as_ref()
     }
 
+    /// The OPEN parameters this side offers. The socket runtime uses this
+    /// to re-offer our OPEN when a peer reconnects mid-handshake.
+    pub fn local(&self) -> &OpenMessage {
+        &self.local
+    }
+
     fn drop_session(&mut self, out: &mut SessionOutput, notify: Option<NotificationCode>) {
         if let Some(code) = notify {
             out.send.push(BgpMessage::Notification { code, subcode: 0 });

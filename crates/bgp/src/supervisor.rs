@@ -249,6 +249,85 @@ impl Supervisor {
         out
     }
 
+    /// A transport connection to peer `id` came up (inbound accept or
+    /// outbound connect) at `now_ms`: (re)starts the FSM over the new
+    /// connection, emitting our OPEN. If a session was already up or
+    /// mid-handshake on a previous connection, the stale session is torn
+    /// down first with full reset accounting — the old transport is gone,
+    /// whether or not we noticed it die.
+    ///
+    /// This is the socket-liveness generalization of the timer-driven
+    /// reconnect in [`tick`](Supervisor::tick): a daemon calls it from its
+    /// accept loop instead of waiting for the backoff schedule.
+    pub fn connection_up(
+        &mut self,
+        now_ms: u64,
+        id: ParticipantId,
+        rs: &mut RouteServer,
+    ) -> SupervisorOutput {
+        let mut out = SupervisorOutput::default();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return out;
+        };
+        peer.last_heard_ms = now_ms;
+        peer.last_keepalive_ms = now_ms;
+        match peer.session.state() {
+            SessionState::Idle | SessionState::Connect => {}
+            SessionState::OpenSent => {
+                // Our OPEN went out on a connection that has since been
+                // replaced; re-offer it on this one without re-stepping
+                // the FSM.
+                out.send
+                    .push((id, BgpMessage::Open(peer.session.local().clone())));
+                return out;
+            }
+            SessionState::OpenConfirm | SessionState::Established => {
+                // The previous transport died without us noticing. Tear
+                // the stale session down (flap-accounted) before starting
+                // fresh on the new connection; the Cease the FSM queues
+                // has no transport left to carry it.
+                let step = peer.session.handle(SessionEvent::ManualStop);
+                debug_assert!(step.reset);
+                self.on_reset(now_ms, id, rs, &mut out);
+            }
+        }
+        let peer = self.peers.get_mut(&id).expect("peer present");
+        peer.next_reconnect_at = None;
+        if peer.session.state() == SessionState::Idle {
+            peer.session.handle(SessionEvent::ManualStart);
+        }
+        let step = peer.session.handle(SessionEvent::Connected);
+        out.send.extend(step.send.into_iter().map(|m| (id, m)));
+        out
+    }
+
+    /// The transport to peer `id` dropped (TCP reset / EOF) at `now_ms`:
+    /// tears down any in-progress or established session with the same
+    /// handling as a NOTIFICATION-driven reset — flap penalty, possible
+    /// suppression, RIB flush, reconnect backoff. Idle peers are
+    /// untouched, so spurious connect/close cycles before `ManualStart`
+    /// cost nothing.
+    pub fn peer_disconnected(
+        &mut self,
+        now_ms: u64,
+        id: ParticipantId,
+        rs: &mut RouteServer,
+    ) -> SupervisorOutput {
+        let mut out = SupervisorOutput::default();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return out;
+        };
+        if peer.session.state() == SessionState::Idle {
+            return out;
+        }
+        // ManualStop queues a Cease, but there is no transport left to
+        // carry it; drop the session silently and run reset handling.
+        let step = peer.session.handle(SessionEvent::ManualStop);
+        debug_assert!(step.reset);
+        self.on_reset(now_ms, id, rs, &mut out);
+        out
+    }
+
     /// Advances time to `now_ms`: expires hold timers, emits keepalives,
     /// retries due connections, and releases peers whose penalty decayed
     /// below the reuse threshold (draining their pending prefix set).
@@ -596,6 +675,118 @@ mod tests {
         // But not again immediately.
         let out = sup.tick(3_100, &mut rs);
         assert!(!out.send.contains(&(id, BgpMessage::Keepalive)));
+    }
+
+    #[test]
+    fn connection_up_starts_handshake_without_waiting_for_tick() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 90), 0);
+        // A peer dialed in: the supervisor must offer its OPEN immediately,
+        // not on the next reconnect-due tick.
+        let out = sup.connection_up(5, id, &mut rs);
+        assert!(
+            out.send
+                .iter()
+                .any(|(p, m)| *p == id && matches!(m, BgpMessage::Open(_))),
+            "accept must emit our OPEN"
+        );
+        sup.handle_message(5, id, BgpMessage::Open(open(60001, 90)), &mut rs);
+        sup.handle_message(5, id, BgpMessage::Keepalive, &mut rs);
+        assert_eq!(sup.session(id).unwrap().state(), SessionState::Established);
+    }
+
+    #[test]
+    fn connection_up_reoffers_open_when_mid_handshake() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 90), 0);
+        sup.connection_up(0, id, &mut rs);
+        assert_eq!(sup.session(id).unwrap().state(), SessionState::OpenSent);
+        // The peer reconnected before answering: re-offer the OPEN on the
+        // new connection, keeping the FSM where it was.
+        let out = sup.connection_up(10, id, &mut rs);
+        assert!(out
+            .send
+            .iter()
+            .any(|(_, m)| matches!(m, BgpMessage::Open(o) if o.asn == Asn(65001))));
+        assert_eq!(sup.session(id).unwrap().state(), SessionState::OpenSent);
+        assert!(out.resets.is_empty());
+    }
+
+    #[test]
+    fn connection_up_resets_stale_established_session() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 90), 0);
+        establish(&mut sup, &mut rs, id, 0);
+        let u = simple_announce(prefix("10.0.0.0/8"), &[65001], ip("1.1.1.1"));
+        sup.handle_message(1, id, BgpMessage::Update(u), &mut rs);
+        // The peer shows up on a brand-new connection: the old session is
+        // stale. It must be flap-accounted, its routes flushed, and a
+        // fresh handshake started.
+        let out = sup.connection_up(10, id, &mut rs);
+        assert_eq!(out.resets, vec![id]);
+        assert_eq!(out.changed_prefixes, vec![prefix("10.0.0.0/8")]);
+        assert!(sup.penalty(id, 10) > 0.0);
+        assert!(out
+            .send
+            .iter()
+            .any(|(_, m)| matches!(m, BgpMessage::Open(_))));
+        assert_eq!(sup.session(id).unwrap().state(), SessionState::OpenSent);
+    }
+
+    #[test]
+    fn tcp_reset_is_flap_accounted_like_a_notification() {
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(SupervisorConfig::default(), 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 90), 0);
+        establish(&mut sup, &mut rs, id, 0);
+        let u = simple_announce(prefix("10.0.0.0/8"), &[65001], ip("1.1.1.1"));
+        sup.handle_message(1, id, BgpMessage::Update(u), &mut rs);
+        let out = sup.peer_disconnected(20, id, &mut rs);
+        assert_eq!(out.resets, vec![id]);
+        assert_eq!(out.changed_prefixes, vec![prefix("10.0.0.0/8")]);
+        assert!(
+            out.send.is_empty(),
+            "nothing can be sent on a dead connection"
+        );
+        assert!(sup.penalty(id, 20) > 0.0);
+        assert_eq!(sup.session(id).unwrap().state(), SessionState::Idle);
+        // A second disconnect while idle is a no-op.
+        let out = sup.peer_disconnected(21, id, &mut rs);
+        assert!(out.resets.is_empty());
+        assert_eq!(sup.penalty(id, 21), sup.penalty(id, 21));
+    }
+
+    #[test]
+    fn repeated_tcp_resets_suppress_the_peer() {
+        let cfg = SupervisorConfig {
+            reconnect_base_ms: 10,
+            reconnect_max_ms: 100,
+            flap_penalty: 1_000.0,
+            suppress_threshold: 1_500.0,
+            reuse_threshold: 750.0,
+            half_life_ms: 60_000,
+        };
+        let mut rs = rs_with(&[1]);
+        let mut sup = Supervisor::new(cfg, 7);
+        let id = ParticipantId(1);
+        sup.add_peer(id, open(65001, 90), 0);
+        establish(&mut sup, &mut rs, id, 0);
+        sup.peer_disconnected(10, id, &mut rs);
+        sup.connection_up(20, id, &mut rs);
+        sup.handle_message(20, id, BgpMessage::Open(open(60001, 90)), &mut rs);
+        sup.handle_message(20, id, BgpMessage::Keepalive, &mut rs);
+        sup.peer_disconnected(30, id, &mut rs);
+        assert!(
+            sup.is_suppressed(id),
+            "two rapid TCP resets within a long half-life must suppress"
+        );
     }
 
     #[test]

@@ -424,6 +424,80 @@ fn decode_attrs(mut body: Bytes) -> Result<PathAttributes, WireError> {
     })
 }
 
+/// Incremental decoder for a TCP byte stream carrying framed BGP messages.
+///
+/// TCP delivers bytes, not messages: a read may end mid-header, mid-body,
+/// or hand back three messages and half of a fourth. `StreamDecoder` owns
+/// the reassembly buffer — [`push`](StreamDecoder::push) whatever the
+/// socket produced, then drain complete messages with
+/// [`next`](StreamDecoder::next) until it returns `Ok(None)` (need more
+/// bytes).
+///
+/// Error semantics follow [`decode`]: `Truncated` never escapes (it just
+/// means "incomplete", reported as `Ok(None)`), while framing errors
+/// (`BadMarker`, `BadLength`, …) are fatal — RFC 4271 offers no
+/// resynchronization point, so the session must be torn down. After an
+/// error the decoder is poisoned and keeps returning it.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<WireError>,
+}
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded message.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to decode the next complete message. `Ok(None)` means the
+    /// buffer holds only a partial frame; push more bytes and retry.
+    pub fn next(&mut self) -> Result<Option<BgpMessage>, WireError> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        // Validate the header before waiting for the body: a bad marker or
+        // framed length is fatal now, and `Truncated` from a frame we hold
+        // in full is a malformed body, not a short read.
+        if !self.buf[..16].iter().all(|&b| b == 0xff) {
+            self.poisoned = Some(WireError::BadMarker);
+            return Err(WireError::BadMarker);
+        }
+        let len = u16::from_be_bytes([self.buf[16], self.buf[17]]) as usize;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&len) {
+            self.poisoned = Some(WireError::BadLength);
+            return Err(WireError::BadLength);
+        }
+        if self.buf.len() < len {
+            return Ok(None);
+        }
+        let mut view = Bytes::from(self.buf[..len].to_vec());
+        match decode(&mut view) {
+            Ok(msg) => {
+                self.buf.drain(..len);
+                Ok(Some(msg))
+            }
+            Err(err) => {
+                self.poisoned = Some(err);
+                Err(err)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,6 +698,88 @@ mod tests {
         raw.put_u8(2);
         raw.extend_from_slice(&body);
         assert_eq!(decode(&mut raw.freeze()), Err(WireError::BadAttribute));
+    }
+
+    #[test]
+    fn stream_decoder_handles_byte_at_a_time_delivery() {
+        let msgs = vec![
+            BgpMessage::Keepalive,
+            BgpMessage::Update(simple_announce(prefix("10.0.0.0/8"), &[1], ip("1.1.1.1"))),
+            BgpMessage::Open(OpenMessage {
+                version: 4,
+                asn: Asn(65001),
+                hold_time: 90,
+                router_id: RouterId(1),
+            }),
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode(m));
+        }
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            dec.push(&[b]);
+            while let Some(m) = dec.next().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn stream_decoder_drains_multiple_messages_from_one_push() {
+        let mut stream = Vec::new();
+        for _ in 0..3 {
+            stream.extend_from_slice(&encode(&BgpMessage::Keepalive));
+        }
+        let mut dec = StreamDecoder::new();
+        dec.push(&stream);
+        let mut n = 0;
+        while let Some(m) = dec.next().unwrap() {
+            assert_eq!(m, BgpMessage::Keepalive);
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn stream_decoder_poisons_on_bad_marker() {
+        let mut raw = encode(&BgpMessage::Keepalive).to_vec();
+        raw[3] = 0;
+        let mut dec = StreamDecoder::new();
+        dec.push(&raw);
+        assert_eq!(dec.next(), Err(WireError::BadMarker));
+        // Poisoned: pushing a valid message afterwards cannot revive it.
+        dec.push(&encode(&BgpMessage::Keepalive));
+        assert_eq!(dec.next(), Err(WireError::BadMarker));
+    }
+
+    #[test]
+    fn stream_decoder_rejects_oversized_frame_before_body_arrives() {
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((MAX_MESSAGE_LEN + 1) as u16);
+        raw.put_u8(2);
+        let mut dec = StreamDecoder::new();
+        dec.push(&raw);
+        assert_eq!(dec.next(), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn stream_decoder_treats_complete_frame_with_short_body_as_fatal() {
+        // A NOTIFICATION frame whose body is 1 byte short: the frame is
+        // complete per its length field, so this is corruption, not a
+        // partial read.
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + 1) as u16);
+        raw.put_u8(3);
+        raw.put_u8(6); // code byte only, missing subcode
+        let mut dec = StreamDecoder::new();
+        dec.push(&raw);
+        assert_eq!(dec.next(), Err(WireError::Truncated));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Property-based tests for incremental BGP stream framing.
+//!
+//! TCP is free to deliver a message stream in any byte-level segmentation:
+//! one byte at a time, several messages per read, or splits landing exactly
+//! on header boundaries. The [`StreamDecoder`] must reassemble the same
+//! message sequence under *every* segmentation, and must fail closed (a
+//! fatal, sticky error — never a mis-parse, never a panic) on corrupt or
+//! oversized frames.
+
+use proptest::prelude::*;
+use sdx_bgp::attrs::{AsPath, AsPathSegment, Community, Origin, PathAttributes};
+use sdx_bgp::msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
+use sdx_bgp::wire::{self, StreamDecoder, WireError, HEADER_LEN, MAX_MESSAGE_LEN};
+use sdx_net::{Asn, Ipv4Addr, Prefix, RouterId};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(Ipv4Addr(a), l))
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        proptest::collection::vec(1u32..1_000_000, 1..5),
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..3),
+        0u8..3,
+    )
+        .prop_map(|(path, nh, med, lp, comms, origin)| {
+            let mut a = PathAttributes::new(
+                AsPath {
+                    segments: vec![AsPathSegment::Sequence(
+                        path.into_iter().map(Asn).collect(),
+                    )],
+                },
+                Ipv4Addr(nh),
+            );
+            a.med = med;
+            a.local_pref = lp;
+            a.communities = comms.into_iter().map(|(x, y)| Community(x, y)).collect();
+            a.origin = Origin::from_value(origin).unwrap();
+            a
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = BgpMessage> {
+    prop_oneof![
+        Just(BgpMessage::Keepalive),
+        (1u32..65000, any::<u16>(), any::<u32>()).prop_map(|(asn, hold, rid)| {
+            BgpMessage::Open(OpenMessage {
+                version: 4,
+                asn: Asn(asn),
+                hold_time: hold,
+                router_id: RouterId(rid),
+            })
+        }),
+        (1u8..=6, any::<u8>()).prop_map(|(c, s)| BgpMessage::Notification {
+            code: NotificationCode::from_value(c).unwrap(),
+            subcode: s,
+        }),
+        (
+            proptest::collection::vec(arb_prefix(), 0..6),
+            proptest::option::of(arb_attrs()),
+            proptest::collection::vec(arb_prefix(), 0..6),
+        )
+            .prop_map(|(withdrawn, attrs, mut nlri)| {
+                if attrs.is_none() {
+                    nlri.clear(); // the decoder rejects NLRI without attrs
+                }
+                BgpMessage::Update(UpdateMessage {
+                    withdrawn,
+                    attrs,
+                    nlri,
+                })
+            }),
+    ]
+}
+
+/// Encodes `msgs` into one contiguous byte stream.
+fn encode_stream(msgs: &[BgpMessage]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for m in msgs {
+        out.extend_from_slice(&wire::encode(m));
+    }
+    out
+}
+
+/// Splits `stream` into chunks at positions chosen by `cuts` (fractions of
+/// the stream length), then feeds each chunk to a fresh decoder and drains
+/// everything it yields.
+fn decode_segmented(stream: &[u8], cuts: &[f64]) -> Result<Vec<BgpMessage>, WireError> {
+    let mut points: Vec<usize> = cuts
+        .iter()
+        .map(|f| (stream.len() as f64 * f) as usize)
+        .collect();
+    points.push(0);
+    points.push(stream.len());
+    points.sort_unstable();
+    points.dedup();
+
+    let mut dec = StreamDecoder::new();
+    let mut got = Vec::new();
+    for w in points.windows(2) {
+        dec.push(&stream[w[0]..w[1]]);
+        while let Some(m) = dec.next()? {
+            got.push(m);
+        }
+    }
+    Ok(got)
+}
+
+proptest! {
+    /// Any segmentation of a valid stream decodes to the same sequence.
+    #[test]
+    fn any_segmentation_yields_the_same_messages(
+        msgs in proptest::collection::vec(arb_message(), 0..6),
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..12),
+    ) {
+        let stream = encode_stream(&msgs);
+        let got = decode_segmented(&stream, &cuts).expect("valid stream");
+        prop_assert_eq!(got, msgs);
+    }
+
+    /// Byte-at-a-time delivery — the worst-case segmentation — also
+    /// reproduces the sequence, and nothing is left buffered.
+    #[test]
+    fn byte_at_a_time_yields_the_same_messages(
+        msgs in proptest::collection::vec(arb_message(), 1..5),
+    ) {
+        let stream = encode_stream(&msgs);
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(m) = dec.next().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Cutting the stream mid-frame yields exactly the messages whose
+    /// frames completed, then waits for more bytes — no error, no
+    /// misparse of the partial tail.
+    #[test]
+    fn truncated_tail_is_pending_not_an_error(
+        msgs in proptest::collection::vec(arb_message(), 1..5),
+        frac in 0.0f64..1.0,
+    ) {
+        let stream = encode_stream(&msgs);
+        // Cut strictly inside the final frame.
+        let last_start = stream.len() - wire::encode(msgs.last().unwrap()).len();
+        let span = stream.len() - last_start;
+        let cut = last_start + ((span - 1) as f64 * frac) as usize;
+
+        let mut dec = StreamDecoder::new();
+        dec.push(&stream[..cut]);
+        let mut got = Vec::new();
+        while let Some(m) = dec.next().expect("prefix of a valid stream") {
+            got.push(m);
+        }
+        prop_assert_eq!(&got[..], &msgs[..msgs.len() - 1]);
+        // Delivering the rest completes the sequence.
+        dec.push(&stream[cut..]);
+        while let Some(m) = dec.next().unwrap() {
+            got.push(m);
+        }
+        prop_assert_eq!(got, msgs);
+    }
+
+    /// A corrupted marker byte anywhere in the first frame's header is a
+    /// fatal, sticky `BadMarker` — the decoder never resynchronizes.
+    #[test]
+    fn corrupt_marker_is_fatal_and_sticky(
+        msgs in proptest::collection::vec(arb_message(), 1..4),
+        pos in 0usize..16,
+        xor in 1u8..=255,
+    ) {
+        let mut stream = encode_stream(&msgs);
+        stream[pos] ^= xor;
+        let mut dec = StreamDecoder::new();
+        dec.push(&stream);
+        prop_assert_eq!(dec.next(), Err(WireError::BadMarker));
+        dec.push(&encode_stream(&[BgpMessage::Keepalive]));
+        prop_assert_eq!(dec.next(), Err(WireError::BadMarker));
+    }
+
+    /// Oversized or undersized framed lengths are rejected from the header
+    /// alone — before any body bytes arrive.
+    #[test]
+    fn bad_framed_length_rejected_from_header(
+        len in prop_oneof![
+            0u16..HEADER_LEN as u16,
+            (MAX_MESSAGE_LEN as u16 + 1)..=u16::MAX,
+        ],
+    ) {
+        let mut raw = vec![0xffu8; 16];
+        raw.extend_from_slice(&len.to_be_bytes());
+        raw.push(2);
+        let mut dec = StreamDecoder::new();
+        dec.push(&raw);
+        prop_assert_eq!(dec.next(), Err(WireError::BadLength));
+    }
+
+    /// Arbitrary garbage never panics the stream decoder; it either waits
+    /// for more bytes, yields messages, or fails with a sticky error.
+    #[test]
+    fn garbage_never_panics(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0..8,
+        ),
+    ) {
+        let mut dec = StreamDecoder::new();
+        let mut failed = None;
+        for chunk in &chunks {
+            dec.push(chunk);
+            loop {
+                match dec.next() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => {
+                        if let Some(first) = failed {
+                            prop_assert_eq!(e, first, "poison error must be sticky");
+                        }
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

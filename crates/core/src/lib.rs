@@ -64,7 +64,9 @@ pub use faults::{FaultPlan, InjectionPoint};
 pub use fec::{minimum_disjoint_subsets, FecGroup, FecId, FecKey};
 pub use participant::{ParticipantConfig, PhysicalPort};
 pub use reconcile::{diff_base_table, TableDiff};
-pub use schedule::{ScheduleOpts, ScheduleReport, UpdatePlan, WaveReport};
+pub use schedule::{
+    MultiFabricSink, ScheduleOpts, ScheduleReport, UpdatePlan, WaveReport, WaveSink,
+};
 pub use service_chain::ServiceChain;
 pub use txn::{DeltaTxn, FabricTxn};
 pub use vnh::VnhAllocator;

@@ -51,6 +51,7 @@ use std::collections::BTreeMap;
 use sdx_net::{HeaderMatch, MacAddr, Mod};
 use sdx_openflow::fabric::Fabric;
 use sdx_openflow::flowmod::{FlowMod, FlowModBatch};
+use sdx_openflow::multiswitch::MultiFabric;
 use sdx_openflow::table::FlowTable;
 use sdx_telemetry::{Event, SharedRegistry};
 
@@ -446,6 +447,72 @@ impl Default for ScheduleOpts {
 /// crate layering stays acyclic.
 pub type WaveChecker<'a> = dyn FnMut(&Fabric, usize) -> Result<(), String> + 'a;
 
+/// A per-wave fan-out target for [`drive_fanout`]: after a wave lands on
+/// the driving fabric (and passes its safety check), the sink applies the
+/// *same* wave everywhere else it must go — every switch of a
+/// [`MultiFabric`], or external switch agents over OpenFlow channels.
+///
+/// `apply_wave` must not return until the wave is fully applied at every
+/// target: **its return is the per-wave barrier** that keeps the whole
+/// fleet moving through the same sequence of verified-safe intermediate
+/// states. An implementation is free to apply to its targets concurrently,
+/// as long as it joins them all before returning.
+pub trait WaveSink {
+    /// Applies wave `wave` (zero-based, of `total`) to every target.
+    /// An error aborts the schedule: the driving fabric is rolled back to
+    /// the pre-wave barrier and [`SdxError::InvalidCommit`] is returned.
+    fn apply_wave(
+        &mut self,
+        wave: usize,
+        total: usize,
+        batch: &FlowModBatch,
+    ) -> Result<(), String>;
+}
+
+/// Fans each wave out across every switch of a [`MultiFabric`]
+/// concurrently: one scoped thread per switch table, joined before
+/// returning — the join is the per-wave barrier. This closes the
+/// "potential parallelism" the single-switch driver could only express:
+/// within a wave the mods are mutually independent *and* the per-switch
+/// tables are independent borrows, so all switches program in parallel
+/// and no switch starts wave *n+1* before every switch finished wave *n*.
+pub struct MultiFabricSink<'a> {
+    fabric: &'a mut MultiFabric,
+}
+
+impl<'a> MultiFabricSink<'a> {
+    /// A sink driving every switch of `fabric`.
+    pub fn new(fabric: &'a mut MultiFabric) -> Self {
+        MultiFabricSink { fabric }
+    }
+}
+
+impl WaveSink for MultiFabricSink<'_> {
+    fn apply_wave(
+        &mut self,
+        wave: usize,
+        _total: usize,
+        batch: &FlowModBatch,
+    ) -> Result<(), String> {
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .fabric
+                .tables_mut()
+                .into_iter()
+                .map(|(id, table)| s.spawn(move || (id, table.apply_batch(batch))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("wave worker panicked"))
+                .collect()
+        });
+        for (id, r) in results {
+            r.map_err(|e| format!("wave {wave} rejected by switch {}: {e}", id.0))?;
+        }
+        Ok(())
+    }
+}
+
 /// What one applied wave cost.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct WaveReport {
@@ -500,7 +567,26 @@ pub fn drive(
     faults: &mut FaultPlan,
     telemetry: &SharedRegistry,
     opts: &ScheduleOpts,
+    checker: Option<&mut WaveChecker>,
+) -> Result<ScheduleReport, SdxError> {
+    drive_fanout(plan, fabric, faults, telemetry, opts, checker, None)
+}
+
+/// [`drive`], plus a multi-channel [`WaveSink`]: after each wave lands on
+/// the driving `fabric` and passes `checker`, `sink.apply_wave` pushes the
+/// identical wave to every fan-out target and blocks until all confirm —
+/// the per-wave barrier now spans the whole fleet. A sink failure rolls
+/// the driving fabric back to the pre-wave barrier (so local state never
+/// runs ahead of a fleet that stopped) and surfaces as
+/// [`SdxError::InvalidCommit`].
+pub fn drive_fanout(
+    plan: &UpdatePlan,
+    fabric: &mut Fabric,
+    faults: &mut FaultPlan,
+    telemetry: &SharedRegistry,
+    opts: &ScheduleOpts,
     mut checker: Option<&mut WaveChecker>,
+    mut sink: Option<&mut dyn WaveSink>,
 ) -> Result<ScheduleReport, SdxError> {
     let mut report = ScheduleReport {
         epoch: plan.epoch,
@@ -550,7 +636,7 @@ pub fn drive(
                 }
             }
         }
-        let snapshot = checker.is_some().then(|| fabric.snapshot());
+        let snapshot = (checker.is_some() || sink.is_some()).then(|| fabric.snapshot());
         fabric.apply_flowmods(wave).map_err(|e| {
             SdxError::InvalidCommit(format!("scheduled wave {i} rejected by the switch: {e}"))
         })?;
@@ -564,6 +650,17 @@ pub fn drive(
                     wave: i,
                     counterexample,
                 });
+            }
+        }
+        if let Some(ref mut s) = sink {
+            if let Err(e) = s.apply_wave(i, plan.waves.len(), wave) {
+                if let Some(snap) = snapshot {
+                    fabric.restore(snap);
+                }
+                telemetry.inc("schedule.fanout_failed.count");
+                return Err(SdxError::InvalidCommit(format!(
+                    "scheduled wave {i} failed to fan out: {e}"
+                )));
             }
         }
         telemetry.inc("schedule.waves.count");
@@ -890,6 +987,85 @@ mod tests {
         );
         assert!(fabric.switch.table().is_empty(), "vetoed wave rolled back");
         assert_eq!(reg.counter("schedule.unsafe.count").get(), 1);
+    }
+
+    #[test]
+    fn fanout_applies_every_wave_to_every_switch_in_order() {
+        use sdx_openflow::multiswitch::SwitchId;
+        let b = batch(vec![
+            add(5, HeaderMatch::any(), out(1)),
+            add(10, HeaderMatch::of(FieldMatch::TpDst(80)), out(2)),
+        ]);
+        let p = plan(&FlowTable::new(), &b);
+        assert_eq!(p.wave_count(), 2);
+        let mut fabric = Fabric::new();
+        let mut multi = MultiFabric::new();
+        for id in 0..4 {
+            multi.add_switch(SwitchId(id));
+        }
+        let mut faults = FaultPlan::disabled();
+        let reg = SharedRegistry::new();
+        let mut sink = MultiFabricSink::new(&mut multi);
+        let r = drive_fanout(
+            &p,
+            &mut fabric,
+            &mut faults,
+            &reg,
+            &ScheduleOpts::default(),
+            None,
+            Some(&mut sink),
+        )
+        .expect("fan-out succeeds");
+        assert_eq!(r.applied.len(), 2);
+        // Every switch ends up identical to the driving fabric's table.
+        for id in multi.switch_ids() {
+            assert_eq!(multi.table_of(id).unwrap(), fabric.switch.table());
+        }
+        assert_eq!(multi.total_rules(), 4 * 2);
+    }
+
+    #[test]
+    fn fanout_failure_rolls_the_driving_fabric_back_to_the_barrier() {
+        struct FailAt(usize);
+        impl WaveSink for FailAt {
+            fn apply_wave(
+                &mut self,
+                wave: usize,
+                _total: usize,
+                _batch: &FlowModBatch,
+            ) -> Result<(), String> {
+                if wave == self.0 {
+                    Err(format!("agent unreachable at wave {wave}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let b = batch(vec![
+            add(5, HeaderMatch::any(), out(1)),
+            add(10, HeaderMatch::of(FieldMatch::TpDst(80)), out(2)),
+        ]);
+        let p = plan(&FlowTable::new(), &b);
+        let mut fabric = Fabric::new();
+        let mut faults = FaultPlan::disabled();
+        let reg = SharedRegistry::new();
+        let mut sink = FailAt(1);
+        let err = drive_fanout(
+            &p,
+            &mut fabric,
+            &mut faults,
+            &reg,
+            &ScheduleOpts::default(),
+            None,
+            Some(&mut sink),
+        )
+        .expect_err("wave 1 cannot fan out");
+        assert!(matches!(err, SdxError::InvalidCommit(_)), "{err}");
+        // The local fabric parks at the wave-0 barrier: wave 1 was applied
+        // locally, failed to fan out, and was rolled back.
+        assert_eq!(fabric.switch.table().len(), 1);
+        assert_eq!(reg.counter("schedule.fanout_failed.count").get(), 1);
+        assert_eq!(reg.counter("schedule.waves.count").get(), 1);
     }
 
     #[test]

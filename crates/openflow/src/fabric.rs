@@ -35,6 +35,29 @@ pub struct Fabric {
     /// other handle, so snapshot/restore equality of the *installed state*
     /// is unaffected by where the fabric reports metrics.
     telemetry: SharedRegistry,
+    /// Opt-in recorder of every batch [`apply_flowmods`](Fabric::apply_flowmods)
+    /// accepted, in order (see [`enable_batch_log`](Fabric::enable_batch_log)).
+    batch_log: BatchLog,
+}
+
+/// The applied-batch recorder behind [`Fabric::enable_batch_log`].
+///
+/// Compares equal to any other log, like the telemetry handle: what the
+/// fabric *has installed* is unaffected by what it has not yet streamed,
+/// so snapshot equality checks must not see this field. It clones deep,
+/// though — a snapshot captures the unstreamed backlog, and a rollback
+/// retracts batches that were applied and then undone, so they are never
+/// streamed to external switch agents.
+#[derive(Clone, Debug, Default)]
+pub struct BatchLog {
+    enabled: bool,
+    batches: Vec<FlowModBatch>,
+}
+
+impl PartialEq for BatchLog {
+    fn eq(&self, _: &BatchLog) -> bool {
+        true
+    }
 }
 
 impl Fabric {
@@ -123,6 +146,9 @@ impl Fabric {
     pub fn apply_flowmods(&mut self, batch: &FlowModBatch) -> Result<BatchStats, FlowModError> {
         match self.switch.table_mut().apply_batch(batch) {
             Ok(stats) => {
+                if self.batch_log.enabled {
+                    self.batch_log.batches.push(batch.clone());
+                }
                 self.telemetry.inc("fabric.flowmod.batch.count");
                 self.telemetry
                     .add("fabric.flowmod.add.count", stats.adds as u64);
@@ -139,6 +165,23 @@ impl Fabric {
                 Err(e)
             }
         }
+    }
+
+    /// Starts recording every accepted flow-mod batch. The `sdx-runtime`
+    /// daemon uses this as its tap: the controller applies batches to the
+    /// local fabric through all its usual paths (delta overlay, scheduled
+    /// waves, reoptimize), and the daemon drains the log to stream the
+    /// *exact same* batches to external switch agents. Rejected batches
+    /// are never recorded; rolled-back ones are retracted by `restore`.
+    pub fn enable_batch_log(&mut self) {
+        self.batch_log.enabled = true;
+    }
+
+    /// Takes the recorded batches accumulated since the last drain,
+    /// oldest first. Empty (and free) unless
+    /// [`enable_batch_log`](Fabric::enable_batch_log) was called.
+    pub fn drain_batches(&mut self) -> Vec<FlowModBatch> {
+        std::mem::take(&mut self.batch_log.batches)
     }
 
     /// Captures the complete fabric state — flow table, ARP responder,
@@ -281,6 +324,69 @@ mod tests {
         assert_ne!(&f, snap.view());
         f.restore(snap.clone());
         assert_eq!(&f, snap.view(), "restore is exact");
+    }
+
+    #[test]
+    fn batch_log_records_applied_batches_and_rolls_back() {
+        use crate::flowmod::FlowMod;
+        let mut f = two_party_fabric();
+        f.enable_batch_log();
+        let mut b1 = FlowModBatch::new(1);
+        b1.push(FlowMod::Add(FlowEntry::new(
+            50,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(2, 1))]],
+        )));
+        f.apply_flowmods(&b1).unwrap();
+
+        let snap = f.snapshot();
+        let mut b2 = FlowModBatch::new(2);
+        b2.push(FlowMod::Add(FlowEntry::new(
+            51,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(1, 1))]],
+        )));
+        f.apply_flowmods(&b2).unwrap();
+        // Roll back: the second batch was applied then undone, so it must
+        // not survive in the log to be streamed.
+        f.restore(snap);
+        let drained = f.drain_batches();
+        assert_eq!(drained, vec![b1]);
+        assert!(f.drain_batches().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn batch_log_skips_rejected_batches_and_is_off_by_default() {
+        use crate::flowmod::FlowMod;
+        let mut f = two_party_fabric();
+        // Off by default: nothing is recorded.
+        let mut ok = FlowModBatch::new(1);
+        ok.push(FlowMod::Add(FlowEntry::new(
+            50,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(2, 1))]],
+        )));
+        f.apply_flowmods(&ok).unwrap();
+        assert!(f.drain_batches().is_empty());
+
+        f.enable_batch_log();
+        // A rejected batch (delete of a non-existent rule) leaves no trace.
+        let mut bad = FlowModBatch::new(2);
+        bad.push(FlowMod::Delete {
+            priority: 9999,
+            pattern: HeaderMatch::any(),
+        });
+        assert!(f.apply_flowmods(&bad).is_err());
+        assert!(f.drain_batches().is_empty());
+        // Accepted batches are recorded once logging is on.
+        let mut ok2 = FlowModBatch::new(3);
+        ok2.push(FlowMod::Add(FlowEntry::new(
+            51,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(1, 1))]],
+        )));
+        f.apply_flowmods(&ok2).unwrap();
+        assert_eq!(f.drain_batches().len(), 1);
     }
 
     #[test]

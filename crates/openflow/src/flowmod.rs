@@ -214,11 +214,7 @@ impl FlowTable {
         for m in &batch.mods {
             match m {
                 FlowMod::Add(entry) => {
-                    if staged
-                        .entries()
-                        .iter()
-                        .any(|e| e.priority == entry.priority && e.pattern == entry.pattern)
-                    {
+                    if staged.contains_exact(entry.priority, &entry.pattern) {
                         return Err(FlowModError::DuplicateAdd {
                             priority: entry.priority,
                             pattern: entry.pattern,

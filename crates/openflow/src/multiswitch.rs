@@ -27,7 +27,9 @@ use sdx_policy::Classifier;
 
 use crate::arp::ArpResponder;
 use crate::border_router::BorderRouter;
+use crate::flowmod::{BatchStats, FlowModBatch, FlowModError};
 use crate::switch::Switch;
+use crate::table::FlowTable;
 
 /// Identifier of one physical switch in the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -120,6 +122,41 @@ impl MultiFabric {
     /// Number of physical switches.
     pub fn switch_count(&self) -> usize {
         self.switches.len()
+    }
+
+    /// The switch ids, ascending.
+    pub fn switch_ids(&self) -> Vec<SwitchId> {
+        self.switches.keys().copied().collect()
+    }
+
+    /// The flow table of one switch, if it exists.
+    pub fn table_of(&self, id: SwitchId) -> Option<&FlowTable> {
+        self.switches.get(&id).map(|s| s.table())
+    }
+
+    /// Mutable access to every switch's flow table at once. The
+    /// scheduled-wave fan-out uses this to apply one wave to all switches
+    /// concurrently on scoped threads — each table is an independent
+    /// borrow, so the compiler proves the parallelism safe.
+    pub fn tables_mut(&mut self) -> Vec<(SwitchId, &mut FlowTable)> {
+        self.switches
+            .iter_mut()
+            .map(|(id, sw)| (*id, sw.table_mut()))
+            .collect()
+    }
+
+    /// Applies one atomic flow-mod batch to **every** switch — the
+    /// distribution step of the topology abstraction, mirroring
+    /// [`load_classifier`](MultiFabric::load_classifier) for the
+    /// delta-first path. All switches carry the same logical table by
+    /// construction, so a batch either applies everywhere or fails on the
+    /// first switch before any other is touched.
+    pub fn apply_flowmods(&mut self, batch: &FlowModBatch) -> Result<BatchStats, FlowModError> {
+        let mut stats = BatchStats::default();
+        for sw in self.switches.values_mut() {
+            stats = sw.table_mut().apply_batch(batch)?;
+        }
+        Ok(stats)
     }
 
     /// A participant-originated packet: border-router forwarding (FIB +
@@ -273,6 +310,34 @@ mod tests {
         assert_eq!(f.switch_count(), 2);
         // The logical table is installed on every switch.
         assert_eq!(f.total_rules(), 2 * classifier().rules().len());
+    }
+
+    #[test]
+    fn apply_flowmods_reaches_every_switch() {
+        use crate::flowmod::{FlowMod, FlowModBatch};
+        use crate::table::FlowEntry;
+        let mut f = split_fabric();
+        let before = f.total_rules();
+        let mut batch = FlowModBatch::new(1);
+        batch.push(FlowMod::Add(FlowEntry::new(
+            5,
+            HeaderMatch::any(),
+            vec![vec![Mod::SetLoc(port(2, 1))]],
+        )));
+        let stats = f.apply_flowmods(&batch).unwrap();
+        assert_eq!(stats.adds, 1);
+        assert_eq!(f.total_rules(), before + f.switch_count());
+        for id in f.switch_ids() {
+            assert!(f
+                .table_of(id)
+                .unwrap()
+                .entries()
+                .iter()
+                .any(|e| e.priority == 5));
+        }
+        // tables_mut hands out one independent borrow per switch.
+        let tables = f.tables_mut();
+        assert_eq!(tables.len(), 2);
     }
 
     #[test]

@@ -89,14 +89,28 @@ impl FlowTable {
         }
     }
 
+    /// The half-open index range of entries with exactly `priority`.
+    /// Entries are sorted by descending priority, so this is two binary
+    /// searches — the whole table is never scanned.
+    fn priority_range(&self, priority: u32) -> std::ops::Range<usize> {
+        let lo = self.entries.partition_point(|e| e.priority > priority);
+        let hi = self.entries.partition_point(|e| e.priority >= priority);
+        lo..hi
+    }
+
+    /// Index of the entry at exactly (priority, pattern), if present.
+    fn position_of(&self, priority: u32, pattern: &HeaderMatch) -> Option<usize> {
+        let range = self.priority_range(priority);
+        self.entries[range.clone()]
+            .iter()
+            .position(|e| &e.pattern == pattern)
+            .map(|i| range.start + i)
+    }
+
     /// Installs an entry. An existing entry with identical (priority,
     /// pattern) is replaced in place, as OpenFlow `ADD` does.
     pub fn install(&mut self, entry: FlowEntry) {
-        if let Some(pos) = self
-            .entries
-            .iter()
-            .position(|e| e.priority == entry.priority && e.pattern == entry.pattern)
-        {
+        if let Some(pos) = self.position_of(entry.priority, &entry.pattern) {
             let old_cookie = self.entries[pos].cookie;
             self.index_remove(old_cookie);
             self.index_add(entry.cookie);
@@ -104,11 +118,7 @@ impl FlowTable {
             return;
         }
         // Insert before the first strictly-lower priority (stable order).
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.priority < entry.priority)
-            .unwrap_or(self.entries.len());
+        let idx = self.priority_range(entry.priority).end;
         self.index_add(entry.cookie);
         self.entries.insert(idx, entry);
     }
@@ -123,11 +133,7 @@ impl FlowTable {
         buckets: &[Vec<Mod>],
         cookie: u64,
     ) -> bool {
-        let Some(pos) = self
-            .entries
-            .iter()
-            .position(|e| e.priority == priority && &e.pattern == pattern)
-        else {
+        let Some(pos) = self.position_of(priority, pattern) else {
             return false;
         };
         let old_cookie = self.entries[pos].cookie;
@@ -142,11 +148,7 @@ impl FlowTable {
     /// Removes the entry at exactly (priority, pattern). Returns `false`
     /// if no such entry exists.
     pub fn delete_exact(&mut self, priority: u32, pattern: &HeaderMatch) -> bool {
-        let Some(pos) = self
-            .entries
-            .iter()
-            .position(|e| e.priority == priority && &e.pattern == pattern)
-        else {
+        let Some(pos) = self.position_of(priority, pattern) else {
             return false;
         };
         let cookie = self.entries[pos].cookie;
@@ -213,6 +215,11 @@ impl FlowTable {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.cookie_index.clear();
+    }
+
+    /// True if an entry exists at exactly (priority, pattern).
+    pub fn contains_exact(&self, priority: u32, pattern: &HeaderMatch) -> bool {
+        self.position_of(priority, pattern).is_some()
     }
 
     /// Number of installed entries.

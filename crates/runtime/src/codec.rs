@@ -1,0 +1,566 @@
+//! The OpenFlow-channel wire format: JSON-lines framing of the typed
+//! flow-mod protocol.
+//!
+//! The daemon streams [`FlowModBatch`]es to switch agents as one JSON
+//! object per line, and the agent answers each with a one-line ack.
+//! JSON (via `sdx_telemetry::Json`, the workspace's only JSON
+//! implementation) keeps the channel debuggable with `nc` while staying
+//! std-only; the framing is newline-delimited so partial reads are
+//! handled by any buffered line reader.
+//!
+//! Three frame kinds flow daemon → agent:
+//!
+//! * `{"seq":N,"batch":{...}}` — apply this batch to the current table.
+//! * `{"seq":N,"sync":{...}}`  — clear the table, then apply (full-state
+//!   resynchronization: first contact, or recovery after a failed
+//!   scheduled update left the agent ahead of the controller).
+//!
+//! and one agent → daemon:
+//!
+//! * `{"seq":N,"ok":true}` / `{"seq":N,"ok":false,"error":"..."}`.
+//!
+//! Every encoder here has a matching decoder and the pair round-trips
+//! exactly (see the tests); the daemon and the in-repo simulated agent
+//! share this module, so the bytes on the wire are the single source of
+//! truth for both ends.
+
+use sdx_net::{
+    EtherType, FieldMatch, HeaderMatch, IpProto, Ipv4Addr, MacAddr, Mod, ParticipantId, PortId,
+    Prefix,
+};
+use sdx_openflow::flowmod::{FlowMod, FlowModBatch};
+use sdx_openflow::table::{FlowEntry, FlowTable};
+use sdx_telemetry::Json;
+
+/// A malformed frame: the offending context and what was wrong.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+fn key(k: &str, v: Json) -> (String, Json) {
+    (k.to_string(), v)
+}
+
+fn int(v: impl Into<i128>) -> Json {
+    Json::Int(v.into())
+}
+
+fn get_u64(j: &Json, k: &str) -> Result<u64, CodecError> {
+    j.get(k)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CodecError(format!("missing or non-integer field `{k}`")))
+}
+
+// ---------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------
+
+fn port_to_json(p: PortId) -> Json {
+    match p {
+        PortId::Phys(pid, iface) => Json::obj([
+            key("phys", int(pid.0)),
+            key("if", int(iface)),
+        ]),
+        PortId::Virt(pid) => Json::obj([key("virt", int(pid.0))]),
+    }
+}
+
+fn port_from_json(j: &Json) -> Result<PortId, CodecError> {
+    if let Some(p) = j.get("virt").and_then(Json::as_u64) {
+        return Ok(PortId::Virt(ParticipantId(p as u32)));
+    }
+    let pid = get_u64(j, "phys")?;
+    let iface = get_u64(j, "if")?;
+    Ok(PortId::Phys(ParticipantId(pid as u32), iface as u8))
+}
+
+fn mac_to_json(m: MacAddr) -> Json {
+    Json::Arr(m.0.iter().map(|&b| int(b)).collect())
+}
+
+fn mac_from_json(j: &Json) -> Result<MacAddr, CodecError> {
+    let arr = j.as_arr().ok_or_else(|| CodecError("mac: not an array".into()))?;
+    if arr.len() != 6 {
+        return err(format!("mac: {} octets", arr.len()));
+    }
+    let mut m = [0u8; 6];
+    for (i, b) in arr.iter().enumerate() {
+        m[i] = b.as_u64().ok_or_else(|| CodecError("mac: non-integer octet".into()))? as u8;
+    }
+    Ok(MacAddr(m))
+}
+
+fn prefix_to_json(p: Prefix) -> Json {
+    Json::obj([key("addr", int(p.addr().0)), key("len", int(p.len()))])
+}
+
+fn prefix_from_json(j: &Json) -> Result<Prefix, CodecError> {
+    let addr = get_u64(j, "addr")? as u32;
+    let len = get_u64(j, "len")? as u8;
+    if len > 32 {
+        return err(format!("prefix: length {len}"));
+    }
+    Ok(Prefix::new(Ipv4Addr(addr), len))
+}
+
+// ---------------------------------------------------------------------
+// HeaderMatch / Mod
+// ---------------------------------------------------------------------
+
+fn pattern_to_json(m: &HeaderMatch) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(p) = m.in_port {
+        fields.push(key("in_port", port_to_json(p)));
+    }
+    if let Some(mac) = m.dl_src {
+        fields.push(key("dl_src", mac_to_json(mac)));
+    }
+    if let Some(mac) = m.dl_dst {
+        fields.push(key("dl_dst", mac_to_json(mac)));
+    }
+    if let Some(t) = m.eth_type {
+        fields.push(key("eth_type", int(t.value())));
+    }
+    if let Some(p) = m.nw_src {
+        fields.push(key("nw_src", prefix_to_json(p)));
+    }
+    if let Some(p) = m.nw_dst {
+        fields.push(key("nw_dst", prefix_to_json(p)));
+    }
+    if let Some(p) = m.nw_proto {
+        fields.push(key("nw_proto", int(p.value())));
+    }
+    if let Some(p) = m.tp_src {
+        fields.push(key("tp_src", int(p)));
+    }
+    if let Some(p) = m.tp_dst {
+        fields.push(key("tp_dst", int(p)));
+    }
+    Json::Obj(fields)
+}
+
+fn pattern_from_json(j: &Json) -> Result<HeaderMatch, CodecError> {
+    let mut m = HeaderMatch::any();
+    if let Some(p) = j.get("in_port") {
+        m.set(FieldMatch::InPort(port_from_json(p)?));
+    }
+    if let Some(v) = j.get("dl_src") {
+        m.set(FieldMatch::DlSrc(mac_from_json(v)?));
+    }
+    if let Some(v) = j.get("dl_dst") {
+        m.set(FieldMatch::DlDst(mac_from_json(v)?));
+    }
+    if let Some(v) = j.get("eth_type") {
+        let v = v.as_u64().ok_or_else(|| CodecError("eth_type: not an int".into()))?;
+        m.set(FieldMatch::EthType(EtherType::from_value(v as u16)));
+    }
+    if let Some(v) = j.get("nw_src") {
+        m.set(FieldMatch::NwSrc(prefix_from_json(v)?));
+    }
+    if let Some(v) = j.get("nw_dst") {
+        m.set(FieldMatch::NwDst(prefix_from_json(v)?));
+    }
+    if let Some(v) = j.get("nw_proto") {
+        let v = v.as_u64().ok_or_else(|| CodecError("nw_proto: not an int".into()))?;
+        m.set(FieldMatch::NwProto(IpProto::from_value(v as u8)));
+    }
+    if let Some(v) = j.get("tp_src") {
+        let v = v.as_u64().ok_or_else(|| CodecError("tp_src: not an int".into()))?;
+        m.set(FieldMatch::TpSrc(v as u16));
+    }
+    if let Some(v) = j.get("tp_dst") {
+        let v = v.as_u64().ok_or_else(|| CodecError("tp_dst: not an int".into()))?;
+        m.set(FieldMatch::TpDst(v as u16));
+    }
+    Ok(m)
+}
+
+fn action_to_json(m: Mod) -> Json {
+    match m {
+        Mod::SetLoc(p) => Json::obj([key("fwd", port_to_json(p))]),
+        Mod::SetDlSrc(v) => Json::obj([key("dl_src", mac_to_json(v))]),
+        Mod::SetDlDst(v) => Json::obj([key("dl_dst", mac_to_json(v))]),
+        Mod::SetNwSrc(v) => Json::obj([key("nw_src", int(v.0))]),
+        Mod::SetNwDst(v) => Json::obj([key("nw_dst", int(v.0))]),
+        Mod::SetTpSrc(v) => Json::obj([key("tp_src", int(v))]),
+        Mod::SetTpDst(v) => Json::obj([key("tp_dst", int(v))]),
+    }
+}
+
+fn action_from_json(j: &Json) -> Result<Mod, CodecError> {
+    if let Some(p) = j.get("fwd") {
+        return Ok(Mod::SetLoc(port_from_json(p)?));
+    }
+    if let Some(v) = j.get("dl_src") {
+        return Ok(Mod::SetDlSrc(mac_from_json(v)?));
+    }
+    if let Some(v) = j.get("dl_dst") {
+        return Ok(Mod::SetDlDst(mac_from_json(v)?));
+    }
+    if let Some(v) = j.get("nw_src").and_then(Json::as_u64) {
+        return Ok(Mod::SetNwSrc(Ipv4Addr(v as u32)));
+    }
+    if let Some(v) = j.get("nw_dst").and_then(Json::as_u64) {
+        return Ok(Mod::SetNwDst(Ipv4Addr(v as u32)));
+    }
+    if let Some(v) = j.get("tp_src").and_then(Json::as_u64) {
+        return Ok(Mod::SetTpSrc(v as u16));
+    }
+    if let Some(v) = j.get("tp_dst").and_then(Json::as_u64) {
+        return Ok(Mod::SetTpDst(v as u16));
+    }
+    err("action: unknown kind")
+}
+
+fn buckets_to_json(buckets: &[Vec<Mod>]) -> Json {
+    Json::Arr(
+        buckets
+            .iter()
+            .map(|b| Json::Arr(b.iter().map(|&m| action_to_json(m)).collect()))
+            .collect(),
+    )
+}
+
+fn buckets_from_json(j: &Json) -> Result<Vec<Vec<Mod>>, CodecError> {
+    let arr = j.as_arr().ok_or_else(|| CodecError("buckets: not an array".into()))?;
+    arr.iter()
+        .map(|b| {
+            let acts = b.as_arr().ok_or_else(|| CodecError("bucket: not an array".into()))?;
+            acts.iter().map(action_from_json).collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// FlowMod / FlowModBatch
+// ---------------------------------------------------------------------
+
+fn entry_to_json(e: &FlowEntry) -> Json {
+    Json::obj([
+        key("priority", int(e.priority)),
+        key("pattern", pattern_to_json(&e.pattern)),
+        key("buckets", buckets_to_json(&e.buckets)),
+        key("cookie", int(e.cookie)),
+    ])
+}
+
+fn entry_from_json(j: &Json) -> Result<FlowEntry, CodecError> {
+    let priority = get_u64(j, "priority")? as u32;
+    let pattern = pattern_from_json(
+        j.get("pattern").ok_or_else(|| CodecError("entry: missing pattern".into()))?,
+    )?;
+    let buckets = buckets_from_json(
+        j.get("buckets").ok_or_else(|| CodecError("entry: missing buckets".into()))?,
+    )?;
+    let cookie = get_u64(j, "cookie")?;
+    Ok(FlowEntry::new(priority, pattern, buckets).with_cookie(cookie))
+}
+
+fn mod_to_json(m: &FlowMod) -> Json {
+    match m {
+        FlowMod::Add(e) => Json::obj([key("op", Json::Str("add".into())), key("entry", entry_to_json(e))]),
+        FlowMod::Modify {
+            priority,
+            pattern,
+            buckets,
+            cookie,
+        } => Json::obj([
+            key("op", Json::Str("modify".into())),
+            key("priority", int(*priority)),
+            key("pattern", pattern_to_json(pattern)),
+            key("buckets", buckets_to_json(buckets)),
+            key("cookie", int(*cookie)),
+        ]),
+        FlowMod::Delete { priority, pattern } => Json::obj([
+            key("op", Json::Str("delete".into())),
+            key("priority", int(*priority)),
+            key("pattern", pattern_to_json(pattern)),
+        ]),
+    }
+}
+
+fn mod_from_json(j: &Json) -> Result<FlowMod, CodecError> {
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CodecError("mod: missing op".into()))?;
+    match op {
+        "add" => Ok(FlowMod::Add(entry_from_json(
+            j.get("entry").ok_or_else(|| CodecError("add: missing entry".into()))?,
+        )?)),
+        "modify" => Ok(FlowMod::Modify {
+            priority: get_u64(j, "priority")? as u32,
+            pattern: pattern_from_json(
+                j.get("pattern").ok_or_else(|| CodecError("modify: missing pattern".into()))?,
+            )?,
+            buckets: buckets_from_json(
+                j.get("buckets").ok_or_else(|| CodecError("modify: missing buckets".into()))?,
+            )?,
+            cookie: get_u64(j, "cookie")?,
+        }),
+        "delete" => Ok(FlowMod::Delete {
+            priority: get_u64(j, "priority")? as u32,
+            pattern: pattern_from_json(
+                j.get("pattern").ok_or_else(|| CodecError("delete: missing pattern".into()))?,
+            )?,
+        }),
+        other => err(format!("mod: unknown op `{other}`")),
+    }
+}
+
+/// Encodes a batch as a JSON value (`{"epoch":E,"mods":[...]}`).
+pub fn batch_to_json(b: &FlowModBatch) -> Json {
+    Json::obj([
+        key("epoch", int(b.epoch)),
+        key("mods", Json::Arr(b.mods.iter().map(mod_to_json).collect())),
+    ])
+}
+
+/// Decodes a batch encoded by [`batch_to_json`].
+pub fn batch_from_json(j: &Json) -> Result<FlowModBatch, CodecError> {
+    let epoch = get_u64(j, "epoch")?;
+    let mods = j
+        .get("mods")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CodecError("batch: missing mods".into()))?;
+    let mut batch = FlowModBatch::new(epoch);
+    for m in mods {
+        batch.push(mod_from_json(m)?);
+    }
+    Ok(batch)
+}
+
+// ---------------------------------------------------------------------
+// Channel frames
+// ---------------------------------------------------------------------
+
+/// A decoded daemon → agent frame.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ChannelFrame {
+    /// Apply `batch` to the current table and ack `seq`.
+    Apply {
+        /// Frame sequence number, echoed in the ack.
+        seq: u64,
+        /// The batch to apply.
+        batch: FlowModBatch,
+    },
+    /// Clear the table, then apply `batch` (full resynchronization).
+    Sync {
+        /// Frame sequence number, echoed in the ack.
+        seq: u64,
+        /// A from-scratch image of the whole table.
+        batch: FlowModBatch,
+    },
+}
+
+impl ChannelFrame {
+    /// The frame's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            ChannelFrame::Apply { seq, .. } | ChannelFrame::Sync { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Encodes an apply frame as one JSON line (no trailing newline).
+pub fn encode_apply(seq: u64, batch: &FlowModBatch) -> String {
+    Json::obj([key("seq", int(seq)), key("batch", batch_to_json(batch))]).to_string()
+}
+
+/// Encodes a sync frame as one JSON line (no trailing newline).
+pub fn encode_sync(seq: u64, batch: &FlowModBatch) -> String {
+    Json::obj([key("seq", int(seq)), key("sync", batch_to_json(batch))]).to_string()
+}
+
+/// Decodes one daemon → agent line.
+pub fn decode_frame(line: &str) -> Result<ChannelFrame, CodecError> {
+    let j = Json::parse(line).map_err(|e| CodecError(format!("frame: {e:?}")))?;
+    let seq = get_u64(&j, "seq")?;
+    if let Some(b) = j.get("batch") {
+        return Ok(ChannelFrame::Apply {
+            seq,
+            batch: batch_from_json(b)?,
+        });
+    }
+    if let Some(b) = j.get("sync") {
+        return Ok(ChannelFrame::Sync {
+            seq,
+            batch: batch_from_json(b)?,
+        });
+    }
+    err("frame: neither `batch` nor `sync`")
+}
+
+/// Encodes an agent → daemon ack as one JSON line (no trailing newline).
+pub fn encode_ack(seq: u64, result: Result<(), &str>) -> String {
+    match result {
+        Ok(()) => Json::obj([key("seq", int(seq)), key("ok", Json::Bool(true))]).to_string(),
+        Err(e) => Json::obj([
+            key("seq", int(seq)),
+            key("ok", Json::Bool(false)),
+            key("error", Json::Str(e.to_string())),
+        ])
+        .to_string(),
+    }
+}
+
+/// Decodes one agent → daemon ack line into `(seq, result)`.
+pub fn decode_ack(line: &str) -> Result<(u64, Result<(), String>), CodecError> {
+    let j = Json::parse(line).map_err(|e| CodecError(format!("ack: {e:?}")))?;
+    let seq = get_u64(&j, "seq")?;
+    let ok = match j.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        _ => return err("ack: missing ok"),
+    };
+    if ok {
+        Ok((seq, Ok(())))
+    } else {
+        let msg = j
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified agent error")
+            .to_string();
+        Ok((seq, Err(msg)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synthetic batches
+// ---------------------------------------------------------------------
+
+/// A from-scratch image of `table` as a batch of Adds — what a freshly
+/// connected (or resynchronizing) agent applies to an empty table.
+pub fn sync_batch(table: &FlowTable, epoch: u64) -> FlowModBatch {
+    let mut b = FlowModBatch::new(epoch);
+    for e in table.entries() {
+        b.push(FlowMod::Add(e.clone()));
+    }
+    b
+}
+
+/// Deletes for every entry of `table` at or above `min_priority` — the
+/// streamed equivalent of the controller's overlay retirement
+/// (`remove_at_or_above`), which bypasses the flow-mod path locally.
+pub fn retire_batch(table: &FlowTable, min_priority: u32, epoch: u64) -> FlowModBatch {
+    let mut b = FlowModBatch::new(epoch);
+    for e in table.entries() {
+        if e.priority >= min_priority {
+            b.push(FlowMod::Delete {
+                priority: e.priority,
+                pattern: e.pattern,
+            });
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::Asn;
+
+    fn sample_batch() -> FlowModBatch {
+        let pat = HeaderMatch::any()
+            .and(FieldMatch::InPort(PortId::Phys(ParticipantId(1), 2)))
+            .and(FieldMatch::EthType(EtherType::Ipv4))
+            .and(FieldMatch::NwDst(Prefix::new(Ipv4Addr(0x0a000000), 8)))
+            .and(FieldMatch::TpDst(443));
+        let entry = FlowEntry::new(
+            7,
+            pat,
+            vec![vec![
+                Mod::SetDlDst(MacAddr([1, 2, 3, 4, 5, 6])),
+                Mod::SetLoc(PortId::Virt(ParticipantId(3))),
+            ]],
+        )
+        .with_cookie(99);
+        let mut b = FlowModBatch::new(42);
+        b.push(FlowMod::Add(entry));
+        b.push(FlowMod::Modify {
+            priority: 7,
+            pattern: HeaderMatch::of(FieldMatch::NwProto(IpProto::Tcp)),
+            buckets: vec![vec![Mod::SetNwDst(Ipv4Addr(0x7f000001)), Mod::SetTpSrc(80)]],
+            cookie: 100,
+        });
+        b.push(FlowMod::Delete {
+            priority: 3,
+            pattern: HeaderMatch::any(),
+        });
+        let _ = Asn(65000); // keep the import honest if fields change
+        b
+    }
+
+    #[test]
+    fn batch_roundtrips_through_json() {
+        let b = sample_batch();
+        let j = batch_to_json(&b);
+        let back = batch_from_json(&j).expect("decode");
+        assert_eq!(back, b);
+        // And through the textual form, which is what actually crosses
+        // the socket.
+        let reparsed = Json::parse(&j.to_string()).expect("parse");
+        assert_eq!(batch_from_json(&reparsed).expect("decode"), b);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_acks_carry_errors() {
+        let b = sample_batch();
+        let line = encode_apply(5, &b);
+        match decode_frame(&line).expect("frame") {
+            ChannelFrame::Apply { seq, batch } => {
+                assert_eq!(seq, 5);
+                assert_eq!(batch, b);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        let line = encode_sync(6, &b);
+        match decode_frame(&line).expect("frame") {
+            ChannelFrame::Sync { seq, batch } => {
+                assert_eq!(seq, 6);
+                assert_eq!(batch, b);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert_eq!(decode_ack(&encode_ack(5, Ok(()))).unwrap(), (5, Ok(())));
+        assert_eq!(
+            decode_ack(&encode_ack(7, Err("duplicate install"))).unwrap(),
+            (7, Err("duplicate install".to_string()))
+        );
+        assert!(decode_frame("{\"seq\":1}").is_err());
+        assert!(decode_frame("not json").is_err());
+    }
+
+    #[test]
+    fn sync_and_retire_batches_reflect_the_table() {
+        let mut table = FlowTable::new();
+        table.install(FlowEntry::new(1, HeaderMatch::any(), vec![vec![]]));
+        table.install(FlowEntry::new(
+            1 << 30,
+            HeaderMatch::of(FieldMatch::TpDst(80)),
+            vec![vec![]],
+        ));
+        let sync = sync_batch(&table, 9);
+        assert_eq!(sync.epoch, 9);
+        assert_eq!(sync.stats().adds, 2);
+        // Applying the sync image to an empty table reproduces it.
+        let mut fresh = FlowTable::new();
+        fresh.apply_batch(&sync).expect("sync applies");
+        assert_eq!(fresh.len(), table.len());
+
+        let retire = retire_batch(&table, 1 << 30, 10);
+        assert_eq!(retire.stats().deletes, 1);
+        table.apply_batch(&retire).expect("retire applies");
+        assert_eq!(table.len(), 1);
+    }
+}

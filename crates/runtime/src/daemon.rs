@@ -1,0 +1,883 @@
+//! `sdxd`: the event-driven SDX daemon.
+//!
+//! This module turns the in-process controller stack into a long-running
+//! process speaking three plain-TCP endpoints on loopback:
+//!
+//! * **BGP** — participants' border routers connect and run real BGP
+//!   sessions: wire-framed OPEN/KEEPALIVE/UPDATE/NOTIFICATION over
+//!   partial reads ([`sdx_bgp::wire::StreamDecoder`]), supervised for
+//!   hold-timer expiry, keepalive cadence, and flap damping on TCP
+//!   resets ([`Supervisor`], generalized from timer-driven to
+//!   socket-liveness-driven via `connection_up` / `peer_disconnected`).
+//! * **OpenFlow** — switch agents connect and receive the controller's
+//!   [`FlowModBatch`] stream over per-channel bounded queues
+//!   ([`crate::channel`]); scheduled updates fan out wave-by-wave with
+//!   the PR 6 per-wave barrier held across the whole fleet.
+//! * **Telemetry** — any connection receives one JSON dump of the
+//!   metrics registry + journal and is closed: `nc host port | jq`.
+//!
+//! ## Threading model
+//!
+//! Structured thread-per-connection with bounded channels — no reactor,
+//! no dependencies. Accept loops and per-peer readers are threads that
+//! funnel typed [`Input`]s into one `mpsc` queue; a single event-loop
+//! thread owns *all* mutable state (controller, fabric, supervisor,
+//! channels), so the control plane needs no locks at all.
+//!
+//! ## Burst coalescing
+//!
+//! The event loop drains every queued BGP update (up to
+//! [`DaemonConfig::coalesce_max`]) before compiling: N near-simultaneous
+//! updates fold into **one** delta compile over the union of their
+//! changed prefixes (journalled as `burst_coalesced`). Under overload
+//! the queue grows, bursts get bigger, and the coalescing ratio — not
+//! the latency tail — absorbs the load; `repro_daemon_load` measures
+//! exactly this.
+//!
+//! ## Shutdown
+//!
+//! [`DaemonHandle::stop`] sets the stop flag and enqueues a final
+//! input. The loop drains a bounded number of already-queued updates,
+//! flushes them through one last compile, waits out every OpenFlow
+//! barrier (a wave in flight always reaches its barrier — never
+//! mid-wave), journals `daemon_stopped`, and joins the service threads.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sdx_bgp::msg::BgpMessage;
+use sdx_bgp::wire::{self, StreamDecoder};
+use sdx_bgp::{Clock, OpenMessage, Supervisor, SupervisorConfig, SupervisorOutput, SystemClock};
+use sdx_core::reconcile::DELTA_BASE;
+use sdx_core::schedule::drive_fanout;
+use sdx_core::{ScheduleOpts, SdxController};
+use sdx_net::{Asn, ParticipantId, Prefix, RouterId};
+use sdx_openflow::Fabric;
+use sdx_telemetry::{Event, SharedRegistry};
+
+use crate::channel::{ChannelSink, FlowChannel};
+use crate::codec;
+
+/// Tuning knobs for a daemon instance.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DaemonConfig {
+    /// Hold time we offer in our OPEN, seconds.
+    pub hold_time: u16,
+    /// Maximum BGP messages folded into one compile pass.
+    pub coalesce_max: usize,
+    /// Per-switch channel queue bound (frames in flight before sends block).
+    pub channel_queue: usize,
+    /// Supervisor tick cadence (keepalives, hold timers, reconnects), ms.
+    pub tick_ms: u64,
+    /// Bound on queued messages processed during shutdown drain.
+    pub drain_max: usize,
+    /// Seed for the supervisor's jittered backoff.
+    pub seed: u64,
+    /// Session supervision parameters (damping, backoff).
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            hold_time: 90,
+            coalesce_max: 64,
+            channel_queue: 32,
+            tick_ms: 50,
+            drain_max: 256,
+            seed: 7,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// What the daemon did, returned by [`DaemonHandle::stop`]. Carries the
+/// controller and fabric back out so tests can oracle-verify the final
+/// deployed state against an in-process reference.
+pub struct DaemonReport {
+    /// BGP UPDATE messages processed.
+    pub updates: u64,
+    /// Delta compiles run (updates / compiles = coalescing ratio).
+    pub compiles: u64,
+    /// Compile passes that folded more than one update.
+    pub coalesced_bursts: u64,
+    /// Flow-mod batches streamed to switch channels.
+    pub batches_streamed: u64,
+    /// The controller, in its final state.
+    pub ctl: SdxController,
+    /// The daemon's driving fabric, in its final state.
+    pub fabric: Fabric,
+}
+
+/// A running daemon: the three bound endpoints plus control methods.
+pub struct DaemonHandle {
+    /// Where BGP peers connect.
+    pub bgp_addr: SocketAddr,
+    /// Where OpenFlow switch agents connect.
+    pub openflow_addr: SocketAddr,
+    /// Where telemetry snapshots are served.
+    pub telemetry_addr: SocketAddr,
+    reg: SharedRegistry,
+    tx: Sender<Input>,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<DaemonReport>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's metrics registry (shared; live while it runs).
+    pub fn telemetry(&self) -> &SharedRegistry {
+        &self.reg
+    }
+
+    /// Asks the event loop to run a scheduled re-optimization: overlay
+    /// retirement and dependency-ordered waves are streamed to every
+    /// connected switch with per-wave fleet barriers.
+    pub fn reoptimize(&self) {
+        let _ = self.tx.send(Input::Reoptimize);
+    }
+
+    /// Stops the daemon: bounded drain of queued updates, final flush,
+    /// all channel barriers taken, `daemon_stopped` journalled. Blocks
+    /// until the event loop exits and returns its report.
+    pub fn stop(mut self) -> DaemonReport {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(Input::Stop);
+        self.join
+            .take()
+            .expect("stop called once")
+            .join()
+            .expect("daemon event loop panicked")
+    }
+}
+
+/// Starts a daemon around `ctl` with the system clock. Deploys the
+/// controller, binds the three loopback endpoints, and spawns the
+/// service threads; returns once all three listeners are live.
+pub fn start(ctl: SdxController, cfg: DaemonConfig) -> std::io::Result<DaemonHandle> {
+    start_with_clock(ctl, cfg, Arc::new(SystemClock::new()))
+}
+
+/// [`start`], but with an injected [`Clock`] — tests drive hold timers
+/// and flap damping deterministically with a `MockClock`.
+pub fn start_with_clock(
+    mut ctl: SdxController,
+    cfg: DaemonConfig,
+    clock: Arc<dyn Clock>,
+) -> std::io::Result<DaemonHandle> {
+    let reg = ctl.telemetry.clone();
+    let mut fabric = ctl
+        .deploy()
+        .map_err(|e| std::io::Error::other(format!("deploy failed: {e}")))?;
+    fabric.enable_batch_log();
+
+    let mut sup = Supervisor::new(cfg.supervisor, cfg.seed).with_telemetry(reg.clone());
+    let now = clock.now_ms();
+    let peers: Vec<(ParticipantId, Asn)> = ctl
+        .compiler
+        .participants()
+        .values()
+        .map(|c| (c.id, c.asn))
+        .collect();
+    for &(id, _) in &peers {
+        let local = OpenMessage {
+            version: 4,
+            asn: Asn(64512), // the route server's private ASN
+            hold_time: cfg.hold_time,
+            router_id: RouterId(64512),
+        };
+        sup.add_peer(id, local, now);
+    }
+
+    let bgp = TcpListener::bind("127.0.0.1:0")?;
+    let openflow = TcpListener::bind("127.0.0.1:0")?;
+    let telemetry = TcpListener::bind("127.0.0.1:0")?;
+    let bgp_addr = bgp.local_addr()?;
+    let openflow_addr = openflow.local_addr()?;
+    let telemetry_addr = telemetry.local_addr()?;
+
+    let (tx, rx) = std::sync::mpsc::channel::<Input>();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    spawn_bgp_acceptor(bgp, tx.clone(), stop.clone());
+    spawn_openflow_acceptor(openflow, tx.clone(), stop.clone());
+    spawn_telemetry_server(telemetry, reg.clone(), stop.clone());
+
+    reg.record_event(Event::DaemonStarted {
+        peers: peers.len(),
+        switches: 0,
+    });
+
+    let asn_to_pid: BTreeMap<u32, ParticipantId> =
+        peers.iter().map(|&(id, asn)| (asn.0, id)).collect();
+    let core = EventLoop {
+        cfg,
+        clock,
+        reg: reg.clone(),
+        ctl,
+        fabric,
+        sup,
+        rx,
+        stop: stop.clone(),
+        asn_to_pid,
+        unresolved: BTreeMap::new(),
+        conn_pid: BTreeMap::new(),
+        pid_conn: BTreeMap::new(),
+        writers: BTreeMap::new(),
+        channels: Vec::new(),
+        next_channel: 0,
+        last_epoch: 0,
+        updates: 0,
+        compiles: 0,
+        coalesced_bursts: 0,
+        batches_streamed: 0,
+    };
+    let join = std::thread::spawn(move || core.run());
+    Ok(DaemonHandle {
+        bgp_addr,
+        openflow_addr,
+        telemetry_addr,
+        reg,
+        tx,
+        stop,
+        join: Some(join),
+    })
+}
+
+type ConnId = u64;
+
+enum Input {
+    PeerConnected {
+        conn: ConnId,
+        writer: TcpStream,
+    },
+    PeerMsg {
+        conn: ConnId,
+        msg: BgpMessage,
+        at: Instant,
+    },
+    PeerClosed {
+        conn: ConnId,
+    },
+    SwitchConnected {
+        stream: TcpStream,
+    },
+    Reoptimize,
+    Stop,
+}
+
+fn spawn_bgp_acceptor(listener: TcpListener, tx: Sender<Input>, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).expect("nonblocking");
+        let mut next_conn: ConnId = 0;
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let conn = next_conn;
+                    next_conn += 1;
+                    let _ = stream.set_nodelay(true);
+                    let Ok(writer) = stream.try_clone() else { continue };
+                    if tx.send(Input::PeerConnected { conn, writer }).is_err() {
+                        return;
+                    }
+                    spawn_bgp_reader(conn, stream, tx.clone(), stop.clone());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+}
+
+/// Per-peer reader: reassembles wire frames across arbitrary TCP
+/// segmentation and forwards decoded messages, stamped with their
+/// arrival instant (the update→flow-mod latency clock starts here).
+fn spawn_bgp_reader(conn: ConnId, stream: TcpStream, tx: Sender<Input>, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut stream = stream;
+        let mut dec = StreamDecoder::new();
+        let mut buf = [0u8; 4096];
+        'read: loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let n = match std::io::Read::read(&mut stream, &mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            };
+            dec.push(&buf[..n]);
+            loop {
+                match dec.next() {
+                    Ok(Some(msg)) => {
+                        let at = Instant::now();
+                        if tx.send(Input::PeerMsg { conn, msg, at }).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    // Framing is poisoned (bad marker/length): the
+                    // transport is garbage, drop it. The event loop
+                    // sees a TCP reset and flap-accounts it.
+                    Err(_) => {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        break 'read;
+                    }
+                }
+            }
+        }
+        let _ = tx.send(Input::PeerClosed { conn });
+    });
+}
+
+fn spawn_openflow_acceptor(listener: TcpListener, tx: Sender<Input>, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).expect("nonblocking");
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(false);
+                    if tx.send(Input::SwitchConnected { stream }).is_err() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+}
+
+/// One telemetry snapshot (registry + journal, as JSON) per connection,
+/// then close — the simplest possible pull protocol.
+fn spawn_telemetry_server(listener: TcpListener, reg: SharedRegistry, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).expect("nonblocking");
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let body = reg.snapshot().to_json_string();
+                    let _ = stream.write_all(body.as_bytes());
+                    let _ = stream.write_all(b"\n");
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+}
+
+struct EventLoop {
+    cfg: DaemonConfig,
+    clock: Arc<dyn Clock>,
+    reg: SharedRegistry,
+    ctl: SdxController,
+    fabric: Fabric,
+    sup: Supervisor,
+    rx: Receiver<Input>,
+    stop: Arc<AtomicBool>,
+    asn_to_pid: BTreeMap<u32, ParticipantId>,
+    /// Accepted BGP connections that have not yet sent their OPEN.
+    unresolved: BTreeMap<ConnId, TcpStream>,
+    conn_pid: BTreeMap<ConnId, ParticipantId>,
+    pid_conn: BTreeMap<ParticipantId, ConnId>,
+    writers: BTreeMap<ParticipantId, TcpStream>,
+    channels: Vec<FlowChannel>,
+    next_channel: usize,
+    last_epoch: u64,
+    updates: u64,
+    compiles: u64,
+    coalesced_bursts: u64,
+    batches_streamed: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) -> DaemonReport {
+        let tick = Duration::from_millis(self.cfg.tick_ms.max(1));
+        let mut queued: VecDeque<Input> = VecDeque::new();
+        let mut last_tick = Instant::now();
+        loop {
+            let input = if let Some(i) = queued.pop_front() {
+                i
+            } else {
+                match self.rx.recv_timeout(tick) {
+                    Ok(i) => i,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.tick();
+                        last_tick = Instant::now();
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            };
+            match input {
+                Input::PeerConnected { conn, writer } => {
+                    self.unresolved.insert(conn, writer);
+                }
+                Input::PeerMsg { conn, msg, at } => {
+                    // Coalesce: fold every already-queued message into
+                    // this pass before compiling once.
+                    let mut msgs = vec![(conn, msg, at)];
+                    while msgs.len() < self.cfg.coalesce_max {
+                        match self.rx.try_recv() {
+                            Ok(Input::PeerMsg { conn, msg, at }) => msgs.push((conn, msg, at)),
+                            Ok(other) => {
+                                queued.push_back(other);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    self.handle_peer_msgs(msgs);
+                }
+                Input::PeerClosed { conn } => self.handle_peer_closed(conn),
+                Input::SwitchConnected { stream } => self.handle_switch_connected(stream),
+                Input::Reoptimize => self.reoptimize(),
+                Input::Stop => {
+                    self.shutdown_drain();
+                    break;
+                }
+            }
+            // Starvation guard: a continuous message stream must not
+            // stop keepalives or hold-timer checks.
+            if last_tick.elapsed() >= tick {
+                self.tick();
+                last_tick = Instant::now();
+            }
+        }
+        self.reg.record_event(Event::DaemonStopped {
+            updates: self.updates,
+            compiles: self.compiles,
+        });
+        self.stop.store(true, Ordering::SeqCst);
+        for ch in std::mem::take(&mut self.channels) {
+            ch.close();
+        }
+        for (_, w) in std::mem::take(&mut self.writers) {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        DaemonReport {
+            updates: self.updates,
+            compiles: self.compiles,
+            coalesced_bursts: self.coalesced_bursts,
+            batches_streamed: self.batches_streamed,
+            ctl: self.ctl,
+            fabric: self.fabric,
+        }
+    }
+
+    fn tick(&mut self) {
+        let now = self.clock.now_ms();
+        let out = self.sup.tick(now, &mut self.ctl.rs);
+        self.dispatch(out, 0, Vec::new());
+    }
+
+    /// Sends a supervisor output's messages and flushes its changed
+    /// prefixes through one delta compile.
+    fn dispatch(&mut self, out: SupervisorOutput, n_updates: usize, arrivals: Vec<Instant>) {
+        self.send_msgs(out.send);
+        let changed: BTreeSet<Prefix> = out.changed_prefixes.into_iter().collect();
+        self.flush(changed, n_updates, arrivals);
+    }
+
+    fn handle_peer_msgs(&mut self, msgs: Vec<(ConnId, BgpMessage, Instant)>) {
+        let now = self.clock.now_ms();
+        let mut changed: BTreeSet<Prefix> = BTreeSet::new();
+        let mut sends: Vec<(ParticipantId, BgpMessage)> = Vec::new();
+        let mut n_updates = 0usize;
+        let mut arrivals: Vec<Instant> = Vec::new();
+        for (conn, msg, at) in msgs {
+            if let Some(&pid) = self.conn_pid.get(&conn) {
+                if matches!(msg, BgpMessage::Update(_)) {
+                    n_updates += 1;
+                    arrivals.push(at);
+                    self.updates += 1;
+                    self.reg.inc("daemon.updates.count");
+                }
+                let out = self.sup.handle_message(now, pid, msg, &mut self.ctl.rs);
+                sends.extend(out.send);
+                changed.extend(out.changed_prefixes);
+            } else if let BgpMessage::Open(open) = msg {
+                let (s, c) = self.resolve_peer(conn, open, now);
+                sends.extend(s);
+                changed.extend(c);
+            } else {
+                // Protocol violation: traffic before OPEN on an
+                // unresolved connection. Drop the transport.
+                if let Some(stream) = self.unresolved.remove(&conn) {
+                    self.reg.inc("daemon.preopen_garbage.count");
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        self.send_msgs(sends);
+        self.flush(changed, n_updates, arrivals);
+    }
+
+    /// First OPEN on a new connection: map it to a participant by ASN
+    /// and splice the transport into the supervised session.
+    fn resolve_peer(
+        &mut self,
+        conn: ConnId,
+        open: OpenMessage,
+        now: u64,
+    ) -> (Vec<(ParticipantId, BgpMessage)>, Vec<Prefix>) {
+        let Some(stream) = self.unresolved.remove(&conn) else {
+            return (Vec::new(), Vec::new());
+        };
+        let Some(&pid) = self.asn_to_pid.get(&open.asn.0) else {
+            self.reg.inc("daemon.unknown_peer.count");
+            let _ = stream.shutdown(Shutdown::Both);
+            return (Vec::new(), Vec::new());
+        };
+        // A reconnect replaces any previous transport for this peer.
+        if let Some(old_conn) = self.pid_conn.insert(pid, conn) {
+            self.conn_pid.remove(&old_conn);
+        }
+        self.conn_pid.insert(conn, pid);
+        self.writers.insert(pid, stream);
+        let mut up = self.sup.connection_up(now, pid, &mut self.ctl.rs);
+        let stepped = self.sup.handle_message(now, pid, BgpMessage::Open(open), &mut self.ctl.rs);
+        up.send.extend(stepped.send);
+        let mut changed = up.changed_prefixes;
+        changed.extend(stepped.changed_prefixes);
+        (up.send, changed)
+    }
+
+    fn handle_peer_closed(&mut self, conn: ConnId) {
+        if self.unresolved.remove(&conn).is_some() {
+            return;
+        }
+        let Some(pid) = self.conn_pid.remove(&conn) else {
+            return;
+        };
+        // Only tear the session down if this connection is still the
+        // peer's current transport (not already replaced by a reconnect).
+        if self.pid_conn.get(&pid) != Some(&conn) {
+            return;
+        }
+        self.pid_conn.remove(&pid);
+        self.writers.remove(&pid);
+        let now = self.clock.now_ms();
+        let out = self.sup.peer_disconnected(now, pid, &mut self.ctl.rs);
+        self.dispatch(out, 0, Vec::new());
+    }
+
+    fn send_msgs(&mut self, msgs: Vec<(ParticipantId, BgpMessage)>) {
+        for (pid, msg) in msgs {
+            let Some(w) = self.writers.get_mut(&pid) else {
+                continue; // no live transport; the FSM will re-offer
+            };
+            let bytes = wire::encode(&msg);
+            if w.write_all(&bytes).is_err() {
+                // The reader thread will observe the dead transport and
+                // report PeerClosed; nothing to do here.
+            }
+        }
+    }
+
+    /// One delta compile over the union of a burst's changed prefixes,
+    /// then stream the resulting batches to every switch channel.
+    fn flush(&mut self, changed: BTreeSet<Prefix>, n_updates: usize, arrivals: Vec<Instant>) {
+        if changed.is_empty() {
+            return;
+        }
+        let prefixes: Vec<Prefix> = changed.into_iter().collect();
+        if n_updates > 1 {
+            self.coalesced_bursts += 1;
+            self.reg.record_event(Event::BurstCoalesced {
+                updates: n_updates,
+                prefixes: prefixes.len(),
+            });
+        }
+        self.reg.observe("daemon.coalesce.updates", n_updates.max(1) as u64);
+        self.compiles += 1;
+        self.reg.inc("daemon.compiles.count");
+        match self.ctl.apply_changed_prefixes(&prefixes, &mut self.fabric) {
+            Ok(_delta) => {
+                self.stream_drained_batches();
+                for at in arrivals {
+                    self.reg
+                        .observe("daemon.update_to_flowmod_us", at.elapsed().as_micros() as u64);
+                }
+            }
+            Err(_) => {
+                // The delta transaction rolled everything back (and the
+                // batch log with it): nothing reached the wire.
+                self.reg.inc("daemon.fastpath_failed.count");
+            }
+        }
+    }
+
+    /// Streams every batch the fabric logged since the last drain to all
+    /// connected switch channels, then takes the fleet barrier.
+    fn stream_drained_batches(&mut self) {
+        let batches = self.fabric.drain_batches();
+        if batches.is_empty() || self.channels.is_empty() {
+            return;
+        }
+        let mut dead: Vec<usize> = Vec::new();
+        for b in &batches {
+            self.last_epoch = b.epoch;
+            self.batches_streamed += 1;
+            self.reg.inc("daemon.batches_streamed.count");
+            for (i, ch) in self.channels.iter_mut().enumerate() {
+                if !dead.contains(&i) && ch.send_batch(b).is_err() {
+                    dead.push(i);
+                }
+            }
+        }
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            if !dead.contains(&i) && ch.barrier().is_err() {
+                dead.push(i);
+            }
+        }
+        self.reap_channels(dead);
+    }
+
+    fn reap_channels(&mut self, mut dead: Vec<usize>) {
+        if dead.is_empty() {
+            return;
+        }
+        dead.sort_unstable();
+        for i in dead.into_iter().rev() {
+            let ch = self.channels.remove(i);
+            self.reg.inc("daemon.channel_lost.count");
+            ch.close();
+        }
+    }
+
+    /// A switch agent connected: bring its empty table up to the current
+    /// image with one sync frame, then admit it to the fleet.
+    fn handle_switch_connected(&mut self, stream: TcpStream) {
+        let id = self.next_channel;
+        self.next_channel += 1;
+        let Ok(mut ch) = FlowChannel::new(id, stream, self.cfg.channel_queue, self.reg.clone())
+        else {
+            return;
+        };
+        let image = codec::sync_batch(self.fabric.switch.table(), self.last_epoch);
+        if ch.send_sync(&image).is_err() || ch.barrier().is_err() {
+            self.reg.inc("daemon.channel_lost.count");
+            ch.close();
+            return;
+        }
+        self.reg.inc("daemon.switch_connected.count");
+        self.channels.push(ch);
+    }
+
+    /// Full-state resynchronization of every agent — recovery after a
+    /// failed scheduled update may have left agents ahead of (or split
+    /// from) the driving fabric.
+    fn resync_agents(&mut self) {
+        let image = codec::sync_batch(self.fabric.switch.table(), self.last_epoch);
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            if ch.send_sync(&image).is_err() || ch.barrier().is_err() {
+                dead.push(i);
+            }
+        }
+        self.reg.inc("daemon.resync.count");
+        self.reap_channels(dead);
+    }
+
+    /// The scheduled path over sockets: retire overlays on the agents
+    /// (the one table mutation `prepare_scheduled` performs outside the
+    /// flow-mod protocol), then drive the planned waves through the
+    /// local fabric *and* the channel fleet with per-wave barriers.
+    fn reoptimize(&mut self) {
+        let had_overlays = self
+            .fabric
+            .switch
+            .table()
+            .entries()
+            .iter()
+            .any(|e| e.priority >= DELTA_BASE);
+        let t0 = Instant::now();
+        let prepared = match self.ctl.prepare_scheduled(&mut self.fabric) {
+            Ok(p) => p,
+            Err(_) => {
+                // Rolled back to the pre-call state; agents untouched.
+                self.reg.inc("daemon.reoptimize_failed.count");
+                let _ = self.fabric.drain_batches();
+                return;
+            }
+        };
+        let mut ok = true;
+        if had_overlays {
+            // `prepare_scheduled` retired every fast-path overlay from
+            // the local table (the one un-scheduled mutation of an
+            // update). Agents take the same step as a sync frame of the
+            // post-retirement table — identical end state, and O(base)
+            // instead of one delete per retired overlay rule, which
+            // matters after a long burst run.
+            let sync = codec::sync_batch(self.fabric.switch.table(), self.last_epoch);
+            let mut dead: Vec<usize> = Vec::new();
+            for (i, ch) in self.channels.iter_mut().enumerate() {
+                if ch.send_sync(&sync).is_err() || ch.barrier().is_err() {
+                    dead.push(i);
+                }
+            }
+            ok = dead.is_empty();
+            self.reap_channels(dead);
+        }
+        let opts = ScheduleOpts::default();
+        let mut channels = std::mem::take(&mut self.channels);
+        let outcome = {
+            let mut sink = ChannelSink::new(&mut channels, self.reg.clone());
+            drive_fanout(
+                &prepared.plan,
+                &mut self.fabric,
+                &mut self.ctl.faults,
+                &self.reg,
+                &opts,
+                None,
+                Some(&mut sink),
+            )
+        };
+        self.channels = channels;
+        // The sink already carried every wave; the local batch log is a
+        // duplicate of what was streamed.
+        let streamed = self.fabric.drain_batches().len() as u64;
+        self.batches_streamed += streamed;
+        self.reg.add("daemon.batches_streamed.count", streamed);
+        match outcome {
+            Ok(_report) if ok => {
+                self.ctl.finish_scheduled(&mut self.fabric, prepared, t0.elapsed());
+            }
+            _ => {
+                // Parked mid-update (retry exhaustion) or a channel
+                // failed its wave: put every agent back on exactly the
+                // driving fabric's table, whatever state that is.
+                self.reg.inc("daemon.reoptimize_failed.count");
+                self.resync_agents();
+            }
+        }
+    }
+
+    /// Bounded shutdown drain: flush what is already queued (never
+    /// abandoning an in-flight wave short of its barrier), then let
+    /// `run` journal `daemon_stopped`.
+    fn shutdown_drain(&mut self) {
+        let mut msgs: Vec<(ConnId, BgpMessage, Instant)> = Vec::new();
+        while msgs.len() < self.cfg.drain_max {
+            match self.rx.try_recv() {
+                Ok(Input::PeerMsg { conn, msg, at }) => msgs.push((conn, msg, at)),
+                Ok(_) => continue, // connects/reoptimizes are moot now
+                Err(_) => break,
+            }
+        }
+        if !msgs.is_empty() {
+            self.handle_peer_msgs(msgs);
+        }
+        // Every queued frame reaches its barrier before we exit.
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            if ch.barrier().is_err() {
+                dead.push(i);
+            }
+        }
+        self.reap_channels(dead);
+    }
+}
+
+/// A wire-level loopback BGP peer for tests and load generators: runs
+/// the participant's side of the handshake on a real socket and then
+/// replays UPDATE messages.
+pub struct TestPeer {
+    stream: TcpStream,
+    dec: StreamDecoder,
+    buf: Vec<u8>,
+}
+
+impl TestPeer {
+    /// Connects to `addr` and completes the BGP handshake as `asn`:
+    /// sends OPEN, waits for the daemon's OPEN and KEEPALIVE, answers
+    /// with KEEPALIVE (driving the daemon's session to Established).
+    pub fn establish(addr: SocketAddr, asn: u32, hold_time: u16) -> std::io::Result<TestPeer> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut peer = TestPeer {
+            stream,
+            dec: StreamDecoder::new(),
+            buf: vec![0u8; 4096],
+        };
+        peer.send(&BgpMessage::Open(OpenMessage {
+            version: 4,
+            asn: Asn(asn),
+            hold_time,
+            router_id: RouterId(asn),
+        }))?;
+        // Expect our peer's OPEN then its KEEPALIVE (order guaranteed:
+        // one TCP stream).
+        let m1 = peer.recv()?;
+        let m2 = peer.recv()?;
+        if !matches!(m1, BgpMessage::Open(_)) || !matches!(m2, BgpMessage::Keepalive) {
+            return Err(std::io::Error::other(format!(
+                "unexpected handshake: {m1:?} then {m2:?}"
+            )));
+        }
+        peer.send(&BgpMessage::Keepalive)?;
+        Ok(peer)
+    }
+
+    /// Sends one message.
+    pub fn send(&mut self, msg: &BgpMessage) -> std::io::Result<()> {
+        self.stream.write_all(&wire::encode(msg))
+    }
+
+    /// Blocks until one full message arrives.
+    pub fn recv(&mut self) -> std::io::Result<BgpMessage> {
+        loop {
+            match self.dec.next() {
+                Ok(Some(m)) => return Ok(m),
+                Ok(None) => {}
+                Err(e) => return Err(std::io::Error::other(format!("wire error: {e:?}"))),
+            }
+            let n = std::io::Read::read(&mut self.stream, &mut self.buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed",
+                ));
+            }
+            self.dec.push(&self.buf[..n]);
+        }
+    }
+
+    /// Closes the transport abruptly (models a TCP reset: the daemon's
+    /// supervisor flap-accounts it).
+    pub fn drop_connection(self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}

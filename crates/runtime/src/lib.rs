@@ -1,0 +1,36 @@
+//! # sdx-runtime — the `sdxd` daemon
+//!
+//! Everything below the controller in this workspace is a library; this
+//! crate makes it a *process*. A std-only, dependency-free runtime
+//! (structured thread-per-connection with bounded channels) exposes the
+//! SDX over three plain-TCP loopback endpoints:
+//!
+//! * [`daemon`] — the event loop: real BGP sessions framed by
+//!   `sdx_bgp::wire` over arbitrary TCP segmentation, socket-liveness
+//!   session supervision (keepalives, hold timers, flap damping on TCP
+//!   resets), burst coalescing of pending recompiles, the scheduled
+//!   update path fanned out over switch channels, graceful drain on
+//!   shutdown, and a telemetry endpoint serving the registry + journal
+//!   as JSON.
+//! * [`channel`] — per-switch OpenFlow channels: bounded send queues
+//!   with explicit backpressure, ack barriers, the [`ChannelSink`]
+//!   adapter that holds the PR 6 per-wave barrier across the whole
+//!   fleet, and the in-repo simulated switch agent.
+//! * [`codec`] — the JSON-lines wire format for the typed flow-mod
+//!   protocol, shared verbatim by daemon and agent.
+//!
+//! The `sdxd` binary wraps [`daemon::start`] around the paper's
+//! Figure 1 exchange; `repro_daemon_load` (in `sdx-bench`) drives a
+//! daemon with loopback load generators and reports updates/sec,
+//! coalescing ratio, queue depths, and update→flow-mod latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod codec;
+pub mod daemon;
+
+pub use channel::{spawn_agent, AgentHandle, ChannelSink, FlowChannel};
+pub use codec::{batch_from_json, batch_to_json, ChannelFrame, CodecError};
+pub use daemon::{start, start_with_clock, DaemonConfig, DaemonHandle, DaemonReport, TestPeer};

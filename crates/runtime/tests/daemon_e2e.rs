@@ -1,0 +1,398 @@
+//! End-to-end daemon tests: the full SDX over real loopback sockets.
+//!
+//! The centerpiece replays the paper's Figure 1 exchange through `sdxd`
+//! the way a deployment would see it — BGP announcements over TCP
+//! sessions, flow-mods streamed to a switch agent over the OpenFlow
+//! channel — and then oracle-verifies that the table the *agent* holds
+//! is packet-for-packet identical to what the all-in-process path
+//! deploys. The rest cover the runtime behaviors that only exist at
+//! this layer: burst coalescing under channel backpressure, hold-timer
+//! expiry and flap damping on TCP resets (deterministic via
+//! `MockClock`), agent resynchronization after a rejected wave, and
+//! graceful shutdown draining through injected faults.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sdx_bgp::{BgpMessage, ExportPolicy, MockClock};
+use sdx_core::{FaultPlan, InjectionPoint, ParticipantConfig, SdxController};
+use sdx_ixp::testkit::{figure1_controller, figure1_inbound_b, figure1_outbound_a};
+use sdx_net::{prefix, ParticipantId};
+use sdx_openflow::table::FlowTable;
+use sdx_oracle::synth::probe_grid;
+use sdx_oracle::{Differential, FabricEvaluator};
+use sdx_runtime::{codec, daemon, spawn_agent, DaemonConfig, TestPeer};
+use sdx_telemetry::{Json, SharedRegistry};
+
+fn pid(n: u32) -> ParticipantId {
+    ParticipantId(n)
+}
+
+/// The Figure 1 exchange with an *empty* RIB: routes must arrive over
+/// the wire. Topology, policies, and exports match
+/// `sdx_ixp::testkit::figure1_controller` exactly.
+fn figure1_empty_rib() -> SdxController {
+    let a = ParticipantConfig::new(1, 65001, 1);
+    let b = ParticipantConfig::new(2, 65002, 2);
+    let c = ParticipantConfig::new(3, 65003, 1);
+    let d = ParticipantConfig::new(4, 65004, 1);
+    let mut ctl = SdxController::new();
+    ctl.add_participant(a.with_outbound(figure1_outbound_a()), ExportPolicy::allow_all());
+    let mut b_export = ExportPolicy::allow_all();
+    b_export.deny(pid(1), prefix("40.0.0.0/8"));
+    ctl.add_participant(b.with_inbound(figure1_inbound_b()), b_export);
+    ctl.add_participant(c, ExportPolicy::allow_all());
+    ctl.add_participant(d, ExportPolicy::allow_all());
+    ctl
+}
+
+fn counter(reg: &SharedRegistry, key: &str) -> u64 {
+    reg.snapshot().counters.get(key).copied().unwrap_or(0)
+}
+
+fn wait_counter(reg: &SharedRegistry, key: &str, min: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while counter(reg, key) < min {
+        assert!(
+            Instant::now() < deadline,
+            "timeout waiting for {key} >= {min} (at {})",
+            counter(reg, key)
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn announce(cfg: &ParticipantConfig, pfx: &str, path: &[u32]) -> BgpMessage {
+    BgpMessage::Update(cfg.announce([prefix(pfx)], path))
+}
+
+#[test]
+fn figure1_over_sockets_is_oracle_identical_to_in_process() {
+    let handle = daemon::start(figure1_empty_rib(), DaemonConfig::default()).expect("start");
+    let reg = handle.telemetry().clone();
+
+    // A switch agent joins before any routes exist; it will live
+    // through the whole run.
+    let agent = spawn_agent(handle.openflow_addr).expect("agent");
+    wait_counter(&reg, "daemon.switch_connected.count", 1);
+
+    // B, C, and D bring up real BGP sessions and announce the
+    // Figure 1b RIB over the wire.
+    let b = ParticipantConfig::new(2, 65002, 2);
+    let c = ParticipantConfig::new(3, 65003, 1);
+    let d = ParticipantConfig::new(4, 65004, 1);
+    let mut peer_b = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("peer B");
+    let mut peer_c = TestPeer::establish(handle.bgp_addr, 65003, 30).expect("peer C");
+    let mut peer_d = TestPeer::establish(handle.bgp_addr, 65004, 30).expect("peer D");
+    wait_counter(&reg, "session.established.count", 3);
+
+    for (pfx, path) in [
+        ("10.0.0.0/8", vec![65002, 100, 200]),
+        ("20.0.0.0/8", vec![65002, 100, 200]),
+        ("30.0.0.0/8", vec![65002, 300]),
+        ("40.0.0.0/8", vec![65002, 400]),
+    ] {
+        peer_b.send(&announce(&b, pfx, &path)).expect("send");
+    }
+    for (pfx, path) in [
+        ("10.0.0.0/8", vec![65003, 200]),
+        ("20.0.0.0/8", vec![65003, 200]),
+        ("40.0.0.0/8", vec![65003, 400]),
+    ] {
+        peer_c.send(&announce(&c, pfx, &path)).expect("send");
+    }
+    peer_d
+        .send(&announce(&d, "50.0.0.0/8", &[65004, 500]))
+        .expect("send");
+    wait_counter(&reg, "daemon.updates.count", 8);
+
+    // The telemetry endpoint serves a parseable registry + journal dump.
+    let mut telem = TcpStream::connect(handle.telemetry_addr).expect("telemetry");
+    let mut body = String::new();
+    telem.read_to_string(&mut body).expect("read");
+    let snap = Json::parse(body.trim()).expect("valid JSON");
+    assert!(snap.get("counters").is_some(), "telemetry dump has counters");
+    assert!(snap.get("events").is_some(), "telemetry dump has journal");
+
+    // Fold the fast-path deltas into a scheduled re-optimization, waves
+    // streamed to the agent; then stop. mpsc ordering guarantees the
+    // reoptimize completes before the stop is processed.
+    handle.reoptimize();
+    let report = handle.stop();
+    let agent_fabric = agent.join();
+
+    assert_eq!(report.updates, 8);
+    assert!(report.compiles >= 1);
+    assert!(report.batches_streamed >= 1, "flow-mods crossed the wire");
+    assert_eq!(counter(&reg, "daemon.reoptimize_failed.count"), 0);
+
+    // Byte-level: the agent's table is exactly the daemon's table.
+    assert_eq!(
+        agent_fabric.switch.table(),
+        report.fabric.switch.table(),
+        "agent table diverged from the driving fabric"
+    );
+
+    // Oracle: the deployed-over-sockets table is packet-equivalent to
+    // the spec interpreter over the daemon's final configuration...
+    let ctl = report.ctl;
+    let cr = ctl.report.as_ref().expect("compiled");
+    let probes = probe_grid(&ctl.compiler, &ctl.rs);
+    let diff = Differential::over_table(&ctl.compiler, &ctl.rs, cr, agent_fabric.switch.table());
+    let delivered = diff.check_all(&probes).expect("no mismatch");
+    assert!(delivered > 0, "probe grid vacuous");
+
+    // ...and verdict-identical to the all-in-process deployment of the
+    // same exchange (same topology, policies, and RIB, compiled without
+    // ever touching a socket).
+    let mut inproc = figure1_controller();
+    let inproc_fabric = inproc.deploy().expect("in-process deploy");
+    let inproc_cr = inproc.report.as_ref().expect("compiled");
+    let socket_eval = FabricEvaluator::over_table(&ctl.compiler, &ctl.rs, cr, agent_fabric.switch.table());
+    let inproc_eval = FabricEvaluator::over_table(
+        &inproc.compiler,
+        &inproc.rs,
+        inproc_cr,
+        inproc_fabric.switch.table(),
+    );
+    for (from, pkt) in &probes {
+        let (socket_out, _) = socket_eval.verdict(*from, pkt);
+        let (inproc_out, _) = inproc_eval.verdict(*from, pkt);
+        assert_eq!(
+            socket_out, inproc_out,
+            "socket path and in-process path disagree at {from:?} dst {}",
+            pkt.nw_dst
+        );
+    }
+}
+
+/// A hand-rolled switch agent that acks its initial sync instantly but
+/// delays every later ack — channel backpressure incarnate.
+fn slow_agent(addr: SocketAddr, delay: Duration) -> JoinHandle<usize> {
+    std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let read = stream.try_clone().expect("clone");
+        let mut w = BufWriter::new(stream);
+        let mut frames = 0usize;
+        for line in BufReader::new(read).lines() {
+            let Ok(line) = line else { break };
+            let frame = codec::decode_frame(&line).expect("frame");
+            if frames > 0 {
+                std::thread::sleep(delay);
+            }
+            frames += 1;
+            let ack = codec::encode_ack(frame.seq(), Ok(()));
+            if w.write_all(ack.as_bytes()).is_err()
+                || w.write_all(b"\n").is_err()
+                || w.flush().is_err()
+            {
+                break;
+            }
+        }
+        frames
+    })
+}
+
+#[test]
+fn bursts_coalesce_into_one_compile_under_backpressure() {
+    let handle = daemon::start(figure1_empty_rib(), DaemonConfig::default()).expect("start");
+    let reg = handle.telemetry().clone();
+    let agent = slow_agent(handle.openflow_addr, Duration::from_millis(40));
+    wait_counter(&reg, "daemon.switch_connected.count", 1);
+
+    let d = ParticipantConfig::new(4, 65004, 1);
+    let mut peer = TestPeer::establish(handle.bgp_addr, 65004, 30).expect("peer");
+    wait_counter(&reg, "session.established.count", 1);
+
+    // First update: its compile streams a batch whose ack the slow
+    // agent sits on, pinning the event loop at the barrier...
+    peer.send(&announce(&d, "60.0.0.0/8", &[65004, 500])).expect("send");
+    wait_counter(&reg, "daemon.compiles.count", 1);
+    // ...while a burst of distinct-prefix updates queues up behind it.
+    for i in 0..30u32 {
+        let pfx = format!("{}.0.0.0/8", 70 + i);
+        peer.send(&announce(&d, &pfx, &[65004, 500])).expect("send");
+    }
+    wait_counter(&reg, "daemon.updates.count", 31);
+
+    let report = handle.stop();
+    drop(agent);
+    assert_eq!(report.updates, 31);
+    assert!(
+        report.compiles < report.updates,
+        "no coalescing: {} compiles for {} updates",
+        report.compiles,
+        report.updates
+    );
+    assert!(report.coalesced_bursts >= 1, "no burst was journalled");
+    let events = reg.snapshot().events;
+    assert!(
+        events.iter().any(|e| e.event.kind() == "burst_coalesced"),
+        "burst_coalesced missing from journal"
+    );
+    assert!(
+        events.iter().any(|e| e.event.kind() == "daemon_stopped"),
+        "daemon_stopped missing from journal"
+    );
+}
+
+#[test]
+fn hold_timer_expiry_and_tcp_reset_flaps_are_supervised() {
+    let clock = MockClock::new();
+    let mut cfg = DaemonConfig::default();
+    cfg.tick_ms = 10;
+    let handle =
+        daemon::start_with_clock(figure1_empty_rib(), cfg, Arc::new(clock.clone())).expect("start");
+    let reg = handle.telemetry().clone();
+
+    // Hold-timer expiry: establish, then go silent while the (mock)
+    // clock runs past the negotiated hold time.
+    let mut peer = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("peer");
+    wait_counter(&reg, "session.established.count", 1);
+    clock.advance(31_000);
+    wait_counter(&reg, "session.reset.count", 1);
+    // The daemon notified us before tearing the session down.
+    let msg = peer.recv().expect("notification");
+    assert!(
+        matches!(msg, BgpMessage::Notification { .. }),
+        "expected NOTIFICATION, got {msg:?}"
+    );
+
+    // TCP reset: reconnect, then vanish without a NOTIFICATION. The
+    // supervisor flap-accounts the drop just the same.
+    clock.advance(120_000); // clear reconnect backoff & decay penalty
+    let peer2 = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("reconnect");
+    wait_counter(&reg, "session.established.count", 2);
+    peer2.drop_connection();
+    wait_counter(&reg, "session.reset.count", 2);
+
+    // And the peer can come back again after the reset.
+    clock.advance(120_000);
+    let _peer3 = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("re-reconnect");
+    wait_counter(&reg, "session.established.count", 3);
+
+    let report = handle.stop();
+    assert_eq!(report.updates, 0);
+}
+
+/// An agent that rejects the first wave of a scheduled update (the
+/// first apply frame after the pre-wave overlay-retirement sync),
+/// then behaves — exercising the daemon's resynchronization path.
+fn wave_rejecting_agent(addr: SocketAddr) -> JoinHandle<FlowTable> {
+    std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let read = stream.try_clone().expect("clone");
+        let mut w = BufWriter::new(stream);
+        let mut table = FlowTable::new();
+        let mut syncs = 0u32;
+        let mut fired = false;
+        for line in BufReader::new(read).lines() {
+            let Ok(line) = line else { break };
+            let ack = match codec::decode_frame(&line).expect("frame") {
+                codec::ChannelFrame::Sync { seq, batch } => {
+                    syncs += 1;
+                    table.clear();
+                    table.apply_batch(&batch).expect("sync applies");
+                    codec::encode_ack(seq, Ok(()))
+                }
+                codec::ChannelFrame::Apply { seq, batch } => {
+                    // syncs == 1: steady state (connect image); syncs >= 2:
+                    // a scheduled update retired the overlays — the next
+                    // apply is wave 0.
+                    if syncs >= 2 && !fired {
+                        fired = true;
+                        codec::encode_ack(seq, Err("injected agent failure"))
+                    } else {
+                        table.apply_batch(&batch).expect("apply");
+                        codec::encode_ack(seq, Ok(()))
+                    }
+                }
+            };
+            if w.write_all(ack.as_bytes()).is_err()
+                || w.write_all(b"\n").is_err()
+                || w.flush().is_err()
+            {
+                break;
+            }
+        }
+        table
+    })
+}
+
+#[test]
+fn rejected_wave_resyncs_the_agent_and_the_next_update_succeeds() {
+    let handle = daemon::start(figure1_controller(), DaemonConfig::default()).expect("start");
+    let reg = handle.telemetry().clone();
+    let agent = wave_rejecting_agent(handle.openflow_addr);
+    wait_counter(&reg, "daemon.switch_connected.count", 1);
+
+    // A fast-path delta gives the scheduled update something to retire
+    // and replan. The prefix must be policy-affected to land delta rules
+    // in the switch table, so B (a target of A's outbound policy)
+    // announces it.
+    let b = ParticipantConfig::new(2, 65002, 2);
+    let mut peer = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("peer");
+    peer.send(&announce(&b, "60.0.0.0/8", &[65002, 300])).expect("send");
+    wait_counter(&reg, "daemon.compiles.count", 1);
+
+    // First scheduled update: the agent rejects wave 0, the fleet
+    // barrier fails, the daemon restores its fabric and resyncs the
+    // agent. Second scheduled update: clean.
+    handle.reoptimize();
+    handle.reoptimize();
+    let report = handle.stop();
+    let agent_table = agent.join().expect("agent thread");
+
+    assert!(counter(&reg, "daemon.reoptimize_failed.count") >= 1);
+    assert!(counter(&reg, "daemon.resync.count") >= 1);
+    assert!(counter(&reg, "schedule.fanout_failed.count") >= 1);
+    assert_eq!(
+        &agent_table,
+        report.fabric.switch.table(),
+        "agent not reconverged after resync"
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_through_injected_faults() {
+    let mut ctl = figure1_controller();
+    // Every wave's first apply attempt fails; the scheduler's retry
+    // budget absorbs it.
+    ctl.faults = FaultPlan::seeded(11)
+        .fail_nth(InjectionPoint::FlowModApply { wave: 0 }, 1);
+    let handle = daemon::start(ctl, DaemonConfig::default()).expect("start");
+    let reg = handle.telemetry().clone();
+    let agent = spawn_agent(handle.openflow_addr).expect("agent");
+    wait_counter(&reg, "daemon.switch_connected.count", 1);
+
+    // Announce from B so the prefix is policy-affected (A's outbound
+    // policy forwards to B): the delta lands switch rules, and the
+    // scheduled update has real waves for the fault plan to bite on.
+    let b = ParticipantConfig::new(2, 65002, 2);
+    let mut peer = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("peer");
+    peer.send(&announce(&b, "60.0.0.0/8", &[65002, 300])).expect("send");
+    wait_counter(&reg, "daemon.updates.count", 1);
+
+    handle.reoptimize();
+    let report = handle.stop();
+    let agent_fabric = agent.join();
+
+    assert_eq!(counter(&reg, "daemon.reoptimize_failed.count"), 0);
+    assert_eq!(
+        agent_fabric.switch.table(),
+        report.fabric.switch.table(),
+        "agent table diverged across fault retries and shutdown"
+    );
+    let events = reg.snapshot().events;
+    let kind_pos = |k: &str| events.iter().position(|e| e.event.kind() == k);
+    let started = kind_pos("daemon_started").expect("daemon_started");
+    let established = kind_pos("session_established").expect("session_established");
+    let injected = kind_pos("fault_injected").expect("fault_injected");
+    let wave = kind_pos("update_wave_applied").expect("update_wave_applied");
+    let stopped = kind_pos("daemon_stopped").expect("daemon_stopped");
+    assert!(started < established && established < injected, "journal order");
+    assert!(injected < wave && wave < stopped, "journal order");
+}

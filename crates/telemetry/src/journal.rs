@@ -131,6 +131,27 @@ pub enum Event {
         /// `outbound`, `inbound`, or `global`.
         scope: String,
     },
+    /// The socket daemon came up and is accepting connections.
+    DaemonStarted {
+        /// BGP peers configured.
+        peers: usize,
+        /// Switch channels configured.
+        switches: usize,
+    },
+    /// The socket daemon drained its in-flight work and stopped cleanly.
+    DaemonStopped {
+        /// Updates processed over the daemon's lifetime.
+        updates: u64,
+        /// Delta compilations performed over the daemon's lifetime.
+        compiles: u64,
+    },
+    /// A burst of queued updates was coalesced into one delta compile.
+    BurstCoalesced {
+        /// Updates folded into the batch.
+        updates: usize,
+        /// Distinct changed prefixes the batch produced.
+        prefixes: usize,
+    },
     /// An application-defined event.
     Custom {
         /// Event name.
@@ -158,6 +179,9 @@ impl Event {
             Event::SessionSuppressed { .. } => "session_suppressed",
             Event::SessionReleased { .. } => "session_released",
             Event::PolicyChanged { .. } => "policy_changed",
+            Event::DaemonStarted { .. } => "daemon_started",
+            Event::DaemonStopped { .. } => "daemon_stopped",
+            Event::BurstCoalesced { .. } => "burst_coalesced",
             Event::Custom { .. } => "custom",
         }
     }
@@ -240,6 +264,18 @@ impl Event {
             Event::PolicyChanged { participant, scope } => {
                 pairs.push(("participant".to_string(), Json::from(*participant)));
                 pairs.push(("scope".to_string(), Json::from(scope.as_str())));
+            }
+            Event::DaemonStarted { peers, switches } => {
+                pairs.push(("peers".to_string(), Json::from(*peers)));
+                pairs.push(("switches".to_string(), Json::from(*switches)));
+            }
+            Event::DaemonStopped { updates, compiles } => {
+                pairs.push(("updates".to_string(), Json::from(*updates)));
+                pairs.push(("compiles".to_string(), Json::from(*compiles)));
+            }
+            Event::BurstCoalesced { updates, prefixes } => {
+                pairs.push(("updates".to_string(), Json::from(*updates)));
+                pairs.push(("prefixes".to_string(), Json::from(*prefixes)));
             }
             Event::Custom { name, detail } => {
                 pairs.push(("name".to_string(), Json::from(name.as_str())));
