@@ -49,8 +49,14 @@ fn exchange() -> SdxController {
         ParticipantConfig::new(2, 65002, 2).with_inbound(figure1_inbound_b()),
         b_export,
     );
-    ctl.add_participant(ParticipantConfig::new(3, 65003, 1), ExportPolicy::allow_all());
-    ctl.add_participant(ParticipantConfig::new(4, 65004, 1), ExportPolicy::allow_all());
+    ctl.add_participant(
+        ParticipantConfig::new(3, 65003, 1),
+        ExportPolicy::allow_all(),
+    );
+    ctl.add_participant(
+        ParticipantConfig::new(4, 65004, 1),
+        ExportPolicy::allow_all(),
+    );
     ctl
 }
 
@@ -87,7 +93,10 @@ fn main() {
         })
         .collect();
     // Keep the sessions open until the backlog is fully absorbed.
-    let peers_alive: Vec<TestPeer> = senders.into_iter().map(|h| h.join().expect("sender")).collect();
+    let peers_alive: Vec<TestPeer> = senders
+        .into_iter()
+        .map(|h| h.join().expect("sender"))
+        .collect();
     let deadline = Instant::now() + std::time::Duration::from_secs(120);
     loop {
         let done = reg
@@ -99,7 +108,10 @@ fn main() {
         if done >= total_updates as u64 {
             break;
         }
-        assert!(Instant::now() < deadline, "daemon fell behind: {done}/{total_updates}");
+        assert!(
+            Instant::now() < deadline,
+            "daemon fell behind: {done}/{total_updates}"
+        );
         std::thread::sleep(std::time::Duration::from_millis(2));
     }
     let elapsed = t0.elapsed();
@@ -132,8 +144,14 @@ fn main() {
         ("updates_per_sec", Json::from(updates_per_sec)),
         ("compiles", Json::from(daemon_report.compiles)),
         ("coalescing_ratio", Json::from(coalescing_ratio)),
-        ("coalesced_bursts", Json::from(daemon_report.coalesced_bursts)),
-        ("batches_streamed", Json::from(daemon_report.batches_streamed)),
+        (
+            "coalesced_bursts",
+            Json::from(daemon_report.coalesced_bursts),
+        ),
+        (
+            "batches_streamed",
+            Json::from(daemon_report.batches_streamed),
+        ),
         ("queue_depth_max", Json::from(depth.max)),
         ("queue_depth_p99", Json::from(depth.p99)),
         ("latency_us_p50", Json::from(latency.p50)),
@@ -143,7 +161,15 @@ fn main() {
 
     print_table(
         "Daemon load (loopback BGP -> coalesced compiles -> switch agent)",
-        &["updates", "upd/s", "compiles", "coalesce", "q-depth max", "lat p50 us", "lat p99 us"],
+        &[
+            "updates",
+            "upd/s",
+            "compiles",
+            "coalesce",
+            "q-depth max",
+            "lat p50 us",
+            "lat p99 us",
+        ],
         &[vec![
             total_updates.to_string(),
             format!("{updates_per_sec:.0}"),
@@ -157,7 +183,10 @@ fn main() {
     report("daemon_load", &rows, &snap);
 
     assert_eq!(
-        snap.counters.get("daemon.channel_lost.count").copied().unwrap_or(0),
+        snap.counters
+            .get("daemon.channel_lost.count")
+            .copied()
+            .unwrap_or(0),
         0,
         "a switch channel was dropped mid-run"
     );

@@ -1,0 +1,292 @@
+//! Data-plane throughput reproduction — the compiled-matcher experiment.
+//!
+//! The claim under test: classifying a packet against the deployed flow
+//! table through the `CompiledMatcher` (hash indexes over `dl_dst` /
+//! `in_port`, an `nw_dst` prefix trie, a residual list) is substantially
+//! faster than the linear first-match walk the table started with, and
+//! batched classification amortizes dispatch further. Three deployed
+//! workloads are measured: the paper's Figure 1 exchange (tiny table —
+//! the fast path must not *lose* badly there), the 50-participant
+//! synthetic IXP, and a scaled-up exchange.
+//!
+//! Every probe is first dual-run through `classify` and
+//! `classify_linear`; a single `(index, priority, pattern)` mismatch
+//! aborts the run. The committed acceptance bound — re-asserted by CI
+//! from the JSON report — is compiled ≥ 5× linear packets/sec on the
+//! ixp50 workload (≥ 2.5× under `--quick`, which runs shorter timed
+//! windows on smaller probe sets).
+//!
+//! Run: `cargo run --release -p sdx-bench --bin repro_dataplane_mpps
+//! [--quick] [--seed N] [--json out.json]`
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use sdx_bench::{print_table, row, Workbench};
+use sdx_core::controller::SdxController;
+use sdx_net::LocatedPacket;
+use sdx_openflow::table::FlowTable;
+use sdx_telemetry::{Json, SharedRegistry};
+
+/// One measured workload: a deployed table plus fabric-tagged probes.
+struct Measured {
+    name: &'static str,
+    rules: usize,
+    probes: usize,
+    mismatches: usize,
+    build: Duration,
+    approx_bytes: usize,
+    linear_pps: f64,
+    compiled_pps: f64,
+    batched_pps: f64,
+    exact_hits: u64,
+    trie_hits: u64,
+    residual_hits: u64,
+    misses: u64,
+}
+
+/// Runs `f` repeatedly until `min_dur` has elapsed (at least twice) and
+/// returns packets/sec. `f` must return a value derived from its walk so
+/// the optimizer cannot delete the loop; the value is black-boxed.
+fn pps(min_dur: Duration, n_probes: usize, mut f: impl FnMut() -> u64) -> f64 {
+    black_box(f()); // warm caches before the timed window
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    let mut packets = 0u64;
+    let mut iters = 0u32;
+    while iters < 2 || t0.elapsed() < min_dur {
+        sink = sink.wrapping_add(f());
+        packets += n_probes as u64;
+        iters += 1;
+    }
+    let elapsed = t0.elapsed();
+    black_box(sink);
+    packets as f64 / elapsed.as_secs_f64()
+}
+
+/// Fabric-tags raw `(ingress, packet)` probes exactly as the data plane
+/// would: the sender's border router FIBs + ARPs the packet, producing
+/// the located frame the switch actually classifies. Unroutable probes
+/// (the synthesizer mixes some in) are dropped at the router, same as in
+/// the real pipeline.
+fn tag_probes(
+    fabric: &mut sdx_openflow::Fabric,
+    raw: Vec<(sdx_net::PortId, sdx_net::Packet)>,
+) -> Vec<LocatedPacket> {
+    let mut arp = fabric.arp.clone();
+    let mut probes = Vec::with_capacity(raw.len());
+    for (port, pkt) in raw {
+        if let Some(lp) = fabric
+            .router_mut(port)
+            .and_then(|r| r.forward(pkt, &mut arp))
+        {
+            probes.push(lp);
+        }
+    }
+    probes
+}
+
+fn measure(
+    name: &'static str,
+    mut ctl: SdxController,
+    seed: u64,
+    n_probes: usize,
+    min_dur: Duration,
+) -> Measured {
+    let mut fabric = ctl.deploy().expect("deploy workload");
+    let raw = sdx_oracle::synth::sample_probes(&ctl.compiler, &ctl.rs, seed, n_probes);
+    let probes = tag_probes(&mut fabric, raw);
+    assert!(
+        probes.len() * 2 >= n_probes,
+        "{name}: too few routable probes ({} of {n_probes})",
+        probes.len(),
+    );
+
+    let table: &FlowTable = fabric.switch.table();
+    // `install_classifier` bulk-built the index once; force a fresh timed
+    // rebuild so the reported build cost is for exactly this table.
+    let mut rebuilt = table.clone();
+    rebuilt.rebuild_matcher();
+    let table = &rebuilt;
+
+    // Zero-mismatch gate before anything is timed.
+    let mismatches = probes
+        .iter()
+        .filter(|lp| {
+            let fast = table.classify(lp).map(|(i, e)| (i, e.priority, e.pattern));
+            let lin = table
+                .classify_linear(lp)
+                .map(|(i, e)| (i, e.priority, e.pattern));
+            fast != lin
+        })
+        .count();
+    assert_eq!(
+        mismatches, 0,
+        "{name}: compiled matcher diverged from linear"
+    );
+
+    let linear_pps = pps(min_dur, probes.len(), || {
+        probes
+            .iter()
+            .map(|lp| table.classify_linear(lp).map_or(0, |(i, _)| i as u64 + 1))
+            .sum()
+    });
+    let compiled_pps = pps(min_dur, probes.len(), || {
+        probes
+            .iter()
+            .map(|lp| table.classify(lp).map_or(0, |(i, _)| i as u64 + 1))
+            .sum()
+    });
+    let batched_pps = pps(min_dur, probes.len(), || {
+        table
+            .classify_batch(&probes)
+            .iter()
+            .map(|r| r.map_or(0, |i| i as u64 + 1))
+            .sum()
+    });
+
+    let s = table.matcher_stats();
+    Measured {
+        name,
+        rules: table.len(),
+        probes: probes.len(),
+        mismatches,
+        build: Duration::from_nanos(s.last_build_nanos),
+        approx_bytes: s.approx_bytes,
+        linear_pps,
+        compiled_pps,
+        batched_pps,
+        exact_hits: s.exact_hits,
+        trie_hits: s.trie_hits,
+        residual_hits: s.residual_hits,
+        misses: s.miss_count,
+    }
+}
+
+fn fmt_pps(pps: f64) -> String {
+    format!("{:.2} Mpps", pps / 1e6)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(42);
+    let min_dur = Duration::from_millis(if quick { 60 } else { 300 });
+    let n_probes = if quick { 768 } else { 2048 };
+
+    let mut measured = Vec::new();
+
+    measured.push(measure(
+        "figure1",
+        sdx_ixp::testkit::figure1_controller(),
+        seed,
+        if quick { 256 } else { 512 },
+        min_dur,
+    ));
+
+    {
+        let (compiler, rs) = sdx_ixp::testkit::ixp50();
+        let mut ctl = SdxController::new();
+        ctl.compiler = compiler;
+        ctl.rs = rs;
+        measured.push(measure("ixp50", ctl, seed, n_probes, min_dur));
+    }
+
+    {
+        let (parts, prefixes, policy) = if quick {
+            (60, 3000, 800)
+        } else {
+            (120, 9000, 2400)
+        };
+        let wb = Workbench::new(parts, prefixes, policy, 7);
+        let mut ctl = SdxController::new();
+        ctl.compiler = wb.compiler();
+        ctl.rs = wb.rs;
+        measured.push(measure("scaled", ctl, seed, n_probes, min_dur));
+    }
+
+    let reg = SharedRegistry::new();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for m in &measured {
+        let speedup = m.compiled_pps / m.linear_pps;
+        let batched_speedup = m.batched_pps / m.linear_pps;
+        reg.add("matcher.exact.hit.count", m.exact_hits);
+        reg.add("matcher.trie.hit.count", m.trie_hits);
+        reg.add("matcher.residual.hit.count", m.residual_hits);
+        reg.add("matcher.miss.count", m.misses);
+        reg.observe("matcher.build.nanos", m.build.as_nanos() as u64);
+        reg.observe("matcher.approx.bytes", m.approx_bytes as u64);
+        rows.push(vec![
+            m.name.to_string(),
+            m.rules.to_string(),
+            m.probes.to_string(),
+            sdx_bench::fmt_duration(m.build),
+            format!("{:.1} KiB", m.approx_bytes as f64 / 1024.0),
+            fmt_pps(m.linear_pps),
+            fmt_pps(m.compiled_pps),
+            fmt_pps(m.batched_pps),
+            format!("{speedup:.1}x"),
+            format!("{batched_speedup:.1}x"),
+        ]);
+        json.push(row([
+            ("workload", Json::from(m.name)),
+            ("quick", Json::Bool(quick)),
+            ("rules", Json::from(m.rules as u64)),
+            ("probes", Json::from(m.probes as u64)),
+            ("mismatches", Json::from(m.mismatches as u64)),
+            ("build_us", Json::Float(m.build.as_secs_f64() * 1e6)),
+            ("matcher_bytes", Json::from(m.approx_bytes as u64)),
+            ("linear_pps", Json::Float(m.linear_pps)),
+            ("compiled_pps", Json::Float(m.compiled_pps)),
+            ("batched_pps", Json::Float(m.batched_pps)),
+            ("speedup", Json::Float(speedup)),
+            ("batched_speedup", Json::Float(batched_speedup)),
+            ("exact_hits", Json::from(m.exact_hits)),
+            ("trie_hits", Json::from(m.trie_hits)),
+            ("residual_hits", Json::from(m.residual_hits)),
+            ("miss_count", Json::from(m.misses)),
+        ]));
+    }
+
+    print_table(
+        "data-plane classification throughput",
+        &[
+            "workload",
+            "rules",
+            "probes",
+            "build",
+            "index",
+            "linear",
+            "compiled",
+            "batched",
+            "speedup",
+            "batched-x",
+        ],
+        &rows,
+    );
+
+    let ixp50 = measured
+        .iter()
+        .find(|m| m.name == "ixp50")
+        .expect("ixp50 row");
+    let speedup = ixp50.compiled_pps / ixp50.linear_pps;
+    let floor = if quick { 2.5 } else { 5.0 };
+    println!(
+        "\nixp50: compiled {:.1}x linear, batched {:.1}x (floor {floor:.1}x), 0 mismatches over {} probes",
+        speedup,
+        ixp50.batched_pps / ixp50.linear_pps,
+        measured.iter().map(|m| m.probes).sum::<usize>(),
+    );
+    assert!(
+        speedup >= floor,
+        "ixp50 compiled speedup {speedup:.2}x under the {floor}x floor"
+    );
+
+    sdx_bench::report("dataplane_mpps", &json, &reg.snapshot());
+}

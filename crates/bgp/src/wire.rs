@@ -462,6 +462,9 @@ impl StreamDecoder {
 
     /// Tries to decode the next complete message. `Ok(None)` means the
     /// buffer holds only a partial frame; push more bytes and retry.
+    // Not an Iterator: `Ok(None)` means "need more bytes", not "done",
+    // so `Iterator::next`'s termination contract would be wrong here.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<BgpMessage>, WireError> {
         if let Some(err) = self.poisoned {
             return Err(err);

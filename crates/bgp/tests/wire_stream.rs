@@ -29,9 +29,7 @@ fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
         .prop_map(|(path, nh, med, lp, comms, origin)| {
             let mut a = PathAttributes::new(
                 AsPath {
-                    segments: vec![AsPathSegment::Sequence(
-                        path.into_iter().map(Asn).collect(),
-                    )],
+                    segments: vec![AsPathSegment::Sequence(path.into_iter().map(Asn).collect())],
                 },
                 Ipv4Addr(nh),
             );

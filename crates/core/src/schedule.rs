@@ -461,12 +461,8 @@ pub trait WaveSink {
     /// Applies wave `wave` (zero-based, of `total`) to every target.
     /// An error aborts the schedule: the driving fabric is rolled back to
     /// the pre-wave barrier and [`SdxError::InvalidCommit`] is returned.
-    fn apply_wave(
-        &mut self,
-        wave: usize,
-        total: usize,
-        batch: &FlowModBatch,
-    ) -> Result<(), String>;
+    fn apply_wave(&mut self, wave: usize, total: usize, batch: &FlowModBatch)
+        -> Result<(), String>;
 }
 
 /// Fans each wave out across every switch of a [`MultiFabric`]

@@ -164,6 +164,46 @@ impl<T> PrefixTrie<T> {
         best
     }
 
+    /// Visits **every** stored value whose prefix contains `addr`, from the
+    /// least specific (the default route, if stored) to the most specific.
+    ///
+    /// Where [`lookup`](Self::lookup) answers "which single prefix wins
+    /// longest-match", this answers "which prefixes are in play at all" —
+    /// the question a priority-ordered matcher asks, where rule priority
+    /// (not prefix length) decides the winner among covering prefixes.
+    /// Walks the same root-to-leaf bit path as `lookup`, so it allocates
+    /// nothing and does at most 33 node visits.
+    pub fn for_each_match(&self, addr: Ipv4Addr, mut f: impl FnMut(&T)) {
+        let mut node = &self.root;
+        for i in 0..=32u8 {
+            if let Some(v) = node.value.as_ref() {
+                f(v);
+            }
+            if i == 32 {
+                break;
+            }
+            match node.children[addr.bit(i) as usize].as_deref() {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+    }
+
+    /// Number of allocated trie nodes (including the root and interior
+    /// nodes holding no value). A capacity metric for memory accounting:
+    /// each node is one `Node<T>` allocation.
+    pub fn node_count(&self) -> usize {
+        fn rec<T>(node: &Node<T>) -> usize {
+            1 + node
+                .children
+                .iter()
+                .flatten()
+                .map(|c| rec(c))
+                .sum::<usize>()
+        }
+        rec(&self.root)
+    }
+
     /// All stored prefixes covered by `covering` (including an exact match),
     /// in lexicographic order.
     pub fn covered_by(&self, covering: Prefix) -> Vec<(Prefix, &T)> {
@@ -318,6 +358,33 @@ mod tests {
         t.get_or_insert_with(prefix("10.0.0.0/8"), Vec::new).push(2);
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(prefix("10.0.0.0/8")), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn for_each_match_visits_all_covering_prefixes() {
+        let mut t = PrefixTrie::new();
+        t.insert(prefix("0.0.0.0/0"), "default");
+        t.insert(prefix("10.0.0.0/8"), "eight");
+        t.insert(prefix("10.1.0.0/16"), "sixteen");
+        t.insert(prefix("11.0.0.0/8"), "other");
+        let mut seen = Vec::new();
+        t.for_each_match(ip("10.1.2.3"), |v| seen.push(*v));
+        assert_eq!(seen, vec!["default", "eight", "sixteen"]);
+        seen.clear();
+        t.for_each_match(ip("12.0.0.1"), |v| seen.push(*v));
+        assert_eq!(seen, vec!["default"]);
+    }
+
+    #[test]
+    fn node_count_tracks_allocations() {
+        let mut t: PrefixTrie<()> = PrefixTrie::new();
+        assert_eq!(t.node_count(), 1, "empty trie is just the root");
+        t.insert(prefix("128.0.0.0/1"), ());
+        assert_eq!(t.node_count(), 2);
+        t.insert(prefix("128.0.0.0/2"), ());
+        assert_eq!(t.node_count(), 3);
+        t.remove(prefix("128.0.0.0/2"));
+        assert_eq!(t.node_count(), 2, "pruning frees nodes");
     }
 
     #[test]

@@ -189,6 +189,65 @@ proptest! {
         }
     }
 
+    /// The intersection is subsumed by both operands — together with
+    /// [`match_intersection_sound`] this is the candidate-merge law the
+    /// compiled data-plane matcher leans on: a bucket keyed by a refined
+    /// pattern only ever holds rules whose full pattern still covers it.
+    #[test]
+    fn match_intersect_subsumed_by_operands(a in arb_match(), b in arb_match()) {
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.subsumes(&i));
+            prop_assert!(b.subsumes(&i));
+        }
+    }
+
+    /// Subsumption is reflexive and transitive (a partial order on
+    /// patterns), so priority-sorted candidate buckets can prune against
+    /// the best-so-far without re-checking dominated patterns.
+    #[test]
+    fn match_subsumption_is_a_preorder(a in arb_match(), b in arb_match(), c in arb_match()) {
+        prop_assert!(a.subsumes(&a));
+        if a.subsumes(&b) && b.subsumes(&c) {
+            prop_assert!(a.subsumes(&c));
+        }
+    }
+
+    /// When `a` subsumes `b`, intersecting changes nothing: `a ∩ b`
+    /// exists and matches exactly the packets `b` does.
+    #[test]
+    fn match_subsumed_intersection_is_identity(
+        a in arb_match(),
+        b in arb_match(),
+        lp in arb_located(),
+    ) {
+        if a.subsumes(&b) {
+            let i = a.intersect(&b);
+            prop_assert!(i.is_some(), "a ⊇ b but a ∩ b = ∅");
+            prop_assert_eq!(i.unwrap().matches(&lp), b.matches(&lp));
+        }
+    }
+
+    /// `for_each_match` visits exactly the stored prefixes containing the
+    /// address, least-specific first — the covering-set walk the compiled
+    /// matcher's nw_dst index uses.
+    #[test]
+    fn trie_for_each_match_is_covering_set(
+        entries in proptest::collection::vec(arb_prefix(), 0..48),
+        probe in arb_addr(),
+    ) {
+        let trie: PrefixTrie<usize> =
+            entries.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let mut got = Vec::new();
+        trie.for_each_match(probe, |v| got.push(*v));
+        let mut expect: Vec<(Prefix, usize)> = trie
+            .iter()
+            .filter(|(p, _)| p.contains(probe))
+            .map(|(p, v)| (p, *v))
+            .collect();
+        expect.sort_by_key(|(p, _)| p.len());
+        prop_assert_eq!(got, expect.into_iter().map(|(_, v)| v).collect::<Vec<_>>());
+    }
+
     /// seq_compose is exactly "match m1, apply mods, match m2".
     #[test]
     fn seq_compose_sound(

@@ -6,6 +6,10 @@
 //! * [`table`] — a priority flow table with match patterns, action buckets
 //!   and per-entry counters. Rule counts read from here are the metric of
 //!   Figures 7 and 9.
+//! * [`matcher`] — the compiled fast path: hash indexes over the exact-match
+//!   discriminators (`dl_dst`, `in_port`), an `nw_dst` prefix trie, and a
+//!   residual list, kept epoch-coherent with the table and guaranteed
+//!   index-for-index identical to the linear walk.
 //! * [`flowmod`] — the typed `Add`/`Modify`/`Delete` delta protocol the
 //!   controller patches tables with: atomic per batch, epoch-tagged,
 //!   cookie-indexed (§4.3.2's incremental updates made explicit).
@@ -35,6 +39,7 @@ pub mod arp;
 pub mod border_router;
 pub mod fabric;
 pub mod flowmod;
+pub mod matcher;
 pub mod middlebox;
 pub mod multiswitch;
 pub mod switch;
@@ -44,6 +49,7 @@ pub use arp::ArpResponder;
 pub use border_router::BorderRouter;
 pub use fabric::Fabric;
 pub use flowmod::{BatchStats, FlowMod, FlowModBatch, FlowModError};
+pub use matcher::{CompiledMatcher, MatcherStats};
 pub use middlebox::Middlebox;
 pub use multiswitch::MultiFabric;
 pub use switch::Switch;

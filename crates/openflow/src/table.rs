@@ -8,11 +8,20 @@
 //!
 //! A compiled [`sdx_policy::Classifier`] converts directly: rule `i` of `n`
 //! gets priority `n - i`, preserving first-match order.
+//!
+//! Classification semantics are *defined* by the priority-ordered linear
+//! walk ([`FlowTable::classify_linear`]); the hot path
+//! ([`FlowTable::classify`]) answers through a [`CompiledMatcher`] kept
+//! coherent with every mutation via epoch tagging, and resolves the winning
+//! priority band in table order so the two are index-for-index identical
+//! (the differential oracle asserts exactly that).
 
 use std::collections::BTreeMap;
 
 use sdx_net::{HeaderMatch, LocatedPacket, Mod};
 use sdx_policy::Classifier;
+
+use crate::matcher::{CompiledMatcher, MatcherStats};
 
 /// One flow entry.
 #[derive(Clone, PartialEq, Debug)]
@@ -61,13 +70,29 @@ impl FlowEntry {
 }
 
 /// A single flow table.
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FlowTable {
     /// Entries sorted by descending priority (stable for equal priorities).
     entries: Vec<FlowEntry>,
     /// Live entry count per cookie — the controller's per-FEC-group rule
     /// index, maintained on every mutation.
     cookie_index: BTreeMap<u64, usize>,
+    /// Mutation generation: bumped on every state change, stamped onto the
+    /// matcher in lockstep so staleness is a checkable invariant.
+    epoch: u64,
+    /// The compiled fast path. Derived state — rebuilt or incrementally
+    /// updated by every mutator, never authoritative.
+    matcher: CompiledMatcher,
+}
+
+/// Tables are equal iff their entries are: the cookie index is derived
+/// from the entries, and the matcher/epoch are derived + observability
+/// state (same pattern as the telemetry registry) — two tables reached by
+/// different mutation histories still compare equal.
+impl PartialEq for FlowTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl FlowTable {
@@ -110,16 +135,34 @@ impl FlowTable {
     /// Installs an entry. An existing entry with identical (priority,
     /// pattern) is replaced in place, as OpenFlow `ADD` does.
     pub fn install(&mut self, entry: FlowEntry) {
+        self.install_inner(entry, true);
+    }
+
+    /// The install worker. `index: false` defers matcher maintenance to a
+    /// caller-side [`rebuild_matcher`](Self::rebuild_matcher) — the bulk
+    /// path for classifier installs, where n incremental inserts would
+    /// just re-derive what one rebuild produces.
+    fn install_inner(&mut self, entry: FlowEntry, index: bool) {
+        self.epoch += 1;
         if let Some(pos) = self.position_of(entry.priority, &entry.pattern) {
             let old_cookie = self.entries[pos].cookie;
             self.index_remove(old_cookie);
             self.index_add(entry.cookie);
             self.entries[pos] = entry;
+            if index {
+                // (priority, pattern) unchanged: classification cannot
+                // move, the matcher only needs the new stamp.
+                self.matcher.touch(self.epoch);
+            }
             return;
         }
         // Insert before the first strictly-lower priority (stable order).
         let idx = self.priority_range(entry.priority).end;
         self.index_add(entry.cookie);
+        if index {
+            self.matcher
+                .insert(entry.priority, &entry.pattern, self.epoch);
+        }
         self.entries.insert(idx, entry);
     }
 
@@ -136,6 +179,9 @@ impl FlowTable {
         let Some(pos) = self.position_of(priority, pattern) else {
             return false;
         };
+        self.epoch += 1;
+        // Buckets/cookie don't participate in matching: restamp only.
+        self.matcher.touch(self.epoch);
         let old_cookie = self.entries[pos].cookie;
         self.index_remove(old_cookie);
         self.index_add(cookie);
@@ -151,6 +197,8 @@ impl FlowTable {
         let Some(pos) = self.position_of(priority, pattern) else {
             return false;
         };
+        self.epoch += 1;
+        self.matcher.remove(priority, pattern, self.epoch);
         let cookie = self.entries[pos].cookie;
         self.entries.remove(pos);
         self.index_remove(cookie);
@@ -170,6 +218,10 @@ impl FlowTable {
         for c in &removed {
             self.index_remove(*c);
         }
+        if !removed.is_empty() {
+            self.epoch += 1;
+            self.matcher.rebuild(&self.entries, self.epoch);
+        }
         removed.len()
     }
 
@@ -187,6 +239,10 @@ impl FlowTable {
         for c in &removed {
             self.index_remove(*c);
         }
+        if !removed.is_empty() {
+            self.epoch += 1;
+            self.matcher.rebuild(&self.entries, self.epoch);
+        }
         removed.len()
     }
 
@@ -197,6 +253,10 @@ impl FlowTable {
         self.entries.retain(|e| e.cookie != cookie);
         let removed = before - self.entries.len();
         self.cookie_index.remove(&cookie);
+        if removed > 0 {
+            self.epoch += 1;
+            self.matcher.rebuild(&self.entries, self.epoch);
+        }
         removed
     }
 
@@ -215,6 +275,28 @@ impl FlowTable {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.cookie_index.clear();
+        self.epoch += 1;
+        self.matcher.clear(self.epoch);
+    }
+
+    /// Mutation generation of the table: every state change bumps it, and
+    /// the compiled matcher carries the epoch it was updated for — the
+    /// coherence handshake the fast path debug-asserts.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Shape and hit-distribution snapshot of the compiled matcher (for
+    /// the `dataplane.matcher.*` telemetry gauges and the Mpps bench).
+    pub fn matcher_stats(&self) -> MatcherStats {
+        self.matcher.stats()
+    }
+
+    /// Forces a full recompile of the matcher indexes. Mutators already
+    /// keep the matcher coherent — this exists so benchmarks can measure
+    /// build cost and so bulk installs have one shared maintenance path.
+    pub fn rebuild_matcher(&mut self) {
+        self.matcher.rebuild(&self.entries, self.epoch);
     }
 
     /// True if an entry exists at exactly (priority, pattern).
@@ -243,9 +325,11 @@ impl FlowTable {
     }
 
     /// Classifies a packet: the highest-priority matching entry, with
-    /// counters updated. `None` = table miss (drop).
+    /// counters updated. `None` = table miss (drop). Delegates the scan to
+    /// [`classify`](Self::classify) — counter touching is the only thing
+    /// this adds, so the matcher fast path has a single seam.
     pub fn lookup(&mut self, lp: &LocatedPacket) -> Option<&FlowEntry> {
-        let idx = self.entries.iter().position(|e| e.pattern.matches(lp))?;
+        let idx = self.classify(lp)?.0;
         let e = &mut self.entries[idx];
         e.packet_count += 1;
         e.byte_count += lp.pkt.payload_len as u64;
@@ -258,11 +342,78 @@ impl FlowTable {
     /// table stage by stage and render which rule fired at each hop —
     /// a diagnostic walk must not perturb the traffic statistics the
     /// telemetry layer reports.
+    ///
+    /// Answers through the [`CompiledMatcher`]: the matcher returns the
+    /// exact winning priority (its candidate sets are complete — see the
+    /// matcher module docs), and the winner inside that priority band is
+    /// resolved in table order, so the result is index-for-index identical
+    /// to [`classify_linear`](Self::classify_linear). The oracle
+    /// dual-runs both on every probe to enforce that.
     pub fn classify(&self, lp: &LocatedPacket) -> Option<(usize, &FlowEntry)> {
+        debug_assert_eq!(
+            self.matcher.epoch(),
+            self.epoch,
+            "matcher stale: a mutator skipped maintenance"
+        );
+        let priority = self.matcher.best_priority(lp)?;
+        for i in self.priority_range(priority) {
+            if self.entries[i].pattern.matches(lp) {
+                return Some((i, &self.entries[i]));
+            }
+        }
+        // Unreachable if the matcher is coherent; fall back to the
+        // specification rather than mis-forward.
+        debug_assert!(
+            false,
+            "matcher returned priority {priority} with no match in band"
+        );
+        self.classify_linear(lp)
+    }
+
+    /// The reference semantics: a priority-ordered linear first-match walk
+    /// over the whole table. [`classify`](Self::classify) must agree with
+    /// this index-for-index; it exists as the differential baseline (and
+    /// the linear leg of the Mpps bench).
+    pub fn classify_linear(&self, lp: &LocatedPacket) -> Option<(usize, &FlowEntry)> {
         self.entries
             .iter()
             .enumerate()
             .find(|(_, e)| e.pattern.matches(lp))
+    }
+
+    /// Classifies a batch without touching counters: one entry index (or
+    /// `None` for a miss) per input packet, in order.
+    pub fn classify_batch(&self, lps: &[LocatedPacket]) -> Vec<Option<usize>> {
+        lps.iter().map(|lp| Some(self.classify(lp)?.0)).collect()
+    }
+
+    /// Batched [`lookup`](Self::lookup): classifies every packet, then
+    /// applies per-entry counter updates **aggregated per batch** — one
+    /// read-modify-write per distinct entry instead of one per packet.
+    pub fn lookup_batch(&mut self, lps: &[LocatedPacket]) -> Vec<Option<usize>> {
+        let hits = self.classify_batch(lps);
+        let mut agg: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+        for (lp, hit) in lps.iter().zip(&hits) {
+            if let Some(i) = hit {
+                let slot = agg.entry(*i).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += lp.pkt.payload_len as u64;
+            }
+        }
+        for (i, (pkts, bytes)) in agg {
+            let e = &mut self.entries[i];
+            e.packet_count += pkts;
+            e.byte_count += bytes;
+        }
+        hits
+    }
+
+    /// Credits traffic counters on the entry at `idx` — the aggregation
+    /// sink for [`Switch::process_batch`](crate::switch::Switch::process_batch).
+    pub(crate) fn credit(&mut self, idx: usize, pkts: u64, bytes: u64) {
+        let e = &mut self.entries[idx];
+        e.packet_count += pkts;
+        e.byte_count += bytes;
     }
 
     /// Applies `entry`'s buckets to `lp`: one output packet per bucket,
@@ -292,8 +443,12 @@ impl FlowTable {
         let n = c.rules().len() as u32;
         for (i, r) in c.rules().iter().enumerate() {
             let buckets = r.actions.iter().map(|a| a.mods.clone()).collect::<Vec<_>>();
-            self.install(FlowEntry::new(base + n - i as u32, r.matches, buckets));
+            self.install_inner(
+                FlowEntry::new(base + n - i as u32, r.matches, buckets),
+                false,
+            );
         }
+        self.rebuild_matcher();
     }
 }
 
@@ -454,5 +609,166 @@ mod tests {
         t.install_classifier(&high, 1000);
         let hit = t.lookup(&web(port(1))).unwrap();
         assert_eq!(hit.buckets, vec![vec![Mod::SetLoc(port(7))]]);
+    }
+
+    #[test]
+    fn layered_classifier_shadows_rule_for_rule() {
+        // A multi-rule policy: two disjoint forwarding classes + fallthrough.
+        let policy = |web: u32, tls: u32| {
+            (Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(web)))
+                + (Policy::match_(FieldMatch::TpDst(443)) >> Policy::fwd(port(tls)))
+        };
+        let low = compile(&policy(2, 3));
+        let high = compile(&policy(7, 8));
+        assert_eq!(low.rules().len(), high.rules().len());
+        let n = high.rules().len();
+        let mut t = FlowTable::new();
+        t.install_classifier(&low, 0);
+        t.install_classifier(&high, 1000);
+        assert_eq!(t.len(), 2 * n);
+        // Every high-layer rule sits above the entire low layer, in rule
+        // order: entry i IS high rule i, at priority 1000 + n - i.
+        for (i, r) in high.rules().iter().enumerate() {
+            let e = &t.entries()[i];
+            assert_eq!(e.pattern, r.matches, "high rule {i} out of order");
+            assert_eq!(e.priority, 1000 + (n - i) as u32);
+        }
+        for (i, r) in low.rules().iter().enumerate() {
+            let e = &t.entries()[n + i];
+            assert_eq!(e.pattern, r.matches, "low rule {i} out of order");
+            assert_eq!(e.priority, (n - i) as u32);
+        }
+        // Batch-installed order equals priority order (strictly decreasing
+        // within each layer's base).
+        let prios: Vec<u32> = t.entries().iter().map(|e| e.priority).collect();
+        let mut sorted = prios.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(prios, sorted, "entries() must be priority-sorted");
+        // And each probe lands on the high layer, class by class.
+        let mut tls = web(port(1));
+        tls.pkt.tp_dst = 443;
+        assert_eq!(
+            t.lookup(&web(port(1))).unwrap().buckets,
+            vec![vec![Mod::SetLoc(port(7))]]
+        );
+        assert_eq!(
+            t.lookup(&tls).unwrap().buckets,
+            vec![vec![Mod::SetLoc(port(8))]]
+        );
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation_and_matcher_follows() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.epoch(), 0);
+        let m = HeaderMatch::of(FieldMatch::TpDst(80));
+        t.install(FlowEntry::new(5, m, vec![]));
+        let e1 = t.epoch();
+        assert!(e1 > 0);
+        t.modify_in_place(5, &m, &[vec![Mod::SetLoc(port(2))]], 9);
+        let e2 = t.epoch();
+        assert!(e2 > e1);
+        t.delete_exact(5, &m);
+        assert!(t.epoch() > e2);
+        assert_eq!(t.matcher_stats().epoch, t.epoch(), "matcher in lockstep");
+        // Failed mutations don't bump.
+        let before = t.epoch();
+        assert!(!t.delete_exact(5, &m));
+        assert_eq!(t.epoch(), before);
+    }
+
+    /// The fast path must agree with the linear walk index-for-index,
+    /// across the whole mutation surface (the proptest in
+    /// `tests/matcher_props.rs` fuzzes this; here is the deterministic
+    /// spine).
+    #[test]
+    fn classify_agrees_with_linear_across_mutations() {
+        use sdx_net::MacAddr;
+
+        let probes: Vec<LocatedPacket> = (0..8u32)
+            .map(|i| {
+                let mut lp = web(port(i % 3));
+                lp.pkt.tp_dst = if i % 2 == 0 { 80 } else { 443 };
+                lp.pkt.dl_dst = MacAddr::vmac(i % 4);
+                lp
+            })
+            .collect();
+        let agree = |t: &FlowTable| {
+            for lp in &probes {
+                let fast = t.classify(lp).map(|(i, e)| (i, e.priority));
+                let lin = t.classify_linear(lp).map(|(i, e)| (i, e.priority));
+                assert_eq!(fast, lin, "diverged on {lp:?}");
+            }
+        };
+        let mut t = FlowTable::new();
+        t.install(FlowEntry::new(
+            9,
+            HeaderMatch::of(FieldMatch::DlDst(MacAddr::vmac(1))),
+            vec![vec![Mod::SetLoc(port(5))]],
+        ));
+        agree(&t);
+        t.install(FlowEntry::new(
+            9,
+            HeaderMatch::of(FieldMatch::TpDst(443)),
+            vec![],
+        ));
+        t.install(FlowEntry::new(1, HeaderMatch::any(), vec![]));
+        agree(&t);
+        t.modify_in_place(
+            9,
+            &HeaderMatch::of(FieldMatch::TpDst(443)),
+            &[vec![Mod::SetLoc(port(6))]],
+            3,
+        );
+        agree(&t);
+        t.delete_exact(9, &HeaderMatch::of(FieldMatch::DlDst(MacAddr::vmac(1))));
+        agree(&t);
+        let c = compile(&(Policy::match_(FieldMatch::TpDst(80)) >> Policy::fwd(port(2))));
+        t.install_classifier(&c, 1000);
+        agree(&t);
+        t.remove_at_or_above(1000);
+        agree(&t);
+        t.clear();
+        agree(&t);
+    }
+
+    #[test]
+    fn batch_lookup_matches_sequential_and_aggregates_counters() {
+        let mk = || {
+            let mut t = FlowTable::new();
+            t.install(FlowEntry::new(
+                10,
+                HeaderMatch::of(FieldMatch::TpDst(80)),
+                vec![vec![Mod::SetLoc(port(2))]],
+            ));
+            t.install(FlowEntry::new(
+                1,
+                HeaderMatch::any(),
+                vec![vec![Mod::SetLoc(port(9))]],
+            ));
+            t
+        };
+        let mut batch = Vec::new();
+        for i in 0..6u16 {
+            let mut lp = web(port(1));
+            lp.pkt.tp_dst = if i % 3 == 0 { 443 } else { 80 };
+            batch.push(lp);
+        }
+        let mut seq = mk();
+        for lp in &batch {
+            seq.lookup(lp);
+        }
+        let mut bat = mk();
+        let hits = bat.lookup_batch(&batch);
+        assert_eq!(
+            hits,
+            batch
+                .iter()
+                .map(|lp| seq.classify(lp).map(|(i, _)| i))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(seq, bat, "aggregated counters must equal sequential");
+        assert_eq!(bat.entries()[0].packet_count, 4);
+        assert_eq!(bat.entries()[1].packet_count, 2);
     }
 }

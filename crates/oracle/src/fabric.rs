@@ -191,7 +191,22 @@ impl<'a> FabricEvaluator<'a> {
                 Some(table) => {
                     // Deployed-table mode: highest-priority first match
                     // over the live entries, buckets applied as installed.
-                    let Some((idx, entry)) = table.classify(&lp) else {
+                    // `classify` answers through the compiled matcher; the
+                    // oracle dual-runs the linear reference walk and
+                    // asserts `(index, entry)` identity on every probe, so
+                    // the fast path can never silently change semantics.
+                    let fast = table.classify(&lp);
+                    let linear = table.classify_linear(&lp);
+                    assert_eq!(
+                        fast.map(|(i, e)| (i, e.priority, e.pattern)),
+                        linear.map(|(i, e)| (i, e.priority, e.pattern)),
+                        "compiled matcher diverged from the linear walk at {} \
+                         (epoch {}, {} entries)",
+                        lp.loc,
+                        table.epoch(),
+                        table.len(),
+                    );
+                    let Some((idx, entry)) = fast else {
                         t.push("classifier", format!("table miss at {}", lp.loc));
                         continue;
                     };

@@ -58,7 +58,10 @@ fn main() {
 
     let mut ctl = SdxController::new();
     for (id, asn, ports) in [(1, 65001, 1), (2, 65002, 2), (3, 65003, 1), (4, 65004, 1)] {
-        ctl.add_participant(ParticipantConfig::new(id, asn, ports), ExportPolicy::allow_all());
+        ctl.add_participant(
+            ParticipantConfig::new(id, asn, ports),
+            ExportPolicy::allow_all(),
+        );
     }
 
     let handle = daemon::start(ctl, cfg).expect("daemon start");

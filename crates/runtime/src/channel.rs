@@ -55,7 +55,12 @@ impl FlowChannel {
     /// Wraps an accepted agent connection. `queue` bounds the send
     /// queue: once `queue` frames are in flight to the writer thread,
     /// further sends block (the daemon's explicit backpressure).
-    pub fn new(id: usize, stream: TcpStream, queue: usize, reg: SharedRegistry) -> std::io::Result<FlowChannel> {
+    pub fn new(
+        id: usize,
+        stream: TcpStream,
+        queue: usize,
+        reg: SharedRegistry,
+    ) -> std::io::Result<FlowChannel> {
         let (tx, rx) = sync_channel::<String>(queue.max(1));
         let (ack_tx, ack_rx) = std::sync::mpsc::channel::<AckEvent>();
         let write_stream = stream.try_clone()?;
@@ -78,7 +83,9 @@ impl FlowChannel {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let Ok(ack) = codec::decode_ack(&line) else { break };
+                let Ok(ack) = codec::decode_ack(&line) else {
+                    break;
+                };
                 if ack_tx.send(ack).is_err() {
                     break;
                 }
@@ -156,10 +163,8 @@ impl FlowChannel {
                 }
                 Ok((seq, Err(e))) => {
                     self.acked += 1;
-                    first_err.get_or_insert(format!(
-                        "switch {} rejected frame {}: {}",
-                        self.id, seq, e
-                    ));
+                    first_err
+                        .get_or_insert(format!("switch {} rejected frame {}: {}", self.id, seq, e));
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     first_err.get_or_insert(format!("switch {} disconnected", self.id));
@@ -207,7 +212,12 @@ impl<'a> ChannelSink<'a> {
 }
 
 impl WaveSink for ChannelSink<'_> {
-    fn apply_wave(&mut self, wave: usize, total: usize, batch: &FlowModBatch) -> Result<(), String> {
+    fn apply_wave(
+        &mut self,
+        wave: usize,
+        total: usize,
+        batch: &FlowModBatch,
+    ) -> Result<(), String> {
         // Send everywhere first: all switches work on the wave
         // concurrently...
         for ch in self.channels.iter_mut() {
@@ -287,9 +297,7 @@ fn run_agent(stream: TcpStream, read_stream: TcpStream) -> Fabric {
             // connection so the daemon's barrier fails loudly.
             Err(_) => break,
         };
-        if w.write_all(ack.as_bytes()).is_err()
-            || w.write_all(b"\n").is_err()
-            || w.flush().is_err()
+        if w.write_all(ack.as_bytes()).is_err() || w.write_all(b"\n").is_err() || w.flush().is_err()
         {
             break;
         }
@@ -382,8 +390,9 @@ mod tests {
     fn channel_sink_fans_a_wave_to_every_agent() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
-        let agents: Vec<AgentHandle> =
-            (0..3).map(|_| spawn_agent(addr).expect("connect")).collect();
+        let agents: Vec<AgentHandle> = (0..3)
+            .map(|_| spawn_agent(addr).expect("connect"))
+            .collect();
         let mut channels: Vec<FlowChannel> = (0..3)
             .map(|i| {
                 let (stream, _) = listener.accept().expect("accept");

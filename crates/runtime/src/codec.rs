@@ -68,10 +68,7 @@ fn get_u64(j: &Json, k: &str) -> Result<u64, CodecError> {
 
 fn port_to_json(p: PortId) -> Json {
     match p {
-        PortId::Phys(pid, iface) => Json::obj([
-            key("phys", int(pid.0)),
-            key("if", int(iface)),
-        ]),
+        PortId::Phys(pid, iface) => Json::obj([key("phys", int(pid.0)), key("if", int(iface))]),
         PortId::Virt(pid) => Json::obj([key("virt", int(pid.0))]),
     }
 }
@@ -90,13 +87,17 @@ fn mac_to_json(m: MacAddr) -> Json {
 }
 
 fn mac_from_json(j: &Json) -> Result<MacAddr, CodecError> {
-    let arr = j.as_arr().ok_or_else(|| CodecError("mac: not an array".into()))?;
+    let arr = j
+        .as_arr()
+        .ok_or_else(|| CodecError("mac: not an array".into()))?;
     if arr.len() != 6 {
         return err(format!("mac: {} octets", arr.len()));
     }
     let mut m = [0u8; 6];
     for (i, b) in arr.iter().enumerate() {
-        m[i] = b.as_u64().ok_or_else(|| CodecError("mac: non-integer octet".into()))? as u8;
+        m[i] = b
+            .as_u64()
+            .ok_or_else(|| CodecError("mac: non-integer octet".into()))? as u8;
     }
     Ok(MacAddr(m))
 }
@@ -162,7 +163,9 @@ fn pattern_from_json(j: &Json) -> Result<HeaderMatch, CodecError> {
         m.set(FieldMatch::DlDst(mac_from_json(v)?));
     }
     if let Some(v) = j.get("eth_type") {
-        let v = v.as_u64().ok_or_else(|| CodecError("eth_type: not an int".into()))?;
+        let v = v
+            .as_u64()
+            .ok_or_else(|| CodecError("eth_type: not an int".into()))?;
         m.set(FieldMatch::EthType(EtherType::from_value(v as u16)));
     }
     if let Some(v) = j.get("nw_src") {
@@ -172,15 +175,21 @@ fn pattern_from_json(j: &Json) -> Result<HeaderMatch, CodecError> {
         m.set(FieldMatch::NwDst(prefix_from_json(v)?));
     }
     if let Some(v) = j.get("nw_proto") {
-        let v = v.as_u64().ok_or_else(|| CodecError("nw_proto: not an int".into()))?;
+        let v = v
+            .as_u64()
+            .ok_or_else(|| CodecError("nw_proto: not an int".into()))?;
         m.set(FieldMatch::NwProto(IpProto::from_value(v as u8)));
     }
     if let Some(v) = j.get("tp_src") {
-        let v = v.as_u64().ok_or_else(|| CodecError("tp_src: not an int".into()))?;
+        let v = v
+            .as_u64()
+            .ok_or_else(|| CodecError("tp_src: not an int".into()))?;
         m.set(FieldMatch::TpSrc(v as u16));
     }
     if let Some(v) = j.get("tp_dst") {
-        let v = v.as_u64().ok_or_else(|| CodecError("tp_dst: not an int".into()))?;
+        let v = v
+            .as_u64()
+            .ok_or_else(|| CodecError("tp_dst: not an int".into()))?;
         m.set(FieldMatch::TpDst(v as u16));
     }
     Ok(m)
@@ -233,10 +242,14 @@ fn buckets_to_json(buckets: &[Vec<Mod>]) -> Json {
 }
 
 fn buckets_from_json(j: &Json) -> Result<Vec<Vec<Mod>>, CodecError> {
-    let arr = j.as_arr().ok_or_else(|| CodecError("buckets: not an array".into()))?;
+    let arr = j
+        .as_arr()
+        .ok_or_else(|| CodecError("buckets: not an array".into()))?;
     arr.iter()
         .map(|b| {
-            let acts = b.as_arr().ok_or_else(|| CodecError("bucket: not an array".into()))?;
+            let acts = b
+                .as_arr()
+                .ok_or_else(|| CodecError("bucket: not an array".into()))?;
             acts.iter().map(action_from_json).collect()
         })
         .collect()
@@ -258,10 +271,12 @@ fn entry_to_json(e: &FlowEntry) -> Json {
 fn entry_from_json(j: &Json) -> Result<FlowEntry, CodecError> {
     let priority = get_u64(j, "priority")? as u32;
     let pattern = pattern_from_json(
-        j.get("pattern").ok_or_else(|| CodecError("entry: missing pattern".into()))?,
+        j.get("pattern")
+            .ok_or_else(|| CodecError("entry: missing pattern".into()))?,
     )?;
     let buckets = buckets_from_json(
-        j.get("buckets").ok_or_else(|| CodecError("entry: missing buckets".into()))?,
+        j.get("buckets")
+            .ok_or_else(|| CodecError("entry: missing buckets".into()))?,
     )?;
     let cookie = get_u64(j, "cookie")?;
     Ok(FlowEntry::new(priority, pattern, buckets).with_cookie(cookie))
@@ -269,7 +284,10 @@ fn entry_from_json(j: &Json) -> Result<FlowEntry, CodecError> {
 
 fn mod_to_json(m: &FlowMod) -> Json {
     match m {
-        FlowMod::Add(e) => Json::obj([key("op", Json::Str("add".into())), key("entry", entry_to_json(e))]),
+        FlowMod::Add(e) => Json::obj([
+            key("op", Json::Str("add".into())),
+            key("entry", entry_to_json(e)),
+        ]),
         FlowMod::Modify {
             priority,
             pattern,
@@ -297,22 +315,26 @@ fn mod_from_json(j: &Json) -> Result<FlowMod, CodecError> {
         .ok_or_else(|| CodecError("mod: missing op".into()))?;
     match op {
         "add" => Ok(FlowMod::Add(entry_from_json(
-            j.get("entry").ok_or_else(|| CodecError("add: missing entry".into()))?,
+            j.get("entry")
+                .ok_or_else(|| CodecError("add: missing entry".into()))?,
         )?)),
         "modify" => Ok(FlowMod::Modify {
             priority: get_u64(j, "priority")? as u32,
             pattern: pattern_from_json(
-                j.get("pattern").ok_or_else(|| CodecError("modify: missing pattern".into()))?,
+                j.get("pattern")
+                    .ok_or_else(|| CodecError("modify: missing pattern".into()))?,
             )?,
             buckets: buckets_from_json(
-                j.get("buckets").ok_or_else(|| CodecError("modify: missing buckets".into()))?,
+                j.get("buckets")
+                    .ok_or_else(|| CodecError("modify: missing buckets".into()))?,
             )?,
             cookie: get_u64(j, "cookie")?,
         }),
         "delete" => Ok(FlowMod::Delete {
             priority: get_u64(j, "priority")? as u32,
             pattern: pattern_from_json(
-                j.get("pattern").ok_or_else(|| CodecError("delete: missing pattern".into()))?,
+                j.get("pattern")
+                    .ok_or_else(|| CodecError("delete: missing pattern".into()))?,
             )?,
         }),
         other => err(format!("mod: unknown op `{other}`")),

@@ -284,7 +284,9 @@ fn spawn_bgp_acceptor(listener: TcpListener, tx: Sender<Input>, stop: Arc<Atomic
                     let conn = next_conn;
                     next_conn += 1;
                     let _ = stream.set_nodelay(true);
-                    let Ok(writer) = stream.try_clone() else { continue };
+                    let Ok(writer) = stream.try_clone() else {
+                        continue;
+                    };
                     if tx.send(Input::PeerConnected { conn, writer }).is_err() {
                         return;
                     }
@@ -422,7 +424,46 @@ struct EventLoop {
 }
 
 impl EventLoop {
+    /// Publishes the deployed table's compiled-matcher stats as gauges, so
+    /// the telemetry endpoint reports data-plane health (table shape,
+    /// index sizes, hit distribution) alongside the control-plane
+    /// counters. Called wherever the table image changes: startup deploy,
+    /// delta flush, reoptimize.
+    fn publish_matcher_stats(&self) {
+        let table = self.fabric.switch.table();
+        let s = table.matcher_stats();
+        self.reg
+            .set_gauge("dataplane.table.entries", table.len() as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.epoch", s.epoch as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.exact.keys", s.exact_keys as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.exact.entries", s.exact_entries as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.trie.prefixes", s.trie_prefixes as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.trie.entries", s.trie_entries as i64);
+        self.reg.set_gauge(
+            "dataplane.matcher.residual.entries",
+            s.residual_entries as i64,
+        );
+        self.reg
+            .set_gauge("dataplane.matcher.builds", s.builds as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.approx_bytes", s.approx_bytes as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.exact.hit.count", s.exact_hits as i64);
+        self.reg
+            .set_gauge("dataplane.matcher.trie.hit.count", s.trie_hits as i64);
+        self.reg.set_gauge(
+            "dataplane.matcher.residual.hit.count",
+            s.residual_hits as i64,
+        );
+    }
+
     fn run(mut self) -> DaemonReport {
+        self.publish_matcher_stats();
         let tick = Duration::from_millis(self.cfg.tick_ms.max(1));
         let mut queued: VecDeque<Input> = VecDeque::new();
         let mut last_tick = Instant::now();
@@ -567,7 +608,9 @@ impl EventLoop {
         self.conn_pid.insert(conn, pid);
         self.writers.insert(pid, stream);
         let mut up = self.sup.connection_up(now, pid, &mut self.ctl.rs);
-        let stepped = self.sup.handle_message(now, pid, BgpMessage::Open(open), &mut self.ctl.rs);
+        let stepped = self
+            .sup
+            .handle_message(now, pid, BgpMessage::Open(open), &mut self.ctl.rs);
         up.send.extend(stepped.send);
         let mut changed = up.changed_prefixes;
         changed.extend(stepped.changed_prefixes);
@@ -620,15 +663,19 @@ impl EventLoop {
                 prefixes: prefixes.len(),
             });
         }
-        self.reg.observe("daemon.coalesce.updates", n_updates.max(1) as u64);
+        self.reg
+            .observe("daemon.coalesce.updates", n_updates.max(1) as u64);
         self.compiles += 1;
         self.reg.inc("daemon.compiles.count");
         match self.ctl.apply_changed_prefixes(&prefixes, &mut self.fabric) {
             Ok(_delta) => {
                 self.stream_drained_batches();
+                self.publish_matcher_stats();
                 for at in arrivals {
-                    self.reg
-                        .observe("daemon.update_to_flowmod_us", at.elapsed().as_micros() as u64);
+                    self.reg.observe(
+                        "daemon.update_to_flowmod_us",
+                        at.elapsed().as_micros() as u64,
+                    );
                 }
             }
             Err(_) => {
@@ -773,7 +820,8 @@ impl EventLoop {
         self.reg.add("daemon.batches_streamed.count", streamed);
         match outcome {
             Ok(_report) if ok => {
-                self.ctl.finish_scheduled(&mut self.fabric, prepared, t0.elapsed());
+                self.ctl
+                    .finish_scheduled(&mut self.fabric, prepared, t0.elapsed());
             }
             _ => {
                 // Parked mid-update (retry exhaustion) or a channel
@@ -783,6 +831,7 @@ impl EventLoop {
                 self.resync_agents();
             }
         }
+        self.publish_matcher_stats();
     }
 
     /// Bounded shutdown drain: flush what is already queued (never

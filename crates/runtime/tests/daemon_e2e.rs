@@ -40,7 +40,10 @@ fn figure1_empty_rib() -> SdxController {
     let c = ParticipantConfig::new(3, 65003, 1);
     let d = ParticipantConfig::new(4, 65004, 1);
     let mut ctl = SdxController::new();
-    ctl.add_participant(a.with_outbound(figure1_outbound_a()), ExportPolicy::allow_all());
+    ctl.add_participant(
+        a.with_outbound(figure1_outbound_a()),
+        ExportPolicy::allow_all(),
+    );
     let mut b_export = ExportPolicy::allow_all();
     b_export.deny(pid(1), prefix("40.0.0.0/8"));
     ctl.add_participant(b.with_inbound(figure1_inbound_b()), b_export);
@@ -114,8 +117,27 @@ fn figure1_over_sockets_is_oracle_identical_to_in_process() {
     let mut body = String::new();
     telem.read_to_string(&mut body).expect("read");
     let snap = Json::parse(body.trim()).expect("valid JSON");
-    assert!(snap.get("counters").is_some(), "telemetry dump has counters");
+    assert!(
+        snap.get("counters").is_some(),
+        "telemetry dump has counters"
+    );
     assert!(snap.get("events").is_some(), "telemetry dump has journal");
+    // Data-plane health rides along: the deployed table's compiled-matcher
+    // shape is published as gauges wherever the table image changes.
+    let gauges = snap.get("gauges").expect("telemetry dump has gauges");
+    for key in [
+        "dataplane.table.entries",
+        "dataplane.matcher.epoch",
+        "dataplane.matcher.exact.entries",
+        "dataplane.matcher.residual.entries",
+    ] {
+        assert!(gauges.get(key).is_some(), "missing matcher gauge {key}");
+    }
+    let entries = match gauges.get("dataplane.table.entries") {
+        Some(Json::Int(n)) => *n,
+        other => panic!("dataplane.table.entries not numeric: {other:?}"),
+    };
+    assert!(entries > 0, "deployed table should have entries");
 
     // Fold the fast-path deltas into a scheduled re-optimization, waves
     // streamed to the agent; then stop. mpsc ordering guarantees the
@@ -151,7 +173,8 @@ fn figure1_over_sockets_is_oracle_identical_to_in_process() {
     let mut inproc = figure1_controller();
     let inproc_fabric = inproc.deploy().expect("in-process deploy");
     let inproc_cr = inproc.report.as_ref().expect("compiled");
-    let socket_eval = FabricEvaluator::over_table(&ctl.compiler, &ctl.rs, cr, agent_fabric.switch.table());
+    let socket_eval =
+        FabricEvaluator::over_table(&ctl.compiler, &ctl.rs, cr, agent_fabric.switch.table());
     let inproc_eval = FabricEvaluator::over_table(
         &inproc.compiler,
         &inproc.rs,
@@ -209,7 +232,8 @@ fn bursts_coalesce_into_one_compile_under_backpressure() {
 
     // First update: its compile streams a batch whose ack the slow
     // agent sits on, pinning the event loop at the barrier...
-    peer.send(&announce(&d, "60.0.0.0/8", &[65004, 500])).expect("send");
+    peer.send(&announce(&d, "60.0.0.0/8", &[65004, 500]))
+        .expect("send");
     wait_counter(&reg, "daemon.compiles.count", 1);
     // ...while a burst of distinct-prefix updates queues up behind it.
     for i in 0..30u32 {
@@ -335,7 +359,8 @@ fn rejected_wave_resyncs_the_agent_and_the_next_update_succeeds() {
     // announces it.
     let b = ParticipantConfig::new(2, 65002, 2);
     let mut peer = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("peer");
-    peer.send(&announce(&b, "60.0.0.0/8", &[65002, 300])).expect("send");
+    peer.send(&announce(&b, "60.0.0.0/8", &[65002, 300]))
+        .expect("send");
     wait_counter(&reg, "daemon.compiles.count", 1);
 
     // First scheduled update: the agent rejects wave 0, the fleet
@@ -361,8 +386,7 @@ fn graceful_shutdown_drains_through_injected_faults() {
     let mut ctl = figure1_controller();
     // Every wave's first apply attempt fails; the scheduler's retry
     // budget absorbs it.
-    ctl.faults = FaultPlan::seeded(11)
-        .fail_nth(InjectionPoint::FlowModApply { wave: 0 }, 1);
+    ctl.faults = FaultPlan::seeded(11).fail_nth(InjectionPoint::FlowModApply { wave: 0 }, 1);
     let handle = daemon::start(ctl, DaemonConfig::default()).expect("start");
     let reg = handle.telemetry().clone();
     let agent = spawn_agent(handle.openflow_addr).expect("agent");
@@ -373,7 +397,8 @@ fn graceful_shutdown_drains_through_injected_faults() {
     // scheduled update has real waves for the fault plan to bite on.
     let b = ParticipantConfig::new(2, 65002, 2);
     let mut peer = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("peer");
-    peer.send(&announce(&b, "60.0.0.0/8", &[65002, 300])).expect("send");
+    peer.send(&announce(&b, "60.0.0.0/8", &[65002, 300]))
+        .expect("send");
     wait_counter(&reg, "daemon.updates.count", 1);
 
     handle.reoptimize();
@@ -393,6 +418,9 @@ fn graceful_shutdown_drains_through_injected_faults() {
     let injected = kind_pos("fault_injected").expect("fault_injected");
     let wave = kind_pos("update_wave_applied").expect("update_wave_applied");
     let stopped = kind_pos("daemon_stopped").expect("daemon_stopped");
-    assert!(started < established && established < injected, "journal order");
+    assert!(
+        started < established && established < injected,
+        "journal order"
+    );
     assert!(injected < wave && wave < stopped, "journal order");
 }
