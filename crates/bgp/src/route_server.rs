@@ -159,6 +159,51 @@ impl Clone for BestRouteCache {
     }
 }
 
+/// Change tracking for the compiler's incremental shard cache: a unique
+/// instance identity plus the prefixes whose candidate sets changed since
+/// the compiler last drained them.
+///
+/// This is deliberately separate from [`RouteServer::take_dirty_prefixes`]
+/// (the controller's FIB-sync working set): the two consumers drain at
+/// different times, and sharing one set would make either drain eat the
+/// other's deltas. Both sets are populated at exactly the same mutation
+/// sites.
+///
+/// The `id` is the staleness fingerprint: fresh per instance **and per
+/// clone** (a clone is a different object whose future mutations this
+/// object will never see), so a compiler cache keyed on the id of one
+/// server can never be replayed against another. The *set contents* are
+/// cloned, though — a snapshot taken mid-burst still owes the compiler
+/// the pending dirt. Behind a `Mutex` because the compiler drains through
+/// `&RouteServer` while worker threads share the reference.
+#[derive(Debug)]
+struct CompileDirty {
+    id: u64,
+    set: std::sync::Mutex<BTreeSet<Prefix>>,
+}
+
+impl Default for CompileDirty {
+    fn default() -> Self {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        CompileDirty {
+            id: NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            set: std::sync::Mutex::new(BTreeSet::new()),
+        }
+    }
+}
+
+impl Clone for CompileDirty {
+    fn clone(&self) -> Self {
+        let fresh = CompileDirty::default();
+        *fresh.set.lock().expect("compile-dirty lock poisoned") = self
+            .set
+            .lock()
+            .expect("compile-dirty lock poisoned")
+            .clone();
+        fresh
+    }
+}
+
 /// The multi-participant route server.
 #[derive(Clone, Debug, Default)]
 pub struct RouteServer {
@@ -176,6 +221,9 @@ pub struct RouteServer {
     /// mutate the route server directly (session supervision, harnesses)
     /// are tracked too.
     dirty: std::collections::BTreeSet<Prefix>,
+    /// The compiler's change-tracking twin of `dirty` (drained on a
+    /// different schedule; see [`CompileDirty`]).
+    compile_dirty: CompileDirty,
     /// Decision/export stage timers land here.
     telemetry: SharedRegistry,
 }
@@ -206,6 +254,7 @@ impl RouteServer {
         // so every known prefix must be re-examined at the next sync.
         self.best_cache.clear();
         let all: Vec<Prefix> = self.loc_rib.prefixes().collect();
+        self.mark_compile_dirty(all.iter().copied());
         self.dirty.extend(all);
     }
 
@@ -225,6 +274,7 @@ impl RouteServer {
         // Export filtering feeds the candidate sets the decision ran over.
         self.best_cache.clear();
         let all: Vec<Prefix> = self.loc_rib.prefixes().collect();
+        self.mark_compile_dirty(all.iter().copied());
         self.dirty.extend(all);
     }
 
@@ -256,10 +306,54 @@ impl RouteServer {
                 }
                 self.best_cache.invalidate(p);
                 self.dirty.insert(p);
+                self.compile_dirty
+                    .set
+                    .lock()
+                    .expect("compile-dirty lock poisoned")
+                    .insert(p);
                 events.push(RouteServerEvent::PrefixChanged(p));
             }
             events
         })
+    }
+
+    fn mark_compile_dirty(&mut self, prefixes: impl IntoIterator<Item = Prefix>) {
+        self.compile_dirty
+            .set
+            .get_mut()
+            .expect("compile-dirty lock poisoned")
+            .extend(prefixes);
+    }
+
+    /// This instance's compile-cache identity: unique per route server
+    /// object (clones get fresh ids), so a compiler that cached per-shard
+    /// state against one instance can detect it is now being run against
+    /// a different one and rebuild instead of trusting stale slices.
+    pub fn compile_id(&self) -> u64 {
+        self.compile_dirty.id
+    }
+
+    /// Drains the compiler's view of changed prefixes (see
+    /// [`CompileDirty`]; independent of
+    /// [`take_dirty_prefixes`](Self::take_dirty_prefixes)). Takes `&self`
+    /// because the compile pipeline holds the route server shared.
+    pub fn take_compile_dirty(&self) -> std::collections::BTreeSet<Prefix> {
+        std::mem::take(
+            &mut self
+                .compile_dirty
+                .set
+                .lock()
+                .expect("compile-dirty lock poisoned"),
+        )
+    }
+
+    /// Un-drained compiler-side changed prefixes (diagnostics).
+    pub fn compile_dirty_len(&self) -> usize {
+        self.compile_dirty
+            .set
+            .lock()
+            .expect("compile-dirty lock poisoned")
+            .len()
     }
 
     /// Drains the set of prefixes whose candidate set changed since the
@@ -289,6 +383,11 @@ impl RouteServer {
             self.loc_rib.remove(p, from);
             self.best_cache.invalidate(p);
             self.dirty.insert(p);
+            self.compile_dirty
+                .set
+                .get_mut()
+                .expect("compile-dirty lock poisoned")
+                .insert(p);
             events.push(RouteServerEvent::PrefixChanged(p));
         }
         events
@@ -411,6 +510,33 @@ impl RouteServer {
     pub fn prefixes_via(&self, viewer: ParticipantId, next_hop: ParticipantId) -> Vec<Prefix> {
         self.loc_rib
             .announced_by(next_hop)
+            .filter(|&p| {
+                self.loc_rib
+                    .candidates(p)
+                    .iter()
+                    .any(|r| r.source.participant == next_hop && self.exported(r, viewer, p))
+            })
+            .collect()
+    }
+
+    /// [`prefixes_via`](Self::prefixes_via) restricted to prefixes whose
+    /// network address lies in `[lo, hi)` (`hi = None` means "to the top
+    /// of the address space") — the per-shard BGP join of the sharded
+    /// compile pipeline. The restriction is a `BTreeSet::range` slice of
+    /// the announcer index, not a filter, so one shard's join costs
+    /// O(log + its slice) of the announcer's table — it never touches
+    /// entries outside its range — and the union of the results over a
+    /// partition of the address space is exactly
+    /// [`prefixes_via`](Self::prefixes_via).
+    pub fn prefixes_via_bounded(
+        &self,
+        viewer: ParticipantId,
+        next_hop: ParticipantId,
+        lo: Ipv4Addr,
+        hi: Option<Ipv4Addr>,
+    ) -> Vec<Prefix> {
+        self.loc_rib
+            .announced_by_in(next_hop, lo, hi)
             .filter(|&p| {
                 self.loc_rib
                     .candidates(p)
@@ -856,6 +982,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bounded_join_partitions_the_unbounded_join() {
+        let rs = figure1_server();
+        for viewer in [ParticipantId(1), ParticipantId(2), ParticipantId(3)] {
+            for nh in [ParticipantId(2), ParticipantId(3)] {
+                let full = rs.prefixes_via(viewer, nh);
+                // Any cut point partitions the result exactly.
+                for cut in [
+                    ip("0.0.0.1"),
+                    ip("25.0.0.0"),
+                    ip("40.0.0.0"),
+                    ip("255.0.0.0"),
+                ] {
+                    let lo_half = rs.prefixes_via_bounded(viewer, nh, Ipv4Addr(0), Some(cut));
+                    let hi_half = rs.prefixes_via_bounded(viewer, nh, cut, None);
+                    let mut union = lo_half.clone();
+                    union.extend(hi_half.iter().copied());
+                    union.sort();
+                    let mut sorted_full = full.clone();
+                    sorted_full.sort();
+                    assert_eq!(union, sorted_full, "cut at {cut} for ({viewer}, {nh})");
+                    assert!(lo_half.iter().all(|p| p.addr() < cut));
+                    assert!(hi_half.iter().all(|p| p.addr() >= cut));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_dirty_tracks_all_mutation_sites_and_drains_independently() {
+        let mut rs = figure1_server();
+        // Building figure1 dirtied every announced prefix.
+        assert_eq!(rs.compile_dirty_len(), 4);
+        let drained = rs.take_compile_dirty();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(rs.compile_dirty_len(), 0);
+        // The controller-side dirty set is untouched by the compiler drain.
+        assert_eq!(rs.dirty_len(), 4);
+        // process_update marks per changed prefix.
+        rs.process_update(
+            ParticipantId(3),
+            &UpdateMessage::withdraw([prefix("10.0.0.0/8")]),
+        );
+        assert_eq!(rs.take_compile_dirty().len(), 1);
+        // reset_session marks every cleared prefix.
+        rs.reset_session(ParticipantId(2));
+        assert_eq!(rs.take_compile_dirty().len(), 4);
+        // set_export_policy marks everything still in the Loc-RIB.
+        rs.set_export_policy(ParticipantId(3), ExportPolicy::allow_all());
+        assert!(rs.compile_dirty_len() > 0);
+    }
+
+    #[test]
+    fn compile_id_is_fresh_per_clone_but_dirt_is_carried() {
+        let mut rs = figure1_server();
+        rs.take_compile_dirty();
+        rs.process_update(
+            ParticipantId(3),
+            &UpdateMessage::withdraw([prefix("10.0.0.0/8")]),
+        );
+        let snap = rs.clone();
+        assert_ne!(
+            snap.compile_id(),
+            rs.compile_id(),
+            "a clone is a different compile-cache identity"
+        );
+        // …but the pending dirt travels with the snapshot, so a compiler
+        // that first sees the clone still learns what changed.
+        assert_eq!(snap.compile_dirty_len(), 1);
+        assert_eq!(
+            rs.compile_dirty_len(),
+            1,
+            "cloning does not drain the original"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::error::SdxError;
 use crate::faults::{FaultPlan, InjectionPoint};
 use crate::incremental::DeltaResult;
 use crate::participant::ParticipantConfig;
+use crate::shard::Sharding;
 use crate::transform::TransformError;
 use crate::txn::{DeltaTxn, FabricTxn};
 use crate::vnh::VnhAllocator;
@@ -136,6 +137,30 @@ impl SdxController {
         self.telemetry.inc("txn.rollback.count");
     }
 
+    /// Under a sharded compile, attributes a reconcile patch back to
+    /// shards: how many flow-mods each shard's slice produced, how many
+    /// landed outside any shard (wildcard / MAC-learning rules), and how
+    /// many shards produced any at all. A well-localized delta shows
+    /// `touched` tracking `compile.shard.recompiled.count`.
+    fn note_shard_attribution(
+        &self,
+        reg: &SharedRegistry,
+        report: &CompileReport,
+        batch: &sdx_openflow::flowmod::FlowModBatch,
+    ) {
+        if let Some(plan) = self.compiler.shard_plan() {
+            let counts = crate::shard::mods_by_shard(plan, report, batch);
+            let touched = counts[..plan.len()].iter().filter(|&&c| c > 0).count();
+            let sharded: usize = counts[..plan.len()].iter().sum();
+            reg.add("reconcile.shard.mods.count", sharded as u64);
+            reg.add(
+                "reconcile.shard.global_mods.count",
+                counts[plan.len()] as u64,
+            );
+            reg.add("reconcile.shard.touched.count", touched as u64);
+        }
+    }
+
     /// Registers a participant with the compiler and the route server.
     pub fn add_participant(&mut self, cfg: ParticipantConfig, export: ExportPolicy) {
         self.rs.add_peer(cfg.route_source(), export);
@@ -151,6 +176,13 @@ impl SdxController {
     /// Installs (or clears) a participant's inbound policy.
     pub fn set_inbound(&mut self, id: ParticipantId, policy: Option<Policy>) {
         self.compiler.set_inbound(id, policy);
+    }
+
+    /// Selects the compile sharding mode for every subsequent
+    /// [`reoptimize`](Self::reoptimize) (see
+    /// [`CompileOptions::sharding`](crate::compiler::CompileOptions)).
+    pub fn set_sharding(&mut self, sharding: Sharding) {
+        self.compiler.options.sharding = sharding;
     }
 
     /// Pre-flight validation of an outbound policy, before installation:
@@ -455,6 +487,7 @@ impl SdxController {
         if diff.rebased {
             reg.inc("reconcile.rebase.count");
         }
+        self.note_shard_attribution(&reg, &report, &diff.batch);
         reg.record_event(Event::FlowModBatchApplied {
             epoch: self.epoch,
             adds: stats.adds,
@@ -582,6 +615,7 @@ impl SdxController {
         if diff.rebased {
             reg.inc("reconcile.rebase.count");
         }
+        self.note_shard_attribution(&reg, &report, &diff.batch);
         self.delta_layers = 0;
         self.next_delta_priority = DELTA_BASE;
         self.faults.check(InjectionPoint::FabricCommit)?;
@@ -1070,6 +1104,53 @@ mod tests {
             Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
         );
         assert_eq!(out[0].loc, PortId::Phys(pid(1), 1));
+    }
+
+    #[test]
+    fn sharded_reoptimize_forwards_identically_and_attributes_mods() {
+        let (mut ctl, mut fabric) = deployment();
+        ctl.set_sharding(Sharding::Shards(4));
+        ctl.reoptimize(&mut fabric).unwrap();
+        // Same forwarding behaviour as the unsharded deploy.
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(2), 1));
+        let snap = ctl.telemetry.snapshot();
+        assert_eq!(snap.gauges.get("compile.shard.count"), Some(&4));
+        // The sharded recompile after the unsharded deploy is a full
+        // rebuild; its reconcile patch was attributed per shard.
+        assert!(snap.counters.contains_key("reconcile.shard.touched.count"));
+        let before = snap.counters["compile.shard.recompiled.count"];
+        // A localized churn event recompiles only the dirty shard, and
+        // the resulting patch touches at most the shards that recompiled.
+        let b_cfg = ctl.compiler.participant(pid(2)).unwrap().clone();
+        ctl.rs
+            .process_update(pid(2), &b_cfg.announce([prefix("91.0.0.0/8")], &[65002, 3]));
+        let pre_touched = ctl
+            .telemetry
+            .snapshot()
+            .counters
+            .get("reconcile.shard.touched.count")
+            .copied()
+            .unwrap_or(0);
+        ctl.reoptimize(&mut fabric).unwrap();
+        let snap = ctl.telemetry.snapshot();
+        let recompiled = snap.counters["compile.shard.recompiled.count"] - before;
+        assert_eq!(recompiled, 1, "one announced prefix dirties one shard");
+        let touched = snap.counters["reconcile.shard.touched.count"] - pre_touched;
+        assert!(
+            touched <= recompiled,
+            "patch touched {touched} shards but only {recompiled} recompiled"
+        );
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("91.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(2), 1));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod participant;
 pub mod reconcile;
 pub mod schedule;
 pub mod service_chain;
+pub mod shard;
 pub mod transform;
 pub mod txn;
 pub mod vnh;
@@ -68,5 +69,6 @@ pub use schedule::{
     MultiFabricSink, ScheduleOpts, ScheduleReport, UpdatePlan, WaveReport, WaveSink,
 };
 pub use service_chain::ServiceChain;
+pub use shard::{canonicalize_report, ShardPlan, Sharding};
 pub use txn::{DeltaTxn, FabricTxn};
 pub use vnh::VnhAllocator;

@@ -1,0 +1,452 @@
+//! Sharded full-table compilation (ROADMAP item 1).
+//!
+//! A whole-world [`compile_all`](crate::compiler::SdxCompiler::compile_all)
+//! tops out around 200 participants / 24k prefixes; a real large IXP
+//! (AMS-IX in the paper's Table 1) has ~600 peers and a near-full Internet
+//! table. This module partitions the prefix space into contiguous ranges —
+//! a [`ShardPlan`] — so the expensive per-viewer phase (BGP joins, affected
+//! sets, decision resolution) runs **per (shard, viewer) unit** over only
+//! its slice of the Loc-RIB, with a range-partitioned
+//! [`VnhAllocator`](crate::vnh::VnhAllocator) giving each shard a disjoint
+//! id sub-range.
+//!
+//! ## Equivalence by construction
+//!
+//! The design invariant that makes sharding *provable* rather than merely
+//! plausible: the FEC signature of a prefix (`(rule membership, partial
+//! marks, best next hop)`) is computed **per prefix** — it never looks at
+//! any other prefix. So restricting a compile unit to a contiguous prefix
+//! range and then unioning the per-shard signature maps reproduces the
+//! unsharded signature map *exactly*, and the global
+//! [`partition_by_signature`](crate::fec::partition_by_signature) over the
+//! merged map yields the identical FEC partition, group for group. The
+//! merge step — plus the global partition, the per-viewer best-route
+//! defaults it carries, and the shared VMAC tag space — *is* the bounded
+//! cross-shard coordination the ROADMAP calls for; wide-match policies
+//! that straddle ranges need no special casing because every shard joins
+//! the same rules against its own slice.
+//!
+//! The one observable difference is **id numbering**: a sharded compile
+//! draws each group's `(FecId, VNH, VMAC)` from its owner shard's
+//! sub-range, so ids differ from the unsharded run's sequential order
+//! while the induced forwarding function is the same.
+//! [`canonicalize_report`] quotients that away — it relabels any report's
+//! ids into a canonical enumeration order so equivalence suites can assert
+//! *byte equality* between sharded and unsharded output (see
+//! `tests/shard_props.rs`), and the differential oracle checks the
+//! uncanonicalized artifacts end-to-end (`tests/shard_oracle.rs`).
+//!
+//! ## Incremental recompilation
+//!
+//! The payoff beyond the one-shot compile: the compiler caches each
+//! `(shard, viewer)` unit's signature slice and recomputes only units
+//! whose shard contains a dirty prefix (tracked by the route server's
+//! compile-dirty set). A BGP burst that touches one /8 recompiles one
+//! shard's units; an idle reoptimize recomputes **zero**
+//! (`compile.shard.skipped.count` equals the shard count). This is where
+//! the AMS-IX replay bench (`repro_shard_scaling`) gets its speedup — the
+//! phase-A join dominates compile time, and churn is spatially local.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sdx_net::{Ipv4Addr, MacAddr, ParticipantId, Prefix};
+use sdx_openflow::flowmod::{FlowMod, FlowModBatch};
+use sdx_policy::classifier::{Classifier, Rule};
+
+use crate::compiler::CompileReport;
+use crate::fec::{FecGroup, FecId};
+
+/// Upper bound on the shard count — far above any useful fan-out, but
+/// keeps a typo'd `Shards(1 << 30)` from allocating absurd plans.
+pub const MAX_SHARDS: usize = 4096;
+
+/// How [`compile_all`](crate::compiler::SdxCompiler::compile_all)
+/// partitions the prefix space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sharding {
+    /// The whole-world pipeline, unchanged (the equivalence baseline).
+    #[default]
+    Off,
+    /// Exactly `n` contiguous prefix-range shards (rounded up to a power
+    /// of two, clamped to `[1, MAX_SHARDS]`).
+    Shards(usize),
+    /// Follow the VNH allocator's existing partition count when it is
+    /// already partitioned (so compile-side sharding and id sub-ranges
+    /// can never disagree), else 8.
+    Auto,
+}
+
+impl Sharding {
+    /// The resolved shard count: `None` means run unsharded.
+    /// `vnh_partitions` is the allocator's current partition count.
+    pub fn resolve(self, vnh_partitions: usize) -> Option<usize> {
+        match self {
+            Sharding::Off => None,
+            Sharding::Shards(n) => Some(clamp_shards(n)),
+            Sharding::Auto => Some(clamp_shards(if vnh_partitions > 1 {
+                vnh_partitions
+            } else {
+                8
+            })),
+        }
+    }
+}
+
+fn clamp_shards(n: usize) -> usize {
+    n.clamp(1, MAX_SHARDS).next_power_of_two()
+}
+
+/// A partition of the IPv4 prefix space into contiguous address ranges.
+///
+/// Shard `i` covers network addresses in `[starts[i], starts[i+1])` (the
+/// last shard runs to the top of the address space). A prefix belongs to
+/// the shard containing its **network address** — prefixes are never
+/// split, so every compile unit sees whole Loc-RIB entries and the union
+/// over shards is exactly the full table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// First covered address per shard; `starts[0] == 0`, strictly
+    /// increasing.
+    starts: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// `n` equal-width address ranges (`n` clamped to a power of two).
+    /// Address-uniform, not load-uniform — prefer [`balanced`](Self::balanced)
+    /// when the announced table is known.
+    pub fn uniform(n: usize) -> ShardPlan {
+        let n = clamp_shards(n);
+        let starts = (0..n)
+            .map(|i| ((i as u64) << 32 >> n.trailing_zeros()) as u32)
+            .collect();
+        ShardPlan { starts }
+    }
+
+    /// `n` ranges with boundaries at the quantiles of the *announced*
+    /// prefix distribution, so each shard holds a comparable slice of the
+    /// actual table (real tables cluster: a plan uniform in address space
+    /// would leave most shards empty). Boundaries the table cannot supply
+    /// (fewer distinct addresses than shards) are filled by bisecting the
+    /// widest remaining range. Degenerates to [`uniform`](Self::uniform)
+    /// on an empty table.
+    pub fn balanced(n: usize, prefixes: impl IntoIterator<Item = Prefix>) -> ShardPlan {
+        let n = clamp_shards(n);
+        let mut addrs: Vec<u32> = prefixes.into_iter().map(|p| p.addr().0).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        if addrs.is_empty() {
+            return ShardPlan::uniform(n);
+        }
+        let mut starts: BTreeSet<u32> = [0].into();
+        for i in 1..n {
+            starts.insert(addrs[i * addrs.len() / n]);
+        }
+        // Quantiles can collide (heavy clustering); top the plan back up
+        // to n ranges by bisecting the widest range until no range can be
+        // split further.
+        while starts.len() < n {
+            let v: Vec<u32> = starts.iter().copied().collect();
+            let (mut at, mut width) = (0u32, 0u64);
+            for (i, &s) in v.iter().enumerate() {
+                let end = v.get(i + 1).map_or(1u64 << 32, |&e| u64::from(e));
+                let w = end - u64::from(s);
+                if w > width {
+                    width = w;
+                    at = s;
+                }
+            }
+            if width < 2 || !starts.insert(at + (width / 2) as u32) {
+                break;
+            }
+        }
+        ShardPlan {
+            starts: starts.into_iter().collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Always false — a plan has at least one shard.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shard whose range contains address `a`.
+    pub fn shard_of_addr(&self, a: Ipv4Addr) -> usize {
+        self.starts.partition_point(|&s| s <= a.0) - 1
+    }
+
+    /// The shard owning prefix `p` (by its network address).
+    pub fn shard_of(&self, p: Prefix) -> usize {
+        self.shard_of_addr(p.addr())
+    }
+
+    /// Shard `i`'s range as `[lo, hi)`; `hi == None` means "to the top of
+    /// the address space". Compile units pass these straight to the route
+    /// server's bounded join.
+    pub fn range(&self, i: usize) -> (Ipv4Addr, Option<Ipv4Addr>) {
+        (
+            Ipv4Addr(self.starts[i]),
+            self.starts.get(i + 1).map(|&s| Ipv4Addr(s)),
+        )
+    }
+
+    /// The boundary addresses between consecutive shards (`starts[1..]`) —
+    /// the places where cross-shard coordination could plausibly go wrong,
+    /// and exactly where the oracle fuzz suite aims its probes.
+    pub fn boundaries(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.starts[1..].iter().map(|&s| Ipv4Addr(s))
+    }
+}
+
+/// One cached `(shard, viewer)` compile unit: the signature slice and
+/// batched decisions for the viewer restricted to the shard's range.
+/// Merging the per-shard `sig`/`best_nh` maps (disjoint key ranges)
+/// reproduces the viewer's unsharded phase-A output exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct ShardUnit {
+    /// prefix → (rule memberships, partial-coverage marks), restricted to
+    /// the shard's range. Rule indices are per-viewer positions, stable
+    /// while the policy epoch is.
+    pub(crate) sig: BTreeMap<Prefix, (BTreeSet<usize>, BTreeSet<usize>)>,
+    /// prefix → viewer's best-route next hop, same restriction.
+    pub(crate) best_nh: BTreeMap<Prefix, Option<ParticipantId>>,
+}
+
+/// The compiler's incremental shard cache: the stable plan plus every
+/// clean `(shard, viewer)` unit from the previous compile, fingerprinted
+/// by everything phase A reads (policy book, route-server identity,
+/// sabotage knob). Any fingerprint mismatch throws the whole cache away —
+/// correctness never depends on partial invalidation being right.
+#[derive(Debug)]
+pub(crate) struct ShardCache {
+    pub(crate) plan: ShardPlan,
+    /// Compiler mutation epoch the units were built under.
+    pub(crate) policy_epoch: u64,
+    /// Identity of the route server instance the units were built from
+    /// (fresh per instance and per clone — see `RouteServer::compile_id`).
+    pub(crate) rs_id: u64,
+    /// The consistency-sabotage ablation changes what phase A joins on.
+    pub(crate) break_consistency: bool,
+    /// The merged FECs depend on whether grouping is enabled.
+    pub(crate) fec_grouping: bool,
+    pub(crate) units: HashMap<(usize, ParticipantId), ShardUnit>,
+    /// Per-viewer merged phase-A output from the previous compile, valid
+    /// while every one of the viewer's units is unchanged: recomputing a
+    /// dirty shard's unit and getting an identical slice back (churn that
+    /// cancels, or dirt in prefixes the viewer never sees) skips the
+    /// viewer's merge + re-partition entirely.
+    pub(crate) merged: HashMap<ParticipantId, MergedFecs>,
+}
+
+/// A viewer's merged phase-A result: FEC member lists, their memberships,
+/// and their default next hops, in partition order.
+pub(crate) type MergedFecs = (
+    Vec<Vec<Prefix>>,
+    Vec<(BTreeSet<usize>, BTreeSet<usize>)>,
+    Vec<Option<ParticipantId>>,
+);
+
+/// Relabels a report's `(FecId, VNH, VMAC)` identities into canonical
+/// enumeration order — groups numbered from 1 in `(viewer, position)`
+/// order — leaving everything else untouched. Two reports that induce the
+/// same forwarding function but drew ids differently (sharded sub-range
+/// draws, keyed reuse from an older allocator) canonicalize to **equal**
+/// reports, so equivalence tests get to use plain `assert_eq!` instead of
+/// a bespoke bisimulation. Stats are copied verbatim (they carry
+/// wall-clock and are excluded from comparisons anyway).
+///
+/// The relabeling is injective (old id → canonical id is a bijection on
+/// the ids the report uses), so rule structure — shadowing, composition,
+/// priority order — is preserved isomorphically; only MAC bytes and VNH
+/// addresses in the artifacts change.
+pub fn canonicalize_report(report: &CompileReport, pool: Prefix) -> CompileReport {
+    let mut vnh_map: HashMap<Ipv4Addr, Ipv4Addr> = HashMap::new();
+    let mut vmac_map: HashMap<MacAddr, MacAddr> = HashMap::new();
+    let mut id_map: HashMap<FecId, FecId> = HashMap::new();
+    let mut next: u32 = 1;
+    for vgroups in report.groups.values() {
+        for g in vgroups {
+            id_map.insert(g.id, FecId(next));
+            vnh_map.insert(g.vnh, pool.addr().saturating_add(next));
+            vmac_map.insert(g.vmac, MacAddr::vmac(next));
+            next += 1;
+        }
+    }
+    let relabel_group = |g: &FecGroup| FecGroup {
+        id: id_map[&g.id],
+        viewer: g.viewer,
+        prefixes: g.prefixes.clone(),
+        vnh: vnh_map[&g.vnh],
+        vmac: vmac_map[&g.vmac],
+        default_next_hop: g.default_next_hop,
+    };
+    let groups = report
+        .groups
+        .iter()
+        .map(|(&v, gs)| (v, gs.iter().map(relabel_group).collect()))
+        .collect();
+    let arp_bindings = report
+        .arp_bindings
+        .iter()
+        .map(|&(a, m)| (vnh_map[&a], vmac_map[&m]))
+        .collect();
+    let vnh_of = report
+        .vnh_of
+        .iter()
+        .map(|(&k, &v)| (k, vnh_map[&v]))
+        .collect();
+    let rules: Vec<Rule> = report
+        .classifier
+        .rules()
+        .iter()
+        .map(|r| relabel_rule(r, &vmac_map))
+        .collect();
+    CompileReport {
+        // Composed classifiers are total (they end in a wildcard rule), so
+        // `from_rules` preserves the rule list byte-for-byte.
+        classifier: Classifier::from_rules(rules),
+        groups,
+        arp_bindings,
+        vnh_of,
+        stats: report.stats,
+    }
+}
+
+fn relabel_rule(r: &Rule, vmac_map: &HashMap<MacAddr, MacAddr>) -> Rule {
+    let mut out = r.clone();
+    if let Some(m) = out.matches.dl_dst {
+        if let Some(&canon) = vmac_map.get(&m) {
+            out.matches.dl_dst = Some(canon);
+        }
+    }
+    if let Some(m) = out.matches.dl_src {
+        if let Some(&canon) = vmac_map.get(&m) {
+            out.matches.dl_src = Some(canon);
+        }
+    }
+    for action in &mut out.actions {
+        for m in &mut action.mods {
+            match m {
+                sdx_net::Mod::SetDlDst(mac) | sdx_net::Mod::SetDlSrc(mac) => {
+                    if let Some(&canon) = vmac_map.get(mac) {
+                        *mac = canon;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Attributes a reconcile batch's flow-mods to the shards that produced
+/// them, for `reconcile.shard.*` telemetry: a mod whose pattern carries a
+/// VMAC is charged to the shard owning that group's first prefix; else a
+/// `nw_dst` pattern is charged by address; mods with neither (wildcards,
+/// MAC-learning defaults) land in the trailing *global* bucket. Returns
+/// `plan.len() + 1` counts.
+pub fn mods_by_shard(plan: &ShardPlan, report: &CompileReport, batch: &FlowModBatch) -> Vec<usize> {
+    let mut shard_of_vmac: HashMap<MacAddr, usize> = HashMap::new();
+    for g in report.groups.values().flatten() {
+        if let Some(&p) = g.prefixes.first() {
+            shard_of_vmac.insert(g.vmac, plan.shard_of(p));
+        }
+    }
+    let mut counts = vec![0usize; plan.len() + 1];
+    for m in &batch.mods {
+        let pattern = match m {
+            FlowMod::Add(entry) => &entry.pattern,
+            FlowMod::Modify { pattern, .. } | FlowMod::Delete { pattern, .. } => pattern,
+        };
+        let shard = pattern
+            .dl_dst
+            .and_then(|mac| shard_of_vmac.get(&mac).copied())
+            .or_else(|| pattern.nw_dst.map(|p| plan.shard_of(p)))
+            .unwrap_or(plan.len());
+        counts[shard] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_net::{ip, prefix};
+
+    #[test]
+    fn resolve_rounds_and_clamps() {
+        assert_eq!(Sharding::Off.resolve(1), None);
+        assert_eq!(Sharding::Shards(3).resolve(1), Some(4));
+        assert_eq!(Sharding::Shards(8).resolve(1), Some(8));
+        assert_eq!(Sharding::Shards(0).resolve(1), Some(1));
+        assert_eq!(Sharding::Shards(usize::MAX).resolve(1), Some(MAX_SHARDS));
+        assert_eq!(Sharding::Auto.resolve(1), Some(8));
+        assert_eq!(Sharding::Auto.resolve(4), Some(4));
+        assert_eq!(Sharding::default(), Sharding::Off);
+    }
+
+    #[test]
+    fn uniform_plan_covers_the_space() {
+        let plan = ShardPlan::uniform(4);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.shard_of_addr(ip("0.0.0.1")), 0);
+        assert_eq!(plan.shard_of_addr(ip("63.255.255.255")), 0);
+        assert_eq!(plan.shard_of_addr(ip("64.0.0.0")), 1);
+        assert_eq!(plan.shard_of_addr(ip("128.0.0.0")), 2);
+        assert_eq!(plan.shard_of_addr(ip("255.255.255.255")), 3);
+        assert_eq!(plan.range(0), (Ipv4Addr(0), Some(ip("64.0.0.0"))));
+        assert_eq!(plan.range(3), (ip("192.0.0.0"), None));
+        assert_eq!(plan.boundaries().count(), 3);
+        // Prefixes route by network address, never split.
+        assert_eq!(plan.shard_of(prefix("63.0.0.0/8")), 0);
+    }
+
+    #[test]
+    fn balanced_plan_tracks_the_table() {
+        // A table clustered entirely in 100/8 (the ixp synthetic universe):
+        // a uniform plan would put everything in one shard; balanced splits
+        // the cluster.
+        let table: Vec<Prefix> = (0..64)
+            .map(|i| Prefix::new(Ipv4Addr::new(100, i, 0, 0), 24))
+            .collect();
+        let plan = ShardPlan::balanced(4, table.iter().copied());
+        assert_eq!(plan.len(), 4);
+        let mut per_shard = vec![0usize; 4];
+        for &p in &table {
+            per_shard[plan.shard_of(p)] += 1;
+        }
+        assert!(
+            per_shard.iter().all(|&c| c >= 8),
+            "no shard is starved: {per_shard:?}"
+        );
+        // Degenerate inputs still produce full plans.
+        assert_eq!(ShardPlan::balanced(4, []), ShardPlan::uniform(4));
+        let tiny = ShardPlan::balanced(8, [prefix("10.0.0.0/8")]);
+        assert_eq!(tiny.len(), 8, "bisection tops up missing boundaries");
+    }
+
+    #[test]
+    fn every_address_has_exactly_one_shard() {
+        for plan in [
+            ShardPlan::uniform(1),
+            ShardPlan::uniform(8),
+            ShardPlan::balanced(
+                4,
+                (0..10).map(|i| Prefix::new(Ipv4Addr::new(10 * i, 0, 0, 0), 8)),
+            ),
+        ] {
+            let mut prev_end = Some(Ipv4Addr(0));
+            for i in 0..plan.len() {
+                let (lo, hi) = plan.range(i);
+                assert_eq!(Some(lo), prev_end, "ranges tile with no gap");
+                assert_eq!(plan.shard_of_addr(lo), i);
+                prev_end = hi;
+            }
+            assert_eq!(prev_end, None, "last range is open-ended");
+        }
+    }
+}

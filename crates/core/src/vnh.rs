@@ -17,6 +17,21 @@
 //! unchanged since the previous compilation, so a recompile only re-labels
 //! the equivalence classes that actually changed (§4.3.2's minimal-update
 //! goal applied to the VNH layer).
+//!
+//! ## Range partitioning (sharded compilation)
+//!
+//! For `core::shard`'s sharded pipeline the pool can be split into `n`
+//! disjoint contiguous id sub-ranges with
+//! [`ensure_partitions`](VnhAllocator::ensure_partitions). Each shard's
+//! compile unit then draws fresh ids only from its own sub-range
+//! ([`reserve_keyed_sharded`](VnhAllocator::reserve_keyed_sharded)), so
+//! per-shard allocation is deterministic regardless of how other shards
+//! churn, and keyed reuse keeps holding *shard-locally*: an unchanged
+//! group keeps its id even when every other shard recompiles.
+//! Exhaustion errors name the dry sub-range
+//! (`SdxError::VnhExhausted { shard: Some(i), .. }`). An unpartitioned
+//! allocator is the single-slot special case — every legacy path behaves
+//! byte-identically to the pre-partitioned implementation.
 
 use std::collections::BTreeMap;
 
@@ -25,17 +40,54 @@ use sdx_net::{Ipv4Addr, MacAddr, Prefix};
 use crate::error::SdxError;
 use crate::fec::{FecId, FecKey};
 
-/// Allocates `(FecId, VNH, VMAC)` triples from a configurable pool.
+/// One contiguous id sub-range with its own frontier, free list and
+/// key↦id maps. An unpartitioned allocator is exactly one slot spanning
+/// the whole pool.
 #[derive(Clone, Debug)]
-pub struct VnhAllocator {
-    pool: Prefix,
-    next_offset: u32,
+struct Slot {
+    /// First usable offset (inclusive).
+    base: u32,
+    /// One past the last usable offset (exclusive).
+    limit: u32,
+    /// Sequential frontier: next never-used offset.
+    next: u32,
+    /// Released offsets, reused LIFO before the frontier advances.
     free: Vec<u32>,
     /// Stable-identity map: the key each live id was assigned under.
     /// Ids allocated through the un-keyed paths never appear here.
     keys: BTreeMap<FecKey, u32>,
-    /// Reverse of `keys`, so [`release`](Self::release) can unmap.
+    /// Reverse of `keys`, so [`VnhAllocator::release`] can unmap.
     ids: BTreeMap<u32, FecKey>,
+}
+
+impl Slot {
+    fn new(base: u32, limit: u32) -> Self {
+        Slot {
+            base,
+            limit,
+            next: base,
+            free: Vec::new(),
+            keys: BTreeMap::new(),
+            ids: BTreeMap::new(),
+        }
+    }
+
+    /// True when nothing was ever drawn (and nothing is mapped).
+    fn is_pristine(&self) -> bool {
+        self.next == self.base && self.free.is_empty() && self.keys.is_empty()
+    }
+
+    fn remaining(&self) -> u64 {
+        u64::from(self.limit.saturating_sub(self.next)) + self.free.len() as u64
+    }
+}
+
+/// Allocates `(FecId, VNH, VMAC)` triples from a configurable pool,
+/// optionally range-partitioned into per-shard sub-ranges.
+#[derive(Clone, Debug)]
+pub struct VnhAllocator {
+    pool: Prefix,
+    slots: Vec<Slot>,
 }
 
 impl VnhAllocator {
@@ -44,35 +96,113 @@ impl VnhAllocator {
         Prefix::new(Ipv4Addr::new(172, 16, 128, 0), 17)
     }
 
+    /// The usable offset span of `pool`: offset 0 (the network address)
+    /// is never handed out; the upper bound saturates at `u32::MAX`.
+    fn span(pool: Prefix) -> (u32, u32) {
+        (1, pool.size().min(u64::from(u32::MAX)) as u32)
+    }
+
     /// An allocator drawing from `pool`. Offset 0 (the network address) is
-    /// never handed out.
+    /// never handed out. Starts unpartitioned (one slot spanning the
+    /// whole pool).
     pub fn new(pool: Prefix) -> Self {
+        let (lo, hi) = Self::span(pool);
         VnhAllocator {
             pool,
-            next_offset: 1,
-            free: Vec::new(),
-            keys: BTreeMap::new(),
-            ids: BTreeMap::new(),
+            slots: vec![Slot::new(lo, hi)],
         }
+    }
+
+    /// Splits the pool into `n` equal contiguous id sub-ranges (clamped to
+    /// ≥ 1), one per compile shard. A no-op when already partitioned into
+    /// exactly `n`. Errors if the allocator holds live state under a
+    /// different partition count — repartitioning live ids would tear the
+    /// per-shard determinism the sub-ranges exist to provide; start a
+    /// fresh allocator (or keep the shard count stable) instead.
+    pub fn ensure_partitions(&mut self, n: usize) -> Result<(), SdxError> {
+        let n = n.max(1);
+        if self.slots.len() == n {
+            return Ok(());
+        }
+        if !self.slots.iter().all(Slot::is_pristine) {
+            return Err(SdxError::InvalidCommit(format!(
+                "cannot repartition VNH pool {} from {} to {n} sub-ranges with live ids",
+                self.pool,
+                self.slots.len()
+            )));
+        }
+        let (lo, hi) = Self::span(self.pool);
+        let width = (hi - lo) / n as u32;
+        self.slots = (0..n)
+            .map(|i| {
+                let base = lo + width * i as u32;
+                let limit = if i + 1 == n {
+                    hi
+                } else {
+                    lo + width * (i as u32 + 1)
+                };
+                Slot::new(base, limit)
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Number of sub-ranges the pool is split into (1 = unpartitioned).
+    pub fn partitions(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The sub-range an id belongs to, or `None` when unpartitioned.
+    pub fn partition_of(&self, id: FecId) -> Option<usize> {
+        if self.slots.len() == 1 {
+            return None;
+        }
+        self.slots
+            .iter()
+            .position(|s| s.base <= id.0 && id.0 < s.limit)
+    }
+
+    /// The shard index reported in exhaustion errors: `None` while the
+    /// allocator is unpartitioned (there is only "the pool").
+    fn shard_label(&self, slot: usize) -> Option<usize> {
+        (self.slots.len() > 1).then_some(slot)
+    }
+
+    /// The slot an offset falls in (for release routing). Defaults to
+    /// slot 0 for out-of-range offsets, mirroring the pre-partitioned
+    /// allocator's unchecked push.
+    fn slot_of_offset(&self, off: u32) -> usize {
+        self.slots
+            .iter()
+            .position(|s| s.base <= off && off < s.limit)
+            .unwrap_or(0)
     }
 
     /// Number of VNHs currently allocatable without exhausting the pool.
     pub fn remaining(&self) -> u64 {
-        self.pool.size() - self.next_offset as u64 + self.free.len() as u64
+        self.slots.iter().map(Slot::remaining).sum()
     }
 
     /// Allocates a fresh id/VNH/VMAC triple, or reports pool exhaustion as
     /// a typed error. The controller's transactional paths use this so a
     /// dry pool rolls back cleanly instead of tearing the process down.
+    ///
+    /// Keyless allocations (the fast-path delta overlays) always draw
+    /// from the **first** sub-range; delta ids are short-lived (released
+    /// at the next reoptimize), so they never fragment the other shards'
+    /// ranges.
     pub fn try_allocate(&mut self) -> Result<(FecId, Ipv4Addr, MacAddr), SdxError> {
-        let off = match self.free.pop() {
+        let shard = self.shard_label(0);
+        let pool = self.pool;
+        let slot = &mut self.slots[0];
+        let off = match slot.free.pop() {
             Some(off) => off,
             None => {
-                let off = self.next_offset;
-                if (off as u64) >= self.pool.size() {
-                    return Err(SdxError::VnhExhausted { pool: self.pool });
+                let off = slot.next;
+                if off >= slot.limit {
+                    return Err(SdxError::VnhExhausted { pool, shard });
                 }
-                self.next_offset += 1;
+                slot.next += 1;
                 off
             }
         };
@@ -102,35 +232,13 @@ impl VnhAllocator {
     /// assignment is fault-free, so allocation stays byte-identical to
     /// the serial one-at-a-time path while nothing is consumed on error.
     pub fn reserve(&self, count: usize) -> Result<VnhReservation, SdxError> {
+        let mut draft = Draft::new(self);
         let mut triples = Vec::with_capacity(count);
-        let mut next = self.next_offset;
-        let mut free_remaining = self.free.len();
         for _ in 0..count {
-            let off = if free_remaining > 0 {
-                free_remaining -= 1;
-                self.free[free_remaining]
-            } else {
-                let off = next;
-                if (off as u64) >= self.pool.size() {
-                    return Err(SdxError::VnhExhausted { pool: self.pool });
-                }
-                next += 1;
-                off
-            };
-            triples.push((
-                FecId(off),
-                self.pool.addr().saturating_add(off),
-                MacAddr::vmac(off),
-            ));
+            let off = draft.draw(self, 0)?;
+            triples.push(self.triple(off));
         }
-        Ok(VnhReservation {
-            drawn_from_free: self.free.len() - free_remaining,
-            drawn_sequential: next - self.next_offset,
-            triples,
-            new_keys: Vec::new(),
-            base_next_offset: self.next_offset,
-            base_free_len: self.free.len(),
-        })
+        Ok(draft.into_reservation(self, triples, Vec::new()))
     }
 
     /// Computes, **without mutating the allocator**, one triple per key —
@@ -146,46 +254,52 @@ impl VnhAllocator {
     /// its exact VNH and VMAC across recompilations, so neither its flow
     /// rules, its ARP binding, nor its FIB advertisements need to move.
     pub fn reserve_keyed(&self, wanted: &[FecKey]) -> Result<VnhReservation, SdxError> {
+        self.reserve_keyed_sharded(wanted, |_| 0)
+    }
+
+    /// [`reserve_keyed`](Self::reserve_keyed) with a per-key owner shard:
+    /// fresh ids for a key are drawn from `owner(key)`'s sub-range (the
+    /// shard that compiled the group), while **reuse is looked up across
+    /// every sub-range** — a key that survived a repartition-free plan
+    /// change keeps its id wherever it lives. Owner indices past the
+    /// partition count clamp to the last sub-range.
+    pub fn reserve_keyed_sharded(
+        &self,
+        wanted: &[FecKey],
+        owner: impl Fn(&FecKey) -> usize,
+    ) -> Result<VnhReservation, SdxError> {
+        let mut draft = Draft::new(self);
         let mut triples = Vec::with_capacity(wanted.len());
-        let mut new_keys = Vec::new();
-        let mut next = self.next_offset;
-        let mut free_remaining = self.free.len();
+        let mut new_keys: Vec<(FecKey, u32, usize)> = Vec::new();
         // Keys drawn earlier in this same batch (defensive: the compiler
         // never emits duplicates, but aliasing an id would corrupt state).
         let mut batch: BTreeMap<&FecKey, u32> = BTreeMap::new();
         for key in wanted {
-            let off = if let Some(&off) = self.keys.get(key).or_else(|| batch.get(key)) {
+            let mapped = self
+                .slots
+                .iter()
+                .find_map(|s| s.keys.get(key))
+                .or_else(|| batch.get(key));
+            let off = if let Some(&off) = mapped {
                 off
             } else {
-                let off = if free_remaining > 0 {
-                    free_remaining -= 1;
-                    self.free[free_remaining]
-                } else {
-                    let off = next;
-                    if (off as u64) >= self.pool.size() {
-                        return Err(SdxError::VnhExhausted { pool: self.pool });
-                    }
-                    next += 1;
-                    off
-                };
+                let s = owner(key).min(self.slots.len() - 1);
+                let off = draft.draw(self, s)?;
                 batch.insert(key, off);
-                new_keys.push((key.clone(), off));
+                new_keys.push((key.clone(), off, s));
                 off
             };
-            triples.push((
-                FecId(off),
-                self.pool.addr().saturating_add(off),
-                MacAddr::vmac(off),
-            ));
+            triples.push(self.triple(off));
         }
-        Ok(VnhReservation {
-            drawn_from_free: self.free.len() - free_remaining,
-            drawn_sequential: next - self.next_offset,
-            triples,
-            new_keys,
-            base_next_offset: self.next_offset,
-            base_free_len: self.free.len(),
-        })
+        Ok(draft.into_reservation(self, triples, new_keys))
+    }
+
+    fn triple(&self, off: u32) -> (FecId, Ipv4Addr, MacAddr) {
+        (
+            FecId(off),
+            self.pool.addr().saturating_add(off),
+            MacAddr::vmac(off),
+        )
     }
 
     /// Applies a reservation: consumes the freshly drawn ids as if they
@@ -197,42 +311,60 @@ impl VnhAllocator {
     /// — committing a stale reservation would double-allocate ids.
     pub fn commit(&mut self, r: &VnhReservation) {
         assert_eq!(
-            (r.base_next_offset, r.base_free_len),
-            (self.next_offset, self.free.len()),
-            "commit of a stale VNH reservation"
+            r.draws.len(),
+            self.slots.len(),
+            "commit of a stale VNH reservation (partition count changed)"
         );
-        self.free.truncate(self.free.len() - r.drawn_from_free);
-        self.next_offset += r.drawn_sequential;
-        for (key, off) in &r.new_keys {
-            let prev = self.keys.insert(key.clone(), *off);
+        for (slot, draw) in self.slots.iter().zip(&r.draws) {
+            assert_eq!(
+                (draw.base_next, draw.base_free_len),
+                (slot.next, slot.free.len()),
+                "commit of a stale VNH reservation"
+            );
+        }
+        for (slot, draw) in self.slots.iter_mut().zip(&r.draws) {
+            slot.free.truncate(slot.free.len() - draw.drawn_from_free);
+            slot.next += draw.drawn_sequential;
+        }
+        for (key, off, s) in &r.new_keys {
+            let slot = &mut self.slots[*s];
+            let prev = slot.keys.insert(key.clone(), *off);
             debug_assert!(prev.is_none(), "keyed commit over a live key");
-            self.ids.insert(*off, key.clone());
+            slot.ids.insert(*off, key.clone());
         }
     }
 
     /// Returns an id to the pool for reuse, forgetting any key it was
     /// mapped under (so the key allocates fresh if it ever reappears).
+    /// Routed to the sub-range the id belongs to, so a released sharded
+    /// id is recycled by its own shard.
     pub fn release(&mut self, id: FecId) {
-        if let Some(key) = self.ids.remove(&id.0) {
-            self.keys.remove(&key);
+        let s = self.slot_of_offset(id.0);
+        let slot = &mut self.slots[s];
+        if let Some(key) = slot.ids.remove(&id.0) {
+            slot.keys.remove(&key);
         }
-        self.free.push(id.0);
+        slot.free.push(id.0);
     }
 
     /// The id currently mapped to `key`, if any — lets the controller
     /// compute which previously live keys a recompilation retired.
     pub fn id_of_key(&self, key: &FecKey) -> Option<FecId> {
-        self.keys.get(key).copied().map(FecId)
+        self.slots
+            .iter()
+            .find_map(|s| s.keys.get(key))
+            .copied()
+            .map(FecId)
     }
 
     /// The key an id is currently mapped under, if any.
     pub fn key_of_id(&self, id: FecId) -> Option<&FecKey> {
-        self.ids.get(&id.0)
+        self.slots.iter().find_map(|s| s.ids.get(&id.0))
     }
 
     /// Number of live key↦id mappings.
     pub fn keyed_len(&self) -> usize {
-        self.keys.len()
+        self.slots.iter().map(|s| s.keys.len()).sum()
     }
 
     /// The VNH address for an id (deterministic; no allocation).
@@ -252,6 +384,76 @@ impl Default for VnhAllocator {
     }
 }
 
+/// Pure draw bookkeeping while a reservation is being computed: per-slot
+/// shadow frontier + shadow free-list cursor, nothing mutated.
+struct Draft {
+    next: Vec<u32>,
+    free_remaining: Vec<usize>,
+}
+
+impl Draft {
+    fn new(a: &VnhAllocator) -> Self {
+        Draft {
+            next: a.slots.iter().map(|s| s.next).collect(),
+            free_remaining: a.slots.iter().map(|s| s.free.len()).collect(),
+        }
+    }
+
+    fn draw(&mut self, a: &VnhAllocator, s: usize) -> Result<u32, SdxError> {
+        if self.free_remaining[s] > 0 {
+            self.free_remaining[s] -= 1;
+            return Ok(a.slots[s].free[self.free_remaining[s]]);
+        }
+        let off = self.next[s];
+        if off >= a.slots[s].limit {
+            return Err(SdxError::VnhExhausted {
+                pool: a.pool,
+                shard: a.shard_label(s),
+            });
+        }
+        self.next[s] += 1;
+        Ok(off)
+    }
+
+    fn into_reservation(
+        self,
+        a: &VnhAllocator,
+        triples: Vec<(FecId, Ipv4Addr, MacAddr)>,
+        new_keys: Vec<(FecKey, u32, usize)>,
+    ) -> VnhReservation {
+        let draws = a
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| SlotDraw {
+                drawn_from_free: slot.free.len() - self.free_remaining[i],
+                drawn_sequential: self.next[i] - slot.next,
+                base_next: slot.next,
+                base_free_len: slot.free.len(),
+            })
+            .collect();
+        VnhReservation {
+            triples,
+            new_keys,
+            draws,
+        }
+    }
+}
+
+/// Per-slot consumption of one reservation, plus the base state it was
+/// computed against (the staleness check at commit).
+#[derive(Clone, Debug)]
+struct SlotDraw {
+    /// How many of the fresh ids came off the free list. Explicit (rather
+    /// than recomputed at commit) because a keyed reservation's reused ids
+    /// consume nothing at all.
+    drawn_from_free: usize,
+    /// How many fresh ids advanced the sequential frontier.
+    drawn_sequential: u32,
+    base_next: u32,
+    base_free_len: usize,
+}
+
 /// A batch of tentatively allocated `(FecId, VNH, VMAC)` triples — the
 /// read-only half of the reservation-then-commit split (see
 /// [`VnhAllocator::reserve`]). Dropping a reservation without committing
@@ -259,17 +461,12 @@ impl Default for VnhAllocator {
 #[derive(Clone, Debug)]
 pub struct VnhReservation {
     triples: Vec<(FecId, Ipv4Addr, MacAddr)>,
-    /// Keys not previously mapped, paired with the fresh id each drew.
-    /// Empty for un-keyed reservations. Installed on commit.
-    new_keys: Vec<(FecKey, u32)>,
-    /// How many of the fresh ids came off the free list. Explicit (rather
-    /// than recomputed at commit) because a keyed reservation's reused ids
-    /// consume nothing at all.
-    drawn_from_free: usize,
-    /// How many fresh ids advanced the sequential frontier.
-    drawn_sequential: u32,
-    base_next_offset: u32,
-    base_free_len: usize,
+    /// Keys not previously mapped, paired with the fresh id each drew and
+    /// the slot it was drawn from. Empty for un-keyed reservations.
+    /// Installed on commit.
+    new_keys: Vec<(FecKey, u32, usize)>,
+    /// Per-slot draw accounting, parallel to the allocator's slots.
+    draws: Vec<SlotDraw>,
 }
 
 impl VnhReservation {
@@ -291,7 +488,10 @@ impl VnhReservation {
 
     /// Number of triples that are *fresh* draws (not key reuse).
     pub fn fresh_len(&self) -> usize {
-        self.drawn_from_free + self.drawn_sequential as usize
+        self.draws
+            .iter()
+            .map(|d| d.drawn_from_free + d.drawn_sequential as usize)
+            .sum()
     }
 
     /// Number of triples reusing an id their key already held — the
@@ -355,7 +555,7 @@ mod tests {
         let (id, _, _) = a.try_allocate().expect("first id fits");
         assert!(matches!(
             a.try_allocate(),
-            Err(SdxError::VnhExhausted { .. })
+            Err(SdxError::VnhExhausted { shard: None, .. })
         ));
         a.release(id);
         assert!(a.try_allocate().is_ok(), "released ids are reusable");
@@ -460,6 +660,103 @@ mod tests {
             before,
             "abort costs nothing, maps included"
         );
+    }
+
+    /// The PR 4 abort guarantee extended to a *partitioned* allocator: a
+    /// sharded keyed reservation that is dropped (or that fails) leaves
+    /// every sub-range — frontiers, free lists, and key maps — byte-for-
+    /// byte identical.
+    #[test]
+    fn sharded_reservation_abort_leaves_allocator_identical() {
+        let mut a = VnhAllocator::default();
+        a.ensure_partitions(4).unwrap();
+        let owner = |k: &FecKey| k.viewer.0 as usize % 4;
+        a.commit(
+            &a.reserve_keyed_sharded(&[key(1, "10.0.0.0/8", 2), key(2, "20.0.0.0/8", 1)], owner)
+                .unwrap(),
+        );
+        let before = format!("{a:?}");
+        // Abort path 1: a computed reservation is dropped uncommitted.
+        let r = a
+            .reserve_keyed_sharded(
+                &[
+                    key(1, "10.0.0.0/8", 2), // reuse in shard 1
+                    key(3, "30.0.0.0/8", 1), // fresh in shard 3
+                    key(4, "40.0.0.0/8", 1), // fresh in shard 0
+                ],
+                owner,
+            )
+            .unwrap();
+        assert_eq!(r.reused_len(), 1);
+        assert_eq!(r.fresh_len(), 2);
+        drop(r);
+        assert_eq!(format!("{a:?}"), before, "dropped reservation is free");
+        // Abort path 2: the reservation itself fails (one sub-range dry).
+        let mut tiny = VnhAllocator::new(prefix("10.0.0.0/28")); // 15 usable
+        tiny.ensure_partitions(4).unwrap(); // 3 usable per shard
+        let snap = format!("{tiny:?}");
+        let overflow: Vec<FecKey> = (0..5)
+            .map(|i| key(8, &format!("{}.0.0.0/8", 50 + i), 1))
+            .collect();
+        let err = tiny.reserve_keyed_sharded(&overflow, |_| 2).unwrap_err();
+        assert!(
+            matches!(err, SdxError::VnhExhausted { shard: Some(2), .. }),
+            "exhaustion names the dry sub-range: {err}"
+        );
+        assert_eq!(format!("{tiny:?}"), snap, "failed reservation is free");
+    }
+
+    #[test]
+    fn sharded_draws_come_from_disjoint_subranges() {
+        let mut a = VnhAllocator::new(prefix("10.0.0.0/24")); // 255 usable
+        a.ensure_partitions(4).unwrap();
+        assert_eq!(a.partitions(), 4);
+        let ks = [
+            key(1, "10.0.0.0/8", 2),
+            key(2, "20.0.0.0/8", 1),
+            key(3, "30.0.0.0/8", 1),
+        ];
+        let owner = |k: &FecKey| (k.viewer.0 as usize) % 4;
+        let r = a.reserve_keyed_sharded(&ks, owner).unwrap();
+        a.commit(&r);
+        let parts: Vec<Option<usize>> = r.triples().iter().map(|t| a.partition_of(t.0)).collect();
+        assert_eq!(parts, vec![Some(1), Some(2), Some(3)]);
+        // Reuse holds shard-locally: recompiling only viewer 2's key gives
+        // the same id even after other shards churn.
+        let churn: Vec<FecKey> = (0..10)
+            .map(|i| key(1, &format!("{}.0.0.0/8", 100 + i), 7))
+            .collect();
+        a.commit(&a.reserve_keyed_sharded(&churn, owner).unwrap());
+        let again = a.reserve_keyed_sharded(&[ks[1].clone()], owner).unwrap();
+        assert_eq!(again.reused_len(), 1);
+        assert_eq!(again.triples()[0], r.triples()[1]);
+        // Released sharded ids recycle within their own sub-range.
+        let id = r.triples()[2].0;
+        a.release(id);
+        let back = a
+            .reserve_keyed_sharded(&[key(5, "50.0.0.0/8", 1)], |_| 3)
+            .unwrap();
+        assert_eq!(back.triples()[0].0, id, "shard 3 recycles its own ids");
+    }
+
+    #[test]
+    fn repartition_requires_pristine_state() {
+        let mut a = VnhAllocator::default();
+        a.ensure_partitions(8).unwrap();
+        a.ensure_partitions(8).unwrap(); // same count: no-op
+        let (id, _, _) = a.try_allocate().unwrap();
+        assert!(
+            a.ensure_partitions(4).is_err(),
+            "live ids block repartition"
+        );
+        a.release(id);
+        // A released id still counts as state (the free list must not be
+        // silently discarded).
+        assert!(a.ensure_partitions(4).is_err());
+        let mut fresh = VnhAllocator::default();
+        fresh.ensure_partitions(8).unwrap();
+        fresh.ensure_partitions(1).unwrap();
+        assert_eq!(fresh.partitions(), 1);
     }
 
     #[test]

@@ -264,6 +264,88 @@ fn bursts_coalesce_into_one_compile_under_backpressure() {
 }
 
 #[test]
+fn sharded_daemon_is_oracle_identical_and_publishes_shard_telemetry() {
+    // The same wire-driven exchange, compiled with Shards(4) on the
+    // coalesced-burst path: the deployed table must stay probe-identical
+    // to the in-process unsharded deployment, and `compile.shard.*`
+    // telemetry must flow out the endpoint.
+    let mut cfg = DaemonConfig::default();
+    cfg.sharding = sdx_core::Sharding::Shards(4);
+    let handle = daemon::start(figure1_empty_rib(), cfg).expect("start");
+    let reg = handle.telemetry().clone();
+    let agent = spawn_agent(handle.openflow_addr).expect("agent");
+    wait_counter(&reg, "daemon.switch_connected.count", 1);
+
+    let b = ParticipantConfig::new(2, 65002, 2);
+    let c = ParticipantConfig::new(3, 65003, 1);
+    let d = ParticipantConfig::new(4, 65004, 1);
+    let mut peer_b = TestPeer::establish(handle.bgp_addr, 65002, 30).expect("peer B");
+    let mut peer_c = TestPeer::establish(handle.bgp_addr, 65003, 30).expect("peer C");
+    let mut peer_d = TestPeer::establish(handle.bgp_addr, 65004, 30).expect("peer D");
+    wait_counter(&reg, "session.established.count", 3);
+
+    for (pfx, path) in [
+        ("10.0.0.0/8", vec![65002, 100, 200]),
+        ("20.0.0.0/8", vec![65002, 100, 200]),
+        ("30.0.0.0/8", vec![65002, 300]),
+        ("40.0.0.0/8", vec![65002, 400]),
+    ] {
+        peer_b.send(&announce(&b, pfx, &path)).expect("send");
+    }
+    for (pfx, path) in [
+        ("10.0.0.0/8", vec![65003, 200]),
+        ("20.0.0.0/8", vec![65003, 200]),
+        ("40.0.0.0/8", vec![65003, 400]),
+    ] {
+        peer_c.send(&announce(&c, pfx, &path)).expect("send");
+    }
+    peer_d
+        .send(&announce(&d, "50.0.0.0/8", &[65004, 500]))
+        .expect("send");
+    wait_counter(&reg, "daemon.updates.count", 8);
+
+    handle.reoptimize();
+    let report = handle.stop();
+    let agent_fabric = agent.join();
+    assert_eq!(report.updates, 8);
+    assert_eq!(counter(&reg, "daemon.reoptimize_failed.count"), 0);
+
+    // Shard telemetry made it into the registry the endpoint serves.
+    let snap = reg.snapshot();
+    assert_eq!(snap.gauges.get("compile.shard.count"), Some(&4));
+    assert!(
+        snap.counters.contains_key("compile.shard.recompiled.count"),
+        "per-shard compile counters missing"
+    );
+
+    // Oracle: sharded-over-sockets is verdict-identical to the
+    // in-process unsharded deployment of the same exchange.
+    let ctl = report.ctl;
+    let cr = ctl.report.as_ref().expect("compiled");
+    let probes = probe_grid(&ctl.compiler, &ctl.rs);
+    let mut inproc = figure1_controller();
+    let inproc_fabric = inproc.deploy().expect("in-process deploy");
+    let inproc_cr = inproc.report.as_ref().expect("compiled");
+    let sharded_eval =
+        FabricEvaluator::over_table(&ctl.compiler, &ctl.rs, cr, agent_fabric.switch.table());
+    let inproc_eval = FabricEvaluator::over_table(
+        &inproc.compiler,
+        &inproc.rs,
+        inproc_cr,
+        inproc_fabric.switch.table(),
+    );
+    for (from, pkt) in &probes {
+        let (sharded_out, _) = sharded_eval.verdict(*from, pkt);
+        let (inproc_out, _) = inproc_eval.verdict(*from, pkt);
+        assert_eq!(
+            sharded_out, inproc_out,
+            "sharded daemon and unsharded in-process disagree at {from:?} dst {}",
+            pkt.nw_dst
+        );
+    }
+}
+
+#[test]
 fn hold_timer_expiry_and_tcp_reset_flaps_are_supervised() {
     let clock = MockClock::new();
     let mut cfg = DaemonConfig::default();

@@ -1,0 +1,193 @@
+//! Churn-replay equivalence through the sharded delta path.
+//!
+//! Two controllers receive the *identical* randomized event stream —
+//! announces, withdrawals, export flips — burst by burst: one compiles
+//! with [`Sharding::Shards`]`(8)` (so each reoptimize recompiles only the
+//! shards the burst dirtied, against the warm shard cache), the other
+//! stays unsharded and rebuilds from scratch every time. After every
+//! burst the sharded controller's *patched* table must be
+//!
+//! 1. canonically report-identical to the from-scratch unsharded
+//!    compile of the same world, and
+//! 2. oracle-equivalent to the spec interpreter over its deployed flow
+//!    table (patch history and all).
+//!
+//! A final idle reoptimize must touch zero shards: every unit served
+//! from cache (`compile.shard.skipped.count` advances by the full shard
+//! count, `compile.shard.recompiled.count` by none).
+
+use sdx::bgp::msg::UpdateMessage;
+use sdx::bgp::route_server::ExportPolicy;
+use sdx::core::controller::SdxController;
+use sdx::core::participant::ParticipantConfig;
+use sdx::core::{canonicalize_report, Sharding, VnhAllocator};
+use sdx::net::{Ipv4Addr, ParticipantId, Prefix};
+use sdx::openflow::fabric::Fabric;
+use sdx_oracle::synth::{probe_grid, Rng};
+use sdx_oracle::Differential;
+
+const PARTICIPANTS: u32 = 6;
+const SHARDS: usize = 8;
+const BURSTS: usize = 8;
+
+fn pid(n: u32) -> ParticipantId {
+    ParticipantId(n)
+}
+
+fn p8(octet: u8) -> Prefix {
+    Prefix::new(Ipv4Addr::new(octet, 0, 0, 0), 8)
+}
+
+fn build(sharding: Sharding) -> (SdxController, Fabric, Vec<ParticipantConfig>) {
+    let mut ctl = SdxController::new();
+    ctl.set_sharding(sharding);
+    let cfgs: Vec<ParticipantConfig> = (1..=PARTICIPANTS)
+        .map(|i| ParticipantConfig::new(i, 65000 + i, 1))
+        .collect();
+    for cfg in &cfgs {
+        ctl.add_participant(cfg.clone(), ExportPolicy::allow_all());
+    }
+    // Seed RIB: each participant announces two /8s, overlapping so best
+    // routes are contested from the start.
+    for (i, cfg) in cfgs.iter().enumerate() {
+        let o = 10 + (i as u8 % 8) * 2;
+        let msg = cfg.announce([p8(o), p8(o + 1)], &[65001 + i as u32, 900 + i as u32, 77]);
+        ctl.rs.process_update(pid(i as u32 + 1), &msg);
+    }
+    let fabric = ctl.deploy().expect("deploy");
+    (ctl, fabric, cfgs)
+}
+
+/// One churn event, applied identically to both controllers.
+enum Ev {
+    Announce(u32, u8, Vec<u32>),
+    Withdraw(u32, u8),
+    ExportFlip(u32, u32, u8),
+}
+
+fn counter(ctl: &SdxController, key: &str) -> u64 {
+    ctl.telemetry
+        .snapshot()
+        .counters
+        .get(key)
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn sharded_delta_path_stays_equivalent_under_churn() {
+    let (mut sharded, mut sharded_fab, cfgs) = build(Sharding::Shards(SHARDS));
+    let (mut flat, mut flat_fab, _) = build(Sharding::Off);
+    let mut rng = Rng::new(0xC4A8_0001);
+    // Per-announcer export denials, so flips are reproducible toggles.
+    let mut denials: std::collections::BTreeSet<(u32, u32, u8)> = Default::default();
+
+    for burst in 0..BURSTS {
+        let events: Vec<Ev> = (0..1 + rng.below(5))
+            .map(|_| {
+                let actor = 1 + rng.below(PARTICIPANTS as u64) as u32;
+                let octet = 10 + rng.below(20) as u8;
+                match rng.below(4) {
+                    0 | 1 => {
+                        let path: Vec<u32> = (0..1 + rng.below(3))
+                            .map(|_| 100 + rng.below(900) as u32)
+                            .collect();
+                        Ev::Announce(actor, octet, path)
+                    }
+                    2 => Ev::Withdraw(actor, octet),
+                    _ => {
+                        let peer = 1 + rng.below(PARTICIPANTS as u64) as u32;
+                        Ev::ExportFlip(actor, peer, octet)
+                    }
+                }
+            })
+            .collect();
+        for ev in &events {
+            match ev {
+                Ev::Announce(actor, octet, path) => {
+                    let mut full = vec![65000 + actor];
+                    full.extend_from_slice(path);
+                    let msg = cfgs[*actor as usize - 1].announce([p8(*octet)], &full);
+                    sharded
+                        .process_update(pid(*actor), &msg, &mut sharded_fab)
+                        .expect("sharded fast path");
+                    flat.process_update(pid(*actor), &msg, &mut flat_fab)
+                        .expect("flat fast path");
+                }
+                Ev::Withdraw(actor, octet) => {
+                    let msg = UpdateMessage::withdraw([p8(*octet)]);
+                    sharded
+                        .process_update(pid(*actor), &msg, &mut sharded_fab)
+                        .expect("sharded fast path");
+                    flat.process_update(pid(*actor), &msg, &mut flat_fab)
+                        .expect("flat fast path");
+                }
+                Ev::ExportFlip(actor, peer, octet) => {
+                    if actor == peer {
+                        continue;
+                    }
+                    let key = (*actor, *peer, *octet);
+                    if !denials.remove(&key) {
+                        denials.insert(key);
+                    }
+                    let mut export = ExportPolicy::allow_all();
+                    for &(a, peer, octet) in denials.iter().filter(|d| d.0 == *actor) {
+                        let _ = a;
+                        export.deny(pid(peer), p8(octet));
+                    }
+                    sharded.rs.set_export_policy(pid(*actor), export.clone());
+                    flat.rs.set_export_policy(pid(*actor), export);
+                }
+            }
+        }
+        sharded
+            .reoptimize(&mut sharded_fab)
+            .expect("sharded reoptimize");
+        flat.reoptimize(&mut flat_fab).expect("flat reoptimize");
+
+        // (1) The sharded incremental compile equals the from-scratch
+        // unsharded one, modulo VNH renumbering.
+        let pool = VnhAllocator::default_pool();
+        let a = canonicalize_report(sharded.report.as_ref().expect("report"), pool);
+        let b = canonicalize_report(flat.report.as_ref().expect("report"), pool);
+        assert_eq!(
+            a.classifier, b.classifier,
+            "burst {burst}: classifier diverged"
+        );
+        assert_eq!(a.groups, b.groups, "burst {burst}: groups diverged");
+        assert_eq!(
+            a.arp_bindings, b.arp_bindings,
+            "burst {burst}: ARP diverged"
+        );
+        assert_eq!(a.vnh_of, b.vnh_of, "burst {burst}: VNH map diverged");
+
+        // (2) The *deployed table* (every patch applied) matches the spec.
+        let cr = sharded.report.as_ref().expect("report");
+        let diff = Differential::over_table(
+            &sharded.compiler,
+            &sharded.rs,
+            cr,
+            sharded_fab.switch.table(),
+        );
+        let probes = probe_grid(&sharded.compiler, &sharded.rs);
+        diff.check_all(&probes)
+            .unwrap_or_else(|m| panic!("burst {burst}: patched table mismatch:\n{m}"));
+    }
+
+    // Idle reoptimize: nothing dirty, every shard served from cache.
+    let skipped0 = counter(&sharded, "compile.shard.skipped.count");
+    let recompiled0 = counter(&sharded, "compile.shard.recompiled.count");
+    sharded
+        .reoptimize(&mut sharded_fab)
+        .expect("idle reoptimize");
+    assert_eq!(
+        counter(&sharded, "compile.shard.skipped.count") - skipped0,
+        SHARDS as u64,
+        "idle reoptimize must skip every shard"
+    );
+    assert_eq!(
+        counter(&sharded, "compile.shard.recompiled.count") - recompiled0,
+        0,
+        "idle reoptimize must recompile nothing"
+    );
+}
