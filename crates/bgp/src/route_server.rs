@@ -269,13 +269,19 @@ impl RouteServer {
     }
 
     /// Replaces a participant's export policy (policy changes at runtime).
+    ///
+    /// Export filtering only reshapes the candidate sets built from routes
+    /// `p` itself announced, so invalidation is scoped to
+    /// `loc_rib.announced_by(p)` — prefixes announced only by other
+    /// participants keep their cached decisions and their compiled shards.
     pub fn set_export_policy(&mut self, p: ParticipantId, export: ExportPolicy) {
         self.export.insert(p, export);
-        // Export filtering feeds the candidate sets the decision ran over.
-        self.best_cache.clear();
-        let all: Vec<Prefix> = self.loc_rib.prefixes().collect();
-        self.mark_compile_dirty(all.iter().copied());
-        self.dirty.extend(all);
+        let affected: Vec<Prefix> = self.loc_rib.announced_by(p).collect();
+        for &prefix in &affected {
+            self.best_cache.invalidate(prefix);
+        }
+        self.mark_compile_dirty(affected.iter().copied());
+        self.dirty.extend(affected);
     }
 
     /// Processes one UPDATE from `from`, returning the prefixes whose
@@ -793,8 +799,9 @@ mod tests {
         );
         let after = rs.best_for(ParticipantId(1), prefix("10.0.0.0/8")).unwrap();
         assert_eq!(after.source.participant, ParticipantId(2));
-        // Export-policy change clears all cached winners: warm p4 (via C),
-        // then deny C→A; best must disappear (B already hides p4 from A).
+        // Export-policy change invalidates cached winners for the
+        // announcer's prefixes: warm p4 (via C), then deny C→A; best must
+        // disappear (B already hides p4 from A).
         assert!(rs
             .best_for(ParticipantId(1), prefix("40.0.0.0/8"))
             .is_some());
@@ -1031,9 +1038,14 @@ mod tests {
         // reset_session marks every cleared prefix.
         rs.reset_session(ParticipantId(2));
         assert_eq!(rs.take_compile_dirty().len(), 4);
-        // set_export_policy marks everything still in the Loc-RIB.
+        // set_export_policy marks only the announcer's own prefixes:
+        // after B's session reset, C still announces 20/8 and 40/8
+        // (10/8 was withdrawn above), so exactly those two are dirtied.
         rs.set_export_policy(ParticipantId(3), ExportPolicy::allow_all());
-        assert!(rs.compile_dirty_len() > 0);
+        let drained = rs.take_compile_dirty();
+        assert_eq!(drained.len(), 2, "scoped to announced_by(C): {drained:?}");
+        assert!(drained.contains(&prefix("20.0.0.0/8")));
+        assert!(drained.contains(&prefix("40.0.0.0/8")));
     }
 
     #[test]

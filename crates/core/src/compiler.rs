@@ -28,7 +28,7 @@
 //! per-(viewer, prefix) VNH map the route server rewrites NEXT_HOP with.
 
 use std::borrow::Cow;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -36,7 +36,7 @@ use sdx_bgp::route_server::RouteServer;
 use sdx_net::Mod;
 use sdx_net::{Ipv4Addr, MacAddr, ParticipantId, PortId, Prefix};
 use sdx_policy::classifier::{Action, Classifier, Rule};
-use sdx_policy::{compile as compile_policy, Policy};
+use sdx_policy::{compile as compile_policy, Policy, PolicyVersions};
 use sdx_telemetry::{MetricsSnapshot, Registry, SharedRegistry};
 
 use crate::error::SdxError;
@@ -263,12 +263,13 @@ pub struct SdxCompiler {
     /// Where stage timings and allocation counters land. Defaults to a
     /// private sink; the controller shares its own registry in.
     pub(crate) telemetry: SharedRegistry,
-    /// Bumped by every mutation that can change phase-A inputs (policies,
-    /// the participant book, global fragments) — the shard cache's
-    /// compiler-side staleness fingerprint. Coarse on purpose: policy
-    /// changes are rare next to BGP churn, and a full rebuild is always
-    /// correct.
-    policy_epoch: u64,
+    /// Versioned view of the policy store: the *book* epoch moves on
+    /// structural mutations (enroll/remove, global fragments) and gates
+    /// the whole shard cache; per-participant counters move on single
+    /// policy edits and gate only that viewer's cached units — the seam
+    /// that lets a one-participant [`PolicyDelta`](sdx_policy::PolicyDelta)
+    /// recompile a handful of units instead of the world.
+    versions: PolicyVersions,
     /// Clean per-`(shard, viewer)` phase-A slices from the previous
     /// sharded compile. `None` until a sharded compile runs (and reset by
     /// any unsharded compile).
@@ -299,32 +300,43 @@ impl SdxCompiler {
         self.shard_cache.as_ref().map(|c| &c.plan)
     }
 
-    /// Adds or replaces a participant.
+    /// Adds or replaces a participant (a structural book mutation: the
+    /// whole shard cache is invalidated).
     pub fn upsert_participant(&mut self, cfg: ParticipantConfig) {
-        self.policy_epoch += 1;
+        self.versions.bump_book();
         self.participants.insert(cfg.id, cfg);
     }
 
     /// Removes a participant from the book (its policies go with it).
     pub fn remove_participant(&mut self, id: ParticipantId) -> Option<ParticipantConfig> {
-        self.policy_epoch += 1;
+        self.versions.bump_book();
         self.participants.remove(&id)
     }
 
-    /// Installs/clears a participant's outbound policy.
+    /// Installs/clears a participant's outbound policy. Bumps only that
+    /// participant's outbound version: cached compile state for every
+    /// other viewer stays valid.
     pub fn set_outbound(&mut self, id: ParticipantId, policy: Option<Policy>) {
         if let Some(p) = self.participants.get_mut(&id) {
-            self.policy_epoch += 1;
+            self.versions.bump_outbound(id);
             p.outbound = policy;
         }
     }
 
-    /// Installs/clears a participant's inbound policy.
+    /// Installs/clears a participant's inbound policy. Bumps only that
+    /// participant's inbound version; inbound policies never touch the
+    /// FEC phase, so no shard unit is invalidated at all.
     pub fn set_inbound(&mut self, id: ParticipantId, policy: Option<Policy>) {
         if let Some(p) = self.participants.get_mut(&id) {
-            self.policy_epoch += 1;
+            self.versions.bump_inbound(id);
             p.inbound = policy;
         }
+    }
+
+    /// The policy store's version counters (see
+    /// [`PolicyVersions`](sdx_policy::PolicyVersions)).
+    pub fn policy_versions(&self) -> &PolicyVersions {
+        &self.versions
     }
 
     /// The participant book.
@@ -338,15 +350,16 @@ impl SdxCompiler {
     }
 
     /// Installs a remote participant's global policy fragment (applied to
-    /// every sender's outbound traffic).
+    /// every sender's outbound traffic — a structural mutation, since it
+    /// folds into *every* viewer's effective outbound policy).
     pub fn add_global_policy(&mut self, owner: ParticipantId, policy: Policy) {
-        self.policy_epoch += 1;
+        self.versions.bump_book();
         self.global_policies.push((owner, policy));
     }
 
     /// Removes all global fragments owned by `owner`.
     pub fn clear_global_policies(&mut self, owner: ParticipantId) {
-        self.policy_epoch += 1;
+        self.versions.bump_book();
         self.global_policies.retain(|(o, _)| *o != owner);
     }
 
@@ -865,9 +878,25 @@ impl SdxCompiler {
     /// its own slice, and VMAC tag sub-ranges are assigned in phase B).
     ///
     /// The cache is thrown away whole on any fingerprint mismatch (plan
-    /// size, policy epoch, route-server identity, consistency-sabotage
-    /// flag) — partial invalidation is only ever attempted for BGP churn,
-    /// where the dirty set is authoritative.
+    /// size, structural book epoch, route-server identity,
+    /// consistency-sabotage flag). Within a valid cache, two partial
+    /// invalidation axes compose:
+    ///
+    /// * **BGP churn** invalidates by dirty shard — the route server's
+    ///   compile-dirty set is authoritative.
+    /// * **Policy churn** invalidates per `(participant, shard)`: a viewer
+    ///   whose outbound version moved has its fresh rule list diffed
+    ///   against the cached one. Signature rule indices are list
+    ///   positions, so a unit survives a rule-list change only if (a) its
+    ///   memberships reference exclusively the unchanged common prefix of
+    ///   the two lists, and (b) no *new* trailing rule's destination
+    ///   constraint can reach the unit's shard — where "reach" covers
+    ///   both announced subnets inside the constraint's address range and
+    ///   announced supernets (whose network addresses are the ≤ 33
+    ///   masked-down variants of the constraint's address). Everything
+    ///   else about a unit is a function of the rule list and the route
+    ///   server, so the surviving units are *exactly* the ones a full
+    ///   recompute would reproduce.
     fn compile_fecs_sharded(
         &mut self,
         rs: &RouteServer,
@@ -881,7 +910,7 @@ impl SdxCompiler {
         let valid = match self.shard_cache.take() {
             Some(c)
                 if c.plan.len() == n
-                    && c.policy_epoch == self.policy_epoch
+                    && c.versions.book() == self.versions.book()
                     && c.rs_id == rs.compile_id()
                     && c.break_consistency == break_consistency
                     && c.fec_grouping == fec_grouping =>
@@ -892,10 +921,10 @@ impl SdxCompiler {
         };
         let drained = rs.take_compile_dirty();
         reg.add("compile.shard.dirty_prefixes.count", drained.len() as u64);
-        let (mut cache, dirty): (ShardCache, BTreeSet<usize>) = match valid {
+        let (mut cache, dirty, fresh): (ShardCache, BTreeSet<usize>, bool) = match valid {
             Some(c) => {
                 let dirty = drained.iter().map(|&p| c.plan.shard_of(p)).collect();
-                (c, dirty)
+                (c, dirty, false)
             }
             None => (
                 ShardCache {
@@ -905,7 +934,8 @@ impl SdxCompiler {
                     // same shards across compiles (balance drifts with
                     // churn; correctness does not).
                     plan: ShardPlan::balanced(n, rs.all_prefixes()),
-                    policy_epoch: self.policy_epoch,
+                    versions: self.versions.clone(),
+                    rules: HashMap::new(),
                     rs_id: rs.compile_id(),
                     break_consistency,
                     fec_grouping,
@@ -913,11 +943,98 @@ impl SdxCompiler {
                     merged: HashMap::new(),
                 },
                 (0..n).collect(),
+                true,
             ),
         };
         reg.set_gauge("compile.shard.count", n as i64);
         reg.add("compile.shard.recompiled.count", dirty.len() as u64);
         reg.add("compile.shard.skipped.count", (n - dirty.len()) as u64);
+
+        // ---- Policy-delta invalidation (per participant, per shard). A
+        // viewer whose outbound version is unchanged keeps every cached
+        // unit; a changed viewer's fresh rule list is diffed against the
+        // cached list to find exactly the units the change can perturb.
+        let mut policy_stale: HashSet<(usize, ParticipantId)> = HashSet::new();
+        let mut retired_units = 0u64;
+        if !fresh {
+            // Viewers that no longer compile any outbound rules (policy
+            // retracted): their units would never be refreshed — purge.
+            let current: HashSet<ParticipantId> = viewer_rules.iter().map(|&(v, _)| v).collect();
+            let before = cache.units.len();
+            cache.units.retain(|&(_, v), _| current.contains(&v));
+            retired_units = (before - cache.units.len()) as u64;
+            cache.merged.retain(|v, _| current.contains(v));
+            cache.rules.retain(|v, _| current.contains(v));
+            for &(viewer, new_rules) in viewer_rules {
+                let Some(old_rules) = cache.rules.get(&viewer) else {
+                    // Viewer gained its first outbound policy since the
+                    // cache was built: every unit must be built fresh.
+                    policy_stale.extend((0..n).map(|s| (s, viewer)));
+                    continue;
+                };
+                if cache.versions.outbound_of(viewer) == self.versions.outbound_of(viewer) {
+                    continue;
+                }
+                let common = old_rules
+                    .iter()
+                    .zip(new_rules.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                if common == old_rules.len() && common == new_rules.len() {
+                    continue; // version moved, compiled rules did not
+                }
+                // Shards a *new* trailing rule's BGP join could reach:
+                // announced subnets live inside the constraint's address
+                // range; announced supernets' network addresses are the
+                // constraint's address masked to each shorter length.
+                let mut touched: BTreeSet<usize> = BTreeSet::new();
+                let mut all_shards = false;
+                for rule in &new_rules[common..] {
+                    if rule.rewritten_dst().is_some()
+                        || !matches!(rule.target, Some(PortId::Virt(_)))
+                    {
+                        continue; // no BGP join ⇒ no signature contribution
+                    }
+                    let Some(d) = rule.matches.nw_dst else {
+                        all_shards = true;
+                        break;
+                    };
+                    for k in 0..=d.len() {
+                        touched.insert(cache.plan.shard_of(Prefix::new(d.addr(), k)));
+                    }
+                    let lo = cache.plan.shard_of_addr(d.addr());
+                    let top = (u64::from(d.addr().0) + d.size() - 1).min(u64::from(u32::MAX));
+                    let hi = cache.plan.shard_of_addr(Ipv4Addr(top as u32));
+                    touched.extend(lo..=hi);
+                }
+                for s in 0..n {
+                    let index_stale = cache.units.get(&(s, viewer)).is_some_and(|u| {
+                        u.sig
+                            .values()
+                            .any(|(mem, _)| mem.iter().any(|&k| k >= common))
+                    });
+                    if all_shards || touched.contains(&s) || index_stale {
+                        policy_stale.insert((s, viewer));
+                    }
+                }
+            }
+        }
+        reg.add(
+            "policy.dirty_units.count",
+            policy_stale.len() as u64 + retired_units,
+        );
+        // Refresh the cached rule lists and versions to the state this
+        // compile runs under (the diff above already consumed the old
+        // ones).
+        for &(viewer, new_rules) in viewer_rules {
+            match cache.rules.get(&viewer) {
+                Some(old) if old.as_slice() == new_rules => {}
+                _ => {
+                    cache.rules.insert(viewer, new_rules.to_vec());
+                }
+            }
+        }
+        cache.versions = self.versions.clone();
 
         // Unit pruning: within a dirty shard, a cached `(shard, viewer)`
         // unit can only have changed if some dirty prefix is already in
@@ -946,20 +1063,51 @@ impl SdxCompiler {
                     })
             })
         };
-        let work: Vec<(usize, ParticipantId, &[FwdRule])> = dirty
-            .iter()
-            .flat_map(|&s| viewer_rules.iter().map(move |&(v, r)| (s, v, r)))
-            .filter(|&(s, v, rules)| match cache.units.get(&(s, v)) {
-                Some(unit) => dirty_by_shard
+        // Work list: policy-stale units recompute regardless of route
+        // dirt; clean-policy viewers walk only the route-dirty shards (the
+        // steady-state churn path pays nothing for the policy machinery).
+        let policy_viewers: HashSet<ParticipantId> = policy_stale.iter().map(|&(_, v)| v).collect();
+        let mut pruned = 0u64;
+        let mut work: Vec<(usize, ParticipantId, &[FwdRule])> = Vec::new();
+        for &(v, rules) in viewer_rules {
+            let route_hit = |s: usize, unit: &ShardUnit| {
+                dirty_by_shard
                     .get(&s)
-                    .is_none_or(|ps| could_affect(unit, ps, rules)),
-                None => true,
-            })
-            .collect();
-        reg.add(
-            "compile.shard.unit_pruned.count",
-            (dirty.len() * viewer_rules.len() - work.len()) as u64,
-        );
+                    .is_none_or(|ps| could_affect(unit, ps, rules))
+            };
+            if policy_viewers.contains(&v) {
+                for s in 0..n {
+                    match cache.units.get(&(s, v)) {
+                        None => work.push((s, v, rules)),
+                        Some(unit) => {
+                            if policy_stale.contains(&(s, v)) {
+                                work.push((s, v, rules));
+                            } else if dirty.contains(&s) {
+                                if route_hit(s, unit) {
+                                    work.push((s, v, rules));
+                                } else {
+                                    pruned += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                for &s in &dirty {
+                    match cache.units.get(&(s, v)) {
+                        None => work.push((s, v, rules)),
+                        Some(unit) => {
+                            if route_hit(s, unit) {
+                                work.push((s, v, rules));
+                            } else {
+                                pruned += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        reg.add("compile.shard.unit_pruned.count", pruned);
         let plan = &cache.plan;
         let units: Vec<ShardUnit> = parallel_map(workers, &work, |_, &(s, viewer, rules)| {
             let _unit_timer = reg.start_timer("compile.shard.unit");
@@ -1453,6 +1601,39 @@ mod tests {
     }
 
     #[test]
+    fn export_policy_change_leaves_idle_shards_cache_served() {
+        let (mut compiler, mut rs) = figure1();
+        compiler.options.sharding = crate::shard::Sharding::Shards(4);
+        let mut vnh = VnhAllocator::default();
+        compiler.compile_all(&rs, &mut vnh).unwrap();
+        // D announces exactly one prefix (50/8). Denying D's exports to A
+        // dirties only 50/8's shard; the other three are cache-served.
+        let mut export = ExportPolicy::allow_all();
+        export.deny(ParticipantId(1), prefix("50.0.0.0/8"));
+        rs.set_export_policy(ParticipantId(4), export.clone());
+        let skipped = compiler.telemetry().counter("compile.shard.skipped.count");
+        let recompiled = compiler
+            .telemetry()
+            .counter("compile.shard.recompiled.count");
+        let (s0, r0) = (skipped.get(), recompiled.get());
+        let warm = compiler.compile_all(&rs, &mut vnh).unwrap();
+        assert_eq!(recompiled.get() - r0, 1, "only 50/8's shard recompiles");
+        assert_eq!(skipped.get() - s0, 3, "idle shards are cache-served");
+        // The narrowed invalidation is still correct: the patched table
+        // equals a from-scratch compile of the same world.
+        let (mut cold, mut rs2) = figure1();
+        rs2.set_export_policy(ParticipantId(4), export);
+        cold.options.sharding = crate::shard::Sharding::Shards(4);
+        let cold_report = run(&mut cold, &rs2);
+        let pool = VnhAllocator::default_pool();
+        assert_reports_identical(
+            &crate::shard::canonicalize_report(&warm, pool),
+            &crate::shard::canonicalize_report(&cold_report, pool),
+            "export-policy delta vs from scratch",
+        );
+    }
+
+    #[test]
     fn shard_cache_invalidates_on_policy_change_and_foreign_route_server() {
         let (mut compiler, rs) = figure1();
         compiler.options.sharding = crate::shard::Sharding::Shards(4);
@@ -1461,25 +1642,118 @@ mod tests {
         let recompiled = compiler
             .telemetry()
             .counter("compile.shard.recompiled.count");
-        // Any policy-book mutation bumps the epoch → full rebuild.
-        let r0 = recompiled.get();
+        let dirty_units = compiler.telemetry().counter("policy.dirty_units.count");
+        // An inbound edit never touches phase A: zero shards, zero units.
+        let (r0, d0) = (recompiled.get(), dirty_units.get());
         compiler.set_inbound(ParticipantId(2), None);
         compiler.compile_all(&rs, &mut vnh).unwrap();
-        assert_eq!(
-            recompiled.get() - r0,
-            4,
-            "policy change rebuilds all shards"
+        assert_eq!(recompiled.get() - r0, 0, "inbound edit recompiles nothing");
+        assert_eq!(dirty_units.get() - d0, 0, "no unit dirtied");
+        // An outbound edit invalidates only that viewer's units — and only
+        // where the rule-list diff can reach; other viewers stay cached.
+        let d1 = dirty_units.get();
+        compiler.set_outbound(
+            ParticipantId(1),
+            Some(P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(ParticipantId(2)))),
         );
-        // A *different* route server instance (here: a clone) has a fresh
-        // compile identity → full rebuild, never stale slices.
+        compiler.compile_all(&rs, &mut vnh).unwrap();
+        let dirtied = dirty_units.get() - d1;
+        assert!(dirtied >= 1, "the edited viewer's units recompute");
+        assert!(dirtied <= 4, "only one viewer's units recompute: {dirtied}");
+        // A structural book mutation bumps the epoch → full rebuild.
         let r1 = recompiled.get();
-        let snapshot = rs.clone();
-        compiler.compile_all(&snapshot, &mut vnh).unwrap();
+        compiler.upsert_participant(ParticipantConfig::new(9, 65009, 1));
+        compiler.compile_all(&rs, &mut vnh).unwrap();
         assert_eq!(
             recompiled.get() - r1,
             4,
+            "book mutation rebuilds all shards"
+        );
+        // A *different* route server instance (here: a clone) has a fresh
+        // compile identity → full rebuild, never stale slices.
+        let r2 = recompiled.get();
+        let snapshot = rs.clone();
+        compiler.compile_all(&snapshot, &mut vnh).unwrap();
+        assert_eq!(
+            recompiled.get() - r2,
+            4,
             "foreign instance rebuilds all shards"
         );
+    }
+
+    #[test]
+    fn policy_delta_recompile_matches_from_scratch() {
+        // The equivalence spine of the policy-churn path: mutate policies
+        // every which way against a warm shard cache and require the
+        // incremental output to equal a cold compile of the same world.
+        let (mut compiler, rs) = figure1();
+        compiler.options.sharding = crate::shard::Sharding::Shards(4);
+        let mut vnh = VnhAllocator::default();
+        compiler.compile_all(&rs, &mut vnh).unwrap();
+        let pool = VnhAllocator::default_pool();
+        let mutations: Vec<(&str, Box<dyn Fn(&mut SdxCompiler)>)> = vec![
+            (
+                "narrow an existing outbound policy",
+                Box::new(|c: &mut SdxCompiler| {
+                    c.set_outbound(
+                        ParticipantId(1),
+                        Some(
+                            P::match_(FieldMatch::TpDst(80))
+                                >> P::fwd(PortId::Virt(ParticipantId(2))),
+                        ),
+                    );
+                }),
+            ),
+            (
+                "grow it back with a dst-constrained clause",
+                Box::new(|c: &mut SdxCompiler| {
+                    c.set_outbound(
+                        ParticipantId(1),
+                        Some(
+                            (P::match_(FieldMatch::TpDst(80))
+                                >> P::fwd(PortId::Virt(ParticipantId(2))))
+                                + (P::match_(FieldMatch::NwDst(prefix("20.0.0.0/8")))
+                                    >> P::match_(FieldMatch::TpDst(443))
+                                    >> P::fwd(PortId::Virt(ParticipantId(3)))),
+                        ),
+                    );
+                }),
+            ),
+            (
+                "first-ever policy for a quiet viewer",
+                Box::new(|c: &mut SdxCompiler| {
+                    c.set_outbound(
+                        ParticipantId(4),
+                        Some(
+                            P::match_(FieldMatch::TpDst(443))
+                                >> P::fwd(PortId::Virt(ParticipantId(2))),
+                        ),
+                    );
+                }),
+            ),
+            (
+                "retract a viewer's policy entirely",
+                Box::new(|c: &mut SdxCompiler| {
+                    c.set_outbound(ParticipantId(4), None);
+                }),
+            ),
+        ];
+        for (what, mutate) in mutations {
+            mutate(&mut compiler);
+            let incremental = compiler.compile_all(&rs, &mut vnh).unwrap();
+            let (mut cold, rs2) = (figure1().0, rs.clone());
+            // Copy the warm book over so the cold compiler sees the same
+            // post-mutation world.
+            for cfg in compiler.participants().clone().into_values() {
+                cold.upsert_participant(cfg);
+            }
+            let cold_report = run(&mut cold, &rs2);
+            assert_reports_identical(
+                &crate::shard::canonicalize_report(&incremental, pool),
+                &crate::shard::canonicalize_report(&cold_report, pool),
+                what,
+            );
+        }
     }
 
     #[test]

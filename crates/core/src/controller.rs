@@ -20,7 +20,7 @@ use sdx_bgp::route_server::{ExportPolicy, RouteServer, RouteServerEvent};
 use sdx_net::{Ipv4Addr, ParticipantId, Prefix};
 use sdx_openflow::border_router::BorderRouter;
 use sdx_openflow::fabric::Fabric;
-use sdx_policy::Policy;
+use sdx_policy::{Policy, PolicyDelta, PolicyOp, PolicyScope};
 use sdx_telemetry::{Event, SharedRegistry};
 
 use crate::compiler::{CompileReport, SdxCompiler};
@@ -176,6 +176,82 @@ impl SdxController {
     /// Installs (or clears) a participant's inbound policy.
     pub fn set_inbound(&mut self, id: ParticipantId, policy: Option<Policy>) {
         self.compiler.set_inbound(id, policy);
+    }
+
+    /// Validates and stages a [`PolicyDelta`]: every operation is checked
+    /// against the participant book first (unknown participants and
+    /// unresolvable ports are rejected as typed
+    /// [`SdxError::PolicyRejected`] with the book untouched), then the
+    /// book mutates with per-participant version bumps — so the next
+    /// compile invalidates only the touched viewers' shard units. Nothing
+    /// recompiles here; follow with [`reoptimize`](Self::reoptimize) /
+    /// [`prepare_scheduled`](Self::prepare_scheduled), or use the
+    /// [`apply_policy_delta`](Self::apply_policy_delta) wrappers.
+    pub fn stage_policy_delta(&mut self, delta: &PolicyDelta) -> Result<(), SdxError> {
+        delta
+            .validate(
+                |p| self.compiler.participant(p).is_some(),
+                |p, idx| {
+                    self.compiler
+                        .participant(p)
+                        .is_some_and(|c| c.port_mac(idx).is_some())
+                },
+            )
+            .map_err(SdxError::PolicyRejected)?;
+        let (mut applied, mut retracted) = (0u64, 0u64);
+        for op in &delta.ops {
+            let policy = op.op.policy().cloned();
+            match op.op {
+                PolicyOp::Retract => retracted += 1,
+                _ => applied += 1,
+            }
+            match op.scope {
+                PolicyScope::Outbound => self.compiler.set_outbound(op.participant, policy),
+                PolicyScope::Inbound => self.compiler.set_inbound(op.participant, policy),
+            }
+        }
+        self.telemetry.add("policy.applied.count", applied);
+        self.telemetry.add("policy.retracted.count", retracted);
+        self.telemetry.record_event(Event::Custom {
+            name: "policy.delta".to_string(),
+            detail: format!(
+                "{} op(s) staged ({applied} applied, {retracted} retracted), \
+                 outbound footprint: {}",
+                delta.ops.len(),
+                delta.outbound_footprint(),
+            ),
+        });
+        Ok(())
+    }
+
+    /// Applies a [`PolicyDelta`] end to end on the plain path: stage, then
+    /// [`reoptimize`](Self::reoptimize). The policy change flows through
+    /// the same incremental machinery as a route update — only the
+    /// touched viewers' shard units recompile, untouched FECs keep their
+    /// keyed VNH identity, and the data plane is patched by
+    /// [`diff_base_table`](crate::reconcile::diff_base_table) rather than
+    /// swapped.
+    pub fn apply_policy_delta(
+        &mut self,
+        delta: &PolicyDelta,
+        fabric: &mut Fabric,
+    ) -> Result<&CompileReport, SdxError> {
+        self.stage_policy_delta(delta)?;
+        self.reoptimize(fabric)
+    }
+
+    /// Applies a [`PolicyDelta`] on the scheduled path: stage, then
+    /// [`prepare_scheduled`](Self::prepare_scheduled). The returned
+    /// [`PreparedUpdate`] drives dependency-ordered waves exactly as for
+    /// route churn — drive it with
+    /// [`commit_scheduled`](Self::commit_scheduled).
+    pub fn apply_policy_delta_scheduled(
+        &mut self,
+        delta: &PolicyDelta,
+        fabric: &mut Fabric,
+    ) -> Result<PreparedUpdate, SdxError> {
+        self.stage_policy_delta(delta)?;
+        self.prepare_scheduled(fabric)
     }
 
     /// Selects the compile sharding mode for every subsequent
@@ -1352,5 +1428,93 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].loc.participant(), pid(2));
+    }
+
+    #[test]
+    fn policy_delta_recompiles_only_affected_viewer() {
+        let (mut ctl, mut fabric) = deployment();
+        ctl.set_sharding(Sharding::Shards(4));
+        ctl.reoptimize(&mut fabric).unwrap();
+        let snap = ctl.telemetry.snapshot();
+        let r0 = snap.counters["compile.shard.recompiled.count"];
+        let d0 = snap
+            .counters
+            .get("policy.dirty_units.count")
+            .copied()
+            .unwrap_or(0);
+        // C retargets port-80 traffic to A — a pure policy event with no
+        // route churn riding along.
+        let delta = PolicyDelta::new().replace_outbound(
+            pid(3),
+            P::match_(FieldMatch::TpDst(80)) >> P::fwd(PortId::Virt(pid(1))),
+        );
+        ctl.apply_policy_delta(&delta, &mut fabric).unwrap();
+        let snap = ctl.telemetry.snapshot();
+        assert_eq!(
+            snap.counters["compile.shard.recompiled.count"] - r0,
+            0,
+            "a policy delta must not mark route-dirty shards"
+        );
+        let dirty = snap.counters["policy.dirty_units.count"] - d0;
+        assert!(
+            (1..=4).contains(&dirty),
+            "only the editing viewer's units recompile, got {dirty}"
+        );
+        assert_eq!(snap.counters.get("policy.applied.count"), Some(&1));
+        // Behaviour actually changed: port 80 now exits via A.
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(1), 1));
+    }
+
+    #[test]
+    fn invalid_policy_delta_is_rejected_and_stages_nothing() {
+        let (mut ctl, mut fabric) = deployment();
+        let before = ctl.compiler.policy_versions().clone();
+        // Unknown participant.
+        let delta = PolicyDelta::new().install_outbound(pid(42), P::fwd(PortId::Virt(pid(1))));
+        match ctl.apply_policy_delta(&delta, &mut fabric) {
+            Err(SdxError::PolicyRejected(sdx_policy::DslError::UnknownParticipant(p))) => {
+                assert_eq!(p, pid(42));
+            }
+            other => panic!("expected UnknownParticipant rejection, got {other:?}"),
+        }
+        // Unresolvable physical port on an enrolled participant.
+        let delta = PolicyDelta::new().install_outbound(pid(3), P::fwd(PortId::Phys(pid(1), 9)));
+        match ctl.apply_policy_delta(&delta, &mut fabric) {
+            Err(SdxError::PolicyRejected(sdx_policy::DslError::UnresolvablePort(p, idx))) => {
+                assert_eq!((p, idx), (pid(1), 9));
+            }
+            other => panic!("expected UnresolvablePort rejection, got {other:?}"),
+        }
+        // Rejection is atomic: nothing was staged, no version moved.
+        assert_eq!(ctl.compiler.policy_versions(), &before);
+    }
+
+    #[test]
+    fn scheduled_policy_delta_converges_like_plain_path() {
+        let (mut ctl, mut fabric) = deployment();
+        ctl.set_sharding(Sharding::Shards(4));
+        ctl.reoptimize(&mut fabric).unwrap();
+        let delta = PolicyDelta::new().retract_outbound(pid(3));
+        let prepared = ctl
+            .apply_policy_delta_scheduled(&delta, &mut fabric)
+            .expect("prepare");
+        let opts = crate::schedule::ScheduleOpts::default();
+        ctl.commit_scheduled(&mut fabric, prepared, &opts, None)
+            .expect("waves commit");
+        // With C's policy retracted, port-80 traffic follows the best
+        // route (A) — same outcome the plain path produces.
+        let out = fabric.send(
+            PortId::Phys(pid(3), 1),
+            Packet::tcp(ip("99.0.0.1"), ip("54.1.2.3"), 5000, 80),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].loc, PortId::Phys(pid(1), 1));
+        let snap = ctl.telemetry.snapshot();
+        assert_eq!(snap.counters.get("policy.retracted.count"), Some(&1));
     }
 }

@@ -54,6 +54,11 @@ pub enum SdxError {
         /// Attempts spent on the failing wave, including the first.
         attempts: u32,
     },
+    /// A [`PolicyDelta`](sdx_policy::PolicyDelta) failed structural
+    /// validation against the participant book (unknown participant,
+    /// unresolvable port); nothing was staged. Carries the typed DSL
+    /// error so callers can distinguish the offender.
+    PolicyRejected(sdx_policy::dsl::DslError),
     /// Per-wave verification found an intermediate table that loops or
     /// routes a packet somewhere neither the old nor the new table would —
     /// the schedule itself is unsafe, so nothing past the offending wave
@@ -80,6 +85,9 @@ impl core::fmt::Display for SdxError {
             }
             SdxError::Injected(point) => {
                 write!(f, "injected fault at {point}")
+            }
+            SdxError::PolicyRejected(e) => {
+                write!(f, "policy delta rejected: {e}")
             }
             SdxError::UpdateAborted {
                 wave,
@@ -108,6 +116,7 @@ impl std::error::Error for SdxError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SdxError::Transform(e) => Some(e),
+            SdxError::PolicyRejected(e) => Some(e),
             _ => None,
         }
     }

@@ -210,7 +210,9 @@ impl ShardPlan {
 pub(crate) struct ShardUnit {
     /// prefix → (rule memberships, partial-coverage marks), restricted to
     /// the shard's range. Rule indices are per-viewer positions, stable
-    /// while the policy epoch is.
+    /// while the viewer's outbound rule list is (the policy-delta
+    /// invalidation pass compares cached rule lists to decide exactly
+    /// which units a rule-list change can perturb).
     pub(crate) sig: BTreeMap<Prefix, (BTreeSet<usize>, BTreeSet<usize>)>,
     /// prefix → viewer's best-route next hop, same restriction.
     pub(crate) best_nh: BTreeMap<Prefix, Option<ParticipantId>>,
@@ -218,14 +220,25 @@ pub(crate) struct ShardUnit {
 
 /// The compiler's incremental shard cache: the stable plan plus every
 /// clean `(shard, viewer)` unit from the previous compile, fingerprinted
-/// by everything phase A reads (policy book, route-server identity,
-/// sabotage knob). Any fingerprint mismatch throws the whole cache away —
-/// correctness never depends on partial invalidation being right.
+/// by everything phase A reads (route-server identity, sabotage knob, the
+/// *structural* policy-book epoch). Any fingerprint mismatch throws the
+/// whole cache away. Within a valid cache, two partial-invalidation axes
+/// compose: BGP churn invalidates by dirty shard (the route server's
+/// compile-dirty set is authoritative), and policy churn invalidates
+/// per `(participant, shard)` by diffing the viewer's cached outbound
+/// rule list against the fresh one (see
+/// `SdxCompiler::compile_fecs_sharded`).
 #[derive(Debug)]
 pub(crate) struct ShardCache {
     pub(crate) plan: ShardPlan,
-    /// Compiler mutation epoch the units were built under.
-    pub(crate) policy_epoch: u64,
+    /// Policy version counters the units were built under: the book epoch
+    /// gates the whole cache; per-participant outbound versions gate each
+    /// viewer's units.
+    pub(crate) versions: sdx_policy::PolicyVersions,
+    /// Each viewer's outbound forwarding-rule list as compiled last time —
+    /// the ground truth the policy-delta invalidation diffs against
+    /// (signature rule indices are positions in this list).
+    pub(crate) rules: HashMap<ParticipantId, Vec<crate::transform::FwdRule>>,
     /// Identity of the route server instance the units were built from
     /// (fresh per instance and per clone — see `RouteServer::compile_id`).
     pub(crate) rs_id: u64,

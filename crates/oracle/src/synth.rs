@@ -86,6 +86,20 @@ pub struct GeneratedExchange {
 /// AS-path lengths, sprinkled export denials, and random outbound/inbound
 /// policies in the shapes the compiler supports.
 pub fn exchange(seed: u64) -> GeneratedExchange {
+    build_exchange(seed, false)
+}
+
+/// Like [`exchange`], but participants draw their outbound policies from
+/// the *wide* generator ([`outbound_policy_wide`]): whole-network range
+/// matches with no transport-port constraint, nested sub-range matches,
+/// source-half refinements with wildcard destinations, and sequential
+/// modify chains. Same seed, different policy universe — so the two
+/// streams regress independently.
+pub fn exchange_wide(seed: u64) -> GeneratedExchange {
+    build_exchange(seed, true)
+}
+
+fn build_exchange(seed: u64, wide: bool) -> GeneratedExchange {
     let mut rng = Rng::new(seed);
     let pool = prefix_pool();
     let n = 3 + rng.below(4) as u32; // 3..=6 participants
@@ -139,7 +153,12 @@ pub fn exchange(seed: u64) -> GeneratedExchange {
     for cfg in &cfgs {
         let mut cfg = cfg.clone();
         if rng.chance(2, 3) {
-            if let Some(pol) = outbound_policy(&mut rng, &cfgs, cfg.id, &pool) {
+            let pol = if wide {
+                outbound_policy_wide(&mut rng, &cfgs, cfg.id)
+            } else {
+                outbound_policy(&mut rng, &cfgs, cfg.id, &pool)
+            };
+            if let Some(pol) = pol {
                 cfg = cfg.with_outbound(pol);
             }
         }
@@ -217,6 +236,79 @@ fn outbound_policy(
             // oracle sides model as "default path, original packet").
             clause = clause >> Policy::modify(Mod::SetTpDst(4000 + rng.below(1000) as u16));
         }
+        policy = policy + clause;
+    }
+    if policy.is_drop() {
+        None
+    } else {
+        Some(policy)
+    }
+}
+
+/// A random *wide* outbound policy for `me`: where [`outbound_policy`]
+/// keys every clause on a distinct destination port, this generator emits
+/// the shapes that leave whole header fields wild — range matches over an
+/// entire /16 (every port, every source), nested /24 sub-ranges,
+/// source-half refinements with wildcard destinations, and sequential
+/// *modify chains* (several header rewrites composed with `>>` before the
+/// `fwd`). Disjointness (⇒ no multicast) comes from giving each clause a
+/// distinct /16 network instead of a distinct port.
+fn outbound_policy_wide(
+    rng: &mut Rng,
+    cfgs: &[ParticipantConfig],
+    me: ParticipantId,
+) -> Option<Policy> {
+    let others: Vec<&ParticipantConfig> = cfgs.iter().filter(|c| c.id != me).collect();
+    // Rarely, the widest shape the compiler supports: a single clause
+    // over one source half with a fully wildcard destination.
+    if rng.chance(1, 6) {
+        let half = Ipv4Addr::new(if rng.chance(1, 2) { 0 } else { 128 }, 0, 0, 0);
+        return Some(
+            Policy::match_(FieldMatch::NwSrc(Prefix::new(half, 1)))
+                >> Policy::fwd(PortId::Virt(rng.pick(&others).id)),
+        );
+    }
+    let mut nets: Vec<u8> = (0..6).collect();
+    let n_clauses = 1 + rng.below(3);
+    let mut policy = Policy::drop();
+    for _ in 0..n_clauses {
+        let net = nets.remove(rng.below(nets.len() as u64) as usize);
+        let mut clause = match rng.below(4) {
+            0 => {
+                // Bare range match: the whole /16, every port and source.
+                Policy::match_(FieldMatch::NwDst(Prefix::new(
+                    Ipv4Addr::new(10, net, 0, 0),
+                    16,
+                )))
+            }
+            1 => {
+                // Nested sub-range: one of the /24s inside the /16, so
+                // LPM and the range boundary both get exercised.
+                Policy::match_(FieldMatch::NwDst(Prefix::new(
+                    Ipv4Addr::new(10, net, 1 + rng.below(2) as u8, 0),
+                    24,
+                )))
+            }
+            2 => {
+                // Range match refined by a source half; destination
+                // ports stay wild.
+                let half = Ipv4Addr::new(if rng.chance(1, 2) { 0 } else { 128 }, 0, 0, 0);
+                Policy::match_(FieldMatch::NwDst(Prefix::new(
+                    Ipv4Addr::new(10, net, 0, 0),
+                    16,
+                ))) >> Policy::match_(FieldMatch::NwSrc(Prefix::new(half, 1)))
+            }
+            _ => {
+                // Modify chain: two transport rewrites in sequence
+                // before the forward.
+                Policy::match_(FieldMatch::NwDst(Prefix::new(
+                    Ipv4Addr::new(10, net, 0, 0),
+                    16,
+                ))) >> Policy::modify(Mod::SetTpSrc(5000 + rng.below(1000) as u16))
+                    >> Policy::modify(Mod::SetTpDst(6000 + rng.below(1000) as u16))
+            }
+        };
+        clause = clause >> Policy::fwd(PortId::Virt(rng.pick(&others).id));
         policy = policy + clause;
     }
     if policy.is_drop() {

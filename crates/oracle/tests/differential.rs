@@ -196,6 +196,56 @@ proptest! {
             }
         }
     }
+
+    /// Wide-match companion: the same agreement property over the *wide*
+    /// policy universe — whole-/16 range matches with wildcard transport
+    /// ports, nested /24 sub-ranges, source-half refinements, and
+    /// sequential modify chains (`SetTpSrc >> SetTpDst >> fwd`). These are
+    /// the shapes the port-keyed generator never emits, so they regress
+    /// on their own seed stream.
+    #[test]
+    fn wide_match_exchanges_agree(seed in 0u32..u32::MAX) {
+        let mut ex = synth::exchange_wide(seed as u64);
+        let mut vnh = VnhAllocator::new(VnhAllocator::default_pool());
+        let report = ex
+            .compiler
+            .compile_all(&ex.rs, &mut vnh)
+            .expect("wide exchanges stay inside compilable shapes");
+        let diff = Differential::new(&ex.compiler, &ex.rs, &report);
+        for (from, pkt) in synth::packets(&ex, seed as u64, 40) {
+            match diff.check(from, &pkt) {
+                Ok(outcome) => prop_assert!(
+                    outcome != Outcome::NonTerminating,
+                    "agreed on a forwarding loop?!"
+                ),
+                Err(m) => prop_assert!(false, "wide seed {seed}: {m}"),
+            }
+        }
+    }
+}
+
+/// Pinned wide-generator seeds, one per clause shape (found by sweeping
+/// the generator and inspecting which arm each seed draws): bare /16
+/// range, nested /24 sub-range, source-half refinement, modify chain,
+/// and the single-clause wildcard-destination policy. Kept as an
+/// explicit test (not just `.proptest-regressions`) so the coverage is
+/// visible and survives a regression-file wipe.
+#[test]
+fn wide_generator_pinned_seeds_agree() {
+    for seed in [0u64, 1, 2, 3, 5, 8, 13, 21, 34, 55] {
+        let mut ex = synth::exchange_wide(seed);
+        let mut vnh = VnhAllocator::new(VnhAllocator::default_pool());
+        let report = ex
+            .compiler
+            .compile_all(&ex.rs, &mut vnh)
+            .unwrap_or_else(|e| panic!("wide seed {seed} failed to compile: {e}"));
+        let diff = Differential::new(&ex.compiler, &ex.rs, &report);
+        for (from, pkt) in synth::packets(&ex, seed, 60) {
+            if let Err(m) = diff.check(from, &pkt) {
+                panic!("wide seed {seed}: {m}");
+            }
+        }
+    }
 }
 
 #[test]

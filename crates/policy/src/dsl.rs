@@ -91,6 +91,12 @@ pub enum DslError {
     UnexpectedEof,
     /// Leftover tokens after a complete policy.
     TrailingInput(usize),
+    /// A [`PolicyDelta`](crate::delta::PolicyDelta) named a participant
+    /// the exchange has never enrolled.
+    UnknownParticipant(sdx_net::ParticipantId),
+    /// A [`PolicyDelta`](crate::delta::PolicyDelta) policy referenced a
+    /// physical port its owner does not have.
+    UnresolvablePort(sdx_net::ParticipantId, u8),
 }
 
 impl core::fmt::Display for DslError {
@@ -109,6 +115,12 @@ impl core::fmt::Display for DslError {
             }
             DslError::UnexpectedEof => write!(f, "unexpected end of input"),
             DslError::TrailingInput(i) => write!(f, "trailing input at offset {i}"),
+            DslError::UnknownParticipant(p) => {
+                write!(f, "unknown participant {p:?} in policy delta")
+            }
+            DslError::UnresolvablePort(p, idx) => {
+                write!(f, "participant {p:?} has no physical port {idx}")
+            }
         }
     }
 }

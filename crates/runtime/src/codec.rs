@@ -458,6 +458,133 @@ pub fn decode_ack(line: &str) -> Result<(u64, Result<(), String>), CodecError> {
 }
 
 // ---------------------------------------------------------------------
+// Policy frames
+// ---------------------------------------------------------------------
+
+/// One lifecycle operation inside a policy frame, still in wire form:
+/// the policy body is DSL *text* (the paper's surface syntax), because
+/// resolving port names like `B` or `C1` to [`PortId`]s needs the
+/// participant book — which only the daemon's event loop owns. The
+/// daemon parses and validates on receipt and acks/nacks per frame.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PolicyOpFrame {
+    /// Whose policy is being changed.
+    pub participant: ParticipantId,
+    /// Which direction ([`sdx_policy::PolicyScope`]).
+    pub scope: sdx_policy::PolicyScope,
+    /// `"install"`, `"replace"`, or `"retract"`.
+    pub op: String,
+    /// The DSL policy text (absent for retract).
+    pub policy: Option<String>,
+}
+
+impl PolicyOpFrame {
+    /// An install op.
+    pub fn install(
+        participant: ParticipantId,
+        scope: sdx_policy::PolicyScope,
+        dsl: impl Into<String>,
+    ) -> Self {
+        PolicyOpFrame {
+            participant,
+            scope,
+            op: "install".into(),
+            policy: Some(dsl.into()),
+        }
+    }
+
+    /// A replace op.
+    pub fn replace(
+        participant: ParticipantId,
+        scope: sdx_policy::PolicyScope,
+        dsl: impl Into<String>,
+    ) -> Self {
+        PolicyOpFrame {
+            participant,
+            scope,
+            op: "replace".into(),
+            policy: Some(dsl.into()),
+        }
+    }
+
+    /// A retract op.
+    pub fn retract(participant: ParticipantId, scope: sdx_policy::PolicyScope) -> Self {
+        PolicyOpFrame {
+            participant,
+            scope,
+            op: "retract".into(),
+            policy: None,
+        }
+    }
+}
+
+/// Encodes a policy frame as one JSON line (no trailing newline):
+/// `{"seq":N,"policy":[{"participant":P,"scope":"out","op":"replace",
+/// "dsl":"match(dstport=80) >> fwd(B)"},...]}`.
+pub fn encode_policy_frame(seq: u64, ops: &[PolicyOpFrame]) -> String {
+    let arr: Vec<Json> = ops
+        .iter()
+        .map(|o| {
+            let mut fields = vec![
+                key("participant", int(o.participant.0)),
+                key(
+                    "scope",
+                    Json::Str(
+                        match o.scope {
+                            sdx_policy::PolicyScope::Inbound => "in",
+                            sdx_policy::PolicyScope::Outbound => "out",
+                        }
+                        .into(),
+                    ),
+                ),
+                key("op", Json::Str(o.op.clone())),
+            ];
+            if let Some(dsl) = &o.policy {
+                fields.push(key("dsl", Json::Str(dsl.clone())));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([key("seq", int(seq)), key("policy", Json::Arr(arr))]).to_string()
+}
+
+/// Decodes one policy frame line into `(seq, ops)`. Structural checks
+/// only — DSL parsing and participant validation happen in the event
+/// loop, which owns the book.
+pub fn decode_policy_frame(line: &str) -> Result<(u64, Vec<PolicyOpFrame>), CodecError> {
+    let j = Json::parse(line).map_err(|e| CodecError(format!("policy frame: {e:?}")))?;
+    let seq = get_u64(&j, "seq")?;
+    let arr = j
+        .get("policy")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CodecError("policy frame: missing `policy`".into()))?;
+    let mut ops = Vec::with_capacity(arr.len());
+    for o in arr {
+        let participant = ParticipantId(get_u64(o, "participant")? as u32);
+        let scope = match o.get("scope").and_then(Json::as_str) {
+            Some("in") => sdx_policy::PolicyScope::Inbound,
+            Some("out") => sdx_policy::PolicyScope::Outbound,
+            other => return err(format!("policy op: bad scope {other:?}")),
+        };
+        let op = match o.get("op").and_then(Json::as_str) {
+            Some(k @ ("install" | "replace" | "retract")) => k.to_string(),
+            other => return err(format!("policy op: bad op {other:?}")),
+        };
+        let policy = o.get("dsl").and_then(Json::as_str).map(str::to_string);
+        if op != "retract" && policy.is_none() {
+            return err(format!("policy op: `{op}` without a dsl body"));
+        }
+        ops.push(PolicyOpFrame {
+            participant,
+            scope,
+            op,
+            policy,
+        });
+    }
+    Ok((seq, ops))
+}
+
+// ---------------------------------------------------------------------
 // Synthetic batches
 // ---------------------------------------------------------------------
 
@@ -561,6 +688,44 @@ mod tests {
         );
         assert!(decode_frame("{\"seq\":1}").is_err());
         assert!(decode_frame("not json").is_err());
+    }
+
+    #[test]
+    fn policy_frames_roundtrip_and_reject_malformed_lines() {
+        use sdx_policy::PolicyScope;
+        let ops = vec![
+            PolicyOpFrame::replace(
+                ParticipantId(3),
+                PolicyScope::Outbound,
+                "match(dstport=80) >> fwd(B)",
+            ),
+            PolicyOpFrame::install(
+                ParticipantId(2),
+                PolicyScope::Inbound,
+                "match(srcip=0.0.0.0/1) >> fwd(B1)",
+            ),
+            PolicyOpFrame::retract(ParticipantId(3), PolicyScope::Outbound),
+        ];
+        let line = encode_policy_frame(11, &ops);
+        let (seq, back) = decode_policy_frame(&line).expect("decode");
+        assert_eq!(seq, 11);
+        assert_eq!(back, ops);
+        // Structural rejections: missing body on a non-retract, unknown
+        // scope/op kinds, non-JSON.
+        assert!(decode_policy_frame("not json").is_err());
+        assert!(decode_policy_frame(r#"{"seq":1}"#).is_err());
+        assert!(decode_policy_frame(
+            r#"{"seq":1,"policy":[{"participant":3,"scope":"out","op":"install"}]}"#
+        )
+        .is_err());
+        assert!(decode_policy_frame(
+            r#"{"seq":1,"policy":[{"participant":3,"scope":"sideways","op":"retract"}]}"#
+        )
+        .is_err());
+        assert!(decode_policy_frame(
+            r#"{"seq":1,"policy":[{"participant":3,"scope":"out","op":"upsert","dsl":"drop"}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -115,13 +115,15 @@ pub struct DaemonReport {
     pub coalesced_bursts: u64,
     /// Flow-mod batches streamed to switch channels.
     pub batches_streamed: u64,
+    /// Policy frames received (wire + in-process).
+    pub policy_frames: u64,
     /// The controller, in its final state.
     pub ctl: SdxController,
     /// The daemon's driving fabric, in its final state.
     pub fabric: Fabric,
 }
 
-/// A running daemon: the three bound endpoints plus control methods.
+/// A running daemon: the four bound endpoints plus control methods.
 pub struct DaemonHandle {
     /// Where BGP peers connect.
     pub bgp_addr: SocketAddr,
@@ -129,6 +131,8 @@ pub struct DaemonHandle {
     pub openflow_addr: SocketAddr,
     /// Where telemetry snapshots are served.
     pub telemetry_addr: SocketAddr,
+    /// Where participants push policy frames (JSON lines, acked).
+    pub policy_addr: SocketAddr,
     reg: SharedRegistry,
     tx: Sender<Input>,
     stop: Arc<AtomicBool>,
@@ -146,6 +150,18 @@ impl DaemonHandle {
     /// connected switch with per-wave fleet barriers.
     pub fn reoptimize(&self) {
         let _ = self.tx.send(Input::Reoptimize);
+    }
+
+    /// Injects a policy frame as if it had arrived on the policy
+    /// endpoint (no ack transport; validation failures land in the
+    /// `daemon.policy_rejected.count` counter and the journal). The
+    /// frame rides the same event-loop path as the wire, including
+    /// coalescing with any queued BGP burst.
+    pub fn push_policy(&self, ops: &[codec::PolicyOpFrame]) {
+        let _ = self.tx.send(Input::PolicyFrame {
+            line: codec::encode_policy_frame(0, ops),
+            writer: None,
+        });
     }
 
     /// Stops the daemon: bounded drain of queued updates, final flush,
@@ -204,9 +220,11 @@ pub fn start_with_clock(
     let bgp = TcpListener::bind("127.0.0.1:0")?;
     let openflow = TcpListener::bind("127.0.0.1:0")?;
     let telemetry = TcpListener::bind("127.0.0.1:0")?;
+    let policy = TcpListener::bind("127.0.0.1:0")?;
     let bgp_addr = bgp.local_addr()?;
     let openflow_addr = openflow.local_addr()?;
     let telemetry_addr = telemetry.local_addr()?;
+    let policy_addr = policy.local_addr()?;
 
     let (tx, rx) = std::sync::mpsc::channel::<Input>();
     let stop = Arc::new(AtomicBool::new(false));
@@ -214,6 +232,7 @@ pub fn start_with_clock(
     spawn_bgp_acceptor(bgp, tx.clone(), stop.clone());
     spawn_openflow_acceptor(openflow, tx.clone(), stop.clone());
     spawn_telemetry_server(telemetry, reg.clone(), stop.clone());
+    spawn_policy_acceptor(policy, tx.clone(), stop.clone());
 
     reg.record_event(Event::DaemonStarted {
         peers: peers.len(),
@@ -243,12 +262,14 @@ pub fn start_with_clock(
         compiles: 0,
         coalesced_bursts: 0,
         batches_streamed: 0,
+        policy_frames: 0,
     };
     let join = std::thread::spawn(move || core.run());
     Ok(DaemonHandle {
         bgp_addr,
         openflow_addr,
         telemetry_addr,
+        policy_addr,
         reg,
         tx,
         stop,
@@ -273,6 +294,14 @@ enum Input {
     },
     SwitchConnected {
         stream: TcpStream,
+    },
+    /// One policy frame line from the policy endpoint (or
+    /// [`DaemonHandle::push_policy`], with no ack transport). Decoded,
+    /// DSL-parsed, and validated by the event loop — the only thread
+    /// holding the participant book.
+    PolicyFrame {
+        line: String,
+        writer: Option<TcpStream>,
     },
     Reoptimize,
     Stop,
@@ -380,6 +409,70 @@ fn spawn_openflow_acceptor(listener: TcpListener, tx: Sender<Input>, stop: Arc<A
     });
 }
 
+/// Policy endpoint: participants push JSON-line policy frames and read
+/// one ack line back per frame. Policy updates deliberately do NOT ride
+/// the binary BGP socket — they are a control-plane input of their own,
+/// with their own framing, validation, and acks.
+fn spawn_policy_acceptor(listener: TcpListener, tx: Sender<Input>, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).expect("nonblocking");
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(false);
+                    spawn_policy_reader(stream, tx.clone(), stop.clone());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+}
+
+/// Per-connection policy reader: forwards each line with a writer clone
+/// so the event loop can ack after staging (or nack with the typed
+/// rejection).
+fn spawn_policy_reader(stream: TcpStream, tx: Sender<Input>, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        let reader = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut lines = std::io::BufReader::new(reader);
+        let mut line = String::new();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            line.clear();
+            match std::io::BufRead::read_line(&mut lines, &mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let writer = stream.try_clone().ok();
+                    if tx
+                        .send(Input::PolicyFrame {
+                            line: line.trim().to_string(),
+                            writer,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            }
+        }
+    });
+}
+
 /// One telemetry snapshot (registry + journal, as JSON) per connection,
 /// then close — the simplest possible pull protocol.
 fn spawn_telemetry_server(listener: TcpListener, reg: SharedRegistry, stop: Arc<AtomicBool>) {
@@ -428,6 +521,7 @@ struct EventLoop {
     compiles: u64,
     coalesced_bursts: u64,
     batches_streamed: u64,
+    policy_frames: u64,
 }
 
 impl EventLoop {
@@ -493,20 +587,19 @@ impl EventLoop {
                     self.unresolved.insert(conn, writer);
                 }
                 Input::PeerMsg { conn, msg, at } => {
-                    // Coalesce: fold every already-queued message into
-                    // this pass before compiling once.
+                    // Coalesce: fold every already-queued message —
+                    // route updates AND policy frames — into this pass
+                    // before compiling once.
                     let mut msgs = vec![(conn, msg, at)];
-                    while msgs.len() < self.cfg.coalesce_max {
-                        match self.rx.try_recv() {
-                            Ok(Input::PeerMsg { conn, msg, at }) => msgs.push((conn, msg, at)),
-                            Ok(other) => {
-                                queued.push_back(other);
-                                break;
-                            }
-                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-                        }
-                    }
-                    self.handle_peer_msgs(msgs);
+                    let mut frames = Vec::new();
+                    self.drain_burst(&mut msgs, &mut frames, &mut queued);
+                    self.handle_burst(msgs, frames);
+                }
+                Input::PolicyFrame { line, writer } => {
+                    let mut msgs = Vec::new();
+                    let mut frames = vec![(line, writer)];
+                    self.drain_burst(&mut msgs, &mut frames, &mut queued);
+                    self.handle_burst(msgs, frames);
                 }
                 Input::PeerClosed { conn } => self.handle_peer_closed(conn),
                 Input::SwitchConnected { stream } => self.handle_switch_connected(stream),
@@ -539,6 +632,7 @@ impl EventLoop {
             compiles: self.compiles,
             coalesced_bursts: self.coalesced_bursts,
             batches_streamed: self.batches_streamed,
+            policy_frames: self.policy_frames,
             ctl: self.ctl,
             fabric: self.fabric,
         }
@@ -558,7 +652,173 @@ impl EventLoop {
         self.flush(changed, n_updates, arrivals);
     }
 
+    /// Folds pending route updates and policy frames into one pass,
+    /// bounded by `coalesce_max`; anything else goes back on `queued`.
+    fn drain_burst(
+        &mut self,
+        msgs: &mut Vec<(ConnId, BgpMessage, Instant)>,
+        frames: &mut Vec<(String, Option<TcpStream>)>,
+        queued: &mut VecDeque<Input>,
+    ) {
+        while msgs.len() + frames.len() < self.cfg.coalesce_max {
+            match self.rx.try_recv() {
+                Ok(Input::PeerMsg { conn, msg, at }) => msgs.push((conn, msg, at)),
+                Ok(Input::PolicyFrame { line, writer }) => frames.push((line, writer)),
+                Ok(other) => {
+                    queued.push_back(other);
+                    break;
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// One coalesced pass: ingest the BGP messages, stage the policy
+    /// frames, then compile once. Policy mutations take the policy-aware
+    /// recompile (per-(participant, shard) invalidation) which subsumes
+    /// any route dirt from the same burst; route-only bursts keep the
+    /// prefix-keyed fast path.
+    fn handle_burst(
+        &mut self,
+        msgs: Vec<(ConnId, BgpMessage, Instant)>,
+        frames: Vec<(String, Option<TcpStream>)>,
+    ) {
+        let (changed, n_updates, arrivals) = self.ingest_peer_msgs(msgs);
+        let staged = self.stage_policy_frames(frames, n_updates);
+        if staged == 0 {
+            self.flush(changed, n_updates, arrivals);
+            return;
+        }
+        self.compiles += 1;
+        self.reg.inc("daemon.compiles.count");
+        if n_updates > 0 {
+            self.coalesced_bursts += 1;
+            self.reg.record_event(Event::Custom {
+                name: "policy_coalesced_with_burst".to_string(),
+                detail: format!(
+                    "{staged} policy delta(s) compiled with {n_updates} route update(s), \
+                     {} changed prefix(es)",
+                    changed.len()
+                ),
+            });
+        }
+        match self.ctl.reoptimize(&mut self.fabric) {
+            Ok(_) => {
+                self.stream_drained_batches();
+                self.publish_matcher_stats();
+                for at in arrivals {
+                    self.reg.observe(
+                        "daemon.update_to_flowmod_us",
+                        at.elapsed().as_micros() as u64,
+                    );
+                }
+            }
+            Err(_) => {
+                // Rolled back; staged policy stays in the book and the
+                // next successful compile converges.
+                self.reg.inc("daemon.policy_flush_failed.count");
+                let _ = self.fabric.drain_batches();
+            }
+        }
+    }
+
+    /// Stages every policy frame of a burst into the controller's book
+    /// (validated, journaled, acked per frame). Returns how many staged.
+    fn stage_policy_frames(
+        &mut self,
+        frames: Vec<(String, Option<TcpStream>)>,
+        _n_route_updates: usize,
+    ) -> u64 {
+        if frames.is_empty() {
+            return 0;
+        }
+        let book: BTreeMap<ParticipantId, Vec<u8>> = self
+            .ctl
+            .compiler
+            .participants()
+            .iter()
+            .map(|(&p, c)| (p, c.ports.iter().map(|pt| pt.index).collect()))
+            .collect();
+        let mut staged = 0u64;
+        for (line, writer) in frames {
+            self.policy_frames += 1;
+            self.reg.inc("daemon.policy_frames.count");
+            let outcome = self.stage_one_policy_line(&line, &book);
+            let (seq, result) = match &outcome {
+                Ok(seq) => (*seq, Ok(())),
+                Err((seq, e)) => (*seq, Err(e.as_str())),
+            };
+            if let Err((_, e)) = &outcome {
+                self.reg.inc("daemon.policy_rejected.count");
+                self.reg.record_event(Event::Custom {
+                    name: "policy_frame_rejected".to_string(),
+                    detail: e.clone(),
+                });
+            } else {
+                staged += 1;
+            }
+            if let Some(mut w) = writer {
+                let _ = w.write_all(codec::encode_ack(seq, result).as_bytes());
+                let _ = w.write_all(b"\n");
+            }
+        }
+        staged
+    }
+
+    /// Decodes, DSL-parses, and stages one policy frame line. The typed
+    /// failure carries the frame's seq (0 if undecodable) for the nack.
+    fn stage_one_policy_line(
+        &mut self,
+        line: &str,
+        book: &BTreeMap<ParticipantId, Vec<u8>>,
+    ) -> Result<u64, (u64, String)> {
+        use sdx_policy::{parse_policy, PolicyDelta, PolicyScope};
+        let (seq, ops) = codec::decode_policy_frame(line).map_err(|e| (0, e.to_string()))?;
+        let mut delta = PolicyDelta::new();
+        for op in ops {
+            let policy = match &op.policy {
+                Some(dsl) => {
+                    let resolver = sdx_core::vswitch::resolver_for(op.participant, book);
+                    Some(parse_policy(dsl, &resolver).map_err(|e| (seq, e.to_string()))?)
+                }
+                None => None,
+            };
+            delta = match (op.op.as_str(), op.scope, policy) {
+                ("retract", PolicyScope::Outbound, _) => delta.retract_outbound(op.participant),
+                ("retract", PolicyScope::Inbound, _) => delta.retract_inbound(op.participant),
+                ("install", PolicyScope::Outbound, Some(p)) => {
+                    delta.install_outbound(op.participant, p)
+                }
+                ("replace", PolicyScope::Outbound, Some(p)) => {
+                    delta.replace_outbound(op.participant, p)
+                }
+                ("install", PolicyScope::Inbound, Some(p)) => {
+                    delta.install_inbound(op.participant, p)
+                }
+                ("replace", PolicyScope::Inbound, Some(p)) => {
+                    delta.replace_inbound(op.participant, p)
+                }
+                // decode_policy_frame guarantees op kind and body shape.
+                _ => unreachable!("codec admitted a malformed policy op"),
+            };
+        }
+        self.ctl
+            .stage_policy_delta(&delta)
+            .map_err(|e| (seq, e.to_string()))?;
+        Ok(seq)
+    }
+
     fn handle_peer_msgs(&mut self, msgs: Vec<(ConnId, BgpMessage, Instant)>) {
+        let (changed, n_updates, arrivals) = self.ingest_peer_msgs(msgs);
+        self.flush(changed, n_updates, arrivals);
+    }
+
+    /// BGP ingestion only: answers protocol messages and returns the
+    /// changed prefixes for the caller to compile.
+    fn ingest_peer_msgs(
+        &mut self,
+        msgs: Vec<(ConnId, BgpMessage, Instant)>,
+    ) -> (BTreeSet<Prefix>, usize, Vec<Instant>) {
         let now = self.clock.now_ms();
         let mut changed: BTreeSet<Prefix> = BTreeSet::new();
         let mut sends: Vec<(ParticipantId, BgpMessage)> = Vec::new();
@@ -589,7 +849,7 @@ impl EventLoop {
             }
         }
         self.send_msgs(sends);
-        self.flush(changed, n_updates, arrivals);
+        (changed, n_updates, arrivals)
     }
 
     /// First OPEN on a new connection: map it to a participant by ASN

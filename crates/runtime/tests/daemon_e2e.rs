@@ -20,10 +20,11 @@ use std::time::{Duration, Instant};
 use sdx_bgp::{BgpMessage, ExportPolicy, MockClock};
 use sdx_core::{FaultPlan, InjectionPoint, ParticipantConfig, SdxController};
 use sdx_ixp::testkit::{figure1_controller, figure1_inbound_b, figure1_outbound_a};
-use sdx_net::{prefix, ParticipantId};
+use sdx_net::{prefix, Ipv4Addr, Packet, ParticipantId, PortId};
 use sdx_openflow::table::FlowTable;
 use sdx_oracle::synth::probe_grid;
-use sdx_oracle::{Differential, FabricEvaluator};
+use sdx_oracle::{Differential, FabricEvaluator, Outcome};
+use sdx_policy::PolicyScope;
 use sdx_runtime::{codec, daemon, spawn_agent, DaemonConfig, TestPeer};
 use sdx_telemetry::{Json, SharedRegistry};
 
@@ -190,6 +191,184 @@ fn figure1_over_sockets_is_oracle_identical_to_in_process() {
             pkt.nw_dst
         );
     }
+}
+
+/// Sends one newline-framed line and reads back the ack line.
+fn policy_roundtrip(
+    w: &mut BufWriter<TcpStream>,
+    r: &mut BufReader<TcpStream>,
+    line: &str,
+) -> (u64, Result<(), String>) {
+    w.write_all(line.as_bytes()).expect("write frame");
+    w.write_all(b"\n").expect("write newline");
+    w.flush().expect("flush");
+    let mut ack = String::new();
+    r.read_line(&mut ack).expect("read ack");
+    codec::decode_ack(ack.trim()).expect("parseable ack")
+}
+
+#[test]
+fn policy_frames_stage_deltas_and_nack_garbage_over_the_wire() {
+    // The full lifecycle over sockets: a participant pushes a DSL policy
+    // frame to the daemon's policy endpoint, gets an ack, and the change
+    // flows through the incremental compile into the connected agent's
+    // table — oracle-verified. Garbage (unknown writer, non-JSON) gets a
+    // typed nack and stages nothing.
+    let mut cfg = DaemonConfig::default();
+    cfg.sharding = sdx_core::Sharding::Shards(4);
+    let handle = daemon::start(figure1_controller(), cfg).expect("start");
+    let reg = handle.telemetry().clone();
+    let agent = spawn_agent(handle.openflow_addr).expect("agent");
+    wait_counter(&reg, "daemon.switch_connected.count", 1);
+
+    let stream = TcpStream::connect(handle.policy_addr).expect("policy endpoint");
+    let mut r = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = BufWriter::new(stream);
+
+    // A rewrites its outbound policy: HTTPS now steers via B (it used to
+    // go via C). Written in the DSL, exactly as a portal would send it.
+    let frame = codec::encode_policy_frame(
+        7,
+        &[codec::PolicyOpFrame::replace(
+            pid(1),
+            PolicyScope::Outbound,
+            "match(dstport=443) >> fwd(B)",
+        )],
+    );
+    let (seq, result) = policy_roundtrip(&mut w, &mut r, &frame);
+    assert_eq!(seq, 7);
+    assert_eq!(result, Ok(()), "valid frame must ack clean");
+    wait_counter(&reg, "policy.applied.count", 1);
+    wait_counter(&reg, "daemon.compiles.count", 1);
+
+    // An unknown participant is rejected by delta validation, with the
+    // writer named in the nack; staging is atomic, so nothing applied.
+    let frame = codec::encode_policy_frame(
+        8,
+        &[codec::PolicyOpFrame::install(
+            pid(42),
+            PolicyScope::Outbound,
+            "fwd(B)",
+        )],
+    );
+    let (seq, result) = policy_roundtrip(&mut w, &mut r, &frame);
+    assert_eq!(seq, 8);
+    let err = result.expect_err("unknown participant must nack");
+    assert!(err.contains("42"), "nack should name the writer: {err}");
+
+    // Non-JSON garbage nacks with seq 0 (no frame to attribute it to)
+    // and the connection survives for the next frame.
+    let (seq, result) = policy_roundtrip(&mut w, &mut r, "not a frame");
+    assert_eq!(seq, 0);
+    assert!(result.is_err(), "garbage must nack");
+
+    let report = handle.stop();
+    let agent_fabric = agent.join();
+
+    assert_eq!(report.policy_frames, 3);
+    assert_eq!(counter(&reg, "daemon.policy_frames.count"), 3);
+    assert_eq!(counter(&reg, "daemon.policy_rejected.count"), 2);
+    assert_eq!(counter(&reg, "policy.applied.count"), 1);
+    assert!(counter(&reg, "policy.dirty_units.count") >= 1);
+
+    // The agent's table reflects the staged policy: HTTPS from A's port
+    // delivers at B now, and the whole table stays oracle-equivalent to
+    // the spec interpreter over the versioned policy store.
+    let ctl = report.ctl;
+    let cr = ctl.report.as_ref().expect("compiled");
+    let diff = Differential::over_table(&ctl.compiler, &ctl.rs, cr, agent_fabric.switch.table());
+    let probes = probe_grid(&ctl.compiler, &ctl.rs);
+    diff.check_all(&probes).expect("no oracle mismatch");
+    let https = Packet::tcp(
+        Ipv4Addr::new(9, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 9),
+        4321,
+        443,
+    );
+    let out = diff
+        .check(PortId::Phys(pid(1), 1), &https)
+        .expect("agreed verdict");
+    match out {
+        Outcome::Deliver {
+            port: PortId::Phys(owner, _),
+            ..
+        } => assert_eq!(owner, pid(2), "pushed policy not in effect: {out:?}"),
+        other => panic!("HTTPS should deliver at B, got {other:?}"),
+    }
+}
+
+#[test]
+fn policy_frame_coalesces_with_a_route_burst() {
+    // A policy frame arriving while the event loop is pinned at a slow
+    // agent's ack barrier must fold into the same compile as the queued
+    // route updates — one pass, journalled as a policy+burst coalesce.
+    let handle = daemon::start(figure1_empty_rib(), DaemonConfig::default()).expect("start");
+    let reg = handle.telemetry().clone();
+    let agent = slow_agent(handle.openflow_addr, Duration::from_millis(60));
+    wait_counter(&reg, "daemon.switch_connected.count", 1);
+
+    let d = ParticipantConfig::new(4, 65004, 1);
+    let mut peer = TestPeer::establish(handle.bgp_addr, 65004, 30).expect("peer");
+    wait_counter(&reg, "session.established.count", 1);
+
+    // Establish the policy connection up front and prove its reader is
+    // live (a garbage line earns an instant nack) — the real frame later
+    // must reach the input channel with no accept latency in the way.
+    let stream = TcpStream::connect(handle.policy_addr).expect("policy endpoint");
+    let mut r = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = BufWriter::new(stream);
+    let (warm_seq, warm) = policy_roundtrip(&mut w, &mut r, "warmup garbage");
+    assert_eq!(warm_seq, 0);
+    assert!(warm.is_err());
+
+    // First update: its compile streams a batch whose ack the slow agent
+    // sits on, pinning the event loop...
+    peer.send(&announce(&d, "60.0.0.0/8", &[65004, 500]))
+        .expect("send");
+    wait_counter(&reg, "daemon.compiles.count", 1);
+
+    // ...while a policy frame and a burst of route updates queue behind
+    // the barrier.
+    let frame = codec::encode_policy_frame(
+        1,
+        &[codec::PolicyOpFrame::install(
+            pid(4),
+            PolicyScope::Outbound,
+            "match(dstport=80) >> fwd(B)",
+        )],
+    );
+    w.write_all(frame.as_bytes()).expect("write frame");
+    w.write_all(b"\n").expect("newline");
+    w.flush().expect("flush");
+    for i in 0..10u32 {
+        let pfx = format!("{}.0.0.0/8", 70 + i);
+        peer.send(&announce(&d, &pfx, &[65004, 500])).expect("send");
+    }
+    let mut ack = String::new();
+    r.read_line(&mut ack).expect("ack");
+    let (_, result) = codec::decode_ack(ack.trim()).expect("parseable ack");
+    assert_eq!(result, Ok(()));
+    wait_counter(&reg, "daemon.updates.count", 11);
+
+    let report = handle.stop();
+    drop(agent);
+    assert_eq!(report.updates, 11);
+    assert_eq!(report.policy_frames, 2);
+    assert!(
+        report.compiles < report.updates,
+        "no coalescing: {} compiles for {} updates",
+        report.compiles,
+        report.updates
+    );
+    let events = reg.snapshot().events;
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.event,
+            sdx_telemetry::Event::Custom { name, .. } if name == "policy_coalesced_with_burst"
+        )),
+        "policy+route coalesce missing from journal: {:?}",
+        events.iter().map(|e| e.event.kind()).collect::<Vec<_>>()
+    );
 }
 
 /// A hand-rolled switch agent that acks its initial sync instantly but
